@@ -1,0 +1,101 @@
+"""Experiments A1/A2 — the toolbar parameters α and β.
+
+The demo lets users "set personalized parameters for modeling general
+influence and domain influence"; the paper fixes α = 0.5 and sets
+β = 0.6 "according to empirical study".  These sweeps regenerate that
+empirical study on the synthetic ground truth: ranking quality
+(NDCG@10 against true domain strengths, averaged over domains) as a
+function of each parameter.
+
+Expected shape: both extremes lose information — α = 0 ignores posts
+entirely (pure link authority), α = 1 ignores authority; β = 0 ignores
+content quality, β = 1 ignores comments — so quality should peak in the
+interior, consistent with the paper's defaults being reasonable.
+"""
+
+from __future__ import annotations
+
+from conftest import print_header, print_rows
+
+from repro.core import MassModel, MassParameters
+from repro.evaluation import ndcg_at_k
+from repro.synth import DOMAIN_VOCABULARIES
+
+SWEEP = [0.0, 0.2, 0.4, 0.5, 0.6, 0.8, 1.0]
+
+
+def _ranking_quality(corpus, truth, params: MassParameters) -> float:
+    report = MassModel(
+        params=params, domain_seed_words=DOMAIN_VOCABULARIES
+    ).fit(corpus)
+    total = 0.0
+    for domain in truth.domains:
+        ranked = [b for b, _ in report.top_influencers(10, domain)]
+        total += ndcg_at_k(ranked, truth.domain_strengths(domain), 10)
+    return total / len(truth.domains)
+
+
+def test_alpha_sweep(benchmark, bench_blogosphere):
+    """α trades accumulated-post influence against link authority in the
+    *overall* score Inf(b), so the sweep measures the general ranking:
+    NDCG@20 and Spearman ρ against the true latent influence levels."""
+    from repro.core import InfluenceSolver, full_ranking
+    from repro.evaluation import spearman_rho
+
+    corpus, truth = bench_blogosphere
+    gains = truth.general_strengths()
+
+    def sweep():
+        result = {}
+        for alpha in SWEEP:
+            scores = InfluenceSolver(
+                corpus, MassParameters(alpha=alpha)
+            ).solve().influence
+            ranked = [b for b, _ in full_ranking(scores)]
+            result[alpha] = (
+                ndcg_at_k(ranked, gains, 20),
+                spearman_rho(scores, gains),
+            )
+        return result
+
+    quality = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_header("A1 — α sweep (AP weight vs GL weight), general ranking",
+                 corpus)
+    print_rows(
+        ["alpha", "NDCG@20", "Spearman ρ"],
+        [
+            [f"{alpha:.1f}", f"{ndcg:.4f}", f"{rho:.4f}"]
+            for alpha, (ndcg, rho) in quality.items()
+        ],
+    )
+    default_ndcg, default_rho = quality[0.5]
+    # Pure link authority (α=0) must be clearly worse at the head: the
+    # few endorsement links are a much noisier signal than posts.
+    assert default_ndcg > quality[0.0][0] + 0.02
+    # The paper default must be competitive with the best swept value.
+    assert default_ndcg >= max(ndcg for ndcg, _ in quality.values()) - 0.02
+    # Authority still helps across the whole population: dropping it
+    # entirely (α=1) should not improve the full-rank correlation.
+    assert default_rho >= quality[1.0][1] - 0.01
+
+
+def test_beta_sweep(benchmark, bench_blogosphere):
+    corpus, truth = bench_blogosphere
+
+    def sweep():
+        return {
+            beta: _ranking_quality(corpus, truth, MassParameters(beta=beta))
+            for beta in SWEEP
+        }
+
+    quality = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_header("A2 — β sweep (quality weight vs comment weight), NDCG@10",
+                 corpus)
+    print_rows(
+        ["beta", "mean NDCG@10"],
+        [[f"{beta:.1f}", f"{value:.4f}"] for beta, value in quality.items()],
+    )
+    default = quality[0.6]
+    assert default >= max(quality.values()) - 0.05

@@ -1,0 +1,97 @@
+"""Experiment A4 — MASS vs the published comparators.
+
+Compares the domain-specific MASS ranking against every baseline the
+paper mentions or competes with — iFinder (WSDM'08), opinion leaders
+(CIKM'07), Live Index, PageRank, HITS, and MASS's own general score —
+on the synthetic ground truth: precision@3 against the true top-5 and
+NDCG@10 against true domain strengths, averaged over all ten domains.
+
+Expected shape (the paper's thesis): every domain-blind system, however
+sophisticated, leaves most of the domain-specific signal on the table;
+MASS's Eq. 5 rankings dominate.
+"""
+
+from __future__ import annotations
+
+from conftest import print_header, print_rows
+
+from repro.baselines import (
+    GeneralInfluenceBaseline,
+    HitsBaseline,
+    IFinderBaseline,
+    LiveIndexBaseline,
+    OpinionLeaderBaseline,
+    PageRankBaseline,
+)
+from repro.evaluation import ndcg_at_k, precision_at_k
+
+BASELINES = [
+    GeneralInfluenceBaseline(),
+    IFinderBaseline(),
+    OpinionLeaderBaseline(),
+    LiveIndexBaseline(),
+    PageRankBaseline(),
+    PageRankBaseline(include_replies=True),
+    HitsBaseline(),
+]
+
+
+def test_baseline_comparison(benchmark, bench_blogosphere, bench_report):
+    corpus, truth = bench_blogosphere
+
+    def score_all_baselines():
+        return {
+            ranker.name: [b for b, _ in ranker.rank(corpus, 10)]
+            for ranker in BASELINES
+        }
+
+    baseline_lists = benchmark.pedantic(
+        score_all_baselines, rounds=1, iterations=1
+    )
+    mass_lists = {
+        domain: [b for b, _ in bench_report.top_influencers(10, domain)]
+        for domain in truth.domains
+    }
+
+    def evaluate(list_for_domain) -> tuple[float, float]:
+        p_sum = 0.0
+        n_sum = 0.0
+        for domain in truth.domains:
+            ranked = list_for_domain(domain)
+            true_top = set(truth.top_true_influencers(domain, 5))
+            p_sum += precision_at_k(ranked, true_top, 3)
+            n_sum += ndcg_at_k(ranked, truth.domain_strengths(domain), 10)
+        count = len(truth.domains)
+        return p_sum / count, n_sum / count
+
+    results = {"MASS (domain specific)": evaluate(lambda d: mass_lists[d])}
+    for name, ranked in baseline_lists.items():
+        results[name] = evaluate(lambda d, r=ranked: r)
+
+    print_header(
+        "A4 — domain-specific ranking quality, MASS vs baselines", corpus
+    )
+    print_rows(
+        ["system", "mean P@3", "mean NDCG@10"],
+        [
+            [name, f"{p:.3f}", f"{n:.3f}"]
+            for name, (p, n) in sorted(
+                results.items(), key=lambda item: -item[1][0]
+            )
+        ],
+    )
+
+    mass_p, mass_n = results["MASS (domain specific)"]
+    for name, (p, n) in results.items():
+        if name == "MASS (domain specific)":
+            continue
+        assert mass_p > p + 0.3, (
+            f"MASS P@3 ({mass_p:.2f}) should dominate {name} ({p:.2f})"
+        )
+        assert mass_n > n, name
+    # Sanity floors: MASS actually finds the planted influencers.  At
+    # paper scale the very top of the true distribution is crowded, so
+    # P@3 against the discrete top-5 set gets boundary noise; the
+    # graded NDCG does not.
+    assert mass_p > 0.5
+    assert mass_n > 0.9

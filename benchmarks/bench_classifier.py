@@ -1,0 +1,111 @@
+"""Experiment A5 — the Post Analyzer's domain classifier.
+
+"Post Analyzer uses text classification technique to classify a post
+into different domains."  This bench measures the naive-Bayes
+classifier against the generator's true post domains, in both
+bootstrap modes:
+
+- seed-vocabulary mode (the predefined-domain bootstrap), and
+- supervised mode trained on n labelled posts per domain, sweeping n.
+
+Copied posts are excluded from scoring (their text is another post's
+domain by construction).  Expected shape: seed mode is already strong
+(the domains are lexically separable); supervised accuracy grows with
+training size and saturates near seed-mode accuracy or above.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+
+from conftest import BENCH_SEED, print_header, print_rows
+
+from repro.nlp import NaiveBayesClassifier
+from repro.synth import DOMAIN_VOCABULARIES
+
+TRAIN_SIZES = [1, 2, 5, 10, 25]
+
+
+def _labelled_posts(corpus, truth):
+    """(post_id, text, true domain) for original (non-copied) posts."""
+    rows = []
+    for post_id in sorted(corpus.posts):
+        if post_id in truth.copied_posts:
+            continue
+        rows.append(
+            (post_id, corpus.posts[post_id].text, truth.post_domains[post_id])
+        )
+    return rows
+
+
+def test_seed_vocabulary_classifier(benchmark, bench_blogosphere):
+    corpus, truth = bench_blogosphere
+    labelled = _labelled_posts(corpus, truth)
+    rng = random.Random(BENCH_SEED)
+    sample = rng.sample(labelled, min(1500, len(labelled)))
+    classifier = NaiveBayesClassifier.from_seed_vocabulary(DOMAIN_VOCABULARIES)
+
+    sample_text = sample[0][1]
+    benchmark(classifier.predict_proba, sample_text)
+
+    per_domain: dict[str, list[bool]] = defaultdict(list)
+    for _, text, domain in sample:
+        per_domain[domain].append(classifier.predict(text) == domain)
+
+    print_header("A5 — seed-vocabulary naive Bayes accuracy", corpus)
+    rows = []
+    total_hits = 0
+    total = 0
+    for domain in sorted(per_domain):
+        hits = sum(per_domain[domain])
+        count = len(per_domain[domain])
+        total_hits += hits
+        total += count
+        rows.append([domain, count, f"{hits / count:.3f}"])
+    print_rows(["domain", "posts", "accuracy"], rows)
+    accuracy = total_hits / total
+    print(f"overall accuracy: {accuracy:.3f} ({total_hits}/{total})")
+    assert accuracy > 0.9
+
+
+def test_supervised_training_size_sweep(benchmark, bench_blogosphere):
+    corpus, truth = bench_blogosphere
+    labelled = _labelled_posts(corpus, truth)
+    rng = random.Random(BENCH_SEED + 1)
+    rng.shuffle(labelled)
+
+    by_domain: dict[str, list[tuple[str, str]]] = defaultdict(list)
+    for _, text, domain in labelled:
+        by_domain[domain].append((text, domain))
+    holdout = []
+    pools = {}
+    for domain, items in sorted(by_domain.items()):
+        pools[domain] = items[: max(TRAIN_SIZES)]
+        holdout.extend(items[max(TRAIN_SIZES): max(TRAIN_SIZES) + 60])
+
+    def sweep():
+        accuracies = {}
+        for size in TRAIN_SIZES:
+            texts, labels = [], []
+            for domain in sorted(pools):
+                for text, label in pools[domain][:size]:
+                    texts.append(text)
+                    labels.append(label)
+            classifier = NaiveBayesClassifier().fit(texts, labels)
+            accuracies[size] = classifier.score(
+                [text for text, _ in holdout],
+                [label for _, label in holdout],
+            )
+        return accuracies
+
+    accuracies = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_header("A5 — supervised naive Bayes vs training size", corpus)
+    print_rows(
+        ["posts/domain", "holdout accuracy"],
+        [[size, f"{acc:.3f}"] for size, acc in accuracies.items()],
+    )
+    # Shape: more data never hurts much, and saturates high.
+    assert accuracies[max(TRAIN_SIZES)] >= accuracies[min(TRAIN_SIZES)] - 0.02
+    assert accuracies[max(TRAIN_SIZES)] > 0.9

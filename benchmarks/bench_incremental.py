@@ -1,0 +1,84 @@
+"""Experiment A10 (extension) — incremental re-analysis.
+
+A deployed MASS re-analyzes continuously as the crawler delivers new
+content.  This bench measures the warm-start machinery: after folding a
+small delta into a bench-scale corpus, the solver restarted from the
+previous fixed point must (a) reach the *identical* solution a cold
+batch run reaches and (b) spend measurably fewer iterations getting
+there.
+"""
+
+from __future__ import annotations
+
+from conftest import print_header, print_rows
+
+from repro.core import CorpusDelta, IncrementalAnalyzer, MassModel
+from repro.data import Comment
+from repro.nlp import NaiveBayesClassifier
+from repro.synth import DOMAIN_VOCABULARIES
+
+DELTA_SIZES = [1, 10, 100]
+
+
+def _comment_delta(corpus, size: int, tag: str) -> CorpusDelta:
+    post_ids = sorted(corpus.posts)
+    bloggers = corpus.blogger_ids()
+    comments = []
+    for index in range(size):
+        post_id = post_ids[index % len(post_ids)]
+        author = corpus.post(post_id).author_id
+        commenter = bloggers[(index * 7 + 3) % len(bloggers)]
+        if commenter == author:
+            commenter = bloggers[(index * 7 + 4) % len(bloggers)]
+        comments.append(
+            Comment(f"delta-{tag}-{index:05d}", post_id, commenter,
+                    text="I agree, excellent points here",
+                    created_day=364)
+        )
+    return CorpusDelta(comments=comments)
+
+
+def test_incremental_warm_start(benchmark, bench_blogosphere):
+    corpus, _ = bench_blogosphere
+    classifier = NaiveBayesClassifier.from_seed_vocabulary(DOMAIN_VOCABULARIES)
+
+    analyzer = IncrementalAnalyzer(classifier)
+    analyzer.fit(corpus)
+    cold_iterations = analyzer.last_iterations
+
+    rows = []
+    max_error = 0.0
+    for size in DELTA_SIZES:
+        delta = _comment_delta(analyzer.report.corpus, size, tag=str(size))
+        report = analyzer.apply(delta)
+        warm_iterations = analyzer.last_iterations
+
+        batch = MassModel(classifier=classifier).fit(report.corpus)
+        error = max(
+            abs(report.general_scores()[b] - batch.general_scores()[b])
+            for b in report.corpus.blogger_ids()
+        )
+        max_error = max(max_error, error)
+        rows.append([size, cold_iterations, warm_iterations,
+                     f"{error:.2e}"])
+        assert warm_iterations < cold_iterations
+        assert error < 1e-6
+
+    # Benchmark statistic: applying a 10-comment delta.
+    base_corpus = analyzer.report.corpus
+    counter = iter(range(10_000))
+
+    def apply_once():
+        return analyzer.apply(
+            _comment_delta(analyzer.report.corpus, 10,
+                           tag=f"bench{next(counter)}")
+        )
+
+    benchmark.pedantic(apply_once, rounds=3, iterations=1)
+
+    print_header("A10 — incremental re-analysis (warm start)", base_corpus)
+    print_rows(
+        ["delta comments", "cold iterations", "warm iterations",
+         "max |Δscore| vs batch"],
+        rows,
+    )

@@ -1,0 +1,143 @@
+"""Experiment A9 (extension) — manipulation resistance.
+
+Quantifies the defence built into Eq. 3's TC normalization ("one
+commenter may put multiple comments ... his/her impact to peers should
+be shared") and contrasts it with the manipulable comparators:
+
+- **comment-spam attack**: sock puppets shower a weak blogger with
+  positive comments, sweeping the spam volume.  Under normalized MASS
+  the payoff saturates immediately (each puppet can transfer at most
+  its own influence, however many comments it writes); under
+  count-based scoring (citation ablation / iFinder) the bought rank
+  keeps improving with volume.
+- **link-farm attack**: satellite accounts link to the target.  In-link
+  counting (Live Index) is bought outright; PageRank resists partially;
+  MASS with default α only exposes half its score to GL.
+"""
+
+from __future__ import annotations
+
+from conftest import print_header, print_rows
+
+from repro.baselines import IFinderBaseline, LiveIndexBaseline, PageRankBaseline
+from repro.core import InfluenceSolver, MassParameters, rank_of
+from repro.synth import inject_comment_spam, inject_link_farm
+
+SPAM_VOLUMES = [0, 5, 20, 80]
+FARM_SIZES = [0, 20, 80]
+
+
+def _weak_target(corpus, truth):
+    candidates = sorted(
+        (b for b in corpus.blogger_ids() if corpus.posts_by(b)),
+        key=lambda b: truth.bloggers[b].latent_influence,
+    )
+    # Not the absolute weakest (degenerate), but solidly bottom-decile.
+    return candidates[len(candidates) // 20]
+
+
+def test_comment_spam_resistance(benchmark, bench_blogosphere):
+    corpus, truth = bench_blogosphere
+    target = _weak_target(corpus, truth)
+
+    def target_ranks(volume: int) -> dict[str, int]:
+        if volume == 0:
+            attacked = corpus
+        else:
+            attacked = inject_comment_spam(
+                corpus, target, num_spammers=5, comments_each=volume, seed=3
+            )
+        normalized = InfluenceSolver(attacked, MassParameters()).solve()
+        counting = InfluenceSolver(
+            attacked, MassParameters(use_citation=False)
+        ).solve()
+        ifinder = IFinderBaseline().score_bloggers(attacked)
+        return {
+            "MASS (normalized)": rank_of(normalized.influence, target),
+            "count-based": rank_of(counting.influence, target),
+            "iFinder": rank_of(ifinder, target),
+        }
+
+    sweep = benchmark.pedantic(
+        lambda: {volume: target_ranks(volume) for volume in SPAM_VOLUMES},
+        rounds=1,
+        iterations=1,
+    )
+
+    print_header(
+        f"A9 — comment-spam attack on {target} "
+        "(rank of target; lower = more gamed)", corpus
+    )
+    systems = list(next(iter(sweep.values())))
+    print_rows(
+        ["spam comments/puppet", *systems],
+        [
+            [volume, *(sweep[volume][system] for system in systems)]
+            for volume in SPAM_VOLUMES
+        ],
+    )
+
+    base = sweep[0]
+    heavy = sweep[SPAM_VOLUMES[-1]]
+    light = sweep[SPAM_VOLUMES[1]]
+    # Normalized MASS: the payoff saturates — going from 5 to 80
+    # comments per puppet buys (almost) no additional rank.
+    assert heavy["MASS (normalized)"] >= light["MASS (normalized)"] * 0.8
+    # Count-based systems keep paying out with volume.
+    assert heavy["count-based"] < light["count-based"]
+    assert heavy["count-based"] < base["count-based"] // 4
+    assert heavy["iFinder"] < base["iFinder"] // 4
+    # And under the heaviest attack, normalized MASS ranks the target
+    # far more honestly than the count-based variant.
+    assert heavy["MASS (normalized)"] > heavy["count-based"] * 4
+
+
+def test_link_farm_resistance(benchmark, bench_blogosphere):
+    corpus, truth = bench_blogosphere
+    target = _weak_target(corpus, truth)
+
+    def target_ranks(size: int) -> dict[str, int]:
+        if size == 0:
+            attacked = corpus
+        else:
+            attacked = inject_link_farm(
+                corpus, target, num_satellites=size, seed=3
+            )
+        mass = InfluenceSolver(attacked, MassParameters()).solve()
+        return {
+            "MASS": rank_of(mass.influence, target),
+            "Live Index": rank_of(
+                LiveIndexBaseline().score_bloggers(attacked), target
+            ),
+            "PageRank": rank_of(
+                PageRankBaseline().score_bloggers(attacked), target
+            ),
+        }
+
+    sweep = benchmark.pedantic(
+        lambda: {size: target_ranks(size) for size in FARM_SIZES},
+        rounds=1,
+        iterations=1,
+    )
+
+    print_header(
+        f"A9 — link-farm attack on {target} "
+        "(rank of target; lower = more gamed)", corpus
+    )
+    systems = list(next(iter(sweep.values())))
+    print_rows(
+        ["farm size", *systems],
+        [
+            [size, *(sweep[size][system] for system in systems)]
+            for size in FARM_SIZES
+        ],
+    )
+
+    base = sweep[0]
+    heavy = sweep[FARM_SIZES[-1]]
+    # Live Index is bought outright.
+    assert heavy["Live Index"] <= 5
+    # MASS moves far less than Live Index does.
+    live_gain = base["Live Index"] / heavy["Live Index"]
+    mass_gain = base["MASS"] / heavy["MASS"]
+    assert live_gain > mass_gain * 3

@@ -1,0 +1,112 @@
+"""Experiment A6 — scalability of the solver and the crawler.
+
+Two engineering claims back the demo: the Analyzer handles the crawled
+corpus (3,000 spaces / 40,000 posts in the paper) and the Crawler
+Module's "multi-thread crawling technique" actually buys throughput.
+This bench measures
+
+- influence-solver wall time across corpus sizes (expected: roughly
+  linear in the number of comments — each Jacobi iteration is one pass
+  over the comment terms, and the iteration count is fixed by the
+  contraction factor, not by corpus size);
+- crawl wall time for 1/2/4/8 worker threads against a service with
+  simulated per-fetch latency (expected: near-linear speedup until the
+  wave width is exhausted).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from conftest import BENCH_SEED, print_header, print_rows
+
+from repro.core import InfluenceSolver
+from repro.crawler import BlogCrawler, CrawlConfig, SimulatedBlogService
+from repro.synth import BlogosphereConfig, generate_blogosphere
+
+SIZES = [200, 400, 800, 1600]
+
+
+@pytest.fixture(scope="module")
+def sized_corpora():
+    corpora = {}
+    for size in SIZES:
+        corpus, _ = generate_blogosphere(
+            BlogosphereConfig(num_bloggers=size, posts_per_blogger=8.0),
+            seed=BENCH_SEED,
+        )
+        corpora[size] = corpus
+    return corpora
+
+
+def test_solver_scaling(benchmark, sized_corpora):
+    timings = {}
+    iterations = {}
+    for size, corpus in sized_corpora.items():
+        solver = InfluenceSolver(corpus)
+        started = time.perf_counter()
+        scores = solver.solve()
+        timings[size] = time.perf_counter() - started
+        iterations[size] = scores.iterations
+        assert scores.converged
+
+    # The benchmark statistic itself: the largest corpus (solver only,
+    # construction excluded).
+    largest = sized_corpora[SIZES[-1]]
+    solver = InfluenceSolver(largest)
+    benchmark.pedantic(solver.solve, rounds=3, iterations=1)
+
+    print_header("A6 — influence solver scaling")
+    rows = []
+    for size in SIZES:
+        stats = sized_corpora[size].stats()
+        rows.append(
+            [
+                size,
+                stats.num_posts,
+                stats.num_comments,
+                iterations[size],
+                f"{timings[size] * 1000:.0f} ms",
+            ]
+        )
+    print_rows(["bloggers", "posts", "comments", "iterations", "solve time"],
+               rows)
+
+    # Shape: iteration count is size-independent (contraction-driven)…
+    assert max(iterations.values()) - min(iterations.values()) <= 4
+    # …so time grows sub-quadratically: 8× the bloggers should cost far
+    # less than 64× the time (allow generous slack for timer noise).
+    ratio = timings[SIZES[-1]] / max(timings[SIZES[0]], 1e-9)
+    assert ratio < 40, f"time ratio {ratio:.1f} suggests super-linear scaling"
+
+
+def test_crawler_thread_speedup(benchmark, bench_blogosphere):
+    corpus, _ = bench_blogosphere
+    seed = corpus.blogger_ids()[0]
+    latency = 0.004
+
+    def crawl_with(threads: int) -> float:
+        service = SimulatedBlogService(corpus, latency=latency)
+        crawler = BlogCrawler(
+            service,
+            CrawlConfig(radius=2, num_threads=threads, max_spaces=200),
+        )
+        return crawler.crawl([seed]).elapsed
+
+    timings = {threads: crawl_with(threads) for threads in (1, 2, 4, 8)}
+    benchmark.pedantic(lambda: crawl_with(8), rounds=1, iterations=1)
+
+    print_header("A6 — crawler threads vs wall time "
+                 f"(latency {latency * 1000:.0f} ms/fetch, 200 spaces)")
+    base = timings[1]
+    print_rows(
+        ["threads", "wall time", "speedup"],
+        [
+            [threads, f"{elapsed:.2f} s", f"{base / elapsed:.2f}x"]
+            for threads, elapsed in timings.items()
+        ],
+    )
+    # Shape: multi-threading pays; 4 threads at least 2x over 1 thread.
+    assert timings[4] < timings[1] / 2
+    assert timings[8] <= timings[1]

@@ -1,0 +1,136 @@
+"""Experiment T1 — Table I: user evaluation of average applicable scores.
+
+Paper protocol: 10 graduate-student raters score the top-3 bloggers
+recommended by each system 1–5 for a domain-specific advertising
+scenario, over Travel, Art and Sports.
+
+    Paper's Table I          Travel  Art  Sports
+    General                  3.2     3.2  3.2
+    Live Index               3.0     3.3  3.1
+    Domain Specific          4.3     4.1  4.6
+
+Expected shape (what this bench asserts): Domain Specific clearly above
+both General and Live Index in every domain; General and Live Index in
+the same mid band.  Absolute values depend on the rater noise model.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SEED, print_header, print_rows
+
+from repro.baselines import GeneralInfluenceBaseline, LiveIndexBaseline
+from repro.userstudy import TABLE1_DOMAINS, UserStudy, compare_systems
+
+
+def _system_lists(corpus, report):
+    general = GeneralInfluenceBaseline().top_ids(corpus, 3)
+    live = LiveIndexBaseline().top_ids(corpus, 3)
+    return {
+        "General": {d: general for d in TABLE1_DOMAINS},
+        "Live Index": {d: live for d in TABLE1_DOMAINS},
+        "Domain Specific": {
+            d: [b for b, _ in report.top_influencers(3, d)]
+            for d in TABLE1_DOMAINS
+        },
+    }
+
+
+def test_table1_user_study(benchmark, bench_blogosphere, bench_report):
+    corpus, truth = bench_blogosphere
+    systems = _system_lists(corpus, bench_report)
+    study = UserStudy(truth, seed=BENCH_SEED)
+
+    result = benchmark(study.run, systems)
+
+    print_header("Table I — average applicable scores (top-3, 10 raters)",
+                 corpus)
+    rows = []
+    paper = {
+        "General": {"Travel": 3.2, "Art": 3.2, "Sports": 3.2},
+        "Live Index": {"Travel": 3.0, "Art": 3.3, "Sports": 3.1},
+        "Domain Specific": {"Travel": 4.3, "Art": 4.1, "Sports": 4.6},
+    }
+    for system in ("General", "Live Index", "Domain Specific"):
+        measured = [f"{result.score(system, d):.1f}" for d in TABLE1_DOMAINS]
+        expected = [f"{paper[system][d]:.1f}" for d in TABLE1_DOMAINS]
+        rows.append([system, *measured, " | paper:", *expected])
+    print_rows(
+        ["system", *TABLE1_DOMAINS, "", *TABLE1_DOMAINS], rows
+    )
+
+    # Shape assertions: Domain Specific wins every domain by a margin.
+    for domain in TABLE1_DOMAINS:
+        ds = result.score("Domain Specific", domain)
+        assert result.winner(domain) == "Domain Specific"
+        assert ds >= 4.0, f"Domain Specific should score >= 4 in {domain}"
+        for other in ("General", "Live Index"):
+            assert ds > result.score(other, domain) + 0.4
+
+
+def test_table1_stable_across_rater_panels(
+    benchmark, bench_blogosphere, bench_report
+):
+    """The Table I ordering must hold for any rater-panel seed."""
+    corpus, truth = bench_blogosphere
+    systems = _system_lists(corpus, bench_report)
+    panels = 5
+
+    def run_all_panels() -> int:
+        wins = 0
+        for panel_seed in range(panels):
+            result = UserStudy(truth, seed=panel_seed).run(systems)
+            wins += sum(
+                result.winner(domain) == "Domain Specific"
+                for domain in TABLE1_DOMAINS
+            )
+        return wins
+
+    wins = benchmark.pedantic(run_all_panels, rounds=1, iterations=1)
+    print_header("Table I stability — Domain Specific wins across panels")
+    print(f"wins: {wins}/{panels * len(TABLE1_DOMAINS)} (panel seeds 0..4)")
+    assert wins == panels * len(TABLE1_DOMAINS)
+
+
+def test_table1_significance(benchmark, bench_blogosphere, bench_report):
+    """What the paper's bare means cannot show: the Domain-Specific
+    advantage is statistically significant under a paired permutation
+    test on the per-judgement scores."""
+    corpus, truth = bench_blogosphere
+    systems = _system_lists(corpus, bench_report)
+    domain_lists = systems["Domain Specific"]
+
+    def run_comparisons():
+        rows = []
+        for rival in ("General", "Live Index"):
+            rows.extend(
+                compare_systems(
+                    truth,
+                    domain_lists,
+                    systems[rival],
+                    system_a="Domain Specific",
+                    system_b=rival,
+                    domains=list(TABLE1_DOMAINS),
+                    seed=BENCH_SEED,
+                    rounds=5000,
+                )
+            )
+        return rows
+
+    comparisons = benchmark.pedantic(run_comparisons, rounds=1, iterations=1)
+
+    print_header("Table I significance — paired permutation test")
+    print_rows(
+        ["comparison", "domain", "Δ mean", "p-value"],
+        [
+            [
+                f"{c.system_a} vs {c.system_b}",
+                c.domain,
+                f"{c.difference:+.2f}",
+                f"{c.p_value:.4f}",
+            ]
+            for c in comparisons
+        ],
+    )
+    for comparison in comparisons:
+        assert comparison.difference > 0
+        assert comparison.significant(0.05), comparison

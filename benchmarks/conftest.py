@@ -1,0 +1,91 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every bench regenerates one artifact of the paper (see DESIGN.md §4)
+and prints the corresponding rows.  Benches run on a generated
+blogosphere; the scale is controlled by ``REPRO_BENCH_SCALE``:
+
+- unset / ``small``: 800 bloggers (~7k posts) — minutes for the suite;
+- ``paper``: 3,000 bloggers / ~40,000 posts, the paper's evaluation
+  scale (slower; use for the recorded EXPERIMENTS.md numbers).
+
+All fixtures are seeded; every printed table names the seed and scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import MassModel
+from repro.synth import (
+    DOMAIN_VOCABULARIES,
+    BlogosphereConfig,
+    generate_blogosphere,
+)
+
+BENCH_SEED = 2010  # the paper's year; fixed for recorded results
+
+
+def bench_scale() -> str:
+    """The configured scale name."""
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def bench_config() -> BlogosphereConfig:
+    """Blogosphere generation config for the configured scale."""
+    if bench_scale() == "paper":
+        return BlogosphereConfig.paper_scale()
+    return BlogosphereConfig(num_bloggers=800, posts_per_blogger=8.0)
+
+
+@pytest.fixture(scope="session")
+def bench_blogosphere():
+    """(corpus, truth) at bench scale."""
+    return generate_blogosphere(bench_config(), seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_model_and_report(bench_blogosphere):
+    """A fitted MassModel and its report over the bench blogosphere."""
+    corpus, _ = bench_blogosphere
+    model = MassModel(domain_seed_words=DOMAIN_VOCABULARIES)
+    report = model.fit(corpus)
+    return model, report
+
+
+@pytest.fixture(scope="session")
+def bench_report(bench_model_and_report):
+    return bench_model_and_report[1]
+
+
+def print_header(title: str, corpus=None) -> None:
+    """Standard bench banner naming scale and seed."""
+    print()
+    print("=" * 72)
+    print(title)
+    line = f"scale={bench_scale()}  seed={BENCH_SEED}"
+    if corpus is not None:
+        stats = corpus.stats()
+        line += (
+            f"  bloggers={stats.num_bloggers} posts={stats.num_posts}"
+            f" comments={stats.num_comments} links={stats.num_links}"
+        )
+    print(line)
+    print("=" * 72)
+
+
+def print_rows(headers: list[str], rows: list[list[object]]) -> None:
+    """Fixed-width table printer for bench output."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        if rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    def fmt(cells):
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+    print(fmt(headers))
+    print(fmt(["-" * w for w in widths]))
+    for row in rows:
+        print(fmt(row))

@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs where the environment
+has no `wheel` package (PEP 660 editable builds need it)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""repro — reproduction of "MASS: a Multi-fAcet domain-Specific
+influential blogger mining System" (Cai & Chen, ICDE 2010).
+
+MASS mines the top-k influential bloggers *per interest domain* from a
+blogosphere crawl, combining four facets: domain-specific post
+classification, commenter impact (citation), comment attitude
+(sentiment), and link authority.  This package implements the full
+system — data model, XML storage, multi-threaded crawler over a
+simulated blog service, the influence model (Eqs. 1-5), domain
+classification, both application scenarios, the comparator baselines,
+the Fig. 4 visualization artifacts, and a simulated replica of the
+paper's Table I user study.
+
+Quick start::
+
+    from repro import MassSystem, generate_blogosphere
+
+    corpus, truth = generate_blogosphere()
+    system = MassSystem()
+    system.load_dataset(corpus)
+    for blogger_id, score in system.top_influencers(3, domain="Sports"):
+        print(blogger_id, score)
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+from repro.core import (
+    DEFAULT_DOMAINS,
+    InfluenceReport,
+    MassModel,
+    MassParameters,
+)
+from repro.data import BlogCorpus, Blogger, Comment, CorpusBuilder, Link, Post
+from repro.errors import (
+    ClassifierError,
+    ConvergenceError,
+    CorpusError,
+    CrawlError,
+    ParameterError,
+    ReproError,
+    XmlFormatError,
+)
+from repro.synth import BlogosphereConfig, GroundTruth, generate_blogosphere
+from repro.system import MassSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # Core model
+    "MassModel",
+    "MassParameters",
+    "InfluenceReport",
+    "DEFAULT_DOMAINS",
+    # System facade
+    "MassSystem",
+    # Data model
+    "Blogger",
+    "Post",
+    "Comment",
+    "Link",
+    "BlogCorpus",
+    "CorpusBuilder",
+    # Synthetic blogosphere
+    "generate_blogosphere",
+    "BlogosphereConfig",
+    "GroundTruth",
+    # Errors
+    "ReproError",
+    "CorpusError",
+    "ParameterError",
+    "ConvergenceError",
+    "CrawlError",
+    "XmlFormatError",
+    "ClassifierError",
+]

@@ -1,0 +1,14 @@
+"""Application scenarios: business advertising, personalized recommendation."""
+
+from repro.apps.advertising import AdCampaignResult, AdvertisingEngine
+from repro.apps.campaign import CampaignPlan, CampaignPlanner
+from repro.apps.recommendation import Recommendation, RecommendationEngine
+
+__all__ = [
+    "AdvertisingEngine",
+    "AdCampaignResult",
+    "RecommendationEngine",
+    "Recommendation",
+    "CampaignPlanner",
+    "CampaignPlan",
+]

@@ -1,0 +1,105 @@
+"""Scenario 1 — business advertisement (Section II and Fig. 3).
+
+A business partner either pastes advertisement copy (MASS mines the
+interest vector iv(a_l) and ranks bloggers by ``Inf(b, IV) · iv(a_l)``)
+or picks one or more domains from a dropdown; with no domain selected
+the general top-k is returned.  All three input modes of the Fig. 3
+dialog are implemented.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.report import InfluenceReport
+from repro.core.topk import top_k
+from repro.errors import ParameterError
+from repro.nlp.interest import InterestMiner, InterestVector
+from repro.nlp.naive_bayes import NaiveBayesClassifier
+
+__all__ = ["AdCampaignResult", "AdvertisingEngine"]
+
+
+@dataclass(frozen=True, slots=True)
+class AdCampaignResult:
+    """Recommendation output for one advertisement."""
+
+    interest_vector: InterestVector
+    recommendations: list[tuple[str, float]]
+    mode: str
+
+    @property
+    def blogger_ids(self) -> list[str]:
+        """Just the recommended blogger ids, best first."""
+        return [blogger_id for blogger_id, _ in self.recommendations]
+
+
+class AdvertisingEngine:
+    """Recommend influential bloggers for advertising campaigns.
+
+    Parameters
+    ----------
+    report:
+        A fitted :class:`InfluenceReport` (supplies Inf(b, IV)).
+    classifier:
+        The trained domain classifier used to mine iv(a_l) from ad
+        text; typically ``model.classifier`` after ``model.fit``.
+    """
+
+    def __init__(
+        self, report: InfluenceReport, classifier: NaiveBayesClassifier
+    ) -> None:
+        if set(classifier.classes) != set(report.domains):
+            raise ParameterError(
+                "classifier domains do not match the report: "
+                f"{classifier.classes} vs {report.domains}"
+            )
+        self._report = report
+        self._miner = InterestMiner(classifier)
+
+    @property
+    def domains(self) -> list[str]:
+        """The domains campaigns can target."""
+        return self._report.domains
+
+    # ------------------------------------------------------------------
+    def recommend_for_text(self, ad_text: str, k: int = 3) -> AdCampaignResult:
+        """Free-text mode: mine iv(a_l), rank by Inf(b, IV) · iv(a_l)."""
+        if not ad_text.strip():
+            raise ParameterError("advertisement text is empty")
+        interest = self._miner.mine_advertisement(ad_text)
+        scores = self._report.domain_influence.weighted_scores(interest)
+        return AdCampaignResult(interest, top_k(scores, k), mode="text")
+
+    def recommend_for_domains(
+        self, domains: Sequence[str], k: int = 3
+    ) -> AdCampaignResult:
+        """Dropdown mode: one or more selected domains, equally weighted."""
+        if not domains:
+            return self.recommend_general(k)
+        unknown = set(domains) - set(self._report.domains)
+        if unknown:
+            raise ParameterError(
+                f"unknown domains {sorted(unknown)}; known: {self._report.domains}"
+            )
+        weight = 1.0 / len(set(domains))
+        interest = InterestVector(
+            {
+                domain: (weight if domain in set(domains) else 0.0)
+                for domain in self._report.domains
+            }
+        )
+        scores = self._report.domain_influence.weighted_scores(interest)
+        return AdCampaignResult(interest, top_k(scores, k), mode="domains")
+
+    def recommend_general(self, k: int = 3) -> AdCampaignResult:
+        """No domain selected: "the top-k bloggers with the largest
+        general domain scores"."""
+        count = len(self._report.domains)
+        interest = InterestVector(
+            {domain: 1.0 / count for domain in self._report.domains}
+        )
+        return AdCampaignResult(
+            interest, self._report.top_influencers(k), mode="general"
+        )

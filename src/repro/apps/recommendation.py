@@ -1,0 +1,97 @@
+"""Scenario 2 — personalized recommendation (Section II).
+
+"When a new user inputs his/her profile, MASS will extract the domain
+interest information from the profile and recommend top-k influential
+bloggers in these domains to the new user.  An existing blogger can
+choose a domain and request MASS to recommend the top-k influential
+bloggers in this domain."
+
+Both paths are implemented; existing bloggers are never recommended to
+themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.report import InfluenceReport
+from repro.core.topk import top_k
+from repro.errors import ParameterError
+from repro.nlp.interest import InterestMiner, InterestVector
+from repro.nlp.naive_bayes import NaiveBayesClassifier
+
+__all__ = ["Recommendation", "RecommendationEngine"]
+
+
+@dataclass(frozen=True, slots=True)
+class Recommendation:
+    """A personalized recommendation with its mined interests."""
+
+    interest_vector: InterestVector
+    recommendations: list[tuple[str, float]]
+
+    @property
+    def blogger_ids(self) -> list[str]:
+        """Just the recommended blogger ids, best first."""
+        return [blogger_id for blogger_id, _ in self.recommendations]
+
+
+class RecommendationEngine:
+    """Recommend influential bloggers to users."""
+
+    def __init__(
+        self, report: InfluenceReport, classifier: NaiveBayesClassifier
+    ) -> None:
+        if set(classifier.classes) != set(report.domains):
+            raise ParameterError(
+                "classifier domains do not match the report: "
+                f"{classifier.classes} vs {report.domains}"
+            )
+        self._report = report
+        self._miner = InterestMiner(classifier)
+
+    # ------------------------------------------------------------------
+    def recommend_for_profile(
+        self, profile_text: str, k: int = 3, exclude: str | None = None
+    ) -> Recommendation:
+        """New-user path: mine interests from a profile, recommend top-k."""
+        if not profile_text.strip():
+            raise ParameterError("profile text is empty")
+        interest = self._miner.mine_profile(profile_text)
+        scores = self._report.domain_influence.weighted_scores(interest)
+        excluded = {exclude} if exclude is not None else set()
+        return Recommendation(interest, top_k(scores, k, exclude=excluded))
+
+    def recommend_for_blogger(
+        self, blogger_id: str, k: int = 3, domain: str | None = None
+    ) -> Recommendation:
+        """Existing-blogger path.
+
+        With ``domain`` given, returns that domain's top-k (minus the
+        requester); otherwise interests are mined from the requester's
+        own profile (falling back to their posts if the profile is
+        empty).
+        """
+        blogger = self._report.corpus.blogger(blogger_id)
+        if domain is not None:
+            if domain not in self._report.domains:
+                raise ParameterError(
+                    f"unknown domain {domain!r}; known: {self._report.domains}"
+                )
+            interest = InterestVector.single_domain(domain, self._report.domains)
+            scores = self._report.domain_influence.domain_scores(domain)
+            return Recommendation(
+                interest, top_k(scores, k, exclude={blogger_id})
+            )
+        text = blogger.profile_text
+        if not text.strip():
+            posts = self._report.corpus.posts_by(blogger_id)
+            text = " ".join(post.text for post in posts)
+        if not text.strip():
+            raise ParameterError(
+                f"blogger {blogger_id!r} has no profile or posts to mine "
+                "interests from; pass domain= instead"
+            )
+        interest = self._miner.mine_profile(text)
+        scores = self._report.domain_influence.weighted_scores(interest)
+        return Recommendation(interest, top_k(scores, k, exclude={blogger_id}))

@@ -1,0 +1,18 @@
+"""Comparator systems: iFinder, Live Index, link analysis, opinion leaders."""
+
+from repro.baselines.base import BloggerRanker
+from repro.baselines.general import GeneralInfluenceBaseline
+from repro.baselines.ifinder import IFinderBaseline
+from repro.baselines.link_analysis import HitsBaseline, PageRankBaseline
+from repro.baselines.live_index import LiveIndexBaseline
+from repro.baselines.opinion_leaders import OpinionLeaderBaseline
+
+__all__ = [
+    "BloggerRanker",
+    "GeneralInfluenceBaseline",
+    "IFinderBaseline",
+    "LiveIndexBaseline",
+    "PageRankBaseline",
+    "HitsBaseline",
+    "OpinionLeaderBaseline",
+]

@@ -1,0 +1,36 @@
+"""Common interface for blogger-ranking baselines.
+
+Every comparator in Table I and the baseline benches reduces to the
+same contract: given a corpus, produce one non-negative score per
+blogger.  :class:`BloggerRanker` fixes that contract plus the shared
+ranking helper, so benches can iterate over a list of rankers.
+"""
+
+from __future__ import annotations
+
+from repro.core.topk import top_k
+from repro.data.corpus import BlogCorpus
+
+__all__ = ["BloggerRanker"]
+
+
+class BloggerRanker:
+    """Interface: score every blogger in a corpus.
+
+    Subclasses set :attr:`name` and implement :meth:`score_bloggers`.
+    """
+
+    #: Human-readable system name used in bench output rows.
+    name: str = "ranker"
+
+    def score_bloggers(self, corpus: BlogCorpus) -> dict[str, float]:
+        """One score per blogger id (higher = more influential)."""
+        raise NotImplementedError
+
+    def rank(self, corpus: BlogCorpus, k: int) -> list[tuple[str, float]]:
+        """Top-k bloggers under this ranker's scores."""
+        return top_k(self.score_bloggers(corpus), k)
+
+    def top_ids(self, corpus: BlogCorpus, k: int) -> list[str]:
+        """Just the ids of the top-k bloggers."""
+        return [blogger_id for blogger_id, _ in self.rank(corpus, k)]

@@ -1,0 +1,40 @@
+"""The "General" system of Table I: MASS without the domain facet.
+
+Table I compares three systems; "General" is influential-blogger mining
+that measures "the influence of bloggers in general rather than domain
+specific" — i.e. the full MASS influence machinery (quality, comments,
+sentiment, citation, authority) collapsed to one overall score Inf(b),
+with no Eq. 5.  Its top-3 list is therefore the same for a Travel
+campaign and a Sports campaign, which is exactly the weakness the user
+study exposes.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BloggerRanker
+from repro.core.parameters import MassParameters
+from repro.core.solver import InfluenceSolver
+from repro.data.corpus import BlogCorpus
+
+__all__ = ["GeneralInfluenceBaseline"]
+
+
+class GeneralInfluenceBaseline(BloggerRanker):
+    """Overall (domain-blind) MASS influence ranking.
+
+    Parameters
+    ----------
+    params:
+        The same parameters the domain-specific model would use, so the
+        only difference between "General" and "Domain Specific" in the
+        benches is Eq. 5.
+    """
+
+    name = "General"
+
+    def __init__(self, params: MassParameters | None = None) -> None:
+        self._params = params or MassParameters()
+
+    def score_bloggers(self, corpus: BlogCorpus) -> dict[str, float]:
+        solver = InfluenceSolver(corpus, self._params)
+        return solver.solve().influence

@@ -1,0 +1,63 @@
+"""Pure link-analysis baselines: PageRank and HITS blogger rankings.
+
+The paper motivates GL with "External links to a blog provides another
+metrics to measure the influence of the blogger, like PageRank [3] and
+HITS [4]".  Standalone, these are the classic domain-blind authority
+rankings the baseline bench compares MASS against.  Both can optionally
+fold the post-reply graph in with the endorsement links, which is how
+link analysis is usually applied to blogs.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BloggerRanker
+from repro.data.corpus import BlogCorpus
+from repro.graph.hits import hits
+from repro.graph.influence_graph import combined_graph, link_graph
+from repro.graph.pagerank import pagerank
+
+__all__ = ["PageRankBaseline", "HitsBaseline"]
+
+
+class PageRankBaseline(BloggerRanker):
+    """PageRank over the blogger link graph.
+
+    With ``include_replies=True`` the post-reply edges join the walk,
+    so a comment counts as a weak endorsement of the post author.
+    """
+
+    name = "PageRank"
+
+    def __init__(
+        self, damping: float = 0.85, include_replies: bool = False
+    ) -> None:
+        self._damping = damping
+        self._include_replies = include_replies
+        if include_replies:
+            self.name = "PageRank+replies"
+
+    def _graph(self, corpus: BlogCorpus):
+        if self._include_replies:
+            return combined_graph(corpus)
+        return link_graph(corpus)
+
+    def score_bloggers(self, corpus: BlogCorpus) -> dict[str, float]:
+        return pagerank(self._graph(corpus), damping=self._damping).scores
+
+
+class HitsBaseline(BloggerRanker):
+    """HITS authority scores over the blogger link graph."""
+
+    name = "HITS"
+
+    def __init__(self, include_replies: bool = False) -> None:
+        self._include_replies = include_replies
+        if include_replies:
+            self.name = "HITS+replies"
+
+    def score_bloggers(self, corpus: BlogCorpus) -> dict[str, float]:
+        if self._include_replies:
+            graph = combined_graph(corpus)
+        else:
+            graph = link_graph(corpus)
+        return hits(graph).authorities

@@ -1,0 +1,438 @@
+"""Command-line interface: the MASS demo workflow without the GUI.
+
+Every interaction the ICDE demo walked through is available as a
+subcommand over an XML data directory:
+
+    python -m repro generate  --out crawl/ --bloggers 400 --seed 1
+    python -m repro crawl     --store crawl/ --seed-blogger blogger-0001 \
+                              --radius 2 --out mycrawl/
+    python -m repro analyze   --data mycrawl/ --domain Sports --top 3
+    python -m repro advertise --data mycrawl/ --text "marathon shoes ..." --top 3
+    python -m repro recommend --data mycrawl/ --profile "I paint ..." --top 3
+    python -m repro detail    --data mycrawl/ --blogger blogger-0001
+    python -m repro visualize --data mycrawl/ --center blogger-0001 \
+                              --out network.xml
+    python -m repro table1    --bloggers 800 --seed 2010
+
+``--alpha`` / ``--beta`` reproduce the demo toolbar on every analysis
+command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core import MassParameters
+from repro.crawler import SimulatedBlogService
+from repro.data import load_corpus, save_corpus
+from repro.errors import ReproError
+from repro.synth import BlogosphereConfig, generate_blogosphere
+from repro.system import MassSystem
+from repro.viz import render_network, render_ranking
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_toolbar(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--alpha", type=float, default=0.5,
+                        help="AP vs GL weight (paper default 0.5)")
+    parser.add_argument("--beta", type=float, default=0.6,
+                        help="quality vs comment weight (paper default 0.6)")
+
+
+def _add_data(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--data", required=True,
+                        help="XML crawl directory to analyze")
+
+
+def _system(args: argparse.Namespace) -> MassSystem:
+    params = MassParameters(alpha=args.alpha, beta=args.beta)
+    system = MassSystem(params=params)
+    system.load_dataset(args.data)
+    return system
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MASS: multi-facet domain-specific influential "
+                    "blogger mining (ICDE 2010 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic blogosphere as an XML store"
+    )
+    generate.add_argument("--out", required=True, help="output directory")
+    generate.add_argument("--bloggers", type=int, default=400)
+    generate.add_argument("--posts-per-blogger", type=float, default=7.0)
+    generate.add_argument("--seed", type=int, default=0)
+
+    crawl = commands.add_parser(
+        "crawl", help="crawl a stored blogosphere from a seed blogger"
+    )
+    crawl.add_argument("--store", required=True,
+                       help="XML directory serving as the live blogosphere")
+    crawl.add_argument("--seed-blogger", required=True, action="append",
+                       dest="seeds", help="crawl seed (repeatable)")
+    crawl.add_argument("--radius", type=int, default=2)
+    crawl.add_argument("--threads", type=int, default=4)
+    crawl.add_argument("--max-spaces", type=int, default=None)
+    crawl.add_argument("--out", required=True, help="output XML directory")
+
+    analyze = commands.add_parser(
+        "analyze", help="rank the top-k influential bloggers"
+    )
+    _add_data(analyze)
+    _add_toolbar(analyze)
+    analyze.add_argument("--domain", default=None,
+                         help="domain to rank in (omit for general)")
+    analyze.add_argument("--top", type=int, default=3)
+
+    advertise = commands.add_parser(
+        "advertise", help="Scenario 1: recommend bloggers for an ad"
+    )
+    _add_data(advertise)
+    _add_toolbar(advertise)
+    advertise.add_argument("--text", default=None,
+                           help="advertisement copy (free-text mode)")
+    advertise.add_argument("--domain", action="append", dest="domains",
+                           default=None, help="dropdown mode (repeatable)")
+    advertise.add_argument("--top", type=int, default=3)
+
+    recommend = commands.add_parser(
+        "recommend", help="Scenario 2: personalized recommendation"
+    )
+    _add_data(recommend)
+    _add_toolbar(recommend)
+    who = recommend.add_mutually_exclusive_group(required=True)
+    who.add_argument("--profile", help="new-user profile text")
+    who.add_argument("--blogger", help="existing blogger id")
+    recommend.add_argument("--domain", default=None,
+                           help="explicit domain (with --blogger)")
+    recommend.add_argument("--top", type=int, default=3)
+
+    detail = commands.add_parser(
+        "detail", help="show a blogger's influence pop-up"
+    )
+    _add_data(detail)
+    _add_toolbar(detail)
+    detail.add_argument("--blogger", required=True)
+
+    visualize = commands.add_parser(
+        "visualize", help="render a post-reply ego network"
+    )
+    _add_data(visualize)
+    _add_toolbar(visualize)
+    visualize.add_argument("--center", required=True)
+    visualize.add_argument("--radius", type=int, default=1)
+    visualize.add_argument("--out", default=None,
+                           help="save the graph as visualization XML")
+    visualize.add_argument("--svg", default=None,
+                           help="also save an SVG rendering")
+
+    campaign = commands.add_parser(
+        "campaign", help="coverage-aware campaign planning"
+    )
+    _add_data(campaign)
+    _add_toolbar(campaign)
+    who = campaign.add_mutually_exclusive_group(required=True)
+    who.add_argument("--text", help="advertisement copy")
+    who.add_argument("--domain", action="append", dest="domains",
+                     help="target domain (repeatable)")
+    campaign.add_argument("--top", type=int, default=3)
+    campaign.add_argument("--coverage-weight", type=float, default=0.5)
+
+    trend = commands.add_parser(
+        "trend", help="influence trajectories and rising bloggers"
+    )
+    _add_data(trend)
+    _add_toolbar(trend)
+    trend.add_argument("--window-days", type=int, default=90)
+    trend.add_argument("--step-days", type=int, default=90)
+    trend.add_argument("--top", type=int, default=5)
+
+    discover = commands.add_parser(
+        "discover", help="discover domains automatically (k-means topics)"
+    )
+    _add_data(discover)
+    discover.add_argument("--k", type=int, default=10)
+    discover.add_argument("--seed", type=int, default=0)
+    discover.add_argument("--max-posts", type=int, default=3000)
+
+    stats = commands.add_parser(
+        "stats", help="corpus and network structure summary"
+    )
+    _add_data(stats)
+
+    table1 = commands.add_parser(
+        "table1", help="reproduce the paper's Table I user study"
+    )
+    table1.add_argument("--bloggers", type=int, default=800)
+    table1.add_argument("--seed", type=int, default=2010)
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+def _cmd_generate(args: argparse.Namespace) -> int:
+    corpus, _ = generate_blogosphere(
+        BlogosphereConfig(
+            num_bloggers=args.bloggers,
+            posts_per_blogger=args.posts_per_blogger,
+        ),
+        seed=args.seed,
+    )
+    save_corpus(corpus, args.out)
+    stats = corpus.stats()
+    print(f"wrote {args.out}: {stats.num_bloggers} bloggers, "
+          f"{stats.num_posts} posts, {stats.num_comments} comments, "
+          f"{stats.num_links} links")
+    return 0
+
+
+def _cmd_crawl(args: argparse.Namespace) -> int:
+    store = load_corpus(args.store)
+    service = SimulatedBlogService(store)
+    system = MassSystem()
+    result = system.crawl(
+        service, args.seeds, radius=args.radius,
+        max_spaces=args.max_spaces, num_threads=args.threads,
+        save_to=args.out,
+    )
+    print(f"crawled {len(result.fetched)} spaces (depth {result.max_depth}) "
+          f"in {result.elapsed:.2f}s; {len(result.failed)} failed; "
+          f"wrote {args.out}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    system = _system(args)
+    title = (
+        f"Top {args.top} in {args.domain}" if args.domain
+        else f"Top {args.top} overall"
+    )
+    print(render_ranking(
+        system.top_influencers(args.top, domain=args.domain), title
+    ))
+    return 0
+
+
+def _cmd_advertise(args: argparse.Namespace) -> int:
+    system = _system(args)
+    engine = system.advertising()
+    if args.text:
+        result = engine.recommend_for_text(args.text, k=args.top)
+        print("mined interest vector:")
+        for domain, weight in result.interest_vector.top_domains(3):
+            print(f"  {domain:<15s} {weight:.3f}")
+    else:
+        result = engine.recommend_for_domains(args.domains or [], k=args.top)
+        print(f"mode: {result.mode}")
+    print(render_ranking(result.recommendations, "Recommended bloggers"))
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    system = _system(args)
+    engine = system.recommendations()
+    if args.profile:
+        rec = engine.recommend_for_profile(args.profile, k=args.top)
+        print("mined interests:", ", ".join(
+            f"{domain}={weight:.2f}"
+            for domain, weight in rec.interest_vector.top_domains(3)
+        ))
+    else:
+        rec = engine.recommend_for_blogger(
+            args.blogger, k=args.top, domain=args.domain
+        )
+    print(render_ranking(rec.recommendations, "Bloggers to follow"))
+    return 0
+
+
+def _cmd_detail(args: argparse.Namespace) -> int:
+    system = _system(args)
+    detail = system.blogger_detail(args.blogger)
+    print(f"{detail.name} ({detail.blogger_id})")
+    print(f"  total influence : {detail.influence:.4f}")
+    print(f"  AP / GL         : {detail.ap:.4f} / {detail.gl:.4f}")
+    print(f"  posts written   : {detail.num_posts}")
+    print(f"  comments recv'd : {detail.num_comments_received}")
+    print(f"  comments written: {detail.num_comments_written}")
+    print("  domain scores   :")
+    for domain, score in sorted(detail.domain_scores.items(),
+                                key=lambda kv: -kv[1]):
+        print(f"    {domain:<15s} {score:.4f}")
+    if detail.top_posts:
+        print("  important posts :",
+              ", ".join(post_id for post_id, _ in detail.top_posts))
+    return 0
+
+
+def _cmd_visualize(args: argparse.Namespace) -> int:
+    system = _system(args)
+    viz = system.visualize(center=args.center, radius=args.radius)
+    print(render_network(viz))
+    if args.out:
+        viz.save_xml(args.out)
+        print(f"saved visualization XML to {args.out}")
+    if args.svg:
+        from repro.viz import save_svg
+
+        save_svg(viz, args.svg,
+                 title=f"Post-reply network of {args.center}")
+        print(f"saved SVG rendering to {args.svg}")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.apps import CampaignPlanner
+
+    system = _system(args)
+    planner = CampaignPlanner(system.report, system.classifier)
+    plan = planner.plan(
+        ad_text=args.text,
+        domains=args.domains,
+        k=args.top,
+        coverage_weight=args.coverage_weight,
+    )
+    print("target interests:", ", ".join(
+        f"{domain}={weight:.2f}"
+        for domain, weight in plan.interest_vector.top_domains(3)
+    ))
+    print("Campaign selection")
+    print("==================")
+    covered: set[str] = set()
+    for position, blogger_id in enumerate(plan.selected, start=1):
+        audience = planner.audience_of(blogger_id)
+        new_readers = len(audience - covered)
+        covered |= audience
+        print(f"{position:2d}. {blogger_id:<24s} "
+              f"+{new_readers} new readers ({len(audience)} total)")
+    print(f"audience covered: {plan.covered_audience}/{plan.total_audience} "
+          f"({plan.coverage:.0%}); naive top-k would cover "
+          f"{plan.naive_covered_audience} "
+          f"(gain {plan.coverage_gain_over_naive:+d} readers)")
+    return 0
+
+
+def _cmd_trend(args: argparse.Namespace) -> int:
+    from repro.core import trajectory
+
+    system = _system(args)
+    result = trajectory(
+        system.corpus,
+        params=system.params,
+        window_days=args.window_days,
+        step_days=args.step_days,
+    )
+    bounds = result.window_bounds()
+    print(f"{result.num_windows} windows: {bounds[0][0]}..{bounds[-1][1]} "
+          f"days ({args.window_days}-day windows, {args.step_days}-day step)")
+    print("\nrising bloggers (by influence trend):")
+    for blogger_id, slope in result.rising_bloggers(args.top):
+        series = " ".join(f"{value:6.2f}" for value in
+                          result.series(blogger_id))
+        print(f"  {blogger_id:<18s} {series}   slope {slope:+.3f}")
+    return 0
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    from repro.data import load_corpus as _load
+    from repro.nlp import discover_domains
+
+    corpus = _load(args.data)
+    post_ids = sorted(corpus.posts)[: args.max_posts]
+    texts = [corpus.posts[post_id].text for post_id in post_ids]
+    result = discover_domains(texts, k=args.k, seed=args.seed)
+    print(f"discovered {result.k} topics over {len(texts)} posts "
+          f"(inertia {result.inertia:.3f}, {result.iterations} iterations):")
+    sizes = result.cluster_sizes()
+    for index, name in enumerate(result.names):
+        terms = ", ".join(term for term, _ in
+                          result.centroid_terms[index][:6])
+        print(f"  [{sizes[index]:4d} posts] {name}: {terms}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.data import load_corpus as _load
+    from repro.graph import link_graph, post_reply_graph, summarize_network
+
+    corpus = _load(args.data)
+    stats = corpus.stats()
+    print(f"bloggers : {stats.num_bloggers}")
+    print(f"posts    : {stats.num_posts} "
+          f"({stats.posts_per_blogger:.1f}/blogger)")
+    print(f"comments : {stats.num_comments} "
+          f"({stats.comments_per_post:.1f}/post)")
+    print(f"links    : {stats.num_links}")
+    for label, graph in (("post-reply network", post_reply_graph(corpus)),
+                         ("link graph", link_graph(corpus))):
+        print(f"\n{label}:")
+        for name, value in summarize_network(graph).rows():
+            print(f"  {name:<16s} {value}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.baselines import GeneralInfluenceBaseline, LiveIndexBaseline
+    from repro.core import MassModel
+    from repro.synth import DOMAIN_VOCABULARIES
+    from repro.userstudy import TABLE1_DOMAINS, UserStudy
+
+    corpus, truth = generate_blogosphere(
+        BlogosphereConfig(num_bloggers=args.bloggers, posts_per_blogger=8.0),
+        seed=args.seed,
+    )
+    report = MassModel(domain_seed_words=DOMAIN_VOCABULARIES).fit(corpus)
+    general = GeneralInfluenceBaseline().top_ids(corpus, 3)
+    live = LiveIndexBaseline().top_ids(corpus, 3)
+    systems = {
+        "General": {d: general for d in TABLE1_DOMAINS},
+        "Live Index": {d: live for d in TABLE1_DOMAINS},
+        "Domain Specific": {
+            d: [b for b, _ in report.top_influencers(3, d)]
+            for d in TABLE1_DOMAINS
+        },
+    }
+    result = UserStudy(truth, seed=args.seed).run(systems)
+    print(result.as_table())
+    print("\npaper's Table I: General 3.2/3.2/3.2, Live Index 3.0/3.3/3.1, "
+          "Domain Specific 4.3/4.1/4.6")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "crawl": _cmd_crawl,
+    "analyze": _cmd_analyze,
+    "advertise": _cmd_advertise,
+    "recommend": _cmd_recommend,
+    "detail": _cmd_detail,
+    "visualize": _cmd_visualize,
+    "campaign": _cmd_campaign,
+    "trend": _cmd_trend,
+    "discover": _cmd_discover,
+    "stats": _cmd_stats,
+    "table1": _cmd_table1,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution path
+    raise SystemExit(main())

@@ -1,0 +1,126 @@
+"""CommentScore machinery (Eq. 3).
+
+    CommentScore(b_i, d_k) = Σ_j Inf(b_j) · SF(b_i, d_k, b_j) / TC(b_j)
+
+The sum runs over the comments on post d_k; SF is the commenter's
+attitude and TC(b_j) the commenter's *total* comment count, which
+shares a prolific commenter's impact across everything they write.
+
+:class:`CommentModel` classifies every comment's sentiment once at
+construction and stores per-post term lists, so each solver iteration
+is a cheap weighted sum.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.core.parameters import MassParameters
+from repro.data.corpus import BlogCorpus
+from repro.nlp.sentiment import Sentiment, SentimentClassifier
+
+__all__ = ["CommentTerm", "CommentModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class CommentTerm:
+    """One comment's contribution template to a post's CommentScore."""
+
+    commenter_id: str
+    sentiment: Sentiment
+    sf: float
+    total_comments: int
+
+    @property
+    def citation_weight(self) -> float:
+        """SF / TC — the multiplier applied to the commenter's influence."""
+        return self.sf / self.total_comments
+
+
+class CommentModel:
+    """Per-post comment terms with sentiment already resolved.
+
+    Parameters
+    ----------
+    corpus:
+        Source of comments and TC counts.
+    params:
+        Supplies SF values and the self-comment / facet toggles.
+    sentiment_classifier:
+        Defaults to the built-in lexicon classifier.
+    """
+
+    def __init__(
+        self,
+        corpus: BlogCorpus,
+        params: MassParameters,
+        sentiment_classifier: SentimentClassifier | None = None,
+    ) -> None:
+        self._params = params
+        classifier = sentiment_classifier or SentimentClassifier()
+        self._terms: dict[str, list[CommentTerm]] = {}
+        self._sentiment_counts: Counter[Sentiment] = Counter()
+
+        graded = params.sentiment_mode == "graded"
+        for post_id in sorted(corpus.posts):
+            author_id = corpus.post(post_id).author_id
+            terms: list[CommentTerm] = []
+            for comment in sorted(
+                corpus.comments_on(post_id), key=lambda c: c.comment_id
+            ):
+                if (
+                    comment.commenter_id == author_id
+                    and not params.include_self_comments
+                ):
+                    continue
+                breakdown = classifier.analyze(comment.text)
+                sentiment = breakdown.sentiment
+                self._sentiment_counts[sentiment] += 1
+                if graded:
+                    sf = params.graded_sentiment_factor(breakdown)
+                else:
+                    sf = params.sentiment_factor(sentiment)
+                total = corpus.total_comments_by(comment.commenter_id)
+                terms.append(
+                    CommentTerm(
+                        comment.commenter_id,
+                        sentiment,
+                        sf,
+                        total,
+                    )
+                )
+            if terms:
+                self._terms[post_id] = terms
+
+    def terms_for(self, post_id: str) -> list[CommentTerm]:
+        """The comment terms of a post (empty list if uncommented)."""
+        return list(self._terms.get(post_id, ()))
+
+    def comment_score(
+        self, post_id: str, influence: Mapping[str, float]
+    ) -> float:
+        """Evaluate Eq. 3 for one post under an influence assignment.
+
+        With ``use_citation`` disabled the commenter's influence and the
+        TC normalization drop out, reducing the score to a
+        sentiment-weighted comment count (the citation ablation).
+        """
+        terms = self._terms.get(post_id)
+        if not terms:
+            return 0.0
+        if self._params.use_citation:
+            return sum(
+                influence.get(term.commenter_id, 0.0) * term.citation_weight
+                for term in terms
+            )
+        return sum(term.sf for term in terms)
+
+    def sentiment_distribution(self) -> dict[Sentiment, int]:
+        """How many comments fell into each attitude class."""
+        return dict(self._sentiment_counts)
+
+    def num_commented_posts(self) -> int:
+        """Number of posts that have at least one counted comment."""
+        return len(self._terms)

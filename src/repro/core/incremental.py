@@ -1,0 +1,156 @@
+"""Incremental re-analysis as the crawler discovers new content.
+
+A deployed MASS keeps crawling; re-running the whole pipeline per new
+comment would be wasteful.  :class:`IncrementalAnalyzer` maintains the
+current corpus and report, applies :class:`CorpusDelta` batches (new
+bloggers, posts, comments, links), and re-solves the influence system
+**warm-started from the previous fixed point** — the solution is
+identical (the fixed point is unique under the contraction condition;
+see :mod:`repro.core.parameters`) but typically converges in a fraction
+of the iterations when the delta is small.
+
+Post domain memberships are cached: only new posts are classified.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.domains import DomainInfluence
+from repro.core.parameters import MassParameters
+from repro.core.report import InfluenceReport
+from repro.core.solver import InfluenceSolver
+from repro.data.corpus import BlogCorpus
+from repro.data.entities import Blogger, Comment, Link, Post
+from repro.errors import ReproError
+from repro.nlp.naive_bayes import NaiveBayesClassifier
+
+__all__ = ["CorpusDelta", "IncrementalAnalyzer"]
+
+
+@dataclass(frozen=True, slots=True)
+class CorpusDelta:
+    """A batch of newly crawled entities."""
+
+    bloggers: Sequence[Blogger] = field(default_factory=tuple)
+    posts: Sequence[Post] = field(default_factory=tuple)
+    comments: Sequence[Comment] = field(default_factory=tuple)
+    links: Sequence[Link] = field(default_factory=tuple)
+
+    def is_empty(self) -> bool:
+        """Whether the delta contains nothing."""
+        return not (self.bloggers or self.posts or self.comments or self.links)
+
+    def size(self) -> int:
+        """Total number of entities in the delta."""
+        return (
+            len(self.bloggers) + len(self.posts)
+            + len(self.comments) + len(self.links)
+        )
+
+
+def _copy_corpus(corpus: BlogCorpus) -> BlogCorpus:
+    clone = BlogCorpus()
+    for blogger_id in corpus.blogger_ids():
+        clone.add_blogger(corpus.blogger(blogger_id))
+    for post_id in sorted(corpus.posts):
+        clone.add_post(corpus.post(post_id))
+    for comment_id in sorted(corpus.comments):
+        clone.add_comment(corpus.comments[comment_id])
+    for link in corpus.links:
+        clone.add_link(link)
+    return clone
+
+
+class IncrementalAnalyzer:
+    """Maintain a live MASS analysis under corpus growth.
+
+    Parameters
+    ----------
+    classifier:
+        A trained domain classifier (fixed for the analyzer's life —
+        re-training on every delta would silently move old posts
+        between domains).
+    params:
+        Model parameters.
+    """
+
+    def __init__(
+        self,
+        classifier: NaiveBayesClassifier,
+        params: MassParameters | None = None,
+    ) -> None:
+        self._classifier = classifier
+        self._params = params or MassParameters()
+        self._corpus: BlogCorpus | None = None
+        self._report: InfluenceReport | None = None
+        self._memberships: dict[str, dict[str, float]] = {}
+        self._last_iterations = 0
+
+    @property
+    def report(self) -> InfluenceReport:
+        """The current analysis (raises before the first :meth:`fit`)."""
+        if self._report is None:
+            raise ReproError("no analysis yet; call fit() first")
+        return self._report
+
+    @property
+    def last_iterations(self) -> int:
+        """Solver iterations used by the most recent (re)analysis."""
+        return self._last_iterations
+
+    # ------------------------------------------------------------------
+    def _classify_new_posts(self, corpus: BlogCorpus) -> None:
+        for post_id in sorted(corpus.posts):
+            if post_id not in self._memberships:
+                self._memberships[post_id] = self._classifier.predict_proba(
+                    corpus.post(post_id).text
+                )
+
+    def _analyze(
+        self, corpus: BlogCorpus, initial: dict[str, float] | None
+    ) -> InfluenceReport:
+        scores = InfluenceSolver(corpus, self._params).solve(initial=initial)
+        self._last_iterations = scores.iterations
+        self._classify_new_posts(corpus)
+        memberships = {
+            post_id: self._memberships[post_id] for post_id in corpus.posts
+        }
+        domain_influence = DomainInfluence(
+            corpus, scores, memberships, self._classifier.classes
+        )
+        return InfluenceReport(corpus, self._params, scores, domain_influence)
+
+    def fit(self, corpus: BlogCorpus) -> InfluenceReport:
+        """Run the initial full analysis."""
+        if not corpus.frozen:
+            corpus.validate()
+        self._corpus = corpus
+        self._memberships = {}
+        self._report = self._analyze(corpus, initial=None)
+        return self._report
+
+    def apply(self, delta: CorpusDelta) -> InfluenceReport:
+        """Fold a delta into the corpus and re-analyze warm-started.
+
+        Returns the fresh report.  An empty delta returns the current
+        report unchanged.
+        """
+        if self._corpus is None or self._report is None:
+            raise ReproError("call fit() before apply()")
+        if delta.is_empty():
+            return self._report
+
+        grown = _copy_corpus(self._corpus)
+        grown.extend(
+            bloggers=delta.bloggers,
+            posts=delta.posts,
+            comments=delta.comments,
+            links=delta.links,
+        )
+        grown.freeze()
+        warm_start = self._report.scores.influence
+        self._corpus = grown
+        self._report = self._analyze(grown, initial=warm_start)
+        return self._report

@@ -1,0 +1,141 @@
+"""The :class:`MassModel` facade — the paper's Analyzer Module.
+
+Wires the Post Analyzer (naive-Bayes domain classification), the
+Comment Analyzer (sentiment + influence solving) and the domain scoring
+of Eq. 5 into one call:
+
+    >>> model = MassModel(domain_seed_words={"Sports": ["game"], "Art": ["paint"]})
+    >>> report = model.fit(corpus)                          # doctest: +SKIP
+    >>> report.top_influencers(3, domain="Sports")          # doctest: +SKIP
+
+The domain classifier can come from three places, in priority order:
+
+1. an explicit, already-trained ``classifier``;
+2. labelled posts passed to :meth:`fit` (``train_texts``/``train_labels``);
+3. per-domain seed vocabularies (``domain_seed_words``), the paper's
+   "predefined by the business applications" mode.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.domains import DomainInfluence
+from repro.core.novelty import NoveltyDetector
+from repro.core.parameters import MassParameters
+from repro.core.report import InfluenceReport
+from repro.core.solver import InfluenceSolver
+from repro.data.corpus import BlogCorpus
+from repro.errors import ClassifierError, ParameterError
+from repro.nlp.naive_bayes import NaiveBayesClassifier
+from repro.nlp.sentiment import SentimentClassifier
+
+__all__ = ["MassModel"]
+
+
+class MassModel:
+    """End-to-end MASS influence mining.
+
+    Parameters
+    ----------
+    params:
+        Model parameters; defaults to the paper's (α=0.5, β=0.6, …).
+    classifier:
+        A trained domain classifier (its classes define the domains).
+    domain_seed_words:
+        Per-domain seed vocabularies used to bootstrap a classifier
+        when none is given and no labelled posts are provided.
+    sentiment_classifier / novelty_detector:
+        Analyzer overrides; default to the built-in lexicon analyzers.
+    """
+
+    def __init__(
+        self,
+        params: MassParameters | None = None,
+        classifier: NaiveBayesClassifier | None = None,
+        domain_seed_words: Mapping[str, Sequence[str]] | None = None,
+        sentiment_classifier: SentimentClassifier | None = None,
+        novelty_detector: NoveltyDetector | None = None,
+    ) -> None:
+        self._params = params or MassParameters()
+        self._classifier = classifier
+        self._domain_seed_words = (
+            {domain: list(words) for domain, words in domain_seed_words.items()}
+            if domain_seed_words is not None
+            else None
+        )
+        self._sentiment_classifier = sentiment_classifier
+        self._novelty_detector = novelty_detector
+
+    @property
+    def params(self) -> MassParameters:
+        """The model parameters."""
+        return self._params
+
+    @property
+    def classifier(self) -> NaiveBayesClassifier | None:
+        """The domain classifier, once resolved (None before that)."""
+        return self._classifier
+
+    def _resolve_classifier(
+        self,
+        train_texts: Sequence[str] | None,
+        train_labels: Sequence[str] | None,
+    ) -> NaiveBayesClassifier:
+        if (train_texts is None) != (train_labels is None):
+            raise ParameterError(
+                "train_texts and train_labels must be given together"
+            )
+        if self._classifier is not None:
+            if train_texts is not None:
+                raise ParameterError(
+                    "got both a pre-trained classifier and training data; "
+                    "pass only one"
+                )
+            return self._classifier
+        if train_texts is not None:
+            classifier = NaiveBayesClassifier()
+            classifier.fit(train_texts, train_labels)
+            return classifier
+        if self._domain_seed_words is not None:
+            return NaiveBayesClassifier.from_seed_vocabulary(
+                self._domain_seed_words
+            )
+        raise ClassifierError(
+            "no domain model: pass classifier=, domain_seed_words=, or "
+            "labelled posts to fit()"
+        )
+
+    def fit(
+        self,
+        corpus: BlogCorpus,
+        train_texts: Sequence[str] | None = None,
+        train_labels: Sequence[str] | None = None,
+        strict: bool = False,
+    ) -> InfluenceReport:
+        """Analyze a corpus and return an :class:`InfluenceReport`.
+
+        Parameters
+        ----------
+        corpus:
+            The blogosphere snapshot (will be validated if not frozen).
+        train_texts / train_labels:
+            Optional labelled posts to train the domain classifier on.
+        strict:
+            Raise on solver non-convergence instead of returning
+            partial scores.
+        """
+        if not corpus.frozen:
+            corpus.validate()
+        self._classifier = self._resolve_classifier(train_texts, train_labels)
+        solver = InfluenceSolver(
+            corpus,
+            self._params,
+            sentiment_classifier=self._sentiment_classifier,
+            novelty_detector=self._novelty_detector,
+        )
+        scores = solver.solve(strict=strict)
+        domain_influence = DomainInfluence.from_classifier(
+            corpus, scores, self._classifier
+        )
+        return InfluenceReport(corpus, self._params, scores, domain_influence)

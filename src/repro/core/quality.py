@@ -1,0 +1,81 @@
+"""QualityScore — the content half of a post's influence (Eq. 2).
+
+"QualityScore(b_i, d_k) ... is evaluated by the length of a post ...
+We measure QualityScore(b_i, d_k) as the product of a post's length and
+its novelty."
+
+Raw word counts make Quality unbounded and let a single 5,000-word post
+drown the rest of the model, so the scorer supports three length
+measures (see :class:`repro.core.parameters.MassParameters`):
+
+- ``"max"`` — words / corpus-max words, in [0, 1] (library default);
+- ``"log"`` — log(1 + words), compressive but unbounded;
+- ``"raw"`` — the paper-literal word count.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro.core.novelty import LexiconNoveltyDetector, NoveltyDetector
+from repro.core.parameters import MassParameters
+from repro.data.entities import Post
+from repro.nlp.tokenize import word_count
+
+__all__ = ["QualityScorer"]
+
+
+class QualityScorer:
+    """Compute QualityScore(post) = Length(post) · Novelty(post).
+
+    Parameters
+    ----------
+    params:
+        Supplies the length-normalization mode.
+    novelty_detector:
+        Defaults to the paper's indicator-phrase detector with
+        ``params.novelty_copied`` as the copied value.
+    posts:
+        The post population; required for ``"max"`` normalization
+        (to know the corpus maximum length).
+    """
+
+    def __init__(
+        self,
+        params: MassParameters,
+        novelty_detector: NoveltyDetector | None = None,
+        posts: Iterable[Post] = (),
+    ) -> None:
+        self._params = params
+        self._novelty = novelty_detector or LexiconNoveltyDetector(
+            copied_value=params.novelty_copied
+        )
+        self._max_words = 0
+        if params.length_normalization == "max":
+            self._max_words = max(
+                (word_count(post.body) for post in posts), default=0
+            )
+
+    def length_value(self, post: Post) -> float:
+        """The Length() term under the configured normalization."""
+        words = word_count(post.body)
+        mode = self._params.length_normalization
+        if mode == "raw":
+            return float(words)
+        if mode == "log":
+            return math.log1p(words)
+        # "max": bounded to [0, 1]; an all-empty corpus scores 0.
+        if self._max_words == 0:
+            return 0.0
+        return words / self._max_words
+
+    def novelty_value(self, post: Post) -> float:
+        """The Novelty() term (1.0 when the novelty facet is disabled)."""
+        if not self._params.use_novelty:
+            return 1.0
+        return self._novelty.novelty(post)
+
+    def score(self, post: Post) -> float:
+        """QualityScore(post): length × novelty."""
+        return self.length_value(post) * self.novelty_value(post)

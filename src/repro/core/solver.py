@@ -1,0 +1,267 @@
+"""Fixed-point solver for the MASS influence system (Eqs. 1–4).
+
+The system couples every blogger's overall influence to their
+commenters' influence:
+
+    Inf(b_i)      = α · AP(b_i) + (1 − α) · GL(b_i)
+    AP(b_i)       = Σ_k Inf(b_i, d_k)
+    Inf(b_i, d_k) = β · Q(d_k) + (1 − β) · Σ_j Inf(b_j) · SF / TC(b_j)
+
+Substituting, overall influence satisfies the linear fixed point
+``x = c + A x`` with
+
+    c_i = α · β · Σ_k Q(d_k)  +  (1 − α) · GL(b_i)
+    A_ij = α · (1 − β) · Σ_{j's comments on i's posts} SF / TC(j).
+
+When ``A`` is a contraction (see
+:meth:`repro.core.parameters.MassParameters.contraction_bound`) plain
+Jacobi iteration from ``x⁰ = c`` converges geometrically and the solver
+runs in that mode.  When the citation ablation removes the TC divisor
+the bound is void; CommentScore then no longer references influence at
+all (it degenerates to sentiment-weighted comment counting), so the
+"iteration" closes after one step.
+
+Per-post influences Inf(b_i, d_k) — the inputs to the domain scores of
+Eq. 5 — are evaluated once from the converged solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.comments import CommentModel
+from repro.core.novelty import NoveltyDetector
+from repro.core.parameters import MassParameters
+from repro.core.quality import QualityScorer
+from repro.data.corpus import BlogCorpus
+from repro.errors import ConvergenceError
+from repro.graph.hits import hits
+from repro.graph.influence_graph import link_graph
+from repro.graph.pagerank import pagerank
+from repro.nlp.sentiment import SentimentClassifier
+
+__all__ = ["InfluenceScores", "InfluenceSolver", "compute_gl_scores"]
+
+
+@dataclass(frozen=True, slots=True)
+class InfluenceScores:
+    """Converged influence assignment plus diagnostics.
+
+    Attributes
+    ----------
+    influence:
+        Inf(b) per blogger (Eq. 1).
+    post_influence:
+        Inf(b_i, d_k) per post id (Eq. 4).
+    ap / gl:
+        The two components of Eq. 1 per blogger.
+    quality / comment_score:
+        Per-post QualityScore and CommentScore at the fixed point.
+    iterations / converged / residual:
+        Solver diagnostics (residual is the final L1 step size).
+    """
+
+    influence: dict[str, float]
+    post_influence: dict[str, float]
+    ap: dict[str, float]
+    gl: dict[str, float]
+    quality: dict[str, float]
+    comment_score: dict[str, float]
+    iterations: int
+    converged: bool
+    residual: float
+
+
+def compute_gl_scores(corpus: BlogCorpus, params: MassParameters) -> dict[str, float]:
+    """General Links authority per blogger under the configured backend.
+
+    ``gl_normalization="mean"`` rescales so the population mean is 1,
+    putting GL on the same order as AP; ``"sum"`` keeps the raw
+    probability-distribution output (sums to 1).
+    """
+    graph = link_graph(corpus)
+    if len(graph) == 0:
+        return {}
+    if params.gl_method == "pagerank":
+        scores = pagerank(
+            graph,
+            damping=params.pagerank_damping,
+            tolerance=params.tolerance,
+            max_iterations=params.max_iterations,
+        ).scores
+    elif params.gl_method == "hits":
+        scores = hits(
+            graph,
+            tolerance=params.tolerance,
+            max_iterations=params.max_iterations,
+        ).authorities
+    else:  # "inlinks"
+        counts = {node: graph.in_degree(node, weighted=True) for node in graph}
+        total = sum(counts.values())
+        if total == 0.0:
+            # No links at all: authority is uniform.
+            scores = {node: 1.0 / len(graph) for node in graph}
+        else:
+            scores = {node: value / total for node, value in counts.items()}
+    if params.gl_normalization == "mean":
+        mean = sum(scores.values()) / len(scores)
+        if mean > 0:
+            scores = {node: value / mean for node, value in scores.items()}
+    return scores
+
+
+class InfluenceSolver:
+    """Solve the influence system for one corpus.
+
+    Parameters
+    ----------
+    corpus:
+        A validated :class:`BlogCorpus` (freeze it first).
+    params:
+        Model parameters; defaults to the paper's.
+    sentiment_classifier / novelty_detector:
+        Optional analyzer overrides; default to the built-ins.
+    """
+
+    def __init__(
+        self,
+        corpus: BlogCorpus,
+        params: MassParameters | None = None,
+        sentiment_classifier: SentimentClassifier | None = None,
+        novelty_detector: NoveltyDetector | None = None,
+    ) -> None:
+        self._corpus = corpus
+        self._params = params or MassParameters()
+        self._comment_model = CommentModel(
+            corpus, self._params, sentiment_classifier
+        )
+        self._quality_scorer = QualityScorer(
+            self._params, novelty_detector, corpus.posts.values()
+        )
+
+    @property
+    def params(self) -> MassParameters:
+        """The parameters this solver was built with."""
+        return self._params
+
+    @property
+    def comment_model(self) -> CommentModel:
+        """The resolved per-post comment terms (for diagnostics)."""
+        return self._comment_model
+
+    def solve(
+        self,
+        strict: bool = False,
+        initial: dict[str, float] | None = None,
+    ) -> InfluenceScores:
+        """Run the fixed-point iteration and evaluate all score layers.
+
+        With ``strict=True`` a non-converged run raises
+        :class:`ConvergenceError` instead of returning partial scores.
+        ``initial`` warm-starts the iteration from a previous solution
+        (unknown bloggers fall back to the constant term); because the
+        fixed point is unique under the contraction condition, a warm
+        start changes only the iteration count, never the answer.
+        """
+        params = self._params
+        corpus = self._corpus
+        bloggers = corpus.blogger_ids()
+
+        gl = compute_gl_scores(corpus, params)
+        quality = {
+            post_id: self._quality_scorer.score(corpus.post(post_id))
+            for post_id in sorted(corpus.posts)
+        }
+
+        # Constant term c_i = α β ΣQ + (1 − α) GL.
+        quality_sum = {blogger_id: 0.0 for blogger_id in bloggers}
+        for post_id, value in quality.items():
+            quality_sum[corpus.post(post_id).author_id] += value
+        constant = {
+            blogger_id: params.alpha * params.beta * quality_sum[blogger_id]
+            + (1.0 - params.alpha) * gl.get(blogger_id, 0.0)
+            for blogger_id in bloggers
+        }
+
+        # Flattened linear terms: for blogger i, the (j, weight) pairs
+        # over all comments on all of i's posts.  weight = SF / TC(j).
+        linear_terms: dict[str, list[tuple[str, float]]] = {
+            blogger_id: [] for blogger_id in bloggers
+        }
+        if params.use_citation:
+            for post_id in sorted(corpus.posts):
+                author_id = corpus.post(post_id).author_id
+                for term in self._comment_model.terms_for(post_id):
+                    linear_terms[author_id].append(
+                        (term.commenter_id, term.citation_weight)
+                    )
+        else:
+            # Citation off: CommentScore is influence-free, so it folds
+            # into the constant and the system closes in one step.
+            for post_id in sorted(corpus.posts):
+                author_id = corpus.post(post_id).author_id
+                score = self._comment_model.comment_score(post_id, {})
+                constant[author_id] += params.alpha * (1.0 - params.beta) * score
+
+        coupling = params.alpha * (1.0 - params.beta)
+        iterations = 0
+        residual = 0.0
+        converged = not any(linear_terms.values())
+        if initial is None or converged:
+            # No coupling (or no warm start): the constant term is the
+            # exact solution / canonical starting point.
+            influence = dict(constant)
+        else:
+            influence = {
+                blogger_id: initial.get(blogger_id, constant[blogger_id])
+                for blogger_id in bloggers
+            }
+
+        while not converged and iterations < params.max_iterations:
+            iterations += 1
+            next_influence = {}
+            for blogger_id in bloggers:
+                acc = 0.0
+                for commenter_id, weight in linear_terms[blogger_id]:
+                    acc += influence[commenter_id] * weight
+                next_influence[blogger_id] = constant[blogger_id] + coupling * acc
+            residual = sum(
+                abs(next_influence[blogger_id] - influence[blogger_id])
+                for blogger_id in bloggers
+            )
+            influence = next_influence
+            if residual < params.tolerance:
+                converged = True
+
+        if not converged and strict:
+            raise ConvergenceError(
+                f"influence iteration did not converge in "
+                f"{params.max_iterations} iterations (residual {residual:.3e}); "
+                f"contraction bound is {params.contraction_bound():.3f}"
+            )
+
+        # Evaluate the per-post layers at the fixed point.
+        comment_scores = {
+            post_id: self._comment_model.comment_score(post_id, influence)
+            for post_id in sorted(corpus.posts)
+        }
+        post_influence = {
+            post_id: params.beta * quality[post_id]
+            + (1.0 - params.beta) * comment_scores[post_id]
+            for post_id in sorted(corpus.posts)
+        }
+        ap = {blogger_id: 0.0 for blogger_id in bloggers}
+        for post_id, value in post_influence.items():
+            ap[corpus.post(post_id).author_id] += value
+
+        return InfluenceScores(
+            influence=influence,
+            post_influence=post_influence,
+            ap=ap,
+            gl={blogger_id: gl.get(blogger_id, 0.0) for blogger_id in bloggers},
+            quality=quality,
+            comment_score=comment_scores,
+            iterations=iterations,
+            converged=converged,
+            residual=residual,
+        )

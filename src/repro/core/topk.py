@@ -1,0 +1,59 @@
+"""Top-k selection over score maps.
+
+All rankings in the library flow through :func:`top_k`, which fixes the
+tie-breaking rule once (score descending, then blogger id ascending) so
+every consumer — model, baselines, benches — ranks identically and
+results are reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Container, Mapping
+
+__all__ = ["top_k", "full_ranking", "rank_of"]
+
+
+def top_k(
+    scores: Mapping[str, float],
+    k: int,
+    exclude: Container[str] = (),
+) -> list[tuple[str, float]]:
+    """The ``k`` highest-scoring ids as (id, score) pairs.
+
+    Ties break by id ascending.  ``exclude`` drops ids before selection
+    (e.g. the requesting user in the recommendation scenario).
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    if k == 0:
+        return []
+    items = [
+        (score, item_id)
+        for item_id, score in scores.items()
+        if item_id not in exclude
+    ]
+    best = heapq.nsmallest(k, items, key=lambda pair: (-pair[0], pair[1]))
+    return [(item_id, score) for score, item_id in best]
+
+
+def full_ranking(
+    scores: Mapping[str, float], exclude: Container[str] = ()
+) -> list[tuple[str, float]]:
+    """All ids ordered by the same rule as :func:`top_k`."""
+    return top_k(scores, len(scores), exclude=exclude)
+
+
+def rank_of(scores: Mapping[str, float], item_id: str) -> int:
+    """1-based rank of ``item_id`` under the standard ordering.
+
+    Raises :class:`KeyError` for unknown ids.
+    """
+    if item_id not in scores:
+        raise KeyError(item_id)
+    target = (-scores[item_id], item_id)
+    return 1 + sum(
+        1
+        for other_id, score in scores.items()
+        if (-score, other_id) < target
+    )

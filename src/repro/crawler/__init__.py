@@ -1,0 +1,31 @@
+"""Crawler Module: blog service interface, frontier, threaded crawler."""
+
+from repro.crawler.crawler import BlogCrawler, CrawlConfig, CrawlResult
+from repro.crawler.frontier import Frontier
+from repro.crawler.html import (
+    HtmlBlogService,
+    parse_space_html,
+    render_space_html,
+)
+from repro.crawler.service import (
+    BlogService,
+    SimulatedBlogService,
+    SpaceNotFoundError,
+    SpacePage,
+    TransientFetchError,
+)
+
+__all__ = [
+    "BlogCrawler",
+    "CrawlConfig",
+    "CrawlResult",
+    "Frontier",
+    "BlogService",
+    "SimulatedBlogService",
+    "SpacePage",
+    "SpaceNotFoundError",
+    "TransientFetchError",
+    "HtmlBlogService",
+    "render_space_html",
+    "parse_space_html",
+]

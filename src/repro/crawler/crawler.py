@@ -1,0 +1,186 @@
+"""The multi-threaded blog crawler (the paper's Crawler Module).
+
+"The Crawler Module uses a multi-thread crawling technique to
+efficiently crawl blogosphere and stores the bloggers' information ...
+in XML files."
+
+The crawler expands a radius-bounded BFS frontier from user-supplied
+seeds, fetching each wave's spaces concurrently with a thread pool and
+retrying transient failures.  The result is a validated
+:class:`BlogCorpus` restricted to the crawled neighbourhood — comments
+by, and links to, bloggers outside the crawl are dropped, exactly as a
+real crawl only knows about users it has visited — which can then be
+persisted with :func:`repro.data.xml_store.save_corpus`.
+
+Crawls are deterministic: waves are sorted before dispatch and results
+are merged in sorted order, so thread scheduling never changes output.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.crawler.frontier import Frontier
+from repro.crawler.service import (
+    BlogService,
+    SpaceNotFoundError,
+    SpacePage,
+    TransientFetchError,
+)
+from repro.data.corpus import BlogCorpus
+from repro.data.xml_store import save_corpus
+from repro.errors import CrawlError
+
+__all__ = ["CrawlConfig", "CrawlResult", "BlogCrawler"]
+
+
+@dataclass(frozen=True, slots=True)
+class CrawlConfig:
+    """Crawl policy: how far, how many, how parallel, how patient."""
+
+    radius: int = 2
+    max_spaces: int | None = None
+    num_threads: int = 4
+    max_retries: int = 2
+    retry_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise CrawlError(f"radius must be >= 0, got {self.radius}")
+        if self.max_spaces is not None and self.max_spaces < 1:
+            raise CrawlError(f"max_spaces must be >= 1, got {self.max_spaces}")
+        if self.num_threads < 1:
+            raise CrawlError(f"num_threads must be >= 1, got {self.num_threads}")
+        if self.max_retries < 0:
+            raise CrawlError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_delay < 0:
+            raise CrawlError(f"retry_delay must be >= 0, got {self.retry_delay}")
+
+
+@dataclass(slots=True)
+class CrawlResult:
+    """Output of one crawl."""
+
+    corpus: BlogCorpus
+    fetched: list[str]
+    failed: dict[str, str] = field(default_factory=dict)
+    dropped_comments: int = 0
+    dropped_links: int = 0
+    max_depth: int = 0
+    elapsed: float = 0.0
+
+
+class BlogCrawler:
+    """Crawl a :class:`BlogService` into a :class:`BlogCorpus`."""
+
+    def __init__(self, service: BlogService, config: CrawlConfig | None = None) -> None:
+        self._service = service
+        self._config = config or CrawlConfig()
+
+    @property
+    def config(self) -> CrawlConfig:
+        """The crawl policy."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    def _fetch_with_retries(self, blogger_id: str) -> SpacePage | Exception:
+        attempts = self._config.max_retries + 1
+        last_error: Exception = CrawlError("unreachable")
+        for attempt in range(attempts):
+            try:
+                return self._service.fetch_space(blogger_id)
+            except TransientFetchError as exc:
+                last_error = exc
+                if attempt + 1 < attempts and self._config.retry_delay:
+                    time.sleep(self._config.retry_delay)
+            except SpaceNotFoundError as exc:
+                return exc
+        return last_error
+
+    def crawl(self, seeds: list[str]) -> CrawlResult:
+        """Crawl outward from ``seeds`` and return the assembled corpus.
+
+        Raises :class:`CrawlError` if *no* seed could be fetched (a
+        crawl that never starts is an error; partial failures are
+        reported in ``result.failed``).
+        """
+        started = time.monotonic()
+        frontier = Frontier(
+            seeds, self._config.radius, max_spaces=self._config.max_spaces
+        )
+        pages: dict[str, SpacePage] = {}
+        failed: dict[str, str] = {}
+        max_depth = 0
+
+        with ThreadPoolExecutor(max_workers=self._config.num_threads) as pool:
+            while True:
+                wave = frontier.next_wave()
+                if not wave:
+                    break
+                max_depth = frontier.current_depth
+                results = list(pool.map(self._fetch_with_retries, wave))
+                for blogger_id, outcome in zip(wave, results):
+                    if isinstance(outcome, Exception):
+                        failed[blogger_id] = str(outcome)
+                        continue
+                    pages[blogger_id] = outcome
+                    frontier.discover(outcome.neighbors)
+
+        if not pages:
+            raise CrawlError(
+                f"crawl produced no pages; all seeds failed: {failed}"
+            )
+        missing_seeds = [seed for seed in seeds if seed in failed]
+        if len(missing_seeds) == len(set(seeds)):
+            raise CrawlError(f"every seed failed: {failed}")
+
+        corpus, dropped_comments, dropped_links = self._assemble(pages)
+        return CrawlResult(
+            corpus=corpus,
+            fetched=sorted(pages),
+            failed=failed,
+            dropped_comments=dropped_comments,
+            dropped_links=dropped_links,
+            max_depth=max_depth,
+            elapsed=time.monotonic() - started,
+        )
+
+    @staticmethod
+    def _assemble(
+        pages: dict[str, SpacePage]
+    ) -> tuple[BlogCorpus, int, int]:
+        """Merge pages into a corpus, dropping references outside the crawl."""
+        corpus = BlogCorpus()
+        crawled = set(pages)
+        for blogger_id in sorted(pages):
+            corpus.add_blogger(pages[blogger_id].blogger)
+        dropped_comments = 0
+        dropped_links = 0
+        for blogger_id in sorted(pages):
+            page = pages[blogger_id]
+            for post in page.posts:
+                corpus.add_post(post)
+            for link in page.links:
+                if link.target_id in crawled:
+                    corpus.add_link(link)
+                else:
+                    dropped_links += 1
+        for blogger_id in sorted(pages):
+            for comment in pages[blogger_id].comments:
+                if comment.commenter_id in crawled:
+                    corpus.add_comment(comment)
+                else:
+                    dropped_comments += 1
+        return corpus.freeze(), dropped_comments, dropped_links
+
+    # ------------------------------------------------------------------
+    def crawl_to_directory(
+        self, seeds: list[str], directory: str | Path
+    ) -> CrawlResult:
+        """Crawl and persist the corpus as XML files (the paper's flow)."""
+        result = self.crawl(seeds)
+        save_corpus(result.corpus, directory)
+        return result

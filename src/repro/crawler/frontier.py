@@ -1,0 +1,90 @@
+"""Crawl frontier: radius-bounded breadth-first expansion.
+
+The demo lets the user "specify a seed of the crawling ... from which
+the crawling starts" and "specify the radius of network where the
+crawling is performed".  The frontier owns exactly that policy: which
+blogger ids to fetch next, how deep they are, and when the budget
+(radius or space cap) is exhausted.
+
+The crawler processes the frontier wave by wave (all of depth d in one
+parallel batch), so the frontier exposes :meth:`next_wave` rather than
+a one-at-a-time pop; within a wave, ids are sorted, which makes crawls
+deterministic regardless of thread scheduling.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+__all__ = ["Frontier"]
+
+
+class Frontier:
+    """Track discovered / pending blogger ids with depth bookkeeping."""
+
+    def __init__(
+        self,
+        seeds: Iterable[str],
+        radius: int,
+        max_spaces: int | None = None,
+    ) -> None:
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        if max_spaces is not None and max_spaces < 1:
+            raise ValueError(f"max_spaces must be >= 1, got {max_spaces}")
+        seed_list = sorted(set(seeds))
+        if not seed_list:
+            raise ValueError("need at least one seed")
+        self._radius = radius
+        self._max_spaces = max_spaces
+        self._discovered: set[str] = set(seed_list)
+        self._scheduled = 0
+        self._current_depth = 0
+        self._pending: list[str] = self._admit(seed_list)
+        self._next_depth_ids: set[str] = set()
+
+    def _admit(self, candidates: list[str]) -> list[str]:
+        """Apply the max_spaces budget to a sorted candidate list."""
+        if self._max_spaces is None:
+            admitted = list(candidates)
+        else:
+            room = self._max_spaces - self._scheduled
+            admitted = candidates[: max(room, 0)]
+        self._scheduled += len(admitted)
+        return admitted
+
+    @property
+    def current_depth(self) -> int:
+        """Depth of the wave :meth:`next_wave` will return next."""
+        return self._current_depth
+
+    @property
+    def scheduled(self) -> int:
+        """Total number of spaces admitted for fetching so far."""
+        return self._scheduled
+
+    def next_wave(self) -> list[str]:
+        """The next batch of blogger ids to fetch (empty when done)."""
+        if self._pending:
+            wave = self._pending
+            self._pending = []
+            return wave
+        # Advance to the next depth if anything was discovered there.
+        if self._next_depth_ids and self._current_depth < self._radius:
+            self._current_depth += 1
+            candidates = sorted(self._next_depth_ids)
+            self._next_depth_ids = set()
+            wave = self._admit(candidates)
+            return wave
+        return []
+
+    def discover(self, blogger_ids: Iterable[str]) -> None:
+        """Report neighbours found while fetching the current wave.
+
+        New ids are queued for depth ``current_depth + 1``; ids already
+        discovered (at any depth) are ignored.
+        """
+        for blogger_id in blogger_ids:
+            if blogger_id not in self._discovered:
+                self._discovered.add(blogger_id)
+                self._next_depth_ids.add(blogger_id)

@@ -1,0 +1,246 @@
+"""HTML rendering and parsing of blog space pages.
+
+The real MASS crawler fetched HTML from live MSN spaces and scraped the
+profile, posts, comments, and blogroll out of the markup.  This module
+restores that code path: :func:`render_space_html` serves a space as an
+MSN-style HTML page, :func:`parse_space_html` scrapes it back into a
+:class:`~repro.crawler.service.SpacePage`, and :class:`HtmlBlogService`
+wraps any :class:`BlogService` so every crawl fetch round-trips through
+markup — the crawler then exercises exactly what it would against a
+real site (escaping, nesting, attribute plumbing included).
+
+The page schema (all data-carrying elements are class-tagged):
+
+.. code-block:: html
+
+    <div class="profile" data-id="amery" data-joined="12">
+      <h1 class="name">Amery</h1>
+      <p class="about">…</p>
+    </div>
+    <div class="post" data-id="post1" data-day="10">
+      <h2 class="title">…</h2>
+      <div class="body">…</div>
+      <ul class="comments">
+        <li class="comment" data-id="c1" data-by="bob" data-day="11">…</li>
+      </ul>
+    </div>
+    <ul class="blogroll">
+      <li><a class="bloglink" href="/space/helen" data-weight="1.0">helen</a></li>
+    </ul>
+"""
+
+from __future__ import annotations
+
+import html
+from html.parser import HTMLParser
+
+from repro.crawler.service import BlogService, SpacePage
+from repro.data.entities import Blogger, Comment, Link, Post
+from repro.errors import CrawlError
+
+__all__ = ["render_space_html", "parse_space_html", "HtmlBlogService"]
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_space_html(page: SpacePage) -> str:
+    """Serialize a space page as MSN-style HTML."""
+    blogger = page.blogger
+    parts = [
+        "<!DOCTYPE html>",
+        "<html><head><title>"
+        f"{html.escape(blogger.name)}'s space</title></head><body>",
+        f'<div class="profile" data-id="{html.escape(blogger.blogger_id)}"'
+        f' data-joined="{blogger.joined_day}">',
+        f'<h1 class="name">{html.escape(blogger.name)}</h1>',
+        f'<p class="about">{html.escape(blogger.profile_text)}</p>',
+        "</div>",
+        '<div class="posts">',
+    ]
+    comments_by_post: dict[str, list[Comment]] = {}
+    for comment in page.comments:
+        comments_by_post.setdefault(comment.post_id, []).append(comment)
+    for post in page.posts:
+        parts.append(
+            f'<div class="post" data-id="{html.escape(post.post_id)}"'
+            f' data-day="{post.created_day}">'
+        )
+        parts.append(f'<h2 class="title">{html.escape(post.title)}</h2>')
+        parts.append(f'<div class="body">{html.escape(post.body)}</div>')
+        parts.append('<ul class="comments">')
+        for comment in comments_by_post.get(post.post_id, []):
+            parts.append(
+                f'<li class="comment" data-id="{html.escape(comment.comment_id)}"'
+                f' data-by="{html.escape(comment.commenter_id)}"'
+                f' data-day="{comment.created_day}">'
+                f"{html.escape(comment.text)}</li>"
+            )
+        parts.append("</ul></div>")
+    parts.append("</div>")
+    parts.append('<ul class="blogroll">')
+    for link in page.links:
+        parts.append(
+            f'<li><a class="bloglink" href="/space/'
+            f'{html.escape(link.target_id)}" data-weight="{link.weight!r}">'
+            f"{html.escape(link.target_id)}</a></li>"
+        )
+    parts.append("</ul></body></html>")
+    return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+class _SpaceHtmlParser(HTMLParser):
+    """Event-driven scraper for the space-page schema."""
+
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.blogger_id: str | None = None
+        self.joined_day = 0
+        self.name_parts: list[str] = []
+        self.about_parts: list[str] = []
+        self.posts: list[dict] = []
+        self.comments: list[dict] = []
+        self.links: list[tuple[str, float]] = []
+        self._text_target: list[str] | None = None
+        self._text_end_tag: str | None = None
+        self._current_post: dict | None = None
+
+    # -- helpers -------------------------------------------------------
+    @staticmethod
+    def _attrs(raw: list[tuple[str, str | None]]) -> dict[str, str]:
+        return {name: (value or "") for name, value in raw}
+
+    def _begin_text(self, target: list[str], end_tag: str) -> None:
+        self._text_target = target
+        self._text_end_tag = end_tag
+
+    # -- parser events --------------------------------------------------
+    def handle_starttag(self, tag: str, attrs_raw) -> None:
+        attrs = self._attrs(attrs_raw)
+        css = attrs.get("class", "")
+        if css == "profile":
+            self.blogger_id = attrs.get("data-id")
+            try:
+                self.joined_day = int(attrs.get("data-joined", "0"))
+            except ValueError as exc:
+                raise CrawlError(f"bad data-joined: {exc}") from exc
+        elif css == "name" and tag == "h1":
+            self._begin_text(self.name_parts, "h1")
+        elif css == "about" and tag == "p":
+            self._begin_text(self.about_parts, "p")
+        elif css == "post" and tag == "div":
+            try:
+                self._current_post = {
+                    "id": attrs["data-id"],
+                    "day": int(attrs.get("data-day", "0")),
+                    "title": [],
+                    "body": [],
+                }
+            except (KeyError, ValueError) as exc:
+                raise CrawlError(f"malformed post element: {exc}") from exc
+            self.posts.append(self._current_post)
+        elif css == "title" and tag == "h2" and self._current_post is not None:
+            self._begin_text(self._current_post["title"], "h2")
+        elif css == "body" and tag == "div" and self._current_post is not None:
+            self._begin_text(self._current_post["body"], "div")
+        elif css == "comment" and tag == "li":
+            if self._current_post is None:
+                raise CrawlError("comment outside any post")
+            try:
+                comment = {
+                    "id": attrs["data-id"],
+                    "by": attrs["data-by"],
+                    "day": int(attrs.get("data-day", "0")),
+                    "post": self._current_post["id"],
+                    "text": [],
+                }
+            except (KeyError, ValueError) as exc:
+                raise CrawlError(f"malformed comment element: {exc}") from exc
+            self.comments.append(comment)
+            self._begin_text(comment["text"], "li")
+        elif css == "bloglink" and tag == "a":
+            href = attrs.get("href", "")
+            prefix = "/space/"
+            if not href.startswith(prefix):
+                raise CrawlError(f"unexpected blogroll href {href!r}")
+            try:
+                weight = float(attrs.get("data-weight", "1.0"))
+            except ValueError as exc:
+                raise CrawlError(f"bad link weight: {exc}") from exc
+            self.links.append((href[len(prefix):], weight))
+
+    def handle_endtag(self, tag: str) -> None:
+        if self._text_end_tag == tag:
+            self._text_target = None
+            self._text_end_tag = None
+
+    def handle_data(self, data: str) -> None:
+        if self._text_target is not None:
+            self._text_target.append(data)
+
+
+def parse_space_html(markup: str) -> SpacePage:
+    """Scrape a space page back out of its HTML.
+
+    Raises :class:`CrawlError` on schema violations (missing profile,
+    malformed attributes).
+    """
+    parser = _SpaceHtmlParser()
+    parser.feed(markup)
+    parser.close()
+    if parser.blogger_id is None:
+        raise CrawlError("page has no profile block")
+    blogger = Blogger(
+        parser.blogger_id,
+        name="".join(parser.name_parts),
+        profile_text="".join(parser.about_parts),
+        joined_day=parser.joined_day,
+    )
+    posts = tuple(
+        Post(
+            entry["id"],
+            parser.blogger_id,
+            title="".join(entry["title"]),
+            body="".join(entry["body"]),
+            created_day=entry["day"],
+        )
+        for entry in parser.posts
+    )
+    comments = tuple(
+        Comment(
+            entry["id"],
+            entry["post"],
+            entry["by"],
+            text="".join(entry["text"]),
+            created_day=entry["day"],
+        )
+        for entry in parser.comments
+    )
+    links = tuple(
+        Link(parser.blogger_id, target, weight)
+        for target, weight in parser.links
+    )
+    return SpacePage(blogger, posts, comments, links)
+
+
+class HtmlBlogService(BlogService):
+    """Round-trip every fetch through HTML markup.
+
+    Wraps an inner service; ``fetch_space`` renders the inner page to
+    HTML and scrapes it back, so the crawler's input went through the
+    same serialization a real site fetch would.  ``fetch_html`` exposes
+    the raw markup for tests and demos.
+    """
+
+    def __init__(self, inner: BlogService) -> None:
+        self._inner = inner
+
+    def fetch_html(self, blogger_id: str) -> str:
+        """The raw HTML of one space page."""
+        return render_space_html(self._inner.fetch_space(blogger_id))
+
+    def fetch_space(self, blogger_id: str) -> SpacePage:
+        return parse_space_html(self.fetch_html(blogger_id))

@@ -1,0 +1,163 @@
+"""The blog service a crawler talks to.
+
+The paper's Crawler Module fetched live MSN spaces over HTTP.  MSN
+Spaces is gone, so the crawl target here is a :class:`BlogService`
+interface with one production-shaped implementation,
+:class:`SimulatedBlogService`, which serves a generated blogosphere
+page by page — with optional simulated latency and transient failures,
+so the crawler's retry and concurrency logic is exercised exactly as it
+would be against a real site.
+
+A "space page" is what one fetch returns: the blogger's profile, their
+posts, the comments on those posts, and their outgoing links — the same
+unit the paper stores per XML file.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.data.corpus import BlogCorpus
+from repro.data.entities import Blogger, Comment, Link, Post
+from repro.errors import CrawlError
+
+__all__ = ["SpacePage", "BlogService", "SimulatedBlogService",
+           "SpaceNotFoundError", "TransientFetchError"]
+
+
+class SpaceNotFoundError(CrawlError):
+    """The requested blogger id does not exist (a 404)."""
+
+
+class TransientFetchError(CrawlError):
+    """A temporary fetch failure (a 5xx / timeout); retrying may succeed."""
+
+
+@dataclass(frozen=True, slots=True)
+class SpacePage:
+    """One fetched space: profile, posts, their comments, out-links."""
+
+    blogger: Blogger
+    posts: tuple[Post, ...]
+    comments: tuple[Comment, ...]
+    links: tuple[Link, ...]
+
+    @property
+    def neighbors(self) -> list[str]:
+        """Blogger ids discoverable from this page (commenters, linkees).
+
+        These are what the crawler's frontier expands on — the same
+        way a real crawl follows commenter profile URLs and blogroll
+        links.
+        """
+        found = {comment.commenter_id for comment in self.comments}
+        found.update(link.target_id for link in self.links)
+        found.discard(self.blogger.blogger_id)
+        return sorted(found)
+
+
+class BlogService:
+    """Interface: fetch one blogger's space page by id."""
+
+    def fetch_space(self, blogger_id: str) -> SpacePage:
+        """Return the page, or raise a :class:`CrawlError` subclass."""
+        raise NotImplementedError
+
+
+@dataclass
+class ServiceStats:
+    """Fetch accounting for politeness checks and tests."""
+
+    fetches: int = 0
+    transient_failures: int = 0
+    not_found: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, kind: str) -> None:
+        with self._lock:
+            if kind == "fetch":
+                self.fetches += 1
+            elif kind == "transient":
+                self.transient_failures += 1
+            else:
+                self.not_found += 1
+
+
+class SimulatedBlogService(BlogService):
+    """Serve a :class:`BlogCorpus` as a remote blog site.
+
+    Parameters
+    ----------
+    corpus:
+        The blogosphere behind the service.
+    latency:
+        Seconds to sleep per fetch (simulated network time).  Keep at 0
+        in tests; small positive values make thread-count benches show
+        real speedups.
+    failure_rate:
+        Probability that a fetch raises :class:`TransientFetchError`
+        *the first time*; retries of the same space always succeed, so
+        a crawler with retries can always finish.
+    seed:
+        Seeds the failure draws, making failure patterns reproducible.
+    """
+
+    def __init__(
+        self,
+        corpus: BlogCorpus,
+        latency: float = 0.0,
+        failure_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        if not 0.0 <= failure_rate < 1.0:
+            raise ValueError(
+                f"failure_rate must be in [0, 1), got {failure_rate}"
+            )
+        self._corpus = corpus
+        self._latency = latency
+        self._failure_rate = failure_rate
+        self._rng = random.Random(seed)
+        self._rng_lock = threading.Lock()
+        self._failed_once: set[str] = set()
+        self.stats = ServiceStats()
+
+    def fetch_space(self, blogger_id: str) -> SpacePage:
+        if self._latency:
+            time.sleep(self._latency)
+        if blogger_id not in self._corpus:
+            self.stats.record("not_found")
+            raise SpaceNotFoundError(f"no such space: {blogger_id!r}")
+        if self._failure_rate:
+            with self._rng_lock:
+                should_fail = (
+                    blogger_id not in self._failed_once
+                    and self._rng.random() < self._failure_rate
+                )
+                if should_fail:
+                    self._failed_once.add(blogger_id)
+            if should_fail:
+                self.stats.record("transient")
+                raise TransientFetchError(
+                    f"temporary failure fetching {blogger_id!r}"
+                )
+        self.stats.record("fetch")
+        posts = tuple(
+            sorted(self._corpus.posts_by(blogger_id), key=lambda p: p.post_id)
+        )
+        comments = tuple(
+            comment
+            for post in posts
+            for comment in sorted(
+                self._corpus.comments_on(post.post_id),
+                key=lambda c: c.comment_id,
+            )
+        )
+        links = tuple(
+            sorted(self._corpus.out_links(blogger_id), key=lambda l: l.target_id)
+        )
+        return SpacePage(self._corpus.blogger(blogger_id), posts, comments, links)

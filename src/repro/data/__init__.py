@@ -1,0 +1,29 @@
+"""Blogosphere data model: entities, indexed corpus, XML storage."""
+
+from repro.data.builders import CorpusBuilder
+from repro.data.corpus import BlogCorpus, CorpusStats
+from repro.data.entities import Blogger, Comment, Link, Post
+from repro.data.samples import FIGURE1_BLOGGERS, figure1_corpus, figure1_domains
+from repro.data.xml_store import (
+    dumps_corpus,
+    load_corpus,
+    loads_corpus,
+    save_corpus,
+)
+
+__all__ = [
+    "Blogger",
+    "Post",
+    "Comment",
+    "Link",
+    "BlogCorpus",
+    "CorpusStats",
+    "CorpusBuilder",
+    "save_corpus",
+    "load_corpus",
+    "dumps_corpus",
+    "loads_corpus",
+    "figure1_corpus",
+    "figure1_domains",
+    "FIGURE1_BLOGGERS",
+]

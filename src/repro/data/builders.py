@@ -1,0 +1,98 @@
+"""Fluent construction helpers for :class:`repro.data.corpus.BlogCorpus`.
+
+The builder removes the id bookkeeping that otherwise clutters tests
+and examples: it mints sequential post/comment ids and accepts plain
+strings where full entities would be noise.
+"""
+
+from __future__ import annotations
+
+from repro.data.corpus import BlogCorpus
+from repro.data.entities import Blogger, Comment, Link, Post
+
+__all__ = ["CorpusBuilder"]
+
+
+class CorpusBuilder:
+    """Incrementally assemble a :class:`BlogCorpus` with minted ids.
+
+    Examples
+    --------
+    >>> builder = CorpusBuilder()
+    >>> post = builder.blogger("amery").post("amery", body="on merge sort")
+    >>> _ = builder.comment(post.post_id, "bob", text="I agree, great point")
+    >>> corpus = builder.build()
+    >>> corpus.total_comments_by("bob")
+    1
+    """
+
+    def __init__(self) -> None:
+        self._corpus = BlogCorpus()
+        self._post_seq = 0
+        self._comment_seq = 0
+
+    def blogger(
+        self,
+        blogger_id: str,
+        name: str = "",
+        profile_text: str = "",
+        joined_day: int = 0,
+    ) -> "CorpusBuilder":
+        """Add a blogger and return the builder for chaining."""
+        self._corpus.add_blogger(
+            Blogger(blogger_id, name=name, profile_text=profile_text,
+                    joined_day=joined_day)
+        )
+        return self
+
+    def ensure_blogger(self, blogger_id: str, name: str = "") -> "CorpusBuilder":
+        """Add a blogger only if not already present."""
+        if blogger_id not in self._corpus:
+            self.blogger(blogger_id, name=name)
+        return self
+
+    def post(
+        self,
+        author_id: str,
+        title: str = "",
+        body: str = "",
+        created_day: int = 0,
+        post_id: str | None = None,
+    ) -> Post:
+        """Add a post (minting an id unless given) and return it."""
+        if post_id is None:
+            self._post_seq += 1
+            post_id = f"post-{self._post_seq:06d}"
+        post = Post(post_id, author_id, title=title, body=body,
+                    created_day=created_day)
+        self._corpus.add_post(post)
+        return post
+
+    def comment(
+        self,
+        post_id: str,
+        commenter_id: str,
+        text: str = "",
+        created_day: int = 0,
+        comment_id: str | None = None,
+    ) -> Comment:
+        """Add a comment (minting an id unless given) and return it."""
+        if comment_id is None:
+            self._comment_seq += 1
+            comment_id = f"comment-{self._comment_seq:06d}"
+        comment = Comment(comment_id, post_id, commenter_id, text=text,
+                          created_day=created_day)
+        self._corpus.add_comment(comment)
+        return comment
+
+    def link(self, source_id: str, target_id: str, weight: float = 1.0) -> "CorpusBuilder":
+        """Add a blogger-to-blogger link and return the builder."""
+        self._corpus.add_link(Link(source_id, target_id, weight))
+        return self
+
+    def build(self, freeze: bool = True) -> BlogCorpus:
+        """Validate (and by default freeze) the corpus and return it."""
+        if freeze:
+            return self._corpus.freeze()
+        self._corpus.validate()
+        return self._corpus

@@ -1,0 +1,140 @@
+"""Built-in sample datasets, including the paper's Fig. 1 example.
+
+Fig. 1 of the paper shows a sample influence graph: Amery has two
+posts — post1 about "programming skills in computer science" with
+comments from Bob and Cary, and post2 about "the recent economic
+depression and possible trends" with a comment from Cary — plus two
+more CS posts (post3 by Helen, post4 by Dolly) surrounded by
+commenters Jane, Eddie, Leo and Michael.  The figure leaves the exact
+comment/link wiring of posts 3–4 unspecified; this fixture realizes
+one consistent reading and documents it, so every test, example and
+bench reasons about the same nine-blogger world.
+"""
+
+from __future__ import annotations
+
+from repro.data.builders import CorpusBuilder
+from repro.data.corpus import BlogCorpus
+
+__all__ = ["FIGURE1_BLOGGERS", "figure1_corpus", "figure1_domains"]
+
+FIGURE1_BLOGGERS: tuple[str, ...] = (
+    "amery", "bob", "cary", "dolly", "eddie", "helen", "jane", "leo",
+    "michael",
+)
+
+_CS_SENTENCE = (
+    "Some programming skills in computer science: algorithm design, "
+    "recursion, debugging the compiler, and writing clean code with "
+    "good software interfaces. "
+)
+_ECON_SENTENCE = (
+    "The recent economic depression and possible trends in the next "
+    "couple of months: markets, stocks, inflation and the trade "
+    "deficit facing the economy. "
+)
+
+
+def figure1_domains() -> dict[str, list[str]]:
+    """Seed vocabularies for the two domains of the figure (CS, Econ)."""
+    return {
+        "Computer": [
+            "programming", "computer", "science", "algorithm", "recursion",
+            "debugging", "compiler", "code", "software", "interfaces",
+        ],
+        "Economics": [
+            "economic", "depression", "markets", "stocks", "inflation",
+            "trade", "deficit", "economy", "trends",
+        ],
+    }
+
+
+def figure1_corpus() -> BlogCorpus:
+    """The Fig. 1 influence graph as a validated corpus.
+
+    Wiring (posts 1–2 exactly as in the figure; 3–4 one consistent
+    reading):
+
+    - post1 (Amery, CS): comments by Bob (positive) and Cary (positive);
+    - post2 (Amery, Econ): comment by Cary (neutral);
+    - post3 (Helen, CS): comments by Jane (positive) and Eddie (neutral);
+    - post4 (Dolly, CS): comments by Leo (negative) and Michael (positive);
+    - links: Bob→Amery, Cary→Amery, Jane→Helen, Eddie→Helen,
+      Michael→Dolly, Leo→Dolly, Helen→Amery.
+    """
+    builder = CorpusBuilder()
+    for blogger_id in FIGURE1_BLOGGERS:
+        builder.blogger(blogger_id, name=blogger_id.capitalize())
+
+    post1 = builder.post(
+        "amery",
+        title="Programming skills",
+        body=_CS_SENTENCE * 6,
+        created_day=10,
+        post_id="post1",
+    )
+    post2 = builder.post(
+        "amery",
+        title="Economic depression ahead?",
+        body=_ECON_SENTENCE * 5,
+        created_day=12,
+        post_id="post2",
+    )
+    post3 = builder.post(
+        "helen",
+        title="Computer science notes",
+        body=_CS_SENTENCE * 4,
+        created_day=14,
+        post_id="post3",
+    )
+    post4 = builder.post(
+        "dolly",
+        title="More programming skills",
+        body=_CS_SENTENCE * 3,
+        created_day=15,
+        post_id="post4",
+    )
+
+    builder.comment(
+        post1.post_id, "bob",
+        text="I agree, these programming skills are excellent and helpful.",
+        created_day=11,
+    )
+    builder.comment(
+        post1.post_id, "cary",
+        text="Great point, I support this view on computer science.",
+        created_day=11,
+    )
+    builder.comment(
+        post2.post_id, "cary",
+        text="Some notes on the economy for the next couple of months.",
+        created_day=13,
+    )
+    builder.comment(
+        post3.post_id, "jane",
+        text="Wonderful explanation, I agree with the algorithm part.",
+        created_day=15,
+    )
+    builder.comment(
+        post3.post_id, "eddie",
+        text="See also my post about the compiler from last week.",
+        created_day=15,
+    )
+    builder.comment(
+        post4.post_id, "leo",
+        text="I disagree, this is wrong about recursion.",
+        created_day=16,
+    )
+    builder.comment(
+        post4.post_id, "michael",
+        text="Nice writeup, very useful programming advice.",
+        created_day=16,
+    )
+
+    for source, target in [
+        ("bob", "amery"), ("cary", "amery"), ("jane", "helen"),
+        ("eddie", "helen"), ("michael", "dolly"), ("leo", "dolly"),
+        ("helen", "amery"),
+    ]:
+        builder.link(source, target)
+    return builder.build()

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subclasses are grouped
+by subsystem rather than by failure mode: a caller usually knows *which
+stage* failed (building a corpus, solving the influence system, running
+the crawler) and wants to handle that stage's failures uniformly.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CorpusError(ReproError):
+    """A blog corpus is structurally invalid.
+
+    Raised for duplicate identifiers, dangling references (a comment on
+    a post that does not exist, a link to an unknown blogger), or
+    entities that violate basic invariants (empty ids, negative days).
+    """
+
+
+class ParameterError(ReproError):
+    """A model or algorithm parameter is outside its valid range."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge within its iteration cap."""
+
+
+class CrawlError(ReproError):
+    """The crawler could not complete a crawl (bad seed, dead service)."""
+
+
+class XmlFormatError(ReproError):
+    """An XML document does not conform to the MASS storage format."""
+
+
+class ClassifierError(ReproError):
+    """A text classifier was used before training or trained on bad data."""

@@ -1,0 +1,19 @@
+"""Ranking-quality metrics used by the benches."""
+
+from repro.evaluation.metrics import (
+    jaccard_at_k,
+    kendall_tau,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    spearman_rho,
+)
+
+__all__ = [
+    "precision_at_k",
+    "recall_at_k",
+    "ndcg_at_k",
+    "jaccard_at_k",
+    "kendall_tau",
+    "spearman_rho",
+]

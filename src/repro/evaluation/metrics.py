@@ -1,0 +1,156 @@
+"""Ranking-quality metrics for the evaluation benches.
+
+The paper's own evaluation is the user study; the synthetic ground
+truth additionally permits standard IR metrics against the planted /
+true influencer sets: precision@k, recall@k, NDCG@k with graded
+relevance, Jaccard overlap of top-k sets, and rank correlations
+(Kendall τ, Spearman ρ) between score assignments.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+__all__ = [
+    "precision_at_k",
+    "recall_at_k",
+    "ndcg_at_k",
+    "jaccard_at_k",
+    "kendall_tau",
+    "spearman_rho",
+]
+
+
+def precision_at_k(
+    ranked: Sequence[str], relevant: set[str], k: int
+) -> float:
+    """Fraction of the top-k that is relevant."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    head = list(ranked[:k])
+    if not head:
+        return 0.0
+    return sum(1 for item in head if item in relevant) / k
+
+
+def recall_at_k(ranked: Sequence[str], relevant: set[str], k: int) -> float:
+    """Fraction of the relevant set found in the top-k."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if not relevant:
+        return 0.0
+    head = set(ranked[:k])
+    return len(head & relevant) / len(relevant)
+
+
+def ndcg_at_k(
+    ranked: Sequence[str], gains: Mapping[str, float], k: int
+) -> float:
+    """Normalized discounted cumulative gain with graded relevance.
+
+    ``gains`` maps item → non-negative relevance (e.g. true domain
+    strength).  Items missing from ``gains`` contribute 0.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if any(value < 0 for value in gains.values()):
+        raise ValueError("gains must be >= 0")
+    dcg = sum(
+        gains.get(item, 0.0) / math.log2(position + 2)
+        for position, item in enumerate(ranked[:k])
+    )
+    ideal_gains = sorted(gains.values(), reverse=True)[:k]
+    idcg = sum(
+        gain / math.log2(position + 2)
+        for position, gain in enumerate(ideal_gains)
+    )
+    if idcg == 0.0:
+        return 0.0
+    return dcg / idcg
+
+
+def jaccard_at_k(left: Sequence[str], right: Sequence[str], k: int) -> float:
+    """Jaccard similarity of two top-k sets."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    left_set, right_set = set(left[:k]), set(right[:k])
+    union = left_set | right_set
+    if not union:
+        return 1.0
+    return len(left_set & right_set) / len(union)
+
+
+def _common_items(
+    left: Mapping[str, float], right: Mapping[str, float]
+) -> list[str]:
+    common = sorted(set(left) & set(right))
+    if len(common) < 2:
+        raise ValueError(
+            "rank correlation needs at least 2 common items, got "
+            f"{len(common)}"
+        )
+    return common
+
+
+def kendall_tau(
+    left: Mapping[str, float], right: Mapping[str, float]
+) -> float:
+    """Kendall τ-a between two score assignments on their common items.
+
+    Pairs tied in either assignment count as neither concordant nor
+    discordant.
+    """
+    items = _common_items(left, right)
+    concordant = 0
+    discordant = 0
+    for i, a in enumerate(items):
+        for b in items[i + 1:]:
+            delta_left = left[a] - left[b]
+            delta_right = right[a] - right[b]
+            product = delta_left * delta_right
+            if product > 0:
+                concordant += 1
+            elif product < 0:
+                discordant += 1
+    pairs = len(items) * (len(items) - 1) / 2
+    return (concordant - discordant) / pairs
+
+
+def _ranks(scores: Mapping[str, float], items: list[str]) -> dict[str, float]:
+    """Average ranks (1-based) with ties sharing their mean rank."""
+    ordered = sorted(items, key=lambda item: (-scores[item], item))
+    ranks: dict[str, float] = {}
+    position = 0
+    while position < len(ordered):
+        tail = position
+        while (
+            tail + 1 < len(ordered)
+            and scores[ordered[tail + 1]] == scores[ordered[position]]
+        ):
+            tail += 1
+        mean_rank = (position + tail) / 2 + 1
+        for index in range(position, tail + 1):
+            ranks[ordered[index]] = mean_rank
+        position = tail + 1
+    return ranks
+
+
+def spearman_rho(
+    left: Mapping[str, float], right: Mapping[str, float]
+) -> float:
+    """Spearman rank correlation on the common items (tie-aware)."""
+    items = _common_items(left, right)
+    left_ranks = _ranks(left, items)
+    right_ranks = _ranks(right, items)
+    n = len(items)
+    mean = (n + 1) / 2
+    cov = sum(
+        (left_ranks[item] - mean) * (right_ranks[item] - mean)
+        for item in items
+    )
+    var_left = sum((left_ranks[item] - mean) ** 2 for item in items)
+    var_right = sum((right_ranks[item] - mean) ** 2 for item in items)
+    if var_left == 0.0 or var_right == 0.0:
+        return 0.0
+    return cov / math.sqrt(var_left * var_right)

@@ -1,0 +1,42 @@
+"""Graph substrate: digraph, PageRank, HITS, corpus graph views, layout."""
+
+from repro.graph.digraph import Digraph
+from repro.graph.hits import HitsResult, hits
+from repro.graph.influence_graph import (
+    combined_graph,
+    ego_network,
+    link_graph,
+    post_reply_graph,
+)
+from repro.graph.layout import force_layout, scale_positions
+from repro.graph.metrics import (
+    NetworkSummary,
+    average_clustering,
+    clustering_coefficient,
+    degree_histogram,
+    gini_coefficient,
+    reciprocity,
+    summarize_network,
+)
+from repro.graph.pagerank import PageRankResult, pagerank
+
+__all__ = [
+    "Digraph",
+    "pagerank",
+    "PageRankResult",
+    "hits",
+    "HitsResult",
+    "link_graph",
+    "post_reply_graph",
+    "combined_graph",
+    "ego_network",
+    "force_layout",
+    "scale_positions",
+    "degree_histogram",
+    "gini_coefficient",
+    "reciprocity",
+    "clustering_coefficient",
+    "average_clustering",
+    "NetworkSummary",
+    "summarize_network",
+]

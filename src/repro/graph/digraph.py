@@ -1,0 +1,160 @@
+"""A small weighted directed graph.
+
+The library implements its own digraph rather than depending on an
+external graph package: the algorithms MASS needs (PageRank, HITS, BFS
+neighbourhoods, a force layout) touch only a narrow adjacency API, and
+owning it keeps iteration order deterministic — every traversal below
+is over sorted node ids, so scores and layouts are reproducible
+bit-for-bit across runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator
+
+__all__ = ["Digraph"]
+
+
+class Digraph:
+    """Directed graph with non-negative edge weights.
+
+    Parallel edge insertions accumulate weight.  Nodes are arbitrary
+    strings; adding an edge implicitly adds its endpoints.
+    """
+
+    def __init__(self) -> None:
+        self._successors: dict[str, dict[str, float]] = {}
+        self._predecessors: dict[str, dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: str) -> None:
+        """Add an isolated node (no-op if present)."""
+        if node not in self._successors:
+            self._successors[node] = {}
+            self._predecessors[node] = {}
+
+    def add_edge(self, source: str, target: str, weight: float = 1.0) -> None:
+        """Add (or reinforce) the edge ``source -> target``."""
+        if weight <= 0:
+            raise ValueError(f"edge weight must be positive, got {weight}")
+        self.add_node(source)
+        self.add_node(target)
+        self._successors[source][target] = (
+            self._successors[source].get(target, 0.0) + weight
+        )
+        self._predecessors[target][source] = (
+            self._predecessors[target].get(source, 0.0) + weight
+        )
+
+    def add_edges(self, edges: Iterable[tuple[str, str]]) -> None:
+        """Add unit-weight edges from (source, target) pairs."""
+        for source, target in edges:
+            self.add_edge(source, target)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def nodes(self) -> list[str]:
+        """All node ids, sorted (the deterministic iteration order)."""
+        return sorted(self._successors)
+
+    def __len__(self) -> int:
+        return len(self._successors)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._successors
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.nodes())
+
+    def num_edges(self) -> int:
+        """Number of distinct directed edges."""
+        return sum(len(targets) for targets in self._successors.values())
+
+    def has_edge(self, source: str, target: str) -> bool:
+        """Whether the edge ``source -> target`` exists."""
+        return target in self._successors.get(source, ())
+
+    def weight(self, source: str, target: str) -> float:
+        """Weight of ``source -> target`` (0 if absent)."""
+        return self._successors.get(source, {}).get(target, 0.0)
+
+    def successors(self, node: str) -> dict[str, float]:
+        """Outgoing neighbours with weights (copy; safe to mutate)."""
+        return dict(self._successors.get(node, ()))
+
+    def predecessors(self, node: str) -> dict[str, float]:
+        """Incoming neighbours with weights (copy; safe to mutate)."""
+        return dict(self._predecessors.get(node, ()))
+
+    def out_degree(self, node: str, weighted: bool = False) -> float:
+        """Out-degree of ``node`` (edge count, or weight sum)."""
+        targets = self._successors.get(node, {})
+        return sum(targets.values()) if weighted else float(len(targets))
+
+    def in_degree(self, node: str, weighted: bool = False) -> float:
+        """In-degree of ``node`` (edge count, or weight sum)."""
+        sources = self._predecessors.get(node, {})
+        return sum(sources.values()) if weighted else float(len(sources))
+
+    def edges(self) -> list[tuple[str, str, float]]:
+        """All edges as (source, target, weight), sorted."""
+        result = []
+        for source in self.nodes():
+            for target in sorted(self._successors[source]):
+                result.append((source, target, self._successors[source][target]))
+        return result
+
+    # ------------------------------------------------------------------
+    # Traversal / derived graphs
+    # ------------------------------------------------------------------
+    def neighborhood(self, seed: str, radius: int) -> set[str]:
+        """Nodes within ``radius`` hops of ``seed``, ignoring direction.
+
+        Implements the demo's "radius of network where the crawling is
+        performed".  ``radius`` 0 is just the seed.
+        """
+        if seed not in self._successors:
+            raise KeyError(f"unknown node {seed!r}")
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        visited = {seed}
+        frontier = deque([(seed, 0)])
+        while frontier:
+            node, depth = frontier.popleft()
+            if depth == radius:
+                continue
+            for neighbor in sorted(
+                set(self._successors[node]) | set(self._predecessors[node])
+            ):
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    frontier.append((neighbor, depth + 1))
+        return visited
+
+    def subgraph(self, nodes: Iterable[str]) -> "Digraph":
+        """Induced subgraph on ``nodes`` (unknown ids ignored)."""
+        keep = {node for node in nodes if node in self._successors}
+        result = Digraph()
+        for node in sorted(keep):
+            result.add_node(node)
+        for source in sorted(keep):
+            for target, weight in sorted(self._successors[source].items()):
+                if target in keep:
+                    result.add_edge(source, target, weight)
+        return result
+
+    def reversed(self) -> "Digraph":
+        """A copy with every edge direction flipped."""
+        result = Digraph()
+        for node in self.nodes():
+            result.add_node(node)
+        for source, target, weight in self.edges():
+            result.add_edge(target, source, weight)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Digraph(nodes={len(self)}, edges={self.num_edges()})"

@@ -1,0 +1,122 @@
+"""Force-directed layout for network visualization.
+
+The demo UI lets the user "drag and move nodes ... and zoom in or zoom
+out" over an automatically laid-out post-reply network.  This module
+supplies the automatic part: a seeded Fruchterman–Reingold layout that
+assigns deterministic 2-D positions, which the viz layer exports with
+the graph.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.graph.digraph import Digraph
+
+__all__ = ["force_layout", "scale_positions"]
+
+
+def force_layout(
+    graph: Digraph,
+    iterations: int = 60,
+    seed: int = 0,
+    size: float = 1.0,
+) -> dict[str, tuple[float, float]]:
+    """Fruchterman–Reingold positions for every node of ``graph``.
+
+    Parameters
+    ----------
+    iterations:
+        Simulation rounds; 60 is plenty for the few-hundred-node ego
+        networks the demo shows.
+    seed:
+        Seeds the initial random placement, making layouts reproducible.
+    size:
+        Side length of the square frame positions land in.
+
+    Returns a mapping node -> (x, y) with coordinates in [0, size].
+    """
+    nodes = graph.nodes()
+    if not nodes:
+        return {}
+    if len(nodes) == 1:
+        return {nodes[0]: (size / 2.0, size / 2.0)}
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+
+    rng = random.Random(seed)
+    positions = {
+        node: (rng.uniform(0.0, size), rng.uniform(0.0, size)) for node in nodes
+    }
+    area = size * size
+    k = math.sqrt(area / len(nodes))  # ideal pairwise distance
+    temperature = size / 10.0
+    cooling = temperature / (iterations + 1)
+
+    # Treat edges as undirected springs; accumulate weights both ways.
+    springs: dict[tuple[str, str], float] = {}
+    for source, target, weight in graph.edges():
+        key = (source, target) if source < target else (target, source)
+        springs[key] = springs.get(key, 0.0) + weight
+
+    for _ in range(iterations):
+        displacement = {node: [0.0, 0.0] for node in nodes}
+
+        # Repulsion between all pairs.
+        for i, u in enumerate(nodes):
+            ux, uy = positions[u]
+            for v in nodes[i + 1:]:
+                vx, vy = positions[v]
+                dx, dy = ux - vx, uy - vy
+                distance = math.hypot(dx, dy) or 1e-9
+                force = (k * k) / distance
+                fx, fy = (dx / distance) * force, (dy / distance) * force
+                displacement[u][0] += fx
+                displacement[u][1] += fy
+                displacement[v][0] -= fx
+                displacement[v][1] -= fy
+
+        # Attraction along edges (log-weighted so heavy edges don't collapse).
+        for (u, v), weight in springs.items():
+            ux, uy = positions[u]
+            vx, vy = positions[v]
+            dx, dy = ux - vx, uy - vy
+            distance = math.hypot(dx, dy) or 1e-9
+            force = (distance * distance / k) * (1.0 + math.log1p(weight))
+            fx, fy = (dx / distance) * force, (dy / distance) * force
+            displacement[u][0] -= fx
+            displacement[u][1] -= fy
+            displacement[v][0] += fx
+            displacement[v][1] += fy
+
+        # Apply displacements, capped by the current temperature.
+        for node in nodes:
+            dx, dy = displacement[node]
+            distance = math.hypot(dx, dy) or 1e-9
+            step = min(distance, temperature)
+            x, y = positions[node]
+            x = min(size, max(0.0, x + (dx / distance) * step))
+            y = min(size, max(0.0, y + (dy / distance) * step))
+            positions[node] = (x, y)
+        temperature = max(temperature - cooling, 1e-6)
+
+    return positions
+
+
+def scale_positions(
+    positions: dict[str, tuple[float, float]], width: float, height: float
+) -> dict[str, tuple[float, float]]:
+    """Rescale positions to fill a width × height canvas (the zoom of Fig. 4)."""
+    if not positions:
+        return {}
+    xs = [p[0] for p in positions.values()]
+    ys = [p[1] for p in positions.values()]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = (max_x - min_x) or 1.0
+    span_y = (max_y - min_y) or 1.0
+    return {
+        node: ((x - min_x) / span_x * width, (y - min_y) / span_y * height)
+        for node, (x, y) in positions.items()
+    }

@@ -1,0 +1,39 @@
+"""Text-analysis substrate: tokenization, sentiment, classification."""
+
+from repro.nlp.interest import InterestMiner, InterestVector
+from repro.nlp.naive_bayes import NaiveBayesClassifier
+from repro.nlp.sentiment import Sentiment, SentimentBreakdown, SentimentClassifier
+from repro.nlp.tokenize import ngrams, sentences, shingles, tokenize, word_count
+from repro.nlp.topics import DiscoveredDomains, discover_domains
+from repro.nlp.vectorize import (
+    TfidfVectorizer,
+    bag_of_words,
+    cosine_similarity,
+    dot_product,
+    normalize,
+    term_frequencies,
+    top_terms,
+)
+
+__all__ = [
+    "tokenize",
+    "word_count",
+    "sentences",
+    "ngrams",
+    "shingles",
+    "Sentiment",
+    "SentimentBreakdown",
+    "SentimentClassifier",
+    "NaiveBayesClassifier",
+    "TfidfVectorizer",
+    "bag_of_words",
+    "term_frequencies",
+    "cosine_similarity",
+    "dot_product",
+    "normalize",
+    "top_terms",
+    "InterestVector",
+    "InterestMiner",
+    "discover_domains",
+    "DiscoveredDomains",
+]

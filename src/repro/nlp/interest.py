@@ -1,0 +1,139 @@
+"""Interest-vector mining from advertisements and user profiles.
+
+Scenario 1 of the paper mines "the interest vector from a user-input
+advertisement a_l, denoted as iv(a_l)"; Scenario 2 extracts "the domain
+interest information from the profile" of a new user.  Both produce the
+same artifact: a distribution over the predefined domains, which the
+applications dot against bloggers' domain-influence vectors.
+
+Two mining strategies are provided:
+
+- ``classifier`` (default): the posterior of the Post Analyzer's naive
+  Bayes classifier on the input text — consistent with how posts
+  themselves are assigned to domains;
+- ``keyword``: cosine similarity between the text and each domain's
+  seed vocabulary, useful before any classifier is trained.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import ClassifierError
+from repro.nlp.naive_bayes import NaiveBayesClassifier
+from repro.nlp.vectorize import cosine_similarity, term_frequencies
+
+__all__ = ["InterestVector", "InterestMiner"]
+
+
+class InterestVector(dict):
+    """A normalized distribution of interest over domains.
+
+    Behaves as a ``dict[str, float]``; missing domains read as 0.
+    """
+
+    def __missing__(self, key: str) -> float:
+        return 0.0
+
+    @classmethod
+    def from_weights(cls, weights: Mapping[str, float]) -> "InterestVector":
+        """Build from non-negative weights, normalizing to sum 1.
+
+        All-zero (or empty) weights produce a uniform distribution —
+        the only unbiased reading of a contentless ad or profile.
+        """
+        if any(value < 0 for value in weights.values()):
+            negative = {d: v for d, v in weights.items() if v < 0}
+            raise ValueError(f"interest weights must be >= 0, got {negative}")
+        total = sum(weights.values())
+        if total == 0:
+            if not weights:
+                raise ValueError("cannot build an interest vector over no domains")
+            uniform = 1.0 / len(weights)
+            return cls({domain: uniform for domain in weights})
+        return cls({domain: value / total for domain, value in weights.items()})
+
+    @classmethod
+    def single_domain(cls, domain: str, all_domains: list[str]) -> "InterestVector":
+        """A point mass on one domain (the Fig. 3 dropdown mode)."""
+        if domain not in all_domains:
+            raise ValueError(f"unknown domain {domain!r}; known: {all_domains}")
+        return cls({d: 1.0 if d == domain else 0.0 for d in all_domains})
+
+    def top_domains(self, k: int = 3) -> list[tuple[str, float]]:
+        """The ``k`` most-weighted domains, ties alphabetical."""
+        return sorted(self.items(), key=lambda item: (-item[1], item[0]))[:k]
+
+    def dominant_domain(self) -> str:
+        """The single most-weighted domain."""
+        if not self:
+            raise ValueError("empty interest vector")
+        return self.top_domains(1)[0][0]
+
+
+class InterestMiner:
+    """Mine :class:`InterestVector` s from free text.
+
+    Parameters
+    ----------
+    classifier:
+        A trained :class:`NaiveBayesClassifier` over the domain set.
+    domain_vocabularies:
+        Optional per-domain seed word lists enabling the ``keyword``
+        strategy.
+    """
+
+    def __init__(
+        self,
+        classifier: NaiveBayesClassifier,
+        domain_vocabularies: Mapping[str, list[str]] | None = None,
+    ) -> None:
+        self._classifier = classifier
+        self._domains = classifier.classes
+        self._vocab_vectors: dict[str, dict[str, float]] = {}
+        if domain_vocabularies is not None:
+            missing = set(self._domains) - set(domain_vocabularies)
+            if missing:
+                raise ClassifierError(
+                    f"domain vocabularies missing for: {sorted(missing)}"
+                )
+            self._vocab_vectors = {
+                domain: term_frequencies(" ".join(words), use_stopwords=False)
+                for domain, words in domain_vocabularies.items()
+            }
+
+    @property
+    def domains(self) -> list[str]:
+        """The domain set interest vectors range over."""
+        return list(self._domains)
+
+    def mine(self, text: str, strategy: str = "classifier") -> InterestVector:
+        """Mine the interest vector of ``text``.
+
+        ``strategy`` is ``"classifier"`` (naive Bayes posterior) or
+        ``"keyword"`` (seed-vocabulary cosine).
+        """
+        if strategy == "classifier":
+            return InterestVector.from_weights(self._classifier.predict_proba(text))
+        if strategy == "keyword":
+            if not self._vocab_vectors:
+                raise ClassifierError(
+                    "keyword strategy requires domain_vocabularies"
+                )
+            text_vector = term_frequencies(text)
+            weights = {
+                domain: cosine_similarity(text_vector, vocab_vector)
+                for domain, vocab_vector in self._vocab_vectors.items()
+            }
+            return InterestVector.from_weights(weights)
+        raise ValueError(
+            f"unknown strategy {strategy!r}; expected 'classifier' or 'keyword'"
+        )
+
+    def mine_advertisement(self, ad_text: str) -> InterestVector:
+        """iv(a_l) for Scenario 1 — alias of :meth:`mine`."""
+        return self.mine(ad_text)
+
+    def mine_profile(self, profile_text: str) -> InterestVector:
+        """Domain interests of a user profile for Scenario 2."""
+        return self.mine(profile_text)

@@ -1,0 +1,97 @@
+"""Word lists driving sentiment and novelty analysis.
+
+The paper's attitude detector is lexicon-based: a comment is positive
+if it "contain[s] positive words such as 'agree', 'support',
+'conform'", negative analogously, neutral otherwise.  Its novelty
+detector likewise keys on "a set of words indicating that an article is
+a copy of other sources".  These lexicons are the library's built-in
+defaults; both classifiers accept custom lists.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "POSITIVE_WORDS",
+    "NEGATIVE_WORDS",
+    "NEGATION_WORDS",
+    "INTENSIFIER_WORDS",
+    "COPY_INDICATOR_PHRASES",
+]
+
+# The three exemplars from the paper come first; the rest round the
+# lexicon out to realistic comment vocabulary.
+POSITIVE_WORDS: frozenset[str] = frozenset(
+    """
+    agree support conform awesome amazing excellent great good nice love
+    loved loving wonderful fantastic brilliant insightful helpful useful
+    valuable inspiring inspiring thanks thank appreciated appreciate
+    right correct true exactly definitely absolutely perfect superb
+    outstanding impressive admire admirable enjoy enjoyed enjoyable
+    favorite best better clever smart wise thoughtful informative clear
+    convincing persuasive spot-on kudos bravo congrats congratulations
+    like liked likes recommend recommended endorse endorsed praise
+    praised beautiful elegant fresh original solid strong compelling
+    fascinating interesting delightful glad happy pleased grateful
+    """.split()
+)
+
+NEGATIVE_WORDS: frozenset[str] = frozenset(
+    """
+    disagree oppose object wrong incorrect false bad terrible awful
+    horrible poor weak boring dull useless worthless misleading
+    mistaken flawed nonsense rubbish garbage trash stupid silly dumb
+    naive shallow lazy sloppy confusing confused unclear doubtful doubt
+    dubious questionable unconvincing disappointing disappointed
+    disappointing overrated biased unfair dishonest lie lies lying
+    hate hated hateful dislike disliked annoying irritating offensive
+    ridiculous absurd pathetic fail failed failure worse worst broken
+    inaccurate exaggerated pointless waste regret sorry unfortunately
+    """.split()
+)
+
+# Negators flip the polarity of the word that follows within a short
+# window ("don't agree" must not read as positive).
+NEGATION_WORDS: frozenset[str] = frozenset(
+    """
+    not no never don't doesn't didn't won't wouldn't can't cannot
+    couldn't shouldn't isn't aren't wasn't weren't hardly barely without
+    nobody nothing neither nor
+    """.split()
+)
+
+# Intensifiers are recognized (and skipped) so negation windows reach
+# across them: "not really agree".
+INTENSIFIER_WORDS: frozenset[str] = frozenset(
+    """
+    very really quite so totally completely absolutely extremely rather
+    pretty fairly somewhat just simply truly
+    """.split()
+)
+
+# Phrases marking reproduced content; matching is on token sequences,
+# lowercased.  A post containing any of these is treated as a copy
+# (Novelty in (0, 0.1]) per Section II.
+COPY_INDICATOR_PHRASES: tuple[str, ...] = (
+    "reposted from",
+    "repost from",
+    "reprinted from",
+    "copied from",
+    "forwarded from",
+    "originally posted",
+    "originally published",
+    "original source",
+    "source link",
+    "full article at",
+    "read the original",
+    "via rss",
+    "crossposted from",
+    "cross posted from",
+    "syndicated from",
+    "excerpt from",
+    "quoted from",
+    "courtesy of",
+    "hat tip to",
+    "all rights reserved by the original",
+    "translation of",
+    "reblogged from",
+)

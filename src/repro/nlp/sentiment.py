@@ -1,0 +1,118 @@
+"""Lexicon-based comment sentiment — the attitude facet of MASS.
+
+The paper classifies each comment as positive, negative or neutral and
+maps the classes to sentiment factors SF = 1.0 / 0.1 / 0.5 (the factor
+mapping itself lives in :class:`repro.core.parameters.MassParameters`;
+this module only decides the class).
+
+The classifier counts polarity hits from the built-in lexicons with a
+small negation window: a polar word preceded (within two tokens, where
+intensifiers do not break the window) by a negator contributes to the
+*opposite* polarity.  Ties and hit-free comments are neutral, matching
+the paper's "otherwise" rule.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.nlp import lexicons
+from repro.nlp.tokenize import tokenize
+
+__all__ = ["Sentiment", "SentimentBreakdown", "SentimentClassifier"]
+
+
+class Sentiment(enum.Enum):
+    """The three comment attitudes of Section II."""
+
+    POSITIVE = "positive"
+    NEGATIVE = "negative"
+    NEUTRAL = "neutral"
+
+
+@dataclass(frozen=True, slots=True)
+class SentimentBreakdown:
+    """Diagnostic output of one classification."""
+
+    sentiment: Sentiment
+    positive_hits: int
+    negative_hits: int
+    tokens: int
+
+
+class SentimentClassifier:
+    """Classify comment text into positive / negative / neutral.
+
+    Parameters
+    ----------
+    positive_words / negative_words:
+        Polarity lexicons; default to the built-ins, which include the
+        paper's exemplars ("agree", "support", "conform").
+    negation_window:
+        How many tokens back a negator reaches.  Intensifiers ("really",
+        "very") do not consume window slots.
+    """
+
+    def __init__(
+        self,
+        positive_words: Iterable[str] | None = None,
+        negative_words: Iterable[str] | None = None,
+        negation_window: int = 2,
+    ) -> None:
+        if negation_window < 0:
+            raise ValueError(f"negation_window must be >= 0, got {negation_window}")
+        self._positive = frozenset(
+            lexicons.POSITIVE_WORDS if positive_words is None else positive_words
+        )
+        self._negative = frozenset(
+            lexicons.NEGATIVE_WORDS if negative_words is None else negative_words
+        )
+        overlap = self._positive & self._negative
+        if overlap:
+            raise ValueError(
+                f"words cannot be both positive and negative: {sorted(overlap)[:5]}"
+            )
+        self._window = negation_window
+
+    def _is_negated(self, tokens: list[str], index: int) -> bool:
+        """Whether the polar word at ``index`` sits in a negation scope."""
+        seen = 0
+        position = index - 1
+        while position >= 0 and seen < self._window:
+            token = tokens[position]
+            if token in lexicons.NEGATION_WORDS:
+                return True
+            if token not in lexicons.INTENSIFIER_WORDS:
+                seen += 1
+            position -= 1
+        return False
+
+    def analyze(self, text: str) -> SentimentBreakdown:
+        """Classify ``text`` and return the full hit breakdown."""
+        tokens = tokenize(text)
+        positive_hits = 0
+        negative_hits = 0
+        for index, token in enumerate(tokens):
+            if token in self._positive:
+                if self._is_negated(tokens, index):
+                    negative_hits += 1
+                else:
+                    positive_hits += 1
+            elif token in self._negative:
+                if self._is_negated(tokens, index):
+                    positive_hits += 1
+                else:
+                    negative_hits += 1
+        if positive_hits > negative_hits:
+            sentiment = Sentiment.POSITIVE
+        elif negative_hits > positive_hits:
+            sentiment = Sentiment.NEGATIVE
+        else:
+            sentiment = Sentiment.NEUTRAL
+        return SentimentBreakdown(sentiment, positive_hits, negative_hits, len(tokens))
+
+    def classify(self, text: str) -> Sentiment:
+        """Classify ``text``; the common entry point."""
+        return self.analyze(text).sentiment

@@ -1,0 +1,40 @@
+"""A compact English stopword list.
+
+Used by the vectorizer and interest miner to keep function words from
+dominating domain vectors.  The list is deliberately small and fixed so
+results are reproducible without external data files.
+"""
+
+from __future__ import annotations
+
+__all__ = ["STOPWORDS", "is_stopword", "remove_stopwords"]
+
+STOPWORDS: frozenset[str] = frozenset(
+    """
+    a about above after again against all am an and any are aren't as at
+    be because been before being below between both but by can cannot
+    could couldn't did didn't do does doesn't doing don't down during
+    each few for from further had hadn't has hasn't have haven't having
+    he he'd he'll he's her here here's hers herself him himself his how
+    how's i i'd i'll i'm i've if in into is isn't it it's its itself
+    let's me more most mustn't my myself no nor not of off on once only
+    or other ought our ours ourselves out over own same shan't she she'd
+    she'll she's should shouldn't so some such than that that's the
+    their theirs them themselves then there there's these they they'd
+    they'll they're they've this those through to too under until up
+    very was wasn't we we'd we'll we're we've were weren't what what's
+    when when's where where's which while who who's whom why why's with
+    won't would wouldn't you you'd you'll you're you've your yours
+    yourself yourselves
+    """.split()
+)
+
+
+def is_stopword(token: str) -> bool:
+    """Whether ``token`` (already lowercased) is a stopword."""
+    return token in STOPWORDS
+
+
+def remove_stopwords(tokens: list[str]) -> list[str]:
+    """Filter stopwords out of a token list, preserving order."""
+    return [token for token in tokens if token not in STOPWORDS]

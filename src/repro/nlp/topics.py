@@ -1,0 +1,238 @@
+"""Automatic domain discovery (the paper's "[6]" plug-in point).
+
+Section II: "The domains can be predefined by the business applications
+or automatically discovered using existing topic discovery techniques
+[6]."  This module provides that second mode: a from-scratch spherical
+k-means over TF-IDF vectors that clusters posts into topics, names each
+topic by its top centroid terms, and emits seed vocabularies that plug
+straight into :class:`repro.core.model.MassModel` — so the whole MASS
+pipeline can run with zero predefined domain knowledge.
+
+Implementation notes
+--------------------
+- Vectors are L2-normalized sparse dicts; similarity is cosine, so
+  k-means reduces to maximizing dot products ("spherical" k-means).
+- Initialization is k-means++ style with a seeded RNG; all iteration is
+  in sorted order, so discovery is deterministic.
+- Centroids are truncated to their heaviest terms each round, keeping
+  iterations fast on blog-scale corpora.
+- Empty clusters are reseeded to the document farthest from its
+  centroid.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import ClassifierError
+from repro.nlp.vectorize import TfidfVectorizer, dot_product, normalize, top_terms
+
+__all__ = ["DiscoveredDomains", "discover_domains"]
+
+
+@dataclass(frozen=True, slots=True)
+class DiscoveredDomains:
+    """The output of topic discovery.
+
+    Attributes
+    ----------
+    names:
+        Topic names, derived from the top centroid terms
+        (e.g. ``"stadium-match-league"``).
+    assignments:
+        Cluster index per input text (parallel to the input order).
+    centroid_terms:
+        Per topic, the (term, weight) list describing it.
+    inertia:
+        Mean cosine similarity of documents to their centroid — higher
+        is tighter clustering.
+    """
+
+    names: list[str]
+    assignments: list[int]
+    centroid_terms: list[list[tuple[str, float]]]
+    inertia: float
+    iterations: int
+
+    @property
+    def k(self) -> int:
+        """Number of discovered topics."""
+        return len(self.names)
+
+    def seed_vocabularies(self, terms_per_domain: int = 25) -> dict[str, list[str]]:
+        """Per-topic seed word lists, ready for ``MassModel``.
+
+        >>> domains = discover_domains(texts, k=10)      # doctest: +SKIP
+        >>> MassModel(domain_seed_words=domains.seed_vocabularies())  # doctest: +SKIP
+        """
+        if terms_per_domain < 1:
+            raise ClassifierError(
+                f"terms_per_domain must be >= 1, got {terms_per_domain}"
+            )
+        return {
+            name: [term for term, _ in terms[:terms_per_domain]]
+            for name, terms in zip(self.names, self.centroid_terms)
+        }
+
+    def cluster_sizes(self) -> list[int]:
+        """Documents per topic."""
+        sizes = [0] * self.k
+        for cluster in self.assignments:
+            sizes[cluster] += 1
+        return sizes
+
+
+def _truncate(vector: dict[str, float], size: int) -> dict[str, float]:
+    if len(vector) <= size:
+        return vector
+    return dict(top_terms(vector, size))
+
+
+def _mean_centroid(
+    vectors: Sequence[dict[str, float]], members: Sequence[int], size: int
+) -> dict[str, float]:
+    accumulator: dict[str, float] = defaultdict(float)
+    for index in members:
+        for term, weight in vectors[index].items():
+            accumulator[term] += weight
+    return _truncate(normalize(accumulator), size)
+
+
+def discover_domains(
+    texts: Sequence[str],
+    k: int = 10,
+    seed: int = 0,
+    max_iterations: int = 30,
+    centroid_terms: int = 200,
+    name_terms: int = 3,
+) -> DiscoveredDomains:
+    """Cluster ``texts`` into ``k`` topics by spherical k-means.
+
+    Parameters
+    ----------
+    texts:
+        The post texts (title + body) to cluster.
+    k:
+        Number of topics; must not exceed the number of non-empty texts.
+    seed:
+        Seeds the k-means++ initialization.
+    max_iterations:
+        Reassignment rounds; stops early at a fixed point.
+    centroid_terms:
+        Centroids are truncated to this many heaviest terms per round.
+    name_terms:
+        How many top terms form each topic's name.
+
+    Raises :class:`ClassifierError` on degenerate input.
+    """
+    if k < 2:
+        raise ClassifierError(f"k must be >= 2, got {k}")
+    if max_iterations < 1:
+        raise ClassifierError(
+            f"max_iterations must be >= 1, got {max_iterations}"
+        )
+    if not texts:
+        raise ClassifierError("cannot discover domains from zero texts")
+
+    vectorizer = TfidfVectorizer()
+    vectorizer.fit(list(texts))
+    vectors = [vectorizer.transform(text) for text in texts]
+    usable = [index for index, vector in enumerate(vectors) if vector]
+    if len(usable) < k:
+        raise ClassifierError(
+            f"need at least {k} non-empty texts, got {len(usable)}"
+        )
+
+    # --- k-means++ initialization ------------------------------------
+    rng = random.Random(seed)
+    first = usable[rng.randrange(len(usable))]
+    centroids = [dict(vectors[first])]
+    while len(centroids) < k:
+        # Distance = 1 - best cosine to any chosen centroid.
+        distances = []
+        for index in usable:
+            best = max(
+                dot_product(vectors[index], centroid)
+                for centroid in centroids
+            )
+            distances.append(max(0.0, 1.0 - best) ** 2)
+        total = sum(distances)
+        if total == 0.0:
+            # All documents identical to centroids: spread arbitrarily.
+            pick = usable[rng.randrange(len(usable))]
+        else:
+            threshold = rng.random() * total
+            running = 0.0
+            pick = usable[-1]
+            for index, distance in zip(usable, distances):
+                running += distance
+                if running >= threshold:
+                    pick = index
+                    break
+        centroids.append(dict(vectors[pick]))
+
+    # --- Lloyd iterations ---------------------------------------------
+    assignments = [-1] * len(vectors)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        changed = False
+        members: list[list[int]] = [[] for _ in range(k)]
+        similarity_sum = 0.0
+        for index, vector in enumerate(vectors):
+            if not vector:
+                best_cluster = 0
+                best_similarity = 0.0
+            else:
+                best_cluster = 0
+                best_similarity = -1.0
+                for cluster, centroid in enumerate(centroids):
+                    similarity = dot_product(vector, centroid)
+                    if similarity > best_similarity:
+                        best_similarity = similarity
+                        best_cluster = cluster
+            if assignments[index] != best_cluster:
+                changed = True
+                assignments[index] = best_cluster
+            members[best_cluster].append(index)
+            similarity_sum += max(best_similarity, 0.0)
+
+        # Recompute centroids; reseed empty clusters.
+        for cluster in range(k):
+            if members[cluster]:
+                centroids[cluster] = _mean_centroid(
+                    vectors, members[cluster], centroid_terms
+                )
+            else:
+                farthest = min(
+                    usable,
+                    key=lambda index: dot_product(
+                        vectors[index], centroids[assignments[index]]
+                    ),
+                )
+                centroids[cluster] = dict(vectors[farthest])
+                changed = True
+        if not changed:
+            break
+
+    inertia = similarity_sum / len(vectors)
+    terms = [top_terms(centroid, 50) for centroid in centroids]
+    names = []
+    seen: set[str] = set()
+    for cluster_terms in terms:
+        name = "-".join(term for term, _ in cluster_terms[:name_terms])
+        if not name:
+            name = "empty"
+        while name in seen:
+            name += "+"
+        seen.add(name)
+        names.append(name)
+    return DiscoveredDomains(
+        names=names,
+        assignments=assignments,
+        centroid_terms=terms,
+        inertia=inertia,
+        iterations=iterations,
+    )

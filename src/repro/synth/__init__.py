@@ -1,0 +1,25 @@
+"""Synthetic blogosphere: vocabularies, text generation, ground truth."""
+
+from repro.synth.attacks import inject_comment_spam, inject_link_farm
+from repro.synth.generator import (
+    BlogosphereConfig,
+    BlogosphereGenerator,
+    generate_blogosphere,
+)
+from repro.synth.ground_truth import BloggerTruth, GroundTruth
+from repro.synth.textgen import TextGenerator
+from repro.synth.vocabulary import DOMAIN_VOCABULARIES, GENERAL_WORDS, domain_names
+
+__all__ = [
+    "BlogosphereConfig",
+    "BlogosphereGenerator",
+    "generate_blogosphere",
+    "GroundTruth",
+    "BloggerTruth",
+    "TextGenerator",
+    "DOMAIN_VOCABULARIES",
+    "GENERAL_WORDS",
+    "domain_names",
+    "inject_comment_spam",
+    "inject_link_farm",
+]

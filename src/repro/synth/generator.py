@@ -1,0 +1,440 @@
+"""Generative model of an MSN-Spaces-like blogosphere.
+
+The paper's dataset — "around 3000 MSN spaces with user profiles,
+comments and about 40000 recent posts" — no longer exists (MSN Spaces
+shut down in 2011).  This generator produces a blogosphere with the
+statistical structure MASS exploits, plus full ground truth:
+
+1. every blogger gets a heavy-tailed **latent influence** level and a
+   **domain affinity** vector concentrated on one or two domains;
+2. a few bloggers per domain are **planted influencers** (top latent
+   level, high affinity) — the needles the mining systems must find;
+3. **posts** are domain-mixed text whose volume and length grow with
+   the author's latent level; weak bloggers sometimes **copy** earlier
+   posts (marked with copy-indicator phrases);
+4. **comments** arrive at a rate driven by the author's *true domain
+   strength* and come preferentially from bloggers interested in the
+   post's domain; their sentiment skews positive for strong authors
+   and negative for copied posts;
+5. **links** attach preferentially to *overall* latent influence —
+   deliberately domain-blind, which is exactly why purely link-based
+   baselines (Live Index, PageRank) cannot solve the domain-specific
+   task in Table I.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.data.corpus import BlogCorpus
+from repro.data.entities import Blogger, Comment, Link, Post
+from repro.errors import ParameterError
+from repro.nlp.sentiment import Sentiment
+from repro.synth.ground_truth import BloggerTruth, GroundTruth
+from repro.synth.textgen import TextGenerator
+from repro.synth.vocabulary import DOMAIN_VOCABULARIES
+
+__all__ = ["BlogosphereConfig", "BlogosphereGenerator", "generate_blogosphere"]
+
+
+@dataclass(frozen=True, slots=True)
+class BlogosphereConfig:
+    """Knobs of the generative model.
+
+    The defaults give a small, fast blogosphere for tests; use
+    :meth:`paper_scale` for the 3,000-blogger / ~40,000-post setting of
+    the paper's evaluation.
+    """
+
+    num_bloggers: int = 200
+    domains: tuple[str, ...] = tuple(DOMAIN_VOCABULARIES)
+    posts_per_blogger: float = 6.0
+    mean_post_words: int = 90
+    copied_post_fraction: float = 0.08
+    base_comment_rate: float = 0.4
+    influence_comment_rate: float = 10.0
+    links_per_blogger: float = 3.0
+    planted_per_domain: int = 3
+    rising_bloggers: int = 0
+    secondary_domain_probability: float = 0.5
+    domain_mix: float = 0.5
+    horizon_days: int = 365
+
+    def __post_init__(self) -> None:
+        if self.num_bloggers < 1:
+            raise ParameterError(
+                f"num_bloggers must be >= 1, got {self.num_bloggers}"
+            )
+        if not self.domains:
+            raise ParameterError("need at least one domain")
+        if len(set(self.domains)) != len(self.domains):
+            raise ParameterError("domains must be unique")
+        if self.posts_per_blogger <= 0:
+            raise ParameterError(
+                f"posts_per_blogger must be > 0, got {self.posts_per_blogger}"
+            )
+        if self.mean_post_words < 10:
+            raise ParameterError(
+                f"mean_post_words must be >= 10, got {self.mean_post_words}"
+            )
+        if not 0.0 <= self.copied_post_fraction < 1.0:
+            raise ParameterError(
+                "copied_post_fraction must be in [0, 1), got "
+                f"{self.copied_post_fraction}"
+            )
+        if self.planted_per_domain < 0:
+            raise ParameterError(
+                f"planted_per_domain must be >= 0, got {self.planted_per_domain}"
+            )
+        if self.rising_bloggers < 0:
+            raise ParameterError(
+                f"rising_bloggers must be >= 0, got {self.rising_bloggers}"
+            )
+        planted_total = (
+            self.planted_per_domain * len(self.domains) + self.rising_bloggers
+        )
+        if planted_total > self.num_bloggers:
+            raise ParameterError(
+                "cannot plant more influencers than bloggers: "
+                f"{self.planted_per_domain} × {len(self.domains)} + "
+                f"{self.rising_bloggers} rising > {self.num_bloggers}"
+            )
+
+    @classmethod
+    def paper_scale(cls) -> "BlogosphereConfig":
+        """The evaluation scale of the paper: 3,000 spaces, ~40,000 posts.
+
+        ``posts_per_blogger`` is the *base* rate; the realized count is
+        scaled by each blogger's activity (0.5 + latent influence), so
+        17.8 lands the population total near 40,000.
+        """
+        return cls(num_bloggers=3000, posts_per_blogger=17.8)
+
+
+class BlogosphereGenerator:
+    """Generate (corpus, ground truth) pairs from a config and seed."""
+
+    def __init__(self, config: BlogosphereConfig | None = None) -> None:
+        self._config = config or BlogosphereConfig()
+
+    @property
+    def config(self) -> BlogosphereConfig:
+        """The generation parameters."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    def generate(self, seed: int = 0) -> tuple[BlogCorpus, GroundTruth]:
+        """Build one blogosphere; same seed → identical output."""
+        config = self._config
+        rng = random.Random(seed)
+        text = TextGenerator(
+            random.Random(rng.randrange(2**31)), domain_mix=config.domain_mix
+        )
+        domains = list(config.domains)
+
+        truths = self._make_bloggers(rng, domains)
+        truth = GroundTruth(domains=domains, bloggers=truths)
+        corpus = BlogCorpus()
+
+        for blogger_id in sorted(truths):
+            blogger_truth = truths[blogger_id]
+            corpus.add_blogger(
+                Blogger(
+                    blogger_id,
+                    name=blogger_id.replace("blogger-", "user "),
+                    profile_text=text.profile(blogger_truth.domain_affinity),
+                    joined_day=rng.randint(0, config.horizon_days // 2),
+                )
+            )
+
+        posts = self._make_posts(rng, text, corpus, truth)
+        self._make_comments(rng, text, corpus, truth, posts)
+        self._make_links(rng, corpus, truths)
+
+        return corpus.freeze(), truth
+
+    # ------------------------------------------------------------------
+    def _make_bloggers(
+        self, rng: random.Random, domains: list[str]
+    ) -> dict[str, BloggerTruth]:
+        config = self._config
+        width = max(4, len(str(config.num_bloggers)))
+        blogger_ids = [
+            f"blogger-{index:0{width}d}" for index in range(config.num_bloggers)
+        ]
+
+        # Heavy-tailed latent influence in (0, 1]: Pareto tail squashed.
+        latent = {}
+        for blogger_id in blogger_ids:
+            raw = rng.paretovariate(2.2)  # >= 1, heavy tail
+            latent[blogger_id] = min(1.0, (raw - 1.0) / 4.0 + 0.05)
+
+        # Domain affinities: one primary domain, optional secondary.
+        affinities: dict[str, dict[str, float]] = {}
+        primaries: dict[str, str] = {}
+        epsilon = 0.02
+        for blogger_id in blogger_ids:
+            primary = rng.choice(domains)
+            primaries[blogger_id] = primary
+            weights = {domain: epsilon for domain in domains}
+            if (
+                len(domains) > 1
+                and rng.random() < config.secondary_domain_probability
+            ):
+                secondary = rng.choice([d for d in domains if d != primary])
+                weights[primary] += 0.55
+                weights[secondary] += 0.2
+            else:
+                weights[primary] += 0.75
+            total = sum(weights.values())
+            affinities[blogger_id] = {
+                domain: weight / total for domain, weight in weights.items()
+            }
+
+        # Plant influencers: per domain, the first planted_per_domain
+        # unclaimed bloggers get top latent level and sharpened affinity.
+        planted: dict[str, tuple[str, ...]] = {
+            blogger_id: () for blogger_id in blogger_ids
+        }
+        unclaimed = list(blogger_ids)
+        rng.shuffle(unclaimed)
+        for domain in domains:
+            for _ in range(config.planted_per_domain):
+                if not unclaimed:
+                    break
+                blogger_id = unclaimed.pop()
+                planted[blogger_id] = (domain,)
+                primaries[blogger_id] = domain
+                latent[blogger_id] = 0.9 + 0.1 * rng.random()
+                weights = {d: epsilon for d in domains}
+                weights[domain] += 0.85
+                total = sum(weights.values())
+                affinities[blogger_id] = {
+                    d: weight / total for d, weight in weights.items()
+                }
+
+        # Rising stars: solid latent level, but (see _make_posts /
+        # _make_comments) their activity and attention ramp up over the
+        # year instead of being stationary.
+        rising: set[str] = set()
+        for _ in range(config.rising_bloggers):
+            if not unclaimed:
+                break
+            blogger_id = unclaimed.pop()
+            rising.add(blogger_id)
+            latent[blogger_id] = 0.75 + 0.25 * rng.random()
+
+        return {
+            blogger_id: BloggerTruth(
+                blogger_id,
+                latent[blogger_id],
+                affinities[blogger_id],
+                planted[blogger_id],
+                rising=blogger_id in rising,
+            )
+            for blogger_id in blogger_ids
+        }
+
+    # ------------------------------------------------------------------
+    def _poisson(self, rng: random.Random, lam: float) -> int:
+        """Knuth's Poisson sampler (lam is always small here)."""
+        if lam <= 0:
+            return 0
+        threshold = pow(2.718281828459045, -lam)
+        count = 0
+        product = rng.random()
+        while product > threshold:
+            count += 1
+            product *= rng.random()
+        return count
+
+    def _make_posts(
+        self,
+        rng: random.Random,
+        text: TextGenerator,
+        corpus: BlogCorpus,
+        truth: GroundTruth,
+    ) -> list[Post]:
+        config = self._config
+        posts: list[Post] = []
+        # Originals available for copying, with their publication day —
+        # a copy can only postdate its source.
+        bodies: list[tuple[str, int]] = []
+        sequence = 0
+        for blogger_id in sorted(truth.bloggers):
+            blogger_truth = truth.bloggers[blogger_id]
+            activity = config.posts_per_blogger * (
+                0.5 + blogger_truth.latent_influence
+            )
+            count = max(1, self._poisson(rng, activity))
+            for _ in range(count):
+                sequence += 1
+                post_id = f"post-{sequence:07d}"
+                domain = self._pick_weighted(rng, blogger_truth.domain_affinity)
+                words = max(
+                    20,
+                    int(
+                        rng.gauss(
+                            config.mean_post_words
+                            * (0.6 + 0.8 * blogger_truth.latent_influence),
+                            config.mean_post_words * 0.25,
+                        )
+                    ),
+                )
+                # Weak bloggers copy more; strong bloggers rarely do.
+                copy_probability = config.copied_post_fraction * (
+                    1.6 - 1.2 * blogger_truth.latent_influence
+                )
+                copied = bool(bodies) and rng.random() < max(0.0, copy_probability)
+                if copied:
+                    source_body, source_day = rng.choice(bodies)
+                    body = text.copied_body(source_body)
+                    created_day = rng.randint(
+                        source_day, config.horizon_days - 1
+                    )
+                    truth.copied_posts.add(post_id)
+                else:
+                    focus = {d: 0.0 for d in truth.domains}
+                    focus[domain] = 0.8
+                    # Keep some of the author's broader interests mixed in.
+                    for d, weight in blogger_truth.domain_affinity.items():
+                        focus[d] += 0.2 * weight
+                    body = text.post_body(focus, words)
+                    if blogger_truth.rising:
+                        # Density increasing linearly toward the horizon.
+                        created_day = int(
+                            (rng.random() ** 0.5) * (config.horizon_days - 1)
+                        )
+                    else:
+                        created_day = rng.randint(0, config.horizon_days - 1)
+                    bodies.append((body, created_day))
+                post = Post(
+                    post_id,
+                    blogger_id,
+                    title=text.post_title(domain),
+                    body=body,
+                    created_day=created_day,
+                )
+                corpus.add_post(post)
+                posts.append(post)
+                truth.post_domains[post_id] = domain
+        return posts
+
+    @staticmethod
+    def _pick_weighted(rng: random.Random, weights: dict[str, float]) -> str:
+        names = sorted(weights)
+        return rng.choices(names, weights=[weights[n] for n in names], k=1)[0]
+
+    # ------------------------------------------------------------------
+    def _make_comments(
+        self,
+        rng: random.Random,
+        text: TextGenerator,
+        corpus: BlogCorpus,
+        truth: GroundTruth,
+        posts: list[Post],
+    ) -> None:
+        config = self._config
+        blogger_ids = sorted(truth.bloggers)
+        if len(blogger_ids) < 2:
+            return
+
+        # Per-domain commenter pools, weighted by interest × engagement.
+        pools: dict[str, tuple[list[str], list[float]]] = {}
+        for domain in truth.domains:
+            weights = [
+                truth.bloggers[b].domain_affinity.get(domain, 0.0)
+                * (0.2 + truth.bloggers[b].latent_influence)
+                for b in blogger_ids
+            ]
+            pools[domain] = (blogger_ids, weights)
+
+        sequence = 0
+        for post in posts:
+            author_truth = truth.bloggers[post.author_id]
+            domain = truth.post_domains[post.post_id]
+            strength = author_truth.domain_strength(domain)
+            if author_truth.rising:
+                # Attention ramps with time: early posts go unnoticed.
+                strength *= post.created_day / config.horizon_days
+            lam = config.base_comment_rate + config.influence_comment_rate * strength
+            count = self._poisson(rng, lam)
+            if count == 0:
+                continue
+            pool_ids, pool_weights = pools[domain]
+            picks = rng.choices(pool_ids, weights=pool_weights, k=count)
+            for commenter_id in picks:
+                if commenter_id == post.author_id:
+                    continue
+                sequence += 1
+                comment_id = f"comment-{sequence:07d}"
+                sentiment = self._draw_sentiment(rng, author_truth, post, truth)
+                corpus.add_comment(
+                    Comment(
+                        comment_id,
+                        post.post_id,
+                        commenter_id,
+                        text=text.comment_text(sentiment, domain),
+                        created_day=min(
+                            config.horizon_days,
+                            post.created_day + self._poisson(rng, 3.0),
+                        ),
+                    )
+                )
+                truth.comment_sentiments[comment_id] = sentiment
+
+    def _draw_sentiment(
+        self,
+        rng: random.Random,
+        author_truth: BloggerTruth,
+        post: Post,
+        truth: GroundTruth,
+    ) -> Sentiment:
+        if post.post_id in truth.copied_posts:
+            p_positive, p_negative = 0.15, 0.45
+        else:
+            quality = author_truth.latent_influence
+            p_positive = min(0.75, 0.30 + 0.45 * quality)
+            p_negative = max(0.05, 0.25 - 0.15 * quality)
+        roll = rng.random()
+        if roll < p_positive:
+            return Sentiment.POSITIVE
+        if roll < p_positive + p_negative:
+            return Sentiment.NEGATIVE
+        return Sentiment.NEUTRAL
+
+    # ------------------------------------------------------------------
+    def _make_links(
+        self,
+        rng: random.Random,
+        corpus: BlogCorpus,
+        truths: dict[str, BloggerTruth],
+    ) -> None:
+        config = self._config
+        blogger_ids = sorted(truths)
+        if len(blogger_ids) < 2:
+            return
+        # Preferential attachment to overall latent influence, squared
+        # to sharpen the head — but blind to domains.
+        attachment = [
+            (0.05 + truths[b].latent_influence) ** 2 for b in blogger_ids
+        ]
+        for blogger_id in blogger_ids:
+            count = self._poisson(rng, config.links_per_blogger)
+            if count == 0:
+                continue
+            targets = rng.choices(blogger_ids, weights=attachment, k=count)
+            seen: set[str] = set()
+            for target in targets:
+                if target == blogger_id or target in seen:
+                    continue
+                seen.add(target)
+                corpus.add_link(Link(blogger_id, target))
+
+
+def generate_blogosphere(
+    config: BlogosphereConfig | None = None, seed: int = 0
+) -> tuple[BlogCorpus, GroundTruth]:
+    """Convenience wrapper: generate one blogosphere."""
+    return BlogosphereGenerator(config).generate(seed)

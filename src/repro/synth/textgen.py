@@ -1,0 +1,212 @@
+"""Synthetic text generation for posts, comments, ads and profiles.
+
+Text is produced from simple mixture language models over the domain
+vocabularies: a post by a Sports blogger mostly draws Sports words,
+mixed with topic-neutral filler and a little mass from the author's
+minor domains.  That gives the naive-Bayes Post Analyzer a real (but
+not trivial) classification problem, mirroring real blog text where
+topical words sit in a sea of generic ones.
+
+Comment text additionally realizes a *ground-truth sentiment*: positive
+and negative comments embed polarity words from the sentiment lexicons
+(sometimes under negation, which exercises the classifier's negation
+window), while neutral comments avoid polar words entirely.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping, Sequence
+
+from repro.nlp.lexicons import (
+    COPY_INDICATOR_PHRASES,
+    NEGATIVE_WORDS,
+    POSITIVE_WORDS,
+)
+from repro.nlp.sentiment import Sentiment
+from repro.synth.vocabulary import DOMAIN_VOCABULARIES, GENERAL_WORDS
+
+__all__ = ["TextGenerator"]
+
+# Function words sprinkled through sentences for surface realism; all
+# stopwords, so they never influence classification.
+_FUNCTION_WORDS: tuple[str, ...] = (
+    "the", "a", "of", "in", "on", "and", "with", "for", "about", "from",
+    "this", "that", "it", "is", "was", "were", "has", "have", "to", "at",
+)
+
+# General words that are safe inside comments: no sentiment polarity.
+_SAFE_GENERAL_WORDS: tuple[str, ...] = tuple(
+    word
+    for word in GENERAL_WORDS
+    if word not in POSITIVE_WORDS and word not in NEGATIVE_WORDS
+)
+
+_POSITIVE_COMMENT_WORDS: tuple[str, ...] = tuple(sorted(POSITIVE_WORDS))
+_NEGATIVE_COMMENT_WORDS: tuple[str, ...] = tuple(sorted(NEGATIVE_WORDS))
+
+
+class TextGenerator:
+    """Seeded generator for every text artifact in the blogosphere.
+
+    Parameters
+    ----------
+    rng:
+        The random source; pass a dedicated ``random.Random(seed)`` so
+        text generation is reproducible and isolated from other
+        stochastic components.
+    domain_mix:
+        Probability that a content word comes from the domain mixture
+        (the rest is topic-neutral filler).  Higher values make posts
+        easier to classify.
+    domains:
+        Domain → vocabulary mapping; defaults to the built-in ten.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        domain_mix: float = 0.5,
+        domains: Mapping[str, Sequence[str]] | None = None,
+    ) -> None:
+        if not 0.0 <= domain_mix <= 1.0:
+            raise ValueError(f"domain_mix must be in [0, 1], got {domain_mix}")
+        self._rng = rng
+        self._domain_mix = domain_mix
+        self._domains = {
+            name: tuple(words)
+            for name, words in (domains or DOMAIN_VOCABULARIES).items()
+        }
+        for name, words in self._domains.items():
+            if not words:
+                raise ValueError(f"domain {name!r} has an empty vocabulary")
+
+    # ------------------------------------------------------------------
+    # Word-level sampling
+    # ------------------------------------------------------------------
+    def _pick_domain(self, domain_weights: Mapping[str, float]) -> str:
+        names = sorted(domain_weights)
+        weights = [max(domain_weights[name], 0.0) for name in names]
+        if sum(weights) == 0:
+            return self._rng.choice(sorted(self._domains))
+        return self._rng.choices(names, weights=weights, k=1)[0]
+
+    def _content_word(self, domain_weights: Mapping[str, float]) -> str:
+        if self._rng.random() < self._domain_mix:
+            domain = self._pick_domain(domain_weights)
+            return self._rng.choice(self._domains[domain])
+        return self._rng.choice(GENERAL_WORDS)
+
+    def _sentence(
+        self, domain_weights: Mapping[str, float], length: int
+    ) -> str:
+        words = []
+        for position in range(length):
+            # Roughly every third slot is a function word.
+            if position % 3 == 1:
+                words.append(self._rng.choice(_FUNCTION_WORDS))
+            else:
+                words.append(self._content_word(domain_weights))
+        text = " ".join(words)
+        return text[0].upper() + text[1:] + "."
+
+    # ------------------------------------------------------------------
+    # Posts
+    # ------------------------------------------------------------------
+    def post_body(
+        self, domain_weights: Mapping[str, float], words: int
+    ) -> str:
+        """A post body of roughly ``words`` tokens."""
+        if words < 1:
+            raise ValueError(f"words must be >= 1, got {words}")
+        sentences = []
+        remaining = words
+        while remaining > 0:
+            length = min(remaining, self._rng.randint(6, 14))
+            sentences.append(self._sentence(domain_weights, length))
+            remaining -= length
+        return " ".join(sentences)
+
+    def post_title(self, domain: str) -> str:
+        """A short title naming the post's primary domain."""
+        vocabulary = self._domains[domain]
+        picks = self._rng.sample(vocabulary, k=min(3, len(vocabulary)))
+        return " ".join(picks).title()
+
+    def copied_body(self, original_body: str) -> str:
+        """Mark ``original_body`` as reproduced content.
+
+        Prepends one of the copy-indicator phrases, so the lexicon
+        novelty detector fires; the body itself is duplicated text, so
+        the shingle detector fires too.
+        """
+        phrase = self._rng.choice(COPY_INDICATOR_PHRASES)
+        return f"{phrase.capitalize()} another blog. {original_body}"
+
+    # ------------------------------------------------------------------
+    # Comments
+    # ------------------------------------------------------------------
+    def comment_text(self, sentiment: Sentiment, domain: str) -> str:
+        """A short comment realizing ``sentiment`` about a ``domain`` post.
+
+        A quarter of the polar comments are *tempered* — a positive
+        with one reservation, or a negative with one concession — so
+        the dominant polarity still decides the class (2 hits vs 1)
+        while graded sentiment scoring sees a weaker signal, as real
+        comments do.
+        """
+        vocabulary = self._domains[domain]
+        topic = self._rng.choice(vocabulary)
+        filler = self._rng.sample(_SAFE_GENERAL_WORDS, k=3)
+        if sentiment is Sentiment.POSITIVE:
+            polar = self._rng.sample(_POSITIVE_COMMENT_WORDS, k=2)
+            if self._rng.random() < 0.25:
+                reservation = self._rng.choice(_NEGATIVE_COMMENT_WORDS)
+                return (
+                    f"I {polar[0]} with this {topic}, {polar[1]} overall "
+                    f"even if one {filler[0]} felt {reservation}."
+                )
+            return (
+                f"I {polar[0]} with this {topic} {filler[0]}, "
+                f"really {polar[1]} {filler[1]} {filler[2]}."
+            )
+        if sentiment is Sentiment.NEGATIVE:
+            polar = self._rng.sample(_NEGATIVE_COMMENT_WORDS, k=2)
+            # Half the negative comments use negated positives, which
+            # must still classify negative thanks to negation handling.
+            roll = self._rng.random()
+            if roll < 0.5:
+                positive = self._rng.choice(_POSITIVE_COMMENT_WORDS)
+                return (
+                    f"I don't {positive} with this {topic} at all, "
+                    f"it is {polar[0]} and {polar[1]}."
+                )
+            if roll < 0.75:
+                concession = self._rng.choice(_POSITIVE_COMMENT_WORDS)
+                return (
+                    f"A {concession} {filler[0]}, but this {topic} is "
+                    f"{polar[0]} and frankly {polar[1]}."
+                )
+            return (
+                f"This {topic} {filler[0]} seems {polar[0]}, "
+                f"frankly quite {polar[1]} {filler[1]}."
+            )
+        return (
+            f"Some notes on the {topic} {filler[0]}: "
+            f"see my {filler[1]} from last {filler[2]}."
+        )
+
+    # ------------------------------------------------------------------
+    # Ads and profiles
+    # ------------------------------------------------------------------
+    def advertisement(self, domain: str, words: int = 40) -> str:
+        """Ad copy concentrated on one domain (the Fig. 3 text mode)."""
+        weights = {name: 0.0 for name in self._domains}
+        weights[domain] = 1.0
+        return self.post_body(weights, words)
+
+    def profile(
+        self, domain_weights: Mapping[str, float], words: int = 30
+    ) -> str:
+        """A user profile reflecting the blogger's domain interests."""
+        return self.post_body(domain_weights, words)

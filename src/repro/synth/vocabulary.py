@@ -1,0 +1,156 @@
+"""Domain vocabularies for the synthetic blogosphere.
+
+The paper predefines ten interest domains: Travel, Computer,
+Communication, Education, Economics, Military, Sports, Medicine, Art,
+Politics.  Each domain here carries a topical word list that plays two
+roles:
+
+- the synthetic text generator draws content words from the author's
+  domain to produce classifiable posts;
+- the seed-vocabulary mode of the naive-Bayes classifier (and the
+  keyword interest miner) can bootstrap from the same lists.
+
+Generator and classifier seeds deliberately share these lists — the
+paper's classifier was trained on posts about its predefined domains,
+so the learnable signal existing by construction is the point, and the
+classifier benches measure recovery from *mixed* text (every post also
+contains general words and words from the author's minor domains).
+"""
+
+from __future__ import annotations
+
+__all__ = ["DOMAIN_VOCABULARIES", "GENERAL_WORDS", "domain_names"]
+
+DOMAIN_VOCABULARIES: dict[str, tuple[str, ...]] = {
+    "Travel": (
+        "travel", "trip", "journey", "flight", "airline", "airport", "hotel",
+        "hostel", "resort", "beach", "island", "mountain", "hiking", "trail",
+        "backpack", "luggage", "passport", "visa", "itinerary", "tour",
+        "tourist", "guide", "map", "destination", "adventure", "vacation",
+        "holiday", "cruise", "train", "railway", "roadtrip", "camping",
+        "tent", "scenery", "landscape", "sunset", "temple", "museum",
+        "landmark", "souvenir", "cuisine", "street", "market", "village",
+        "city", "abroad", "overseas", "border", "currency", "exchange",
+        "booking", "reservation", "sightseeing", "photography", "jetlag",
+    ),
+    "Computer": (
+        "computer", "software", "hardware", "programming", "code", "coding",
+        "algorithm", "compiler", "debug", "debugging", "database", "query",
+        "server", "network", "linux", "windows", "keyboard", "processor",
+        "cpu", "memory", "disk", "laptop", "desktop", "browser", "internet",
+        "website", "developer", "java", "python", "function", "variable",
+        "loop", "array", "pointer", "recursion", "thread", "kernel",
+        "opensource", "repository", "version", "release", "bug", "patch",
+        "security", "encryption", "password", "virus", "firewall", "router",
+        "bandwidth", "download", "upload", "install", "interface", "api",
+    ),
+    "Communication": (
+        "communication", "phone", "mobile", "cellphone", "telecom", "signal",
+        "wireless", "antenna", "broadband", "fiber", "satellite", "radio",
+        "frequency", "spectrum", "carrier", "roaming", "messaging", "sms",
+        "email", "inbox", "chat", "messenger", "voip", "call", "voicemail",
+        "conference", "broadcast", "transmission", "receiver", "protocol",
+        "modem", "handset", "smartphone", "network", "coverage", "operator",
+        "subscriber", "plan", "minutes", "texting", "media", "press",
+        "journalism", "reporter", "interview", "announcement", "newsletter",
+        "bulletin", "channel", "audience", "listener", "speech", "dialogue",
+    ),
+    "Education": (
+        "education", "school", "university", "college", "campus", "student",
+        "teacher", "professor", "lecture", "classroom", "course", "syllabus",
+        "curriculum", "homework", "assignment", "exam", "test", "quiz",
+        "grade", "gpa", "scholarship", "tuition", "degree", "diploma",
+        "graduate", "undergraduate", "thesis", "dissertation", "research",
+        "library", "textbook", "learning", "teaching", "pedagogy", "tutor",
+        "mentor", "semester", "enrollment", "admission", "kindergarten",
+        "literacy", "mathematics", "science", "history", "essay", "seminar",
+        "workshop", "training", "skill", "knowledge", "study", "studying",
+    ),
+    "Economics": (
+        "economics", "economy", "economic", "market", "stock", "stocks",
+        "shares", "investor", "investment", "finance", "financial", "bank",
+        "banking", "interest", "inflation", "deflation", "recession",
+        "depression", "gdp", "growth", "trade", "tariff", "export", "import",
+        "currency", "dollar", "euro", "exchange", "budget", "deficit",
+        "surplus", "tax", "taxes", "fiscal", "monetary", "credit", "debt",
+        "loan", "mortgage", "bond", "dividend", "portfolio", "hedge",
+        "fund", "capital", "profit", "revenue", "earnings", "consumer",
+        "demand", "supply", "price", "wage", "employment", "unemployment",
+    ),
+    "Military": (
+        "military", "army", "navy", "airforce", "marine", "soldier",
+        "officer", "general", "admiral", "troop", "troops", "battalion",
+        "regiment", "brigade", "infantry", "artillery", "armor", "tank",
+        "aircraft", "fighter", "bomber", "missile", "rocket", "radar",
+        "submarine", "carrier", "destroyer", "frigate", "weapon", "rifle",
+        "ammunition", "combat", "battle", "war", "warfare", "strategy",
+        "tactics", "defense", "offense", "deployment", "mission", "patrol",
+        "reconnaissance", "intelligence", "base", "fortress", "barracks",
+        "veteran", "recruit", "drill", "uniform", "camouflage", "ceasefire",
+    ),
+    "Sports": (
+        "sports", "sport", "game", "match", "tournament", "championship",
+        "league", "team", "player", "coach", "athlete", "training",
+        "fitness", "gym", "football", "soccer", "basketball", "baseball",
+        "tennis", "golf", "swimming", "running", "marathon", "sprint",
+        "cycling", "skiing", "skating", "boxing", "wrestling", "volleyball",
+        "badminton", "pingpong", "stadium", "arena", "court", "field",
+        "pitch", "goal", "score", "win", "defeat", "victory", "record",
+        "medal", "olympic", "referee", "penalty", "offside", "season",
+        "playoff", "final", "fans", "cheering", "jersey", "sneakers",
+    ),
+    "Medicine": (
+        "medicine", "medical", "doctor", "physician", "nurse", "hospital",
+        "clinic", "patient", "diagnosis", "treatment", "therapy", "surgery",
+        "surgeon", "prescription", "drug", "pharmacy", "vaccine", "virus",
+        "bacteria", "infection", "disease", "illness", "symptom", "fever",
+        "pain", "chronic", "acute", "cancer", "diabetes", "cardiology",
+        "heart", "blood", "pressure", "cholesterol", "immune", "antibody",
+        "anatomy", "physiology", "pediatric", "psychiatry", "radiology",
+        "xray", "scan", "lab", "specimen", "dose", "dosage", "recovery",
+        "rehabilitation", "wellness", "nutrition", "diet", "exercise",
+    ),
+    "Art": (
+        "art", "artist", "painting", "painter", "canvas", "brush", "palette",
+        "color", "sketch", "drawing", "sculpture", "sculptor", "gallery",
+        "exhibition", "museum", "masterpiece", "portrait", "landscape",
+        "abstract", "impressionism", "renaissance", "baroque", "modern",
+        "contemporary", "aesthetic", "composition", "perspective", "design",
+        "illustration", "photography", "photographer", "film", "cinema",
+        "theater", "drama", "opera", "ballet", "dance", "music", "melody",
+        "harmony", "symphony", "orchestra", "poetry", "poem", "novel",
+        "literature", "sculpture", "ceramics", "calligraphy", "mural",
+    ),
+    "Politics": (
+        "politics", "political", "government", "president", "minister",
+        "senator", "congress", "parliament", "senate", "election",
+        "campaign", "candidate", "vote", "voter", "ballot", "poll",
+        "policy", "legislation", "law", "bill", "amendment", "constitution",
+        "democracy", "republic", "party", "coalition", "opposition",
+        "debate", "diplomacy", "diplomat", "embassy", "treaty", "sanction",
+        "summit", "cabinet", "governor", "mayor", "council", "reform",
+        "corruption", "scandal", "lobbying", "referendum", "ideology",
+        "liberal", "conservative", "socialist", "nationalism", "citizen",
+        "rights", "justice", "court", "supreme", "veto", "impeachment",
+    ),
+}
+
+# Topic-neutral filler every post mixes in, so classification is a real
+# inference problem rather than table lookup.
+GENERAL_WORDS: tuple[str, ...] = (
+    "today", "yesterday", "week", "month", "year", "time", "day", "people",
+    "friend", "friends", "family", "life", "world", "thing", "things",
+    "way", "place", "home", "work", "idea", "thought", "thoughts", "story",
+    "experience", "moment", "morning", "evening", "night", "weekend",
+    "reading", "writing", "blog", "post", "share", "sharing", "feeling",
+    "felt", "found", "started", "finished", "trying", "looking", "thinking",
+    "talking", "meeting", "plan", "plans", "hope", "wish", "dream", "note",
+    "update", "news", "recent", "recently", "interesting", "different",
+    "important", "special", "simple", "small", "big", "new", "old", "long",
+    "short", "first", "last", "next", "another", "several", "many", "few",
+)
+
+
+def domain_names() -> list[str]:
+    """The ten domain names in the paper's order of mention."""
+    return list(DOMAIN_VOCABULARIES)

@@ -1,0 +1,5 @@
+"""System facade wiring crawler, analyzer and UI modules (Fig. 2)."""
+
+from repro.system.mass import MassSystem
+
+__all__ = ["MassSystem"]

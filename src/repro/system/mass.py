@@ -1,0 +1,226 @@
+"""The MASS system facade — Fig. 2 end to end.
+
+The paper's architecture has three modules: the Crawler Module feeds
+XML files to Data Storage; the Analyzer Module (Post Analyzer + Comment
+Analyzer + Scoring) turns a corpus into influence scores; the User
+Interface Module serves recommendation and visualization.
+:class:`MassSystem` is that wiring as one stateful object, matching the
+demo walkthrough: load or crawl a data set, analyze it, adjust toolbar
+parameters, ask for recommendations, visualize a blogger's network.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+from repro.apps.advertising import AdvertisingEngine
+from repro.apps.recommendation import RecommendationEngine
+from repro.core.model import MassModel
+from repro.core.parameters import MassParameters
+from repro.core.report import BloggerDetail, InfluenceReport
+from repro.crawler.crawler import BlogCrawler, CrawlConfig, CrawlResult
+from repro.crawler.service import BlogService
+from repro.data.corpus import BlogCorpus
+from repro.data.xml_store import load_corpus, save_corpus
+from repro.errors import ReproError
+from repro.synth.vocabulary import DOMAIN_VOCABULARIES
+from repro.viz.network import VisualizationGraph
+
+__all__ = ["MassSystem"]
+
+
+class MassSystem:
+    """One object from crawl to recommendation.
+
+    Parameters
+    ----------
+    params:
+        Model parameters (the demo toolbar); paper defaults if omitted.
+    domain_seed_words:
+        Per-domain vocabularies for the Post Analyzer; defaults to the
+        built-in ten predefined domains.
+
+    Examples
+    --------
+    >>> system = MassSystem()                          # doctest: +SKIP
+    >>> system.crawl(service, seeds=["blogger-0001"], radius=2)  # doctest: +SKIP
+    >>> system.analyze()                               # doctest: +SKIP
+    >>> system.top_influencers(3, domain="Sports")     # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        params: MassParameters | None = None,
+        domain_seed_words: Mapping[str, Sequence[str]] | None = None,
+    ) -> None:
+        self._params = params or MassParameters()
+        self._domain_seed_words = dict(
+            domain_seed_words
+            if domain_seed_words is not None
+            else DOMAIN_VOCABULARIES
+        )
+        self._corpus: BlogCorpus | None = None
+        self._report: InfluenceReport | None = None
+        self._model: MassModel | None = None
+        self._seed_classifier = None
+
+    # ------------------------------------------------------------------
+    # Crawler Module / Data Storage
+    # ------------------------------------------------------------------
+    def crawl(
+        self,
+        service: BlogService,
+        seeds: list[str],
+        radius: int = 2,
+        max_spaces: int | None = None,
+        num_threads: int = 4,
+        save_to: str | Path | None = None,
+    ) -> CrawlResult:
+        """Crawl a blog service into the system's working corpus.
+
+        The demo's "specify a seed ... and the radius of network where
+        the crawling is performed".  Optionally persists the crawl as
+        XML files.
+        """
+        crawler = BlogCrawler(
+            service,
+            CrawlConfig(
+                radius=radius, max_spaces=max_spaces, num_threads=num_threads
+            ),
+        )
+        result = crawler.crawl(seeds)
+        if save_to is not None:
+            save_corpus(result.corpus, save_to)
+        self._set_corpus(result.corpus)
+        return result
+
+    def load_dataset(self, source: BlogCorpus | str | Path) -> BlogCorpus:
+        """Load an offline data set: a corpus object or an XML directory."""
+        if isinstance(source, BlogCorpus):
+            corpus = source
+            if not corpus.frozen:
+                corpus.validate()
+        else:
+            corpus = load_corpus(source)
+        self._set_corpus(corpus)
+        return corpus
+
+    def _set_corpus(self, corpus: BlogCorpus) -> None:
+        self._corpus = corpus
+        self._report = None  # stale analysis
+
+    @property
+    def corpus(self) -> BlogCorpus:
+        """The working corpus; raises if nothing is loaded."""
+        if self._corpus is None:
+            raise ReproError("no data set loaded; call crawl() or load_dataset()")
+        return self._corpus
+
+    # ------------------------------------------------------------------
+    # Toolbar
+    # ------------------------------------------------------------------
+    @property
+    def params(self) -> MassParameters:
+        """Current model parameters."""
+        return self._params
+
+    def set_parameters(self, **changes: object) -> MassParameters:
+        """Adjust toolbar parameters; invalidates any existing analysis."""
+        self._params = self._params.with_overrides(**changes)
+        self._report = None
+        return self._params
+
+    # ------------------------------------------------------------------
+    # Analyzer Module
+    # ------------------------------------------------------------------
+    def analyze(self, strict: bool = False) -> InfluenceReport:
+        """Run the Post Analyzer + Comment Analyzer + Scoring pipeline."""
+        self._model = MassModel(
+            params=self._params, domain_seed_words=self._domain_seed_words
+        )
+        self._report = self._model.fit(self.corpus, strict=strict)
+        return self._report
+
+    @property
+    def report(self) -> InfluenceReport:
+        """The current analysis, computing it on first access."""
+        if self._report is None:
+            self.analyze()
+        assert self._report is not None
+        return self._report
+
+    # ------------------------------------------------------------------
+    # User Interface Module
+    # ------------------------------------------------------------------
+    def top_influencers(
+        self, k: int = 3, domain: str | None = None
+    ) -> list[tuple[str, float]]:
+        """The right-panel top-k list (general or domain-specific)."""
+        return self.report.top_influencers(k, domain=domain)
+
+    @property
+    def classifier(self):
+        """The trained domain classifier behind the current analysis.
+
+        After :meth:`analyze` this is the model's classifier; after
+        :meth:`load_analysis` (which restores scores without a model) a
+        seed-vocabulary classifier over the same domains is built
+        lazily.
+        """
+        self.report  # ensure there is an analysis
+        if self._model is not None and self._model.classifier is not None:
+            return self._model.classifier
+        if self._seed_classifier is None:
+            from repro.nlp.naive_bayes import NaiveBayesClassifier
+
+            self._seed_classifier = NaiveBayesClassifier.from_seed_vocabulary(
+                self._domain_seed_words
+            )
+        return self._seed_classifier
+
+    def advertising(self) -> AdvertisingEngine:
+        """The Fig. 3 advertisement dialog backend."""
+        return AdvertisingEngine(self.report, self.classifier)
+
+    def recommendations(self) -> RecommendationEngine:
+        """The personalized-recommendation backend."""
+        return RecommendationEngine(self.report, self.classifier)
+
+    def blogger_detail(self, blogger_id: str) -> BloggerDetail:
+        """The double-click pop-up for one blogger."""
+        return self.report.blogger_detail(blogger_id)
+
+    def visualize(
+        self, center: str | None = None, radius: int = 1, layout_seed: int = 0
+    ) -> VisualizationGraph:
+        """The left-panel network view (whole network or ego network)."""
+        return VisualizationGraph.from_report(
+            self.report, center=center, radius=radius, layout_seed=layout_seed
+        )
+
+    # ------------------------------------------------------------------
+    # Analysis persistence (Data Storage for the Analyzer's output)
+    # ------------------------------------------------------------------
+    def save_analysis(self, path: str | Path) -> Path:
+        """Persist the current analysis as XML (see report_io)."""
+        from repro.core.report_io import save_report
+
+        return save_report(self.report, path)
+
+    def load_analysis(self, path: str | Path) -> InfluenceReport:
+        """Restore a saved analysis against the loaded corpus.
+
+        Replaces the current report without re-solving; the analysis
+        must have been computed from the same corpus.  The restored
+        report carries no trained model, so :attr:`classifier` (and the
+        engines built on it) falls back to a seed-vocabulary classifier
+        over the configured domains.
+        """
+        from repro.core.report_io import load_report
+
+        report = load_report(path, self.corpus)
+        self._params = report.params
+        self._report = report
+        self._model = None
+        return report

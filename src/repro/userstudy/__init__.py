@@ -1,0 +1,20 @@
+"""Simulated user study reproducing the Table I protocol."""
+
+from repro.userstudy.annotator import RaterPanelConfig, SimulatedRaterPanel
+from repro.userstudy.stats import (
+    PairedComparison,
+    compare_systems,
+    paired_permutation_test,
+)
+from repro.userstudy.study import TABLE1_DOMAINS, StudyResult, UserStudy
+
+__all__ = [
+    "RaterPanelConfig",
+    "SimulatedRaterPanel",
+    "UserStudy",
+    "StudyResult",
+    "TABLE1_DOMAINS",
+    "paired_permutation_test",
+    "compare_systems",
+    "PairedComparison",
+]

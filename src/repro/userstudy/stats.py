@@ -1,0 +1,130 @@
+"""Statistical analysis of user-study results.
+
+The paper reports Table I as bare means.  With a simulated panel we can
+do what the paper could not: test whether the Domain-Specific advantage
+is statistically significant.  This module implements a paired
+permutation test on the per-judgement score matrix — the appropriate
+test here because judgements are paired by rater (each rater scores
+every system) and the score distribution is a 5-point ordinal, so
+normality assumptions are off the table.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.synth.ground_truth import GroundTruth
+from repro.userstudy.annotator import RaterPanelConfig, SimulatedRaterPanel
+
+__all__ = ["PairedComparison", "compare_systems", "paired_permutation_test"]
+
+
+def paired_permutation_test(
+    left: list[float],
+    right: list[float],
+    rounds: int = 10_000,
+    seed: int = 0,
+) -> float:
+    """Two-sided p-value that paired samples share a mean.
+
+    Under the null, each pair's assignment to (left, right) is a coin
+    flip; the test permutes signs of the paired differences and counts
+    how often the permuted |mean difference| reaches the observed one.
+    The +1/+1 correction keeps the p-value away from an impossible 0.
+    """
+    if len(left) != len(right):
+        raise ParameterError(
+            f"paired samples differ in length: {len(left)} vs {len(right)}"
+        )
+    if not left:
+        raise ParameterError("need at least one pair")
+    if rounds < 1:
+        raise ParameterError(f"rounds must be >= 1, got {rounds}")
+    differences = [a - b for a, b in zip(left, right)]
+    observed = abs(sum(differences) / len(differences))
+    rng = random.Random(seed)
+    hits = 0
+    count = len(differences)
+    for _ in range(rounds):
+        total = 0.0
+        for difference in differences:
+            total += difference if rng.random() < 0.5 else -difference
+        if abs(total / count) >= observed - 1e-12:
+            hits += 1
+    return (hits + 1) / (rounds + 1)
+
+
+@dataclass(frozen=True, slots=True)
+class PairedComparison:
+    """Outcome of comparing two systems on one domain."""
+
+    domain: str
+    system_a: str
+    system_b: str
+    mean_a: float
+    mean_b: float
+    p_value: float
+
+    @property
+    def difference(self) -> float:
+        """Mean score advantage of system A over system B."""
+        return self.mean_a - self.mean_b
+
+    def significant(self, level: float = 0.05) -> bool:
+        """Whether the difference clears the significance level."""
+        return self.p_value < level
+
+
+def compare_systems(
+    truth: GroundTruth,
+    lists_a: dict[str, list[str]],
+    lists_b: dict[str, list[str]],
+    system_a: str = "A",
+    system_b: str = "B",
+    domains: list[str] | None = None,
+    panel: RaterPanelConfig | None = None,
+    seed: int = 0,
+    rounds: int = 10_000,
+) -> list[PairedComparison]:
+    """Per-domain paired comparison of two recommendation systems.
+
+    ``lists_a`` / ``lists_b`` map domain → recommended blogger ids.
+    Judgements are paired per (rater, list position): rater r's score
+    of A's i-th recommendation pairs with their score of B's i-th.
+    """
+    if domains is None:
+        domains = sorted(set(lists_a) & set(lists_b))
+    if not domains:
+        raise ParameterError("no common domains to compare on")
+    rater_panel = SimulatedRaterPanel(truth, panel, seed=seed)
+    results = []
+    for domain in domains:
+        bloggers_a = lists_a[domain]
+        bloggers_b = lists_b[domain]
+        if len(bloggers_a) != len(bloggers_b):
+            raise ParameterError(
+                f"lists for {domain!r} differ in length: "
+                f"{len(bloggers_a)} vs {len(bloggers_b)}"
+            )
+        scores_a: list[float] = []
+        scores_b: list[float] = []
+        for rater in range(rater_panel.num_raters):
+            for blogger_a, blogger_b in zip(bloggers_a, bloggers_b):
+                scores_a.append(rater_panel.score(rater, blogger_a, domain))
+                scores_b.append(rater_panel.score(rater, blogger_b, domain))
+        p_value = paired_permutation_test(
+            scores_a, scores_b, rounds=rounds, seed=seed
+        )
+        results.append(
+            PairedComparison(
+                domain=domain,
+                system_a=system_a,
+                system_b=system_b,
+                mean_a=sum(scores_a) / len(scores_a),
+                mean_b=sum(scores_b) / len(scores_b),
+                p_value=p_value,
+            )
+        )
+    return results

@@ -1,0 +1,15 @@
+"""Visualization: the Fig. 4 network model, XML persistence, ASCII render."""
+
+from repro.viz.ascii import render_network, render_ranking
+from repro.viz.network import VisualizationGraph, VizEdge, VizNode
+from repro.viz.svg import render_svg, save_svg
+
+__all__ = [
+    "VisualizationGraph",
+    "VizNode",
+    "VizEdge",
+    "render_network",
+    "render_ranking",
+    "render_svg",
+    "save_svg",
+]

@@ -1,0 +1,84 @@
+"""Terminal rendering of visualization graphs and rankings.
+
+The demo's Swing canvas is out of scope for a library; what examples
+and benches need is a way to *see* the network and the top-k panel in
+a terminal.  :func:`render_network` draws nodes on a character canvas
+at their layout positions; :func:`render_ranking` prints the
+right-hand top-k panel.
+"""
+
+from __future__ import annotations
+
+from repro.viz.network import VisualizationGraph
+
+__all__ = ["render_network", "render_ranking"]
+
+
+def render_network(
+    graph: VisualizationGraph,
+    width: int = 72,
+    height: int = 24,
+    max_labels: int = 12,
+) -> str:
+    """Draw the network as ASCII art.
+
+    Nodes appear as ``*`` at their (scaled) layout positions; the
+    ``max_labels`` most influential nodes get their names printed next
+    to the marker.  Edges are summarized below the canvas (character
+    canvases do not do justice to edge routing).
+    """
+    if width < 10 or height < 5:
+        raise ValueError("canvas must be at least 10x5")
+    canvas = [[" "] * width for _ in range(height)]
+    nodes = graph.nodes
+    if nodes:
+        xs = [node.x for node in nodes]
+        ys = [node.y for node in nodes]
+        min_x, max_x = min(xs), max(xs)
+        min_y, max_y = min(ys), max(ys)
+        span_x = (max_x - min_x) or 1.0
+        span_y = (max_y - min_y) or 1.0
+
+        labeled = {
+            node.blogger_id
+            for node in sorted(
+                nodes, key=lambda n: (-n.influence, n.blogger_id)
+            )[:max_labels]
+        }
+        for node in nodes:
+            col = int((node.x - min_x) / span_x * (width - 1))
+            row = int((node.y - min_y) / span_y * (height - 1))
+            canvas[row][col] = "*"
+            if node.blogger_id in labeled:
+                label = f" {node.name}"[: width - col - 1]
+                for offset, char in enumerate(label):
+                    position = col + 1 + offset
+                    if position < width and canvas[row][position] == " ":
+                        canvas[row][position] = char
+
+    lines = ["".join(row).rstrip() for row in canvas]
+    lines.append("-" * width)
+    lines.append(
+        f"{len(graph)} bloggers, {len(graph.edges)} post-reply edges, "
+        f"{graph.total_comments()} comments"
+    )
+    heaviest = sorted(
+        graph.edges, key=lambda e: (-e.comment_count, e.source, e.target)
+    )[:5]
+    for edge in heaviest:
+        lines.append(
+            f"  {edge.source} --{edge.comment_count}--> {edge.target}"
+        )
+    return "\n".join(lines)
+
+
+def render_ranking(
+    ranking: list[tuple[str, float]], title: str = "Top influential bloggers"
+) -> str:
+    """Print a top-k list the way the demo's right panel shows it."""
+    lines = [title, "=" * len(title)]
+    for position, (blogger_id, score) in enumerate(ranking, start=1):
+        lines.append(f"{position:2d}. {blogger_id:<24s} {score:10.4f}")
+    if not ranking:
+        lines.append("(no bloggers)")
+    return "\n".join(lines)

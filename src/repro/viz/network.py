@@ -1,0 +1,237 @@
+"""The visualization graph of Fig. 4.
+
+The demo's left panel shows the post-reply network: "Each node
+represents one blogger ... A line between two nodes represents the
+post-reply relationship between two bloggers and the number on the
+line records the total number comments of one blogger on the other
+blogger's posts."  Double-clicking a node pops up the blogger's
+influence properties; "The visualization graph can be saved as an XML
+file and be loaded in future."
+
+:class:`VisualizationGraph` is that artifact: positioned nodes
+annotated with influence properties, comment-count edges, and a
+lossless XML round trip.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.report import InfluenceReport
+from repro.data.xml_store import sanitize_xml_text
+from repro.errors import XmlFormatError
+from repro.graph.influence_graph import ego_network, post_reply_graph
+from repro.graph.layout import force_layout
+
+__all__ = ["VizNode", "VizEdge", "VisualizationGraph"]
+
+
+@dataclass(frozen=True, slots=True)
+class VizNode:
+    """One blogger node with its pop-up properties."""
+
+    blogger_id: str
+    name: str
+    x: float
+    y: float
+    influence: float = 0.0
+    num_posts: int = 0
+    domain_scores: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class VizEdge:
+    """A post-reply edge: ``source`` commented on ``target``'s posts."""
+
+    source: str
+    target: str
+    comment_count: int
+
+
+class VisualizationGraph:
+    """Positioned, annotated post-reply network with XML persistence."""
+
+    def __init__(self, nodes: list[VizNode], edges: list[VizEdge]) -> None:
+        self._nodes = {node.blogger_id: node for node in nodes}
+        if len(self._nodes) != len(nodes):
+            raise ValueError("duplicate node ids in visualization graph")
+        for edge in edges:
+            for endpoint in (edge.source, edge.target):
+                if endpoint not in self._nodes:
+                    raise ValueError(
+                        f"edge references unknown node {endpoint!r}"
+                    )
+        self._edges = list(edges)
+
+    # ------------------------------------------------------------------
+    # Construction from analysis results
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_report(
+        cls,
+        report: InfluenceReport,
+        center: str | None = None,
+        radius: int = 1,
+        layout_seed: int = 0,
+        layout_iterations: int = 60,
+    ) -> "VisualizationGraph":
+        """Build the Fig. 4 view from an influence report.
+
+        With ``center`` given, shows the ego network within ``radius``
+        hops (the double-click view); otherwise the whole post-reply
+        network.
+        """
+        corpus = report.corpus
+        if center is not None:
+            graph = ego_network(corpus, center, radius)
+        else:
+            graph = post_reply_graph(corpus)
+        positions = force_layout(
+            graph, iterations=layout_iterations, seed=layout_seed
+        )
+        nodes = []
+        for blogger_id in graph.nodes():
+            blogger = corpus.blogger(blogger_id)
+            x, y = positions[blogger_id]
+            nodes.append(
+                VizNode(
+                    blogger_id,
+                    blogger.name,
+                    x,
+                    y,
+                    influence=report.scores.influence[blogger_id],
+                    num_posts=len(corpus.posts_by(blogger_id)),
+                    domain_scores=report.domain_influence.vector(blogger_id),
+                )
+            )
+        edges = [
+            VizEdge(source, target, int(weight))
+            for source, target, weight in graph.edges()
+        ]
+        return cls(nodes, edges)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> list[VizNode]:
+        """All nodes, sorted by id."""
+        return [self._nodes[node_id] for node_id in sorted(self._nodes)]
+
+    @property
+    def edges(self) -> list[VizEdge]:
+        """All edges in insertion order."""
+        return list(self._edges)
+
+    def node(self, blogger_id: str) -> VizNode:
+        """One node (the double-click pop-up source) or KeyError."""
+        return self._nodes[blogger_id]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def total_comments(self) -> int:
+        """Sum of edge comment counts."""
+        return sum(edge.comment_count for edge in self._edges)
+
+    # ------------------------------------------------------------------
+    # XML persistence
+    # ------------------------------------------------------------------
+    def to_element(self) -> ET.Element:
+        """Encode as a ``<visualization>`` element."""
+        root = ET.Element("visualization", {"version": "1.0"})
+        nodes_el = ET.SubElement(root, "nodes")
+        for node in self.nodes:
+            node_el = ET.SubElement(
+                nodes_el,
+                "node",
+                {
+                    "id": node.blogger_id,
+                    "name": sanitize_xml_text(node.name),
+                    "x": repr(node.x),
+                    "y": repr(node.y),
+                    "influence": repr(node.influence),
+                    "posts": str(node.num_posts),
+                },
+            )
+            for domain in sorted(node.domain_scores):
+                ET.SubElement(
+                    node_el,
+                    "domain",
+                    {"name": domain, "score": repr(node.domain_scores[domain])},
+                )
+        edges_el = ET.SubElement(root, "edges")
+        for edge in self._edges:
+            ET.SubElement(
+                edges_el,
+                "edge",
+                {
+                    "from": edge.source,
+                    "to": edge.target,
+                    "comments": str(edge.comment_count),
+                },
+            )
+        return root
+
+    @classmethod
+    def from_element(cls, root: ET.Element) -> "VisualizationGraph":
+        """Decode a ``<visualization>`` element."""
+        if root.tag != "visualization":
+            raise XmlFormatError(f"expected <visualization>, got <{root.tag}>")
+        nodes = []
+        nodes_el = root.find("nodes")
+        if nodes_el is None:
+            raise XmlFormatError("<visualization> has no <nodes>")
+        for node_el in nodes_el.findall("node"):
+            try:
+                nodes.append(
+                    VizNode(
+                        node_el.attrib["id"],
+                        node_el.get("name", ""),
+                        float(node_el.attrib["x"]),
+                        float(node_el.attrib["y"]),
+                        influence=float(node_el.get("influence", "0")),
+                        num_posts=int(node_el.get("posts", "0")),
+                        domain_scores={
+                            d.attrib["name"]: float(d.attrib["score"])
+                            for d in node_el.findall("domain")
+                        },
+                    )
+                )
+            except (KeyError, ValueError) as exc:
+                raise XmlFormatError(f"bad <node> element: {exc}") from exc
+        edges = []
+        edges_el = root.find("edges")
+        if edges_el is not None:
+            for edge_el in edges_el.findall("edge"):
+                try:
+                    edges.append(
+                        VizEdge(
+                            edge_el.attrib["from"],
+                            edge_el.attrib["to"],
+                            int(edge_el.attrib["comments"]),
+                        )
+                    )
+                except (KeyError, ValueError) as exc:
+                    raise XmlFormatError(f"bad <edge> element: {exc}") from exc
+        return cls(nodes, edges)
+
+    def save_xml(self, path: str | Path) -> Path:
+        """Write the graph to an XML file; returns the path."""
+        path = Path(path)
+        element = self.to_element()
+        ET.indent(element)
+        path.write_text(ET.tostring(element, encoding="unicode"),
+                        encoding="utf-8")
+        return path
+
+    @classmethod
+    def load_xml(cls, path: str | Path) -> "VisualizationGraph":
+        """Read a graph previously written by :meth:`save_xml`."""
+        try:
+            root = ET.fromstring(Path(path).read_text(encoding="utf-8"))
+        except ET.ParseError as exc:
+            raise XmlFormatError(f"invalid visualization XML: {exc}") from exc
+        return cls.from_element(root)

@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite.
+
+Expensive artifacts (generated blogospheres, fitted reports) are
+session-scoped; tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MassModel
+from repro.data import BlogCorpus, CorpusBuilder, figure1_corpus, figure1_domains
+from repro.synth import (
+    DOMAIN_VOCABULARIES,
+    BlogosphereConfig,
+    generate_blogosphere,
+)
+
+
+@pytest.fixture()
+def tiny_corpus() -> BlogCorpus:
+    """Three bloggers, two posts, two comments, two links (mutable copy)."""
+    builder = CorpusBuilder()
+    builder.blogger("alice").blogger("bob").blogger("carol")
+    post_a = builder.post("alice", title="On gardens",
+                          body="roses and tulips in the garden " * 5)
+    post_b = builder.post("bob", body="short note")
+    builder.comment(post_a.post_id, "bob", text="I agree, lovely flowers")
+    builder.comment(post_b.post_id, "carol", text="this is wrong and boring")
+    builder.link("bob", "alice").link("carol", "alice")
+    return builder.build()
+
+
+@pytest.fixture(scope="session")
+def fig1_corpus() -> BlogCorpus:
+    """The paper's Fig. 1 nine-blogger sample (session-scoped)."""
+    return figure1_corpus()
+
+
+@pytest.fixture(scope="session")
+def fig1_seed_words() -> dict[str, list[str]]:
+    """Seed vocabularies for the two Fig. 1 domains."""
+    return figure1_domains()
+
+
+@pytest.fixture(scope="session")
+def small_blogosphere():
+    """A 120-blogger synthetic blogosphere with ground truth."""
+    return generate_blogosphere(
+        BlogosphereConfig(num_bloggers=120, posts_per_blogger=5), seed=7
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_blogosphere():
+    """A 400-blogger blogosphere for integration-grade assertions."""
+    return generate_blogosphere(
+        BlogosphereConfig(num_bloggers=400, posts_per_blogger=7), seed=13
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_report(medium_blogosphere):
+    """A fitted MASS report over the medium blogosphere."""
+    corpus, _ = medium_blogosphere
+    model = MassModel(domain_seed_words=DOMAIN_VOCABULARIES)
+    return model.fit(corpus)
+
+
+@pytest.fixture(scope="session")
+def medium_model_and_report(medium_blogosphere):
+    """(model, report) pair so app engines can reuse the classifier."""
+    corpus, _ = medium_blogosphere
+    model = MassModel(domain_seed_words=DOMAIN_VOCABULARIES)
+    report = model.fit(corpus)
+    return model, report

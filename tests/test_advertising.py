@@ -1,0 +1,85 @@
+"""Unit tests for Scenario 1 (business advertisement)."""
+
+import math
+
+import pytest
+
+from repro.apps import AdvertisingEngine
+from repro.errors import ParameterError
+from repro.nlp import NaiveBayesClassifier
+from repro.synth import DOMAIN_VOCABULARIES
+
+
+@pytest.fixture(scope="module")
+def engine(medium_model_and_report) -> AdvertisingEngine:
+    model, report = medium_model_and_report
+    return AdvertisingEngine(report, model.classifier)
+
+
+class TestTextMode:
+    def test_sports_ad_targets_sports(self, engine, medium_blogosphere):
+        _, truth = medium_blogosphere
+        result = engine.recommend_for_text(
+            "Buy our new running sneakers: marathon training, stadium "
+            "fitness, the best jersey for every athlete and team",
+            k=3,
+        )
+        assert result.mode == "text"
+        assert result.interest_vector.dominant_domain() == "Sports"
+        # At least one recommended blogger is a true top-5 Sports blogger.
+        true_top = set(truth.top_true_influencers("Sports", 5))
+        assert set(result.blogger_ids) & true_top
+
+    def test_interest_vector_normalized(self, engine):
+        result = engine.recommend_for_text("hospital vaccine doctor", k=2)
+        assert math.isclose(sum(result.interest_vector.values()), 1.0)
+
+    def test_empty_ad_rejected(self, engine):
+        with pytest.raises(ParameterError, match="empty"):
+            engine.recommend_for_text("   ")
+
+    def test_k_respected(self, engine):
+        assert len(engine.recommend_for_text("travel flight", k=5).recommendations) == 5
+
+
+class TestDomainMode:
+    def test_single_domain(self, engine, medium_report):
+        result = engine.recommend_for_domains(["Art"], k=3)
+        assert result.mode == "domains"
+        assert result.interest_vector["Art"] == 1.0
+        expected = [b for b, _ in medium_report.top_influencers(3, "Art")]
+        assert result.blogger_ids == expected
+
+    def test_multiple_domains_weighted_equally(self, engine):
+        result = engine.recommend_for_domains(["Art", "Sports"], k=3)
+        assert math.isclose(result.interest_vector["Art"], 0.5)
+        assert math.isclose(result.interest_vector["Sports"], 0.5)
+
+    def test_unknown_domain_rejected(self, engine):
+        with pytest.raises(ParameterError, match="unknown domains"):
+            engine.recommend_for_domains(["Astrology"])
+
+    def test_no_domains_falls_back_to_general(self, engine, medium_report):
+        result = engine.recommend_for_domains([], k=3)
+        assert result.mode == "general"
+        expected = [b for b, _ in medium_report.top_influencers(3)]
+        assert result.blogger_ids == expected
+
+
+class TestGeneralMode:
+    def test_general_uniform_interest(self, engine):
+        result = engine.recommend_general(k=3)
+        values = set(result.interest_vector.values())
+        assert len(values) == 1  # uniform
+
+
+class TestConstruction:
+    def test_domain_mismatch_rejected(self, medium_report):
+        other = NaiveBayesClassifier.from_seed_vocabulary(
+            {"X": ["x"], "Y": ["y"]}
+        )
+        with pytest.raises(ParameterError, match="do not match"):
+            AdvertisingEngine(medium_report, other)
+
+    def test_domains_property(self, engine):
+        assert set(engine.domains) == set(DOMAIN_VOCABULARIES)

@@ -1,0 +1,112 @@
+"""Tests for adversarial injection and the robustness of Eq. 3."""
+
+import pytest
+
+from repro.baselines import LiveIndexBaseline
+from repro.core import InfluenceSolver, MassParameters, rank_of
+from repro.errors import ParameterError
+from repro.synth import inject_comment_spam, inject_link_farm
+
+
+def _weak_blogger_with_posts(corpus, truth):
+    """A low-influence blogger who has at least one post."""
+    candidates = sorted(
+        (b for b in corpus.blogger_ids() if corpus.posts_by(b)),
+        key=lambda b: truth.bloggers[b].latent_influence,
+    )
+    return candidates[0]
+
+
+class TestCommentSpam:
+    def test_spam_adds_accounts_and_comments(self, small_blogosphere):
+        corpus, truth = small_blogosphere
+        target = _weak_blogger_with_posts(corpus, truth)
+        attacked = inject_comment_spam(
+            corpus, target, num_spammers=3, comments_each=10, seed=1
+        )
+        assert len(attacked) == len(corpus) + 3
+        assert len(attacked.comments) == len(corpus.comments) + 30
+        # Original untouched.
+        assert len(corpus) == 120
+
+    def test_spammers_only_comment_on_target(self, small_blogosphere):
+        corpus, truth = small_blogosphere
+        target = _weak_blogger_with_posts(corpus, truth)
+        attacked = inject_comment_spam(
+            corpus, target, num_spammers=2, comments_each=5, seed=1
+        )
+        for blogger_id in attacked.blogger_ids():
+            if not blogger_id.startswith("spammer-"):
+                continue
+            for comment in attacked.comments_by(blogger_id):
+                assert attacked.post(comment.post_id).author_id == target
+
+    def test_target_without_posts_rejected(self):
+        from repro.data import CorpusBuilder
+
+        builder = CorpusBuilder()
+        builder.blogger("silent").blogger("writer")
+        builder.post("writer", body="hello")
+        corpus = builder.build()
+        with pytest.raises(ParameterError, match="no posts"):
+            inject_comment_spam(corpus, "silent")
+
+    def test_invalid_sizes_rejected(self, small_blogosphere):
+        corpus, truth = small_blogosphere
+        target = _weak_blogger_with_posts(corpus, truth)
+        with pytest.raises(ParameterError):
+            inject_comment_spam(corpus, target, num_spammers=0)
+        with pytest.raises(ParameterError):
+            inject_comment_spam(corpus, target, comments_each=0)
+
+    def test_tc_normalization_caps_spam_payoff(self, small_blogosphere):
+        """The paper's Eq. 3 defence: with TC normalization, buying 10x
+        more comments from the same sock puppets buys (almost) nothing;
+        without it, the boost keeps growing."""
+        corpus, truth = small_blogosphere
+        target = _weak_blogger_with_posts(corpus, truth)
+
+        def influence(params, comments_each):
+            attacked = inject_comment_spam(
+                corpus, target, num_spammers=3,
+                comments_each=comments_each, seed=2,
+            )
+            return InfluenceSolver(attacked, params).solve().influence[target]
+
+        normalized = MassParameters()
+        counting = MassParameters(use_citation=False)
+
+        norm_small = influence(normalized, 2)
+        norm_large = influence(normalized, 20)
+        count_small = influence(counting, 2)
+        count_large = influence(counting, 20)
+
+        # Normalized: 10x the spam volume, (nearly) no extra influence.
+        assert norm_large <= norm_small * 1.05
+        # Count-based: the boost grows several-fold.
+        assert count_large > count_small * 2
+
+
+class TestLinkFarm:
+    def test_farm_adds_links(self, small_blogosphere):
+        corpus, truth = small_blogosphere
+        target = corpus.blogger_ids()[0]
+        attacked = inject_link_farm(corpus, target, num_satellites=10)
+        assert len(attacked.in_links(target)) == \
+            len(corpus.in_links(target)) + 10
+
+    def test_unknown_target_rejected(self, small_blogosphere):
+        corpus, _ = small_blogosphere
+        with pytest.raises(ParameterError, match="unknown target"):
+            inject_link_farm(corpus, "ghost")
+
+    def test_live_index_fully_gamed(self, small_blogosphere):
+        corpus, truth = small_blogosphere
+        target = _weak_blogger_with_posts(corpus, truth)
+        before = rank_of(LiveIndexBaseline().score_bloggers(corpus), target)
+        attacked = inject_link_farm(corpus, target, num_satellites=60)
+        after = rank_of(
+            LiveIndexBaseline().score_bloggers(attacked), target
+        )
+        assert after <= 3, f"link farm should buy the top (was #{before})"
+        assert after < before

@@ -1,0 +1,225 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.data import figure1_corpus, save_corpus
+
+
+@pytest.fixture(scope="module")
+def store_dir(tmp_path_factory):
+    """An XML store backing the CLI's --store / --data options."""
+    path = tmp_path_factory.mktemp("clistore")
+    assert main(["generate", "--out", str(path), "--bloggers", "120",
+                 "--seed", "6"]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_generate_writes_store(self, tmp_path, capsys):
+        code = main(["generate", "--out", str(tmp_path / "g"),
+                     "--bloggers", "30", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "30 bloggers" in out
+        assert (tmp_path / "g" / "index.xml").exists()
+
+
+class TestCrawl:
+    def test_crawl_from_store(self, store_dir, tmp_path, capsys):
+        code = main([
+            "crawl", "--store", str(store_dir),
+            "--seed-blogger", "blogger-0000", "--radius", "1",
+            "--out", str(tmp_path / "c"),
+        ])
+        assert code == 0
+        assert "crawled" in capsys.readouterr().out
+        assert (tmp_path / "c" / "index.xml").exists()
+
+    def test_crawl_bad_seed_errors(self, store_dir, tmp_path, capsys):
+        code = main([
+            "crawl", "--store", str(store_dir),
+            "--seed-blogger", "ghost", "--out", str(tmp_path / "c2"),
+        ])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAnalyze:
+    def test_general_ranking(self, store_dir, capsys):
+        assert main(["analyze", "--data", str(store_dir), "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Top 2 overall" in out
+        assert "1. blogger-" in out
+
+    def test_domain_ranking(self, store_dir, capsys):
+        assert main([
+            "analyze", "--data", str(store_dir), "--domain", "Art",
+            "--top", "3",
+        ]) == 0
+        assert "Top 3 in Art" in capsys.readouterr().out
+
+    def test_toolbar_parameters(self, store_dir, capsys):
+        assert main([
+            "analyze", "--data", str(store_dir), "--alpha", "1.0",
+            "--beta", "0.2", "--top", "1",
+        ]) == 0
+
+
+class TestAdvertise:
+    def test_text_mode(self, store_dir, capsys):
+        assert main([
+            "advertise", "--data", str(store_dir),
+            "--text", "a marathon stadium game for every athlete",
+            "--top", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mined interest vector" in out
+        assert "Recommended bloggers" in out
+
+    def test_dropdown_mode(self, store_dir, capsys):
+        assert main([
+            "advertise", "--data", str(store_dir),
+            "--domain", "Sports", "--domain", "Travel", "--top", "2",
+        ]) == 0
+        assert "mode: domains" in capsys.readouterr().out
+
+    def test_general_fallback(self, store_dir, capsys):
+        assert main(["advertise", "--data", str(store_dir)]) == 0
+        assert "mode: general" in capsys.readouterr().out
+
+
+class TestRecommend:
+    def test_profile_mode(self, store_dir, capsys):
+        assert main([
+            "recommend", "--data", str(store_dir),
+            "--profile", "painting sculpture gallery museum art",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mined interests" in out
+        assert "Bloggers to follow" in out
+
+    def test_blogger_mode(self, store_dir, capsys):
+        assert main([
+            "recommend", "--data", str(store_dir),
+            "--blogger", "blogger-0000", "--domain", "Travel",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "blogger-0000" not in out.split("Bloggers to follow")[1]
+
+
+class TestDetailAndVisualize:
+    def test_detail(self, store_dir, capsys):
+        assert main([
+            "detail", "--data", str(store_dir), "--blogger", "blogger-0001",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "total influence" in out
+        assert "domain scores" in out
+
+    def test_detail_unknown_blogger(self, store_dir, capsys):
+        assert main([
+            "detail", "--data", str(store_dir), "--blogger", "ghost",
+        ]) == 1
+
+    def test_visualize_with_save(self, store_dir, tmp_path, capsys):
+        out_file = tmp_path / "net.xml"
+        assert main([
+            "visualize", "--data", str(store_dir),
+            "--center", "blogger-0001", "--out", str(out_file),
+        ]) == 0
+        assert out_file.exists()
+        assert "bloggers" in capsys.readouterr().out
+
+
+class TestTable1:
+    def test_table1_runs(self, capsys):
+        assert main(["table1", "--bloggers", "150", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Average Applicable Scores" in out
+        assert "Domain Specific" in out
+
+
+class TestFig1Data:
+    def test_analyze_fig1_store(self, tmp_path, capsys):
+        # The CLI works on any XML store, including the Fig. 1 sample.
+        save_corpus(figure1_corpus(), tmp_path)
+        assert main(["analyze", "--data", str(tmp_path), "--top", "1"]) == 0
+        assert "amery" in capsys.readouterr().out
+
+
+class TestCampaign:
+    def test_domain_mode(self, store_dir, capsys):
+        assert main([
+            "campaign", "--data", str(store_dir), "--domain", "Sports",
+            "--top", "2", "--coverage-weight", "0.7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign selection" in out
+        assert "audience covered" in out
+
+    def test_text_mode(self, store_dir, capsys):
+        assert main([
+            "campaign", "--data", str(store_dir),
+            "--text", "the stadium game and marathon",
+        ]) == 0
+        assert "target interests" in capsys.readouterr().out
+
+
+class TestTrend:
+    def test_trend_output(self, store_dir, capsys):
+        assert main([
+            "trend", "--data", str(store_dir),
+            "--window-days", "120", "--step-days", "120", "--top", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "rising bloggers" in out
+        assert "slope" in out
+
+
+class TestDiscover:
+    def test_discover_topics(self, store_dir, capsys):
+        assert main([
+            "discover", "--data", str(store_dir), "--k", "4",
+            "--max-posts", "300",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "discovered 4 topics" in out
+        assert "posts]" in out
+
+
+class TestStats:
+    def test_stats_output(self, store_dir, capsys):
+        assert main(["stats", "--data", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "post-reply network" in out
+        assert "in-degree Gini" in out
+
+
+class TestVisualizeSvg:
+    def test_svg_written(self, store_dir, tmp_path, capsys):
+        svg_path = tmp_path / "net.svg"
+        assert main([
+            "visualize", "--data", str(store_dir),
+            "--center", "blogger-0001", "--svg", str(svg_path),
+        ]) == 0
+        assert svg_path.exists()
+        assert svg_path.read_text().startswith("<svg")
+
+
+class TestErrorHandling:
+    def test_invalid_toolbar_value_exits_nonzero(self, store_dir, capsys):
+        code = main(["analyze", "--data", str(store_dir), "--alpha", "7"])
+        assert code == 1
+        assert "alpha" in capsys.readouterr().err
+
+    def test_missing_data_directory(self, tmp_path, capsys):
+        code = main(["analyze", "--data", str(tmp_path / "nowhere")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_visualize_unknown_center(self, store_dir, capsys):
+        code = main([
+            "visualize", "--data", str(store_dir), "--center", "ghost",
+        ])
+        assert code == 1

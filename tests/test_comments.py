@@ -1,0 +1,171 @@
+"""Unit tests for the CommentScore machinery (Eq. 3)."""
+
+import math
+
+import pytest
+
+from repro.core import CommentModel, MassParameters
+from repro.data import CorpusBuilder
+from repro.nlp import Sentiment
+
+
+def build_corpus():
+    builder = CorpusBuilder()
+    for blogger_id in ("author", "fan", "critic", "busy"):
+        builder.blogger(blogger_id)
+    post = builder.post("author", body="the main post " * 10)
+    other = builder.post("busy", body="another post")
+    builder.comment(post.post_id, "fan", text="I agree, wonderful work")
+    builder.comment(post.post_id, "critic", text="this is wrong and misleading")
+    # "busy" writes two comments in total: one here, one on their own post.
+    builder.comment(post.post_id, "busy",
+                    text="some notes on the thing from last week")
+    builder.comment(other.post_id, "busy", text="adding a note to myself")
+    return builder.build(), post.post_id, other.post_id
+
+
+class TestTerms:
+    def test_sentiments_resolved(self):
+        corpus, post_id, _ = build_corpus()
+        model = CommentModel(corpus, MassParameters())
+        sentiments = {
+            term.commenter_id: term.sentiment
+            for term in model.terms_for(post_id)
+        }
+        assert sentiments["fan"] is Sentiment.POSITIVE
+        assert sentiments["critic"] is Sentiment.NEGATIVE
+        assert sentiments["busy"] is Sentiment.NEUTRAL
+
+    def test_tc_counts_all_comments(self):
+        corpus, post_id, _ = build_corpus()
+        model = CommentModel(corpus, MassParameters())
+        busy_term = next(
+            term for term in model.terms_for(post_id)
+            if term.commenter_id == "busy"
+        )
+        # busy wrote 2 comments overall -> TC = 2, weight = 0.5/2.
+        assert busy_term.total_comments == 2
+        assert math.isclose(busy_term.citation_weight, 0.5 / 2)
+
+    def test_self_comments_excluded_by_default(self):
+        corpus, _, other_id = build_corpus()
+        model = CommentModel(corpus, MassParameters())
+        assert model.terms_for(other_id) == []
+
+    def test_self_comments_included_when_enabled(self):
+        corpus, _, other_id = build_corpus()
+        model = CommentModel(
+            corpus, MassParameters(include_self_comments=True)
+        )
+        assert len(model.terms_for(other_id)) == 1
+
+    def test_uncommented_post_empty(self):
+        corpus, _, _ = build_corpus()
+        model = CommentModel(corpus, MassParameters())
+        assert model.terms_for("no-such-post") == []
+
+
+class TestCommentScore:
+    def test_eq3_hand_computed(self):
+        corpus, post_id, _ = build_corpus()
+        model = CommentModel(corpus, MassParameters())
+        influence = {"fan": 2.0, "critic": 1.0, "busy": 4.0}
+        # fan: 2.0*1.0/1; critic: 1.0*0.1/1; busy: 4.0*0.5/2 = 1.0
+        expected = 2.0 + 0.1 + 1.0
+        assert math.isclose(model.comment_score(post_id, influence), expected)
+
+    def test_zero_for_uncommented(self):
+        corpus, _, _ = build_corpus()
+        model = CommentModel(corpus, MassParameters())
+        assert model.comment_score("ghost", {"fan": 1.0}) == 0.0
+
+    def test_missing_influence_reads_zero(self):
+        corpus, post_id, _ = build_corpus()
+        model = CommentModel(corpus, MassParameters())
+        assert model.comment_score(post_id, {}) == 0.0
+
+    def test_citation_off_counts_sentiment(self):
+        corpus, post_id, _ = build_corpus()
+        model = CommentModel(corpus, MassParameters(use_citation=False))
+        # Influence-free: sum of SF values = 1.0 + 0.1 + 0.5.
+        score = model.comment_score(post_id, {"fan": 99.0})
+        assert math.isclose(score, 1.6)
+
+    def test_sentiment_off_all_neutral(self):
+        corpus, post_id, _ = build_corpus()
+        model = CommentModel(corpus, MassParameters(use_sentiment=False))
+        influence = {"fan": 1.0, "critic": 1.0, "busy": 1.0}
+        # All SF = 0.5: 0.5/1 + 0.5/1 + 0.5/2.
+        assert math.isclose(
+            model.comment_score(post_id, influence), 0.5 + 0.5 + 0.25
+        )
+
+
+class TestDiagnostics:
+    def test_sentiment_distribution(self):
+        corpus, _, _ = build_corpus()
+        model = CommentModel(corpus, MassParameters())
+        distribution = model.sentiment_distribution()
+        assert distribution[Sentiment.POSITIVE] == 1
+        assert distribution[Sentiment.NEGATIVE] == 1
+        assert distribution[Sentiment.NEUTRAL] == 1  # self-comment skipped
+
+    def test_num_commented_posts(self):
+        corpus, _, _ = build_corpus()
+        model = CommentModel(corpus, MassParameters())
+        assert model.num_commented_posts() == 1
+
+
+class TestGradedSentiment:
+    def test_graded_sf_interpolates(self):
+        corpus, post_id, _ = build_corpus()
+        model = CommentModel(
+            corpus, MassParameters(sentiment_mode="graded")
+        )
+        sfs = {
+            term.commenter_id: term.sf for term in model.terms_for(post_id)
+        }
+        # "I agree, wonderful work": two positive hits, zero negative
+        # -> full positive factor.
+        assert sfs["fan"] == pytest.approx(1.0)
+        # "this is wrong and misleading": two negative hits -> full
+        # negative factor.
+        assert sfs["critic"] == pytest.approx(0.1)
+        # Hit-free comment stays neutral.
+        assert sfs["busy"] == pytest.approx(0.5)
+
+    def test_mixed_comment_lands_between(self):
+        builder = CorpusBuilder()
+        builder.blogger("author").blogger("mixed")
+        post = builder.post("author", body="post " * 10)
+        builder.comment(
+            post.post_id, "mixed",
+            text="great great great but wrong in one place",
+        )
+        corpus = builder.build()
+        graded = CommentModel(
+            corpus, MassParameters(sentiment_mode="graded")
+        ).terms_for(post.post_id)[0]
+        discrete = CommentModel(
+            corpus, MassParameters()
+        ).terms_for(post.post_id)[0]
+        # Discrete mode calls it positive (3 vs 1 hits) -> SF 1.0;
+        # graded tempers it: 0.5 + (2/4)*0.5 = 0.75.
+        assert discrete.sf == 1.0
+        assert graded.sf == pytest.approx(0.75)
+
+    def test_invalid_mode_rejected(self):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError, match="sentiment_mode"):
+            MassParameters(sentiment_mode="fuzzy")
+
+    def test_graded_respects_sentiment_toggle(self):
+        corpus, post_id, _ = build_corpus()
+        model = CommentModel(
+            corpus,
+            MassParameters(sentiment_mode="graded", use_sentiment=False),
+        )
+        assert all(
+            term.sf == 0.5 for term in model.terms_for(post_id)
+        )

@@ -1,0 +1,139 @@
+"""Unit and property tests for the weighted digraph."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph import Digraph
+
+node = st.sampled_from(list("abcdefgh"))
+edge = st.tuples(node, node)
+
+
+def diamond() -> Digraph:
+    graph = Digraph()
+    graph.add_edges([("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+    return graph
+
+
+class TestConstruction:
+    def test_add_edge_adds_nodes(self):
+        graph = Digraph()
+        graph.add_edge("x", "y")
+        assert "x" in graph and "y" in graph
+        assert graph.has_edge("x", "y")
+        assert not graph.has_edge("y", "x")
+
+    def test_parallel_edges_accumulate(self):
+        graph = Digraph()
+        graph.add_edge("x", "y", 1.0)
+        graph.add_edge("x", "y", 2.5)
+        assert graph.weight("x", "y") == 3.5
+        assert graph.num_edges() == 1
+
+    def test_nonpositive_weight_rejected(self):
+        graph = Digraph()
+        with pytest.raises(ValueError):
+            graph.add_edge("x", "y", 0.0)
+        with pytest.raises(ValueError):
+            graph.add_edge("x", "y", -1.0)
+
+    def test_add_node_idempotent(self):
+        graph = Digraph()
+        graph.add_node("x")
+        graph.add_node("x")
+        assert len(graph) == 1
+
+
+class TestQueries:
+    def test_nodes_sorted(self):
+        graph = Digraph()
+        for n in ["z", "a", "m"]:
+            graph.add_node(n)
+        assert graph.nodes() == ["a", "m", "z"]
+        assert list(graph) == ["a", "m", "z"]
+
+    def test_degrees(self):
+        graph = diamond()
+        assert graph.out_degree("a") == 2
+        assert graph.in_degree("d") == 2
+        assert graph.out_degree("d") == 0
+        graph.add_edge("a", "b", 3.0)
+        assert graph.out_degree("a", weighted=True) == 5.0
+
+    def test_successors_predecessors_are_copies(self):
+        graph = diamond()
+        successors = graph.successors("a")
+        successors["zzz"] = 1.0
+        assert "zzz" not in graph.successors("a")
+
+    def test_missing_node_queries(self):
+        graph = Digraph()
+        assert graph.successors("nope") == {}
+        assert graph.weight("a", "b") == 0.0
+        assert graph.out_degree("nope") == 0.0
+
+    def test_edges_sorted(self):
+        graph = diamond()
+        assert graph.edges() == [
+            ("a", "b", 1.0),
+            ("a", "c", 1.0),
+            ("b", "d", 1.0),
+            ("c", "d", 1.0),
+        ]
+
+
+class TestNeighborhood:
+    def test_radius_zero(self):
+        assert diamond().neighborhood("a", 0) == {"a"}
+
+    def test_radius_one_undirected(self):
+        # d's radius-1 includes predecessors b and c.
+        assert diamond().neighborhood("d", 1) == {"b", "c", "d"}
+
+    def test_radius_two_covers_diamond(self):
+        assert diamond().neighborhood("a", 2) == {"a", "b", "c", "d"}
+
+    def test_unknown_seed_rejected(self):
+        with pytest.raises(KeyError):
+            diamond().neighborhood("zz", 1)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            diamond().neighborhood("a", -1)
+
+
+class TestDerived:
+    def test_subgraph(self):
+        sub = diamond().subgraph(["a", "b", "d"])
+        assert sub.nodes() == ["a", "b", "d"]
+        assert sub.has_edge("a", "b")
+        assert sub.has_edge("b", "d")
+        assert not sub.has_edge("a", "c")
+
+    def test_subgraph_ignores_unknown(self):
+        sub = diamond().subgraph(["a", "ghost"])
+        assert sub.nodes() == ["a"]
+
+    def test_reversed(self):
+        rev = diamond().reversed()
+        assert rev.has_edge("b", "a")
+        assert not rev.has_edge("a", "b")
+        assert rev.num_edges() == 4
+
+    @given(st.lists(edge, max_size=30))
+    def test_reverse_involution(self, edges):
+        graph = Digraph()
+        for source, target in edges:
+            graph.add_edge(source, target)
+        double = graph.reversed().reversed()
+        assert double.edges() == graph.edges()
+
+    @given(st.lists(edge, max_size=30))
+    def test_degree_sums_match_edge_count(self, edges):
+        graph = Digraph()
+        for source, target in edges:
+            graph.add_edge(source, target)
+        total_out = sum(graph.out_degree(n) for n in graph)
+        total_in = sum(graph.in_degree(n) for n in graph)
+        assert total_out == total_in == graph.num_edges()

@@ -1,0 +1,96 @@
+"""Unit tests for domain-specific influence (Eq. 5)."""
+
+import math
+
+import pytest
+
+from repro.core import DomainInfluence, InfluenceSolver, MassParameters
+from repro.errors import ParameterError
+from repro.nlp import NaiveBayesClassifier
+
+
+@pytest.fixture(scope="module")
+def fig1_domain_influence(fig1_corpus, fig1_seed_words):
+    scores = InfluenceSolver(fig1_corpus, MassParameters()).solve()
+    classifier = NaiveBayesClassifier.from_seed_vocabulary(fig1_seed_words)
+    return DomainInfluence.from_classifier(fig1_corpus, scores, classifier), scores
+
+
+class TestEq5:
+    def test_vector_sums_post_contributions(self, fig1_domain_influence,
+                                            fig1_corpus):
+        domain_influence, scores = fig1_domain_influence
+        vector = domain_influence.vector("amery")
+        # Eq. 5: sum over amery's posts of Inf(post) * iv(post, domain).
+        for domain in ("Computer", "Economics"):
+            expected = sum(
+                scores.post_influence[post.post_id]
+                * domain_influence.post_membership(post.post_id)[domain]
+                for post in fig1_corpus.posts_by("amery")
+            )
+            assert math.isclose(vector[domain], expected, abs_tol=1e-12)
+
+    def test_domain_split_matches_figure(self, fig1_domain_influence):
+        domain_influence, _ = fig1_domain_influence
+        # Amery: post1 CS, post2 Econ -> influence in both domains.
+        vector = domain_influence.vector("amery")
+        assert vector["Computer"] > 0.1
+        assert vector["Economics"] > 0.1
+        # Helen posts only CS.
+        helen = domain_influence.vector("helen")
+        assert helen["Computer"] > helen["Economics"] * 5
+
+    def test_domain_totals_bounded_by_total_ap(self, fig1_domain_influence,
+                                               fig1_corpus):
+        domain_influence, scores = fig1_domain_influence
+        for blogger_id in fig1_corpus.blogger_ids():
+            vector = domain_influence.vector(blogger_id)
+            # Memberships sum to 1 per post, so Σ_t Inf(b, C_t) = AP(b).
+            assert math.isclose(
+                sum(vector.values()), scores.ap[blogger_id], abs_tol=1e-9
+            )
+
+
+class TestRankings:
+    def test_amery_tops_both_domains(self, fig1_domain_influence):
+        domain_influence, _ = fig1_domain_influence
+        assert domain_influence.ranking("Computer", 1)[0][0] == "amery"
+        assert domain_influence.ranking("Economics", 1)[0][0] == "amery"
+
+    def test_ranking_full_when_k_none(self, fig1_domain_influence):
+        domain_influence, _ = fig1_domain_influence
+        assert len(domain_influence.ranking("Computer")) == 9
+
+    def test_unknown_domain_rejected(self, fig1_domain_influence):
+        domain_influence, _ = fig1_domain_influence
+        with pytest.raises(ParameterError, match="unknown domain"):
+            domain_influence.ranking("Astrology")
+        with pytest.raises(ParameterError, match="unknown domain"):
+            domain_influence.score("amery", "Astrology")
+
+
+class TestWeightedScores:
+    def test_dot_product(self, fig1_domain_influence):
+        domain_influence, _ = fig1_domain_influence
+        interest = {"Computer": 1.0, "Economics": 0.0}
+        weighted = domain_influence.weighted_scores(interest)
+        assert math.isclose(
+            weighted["amery"], domain_influence.score("amery", "Computer")
+        )
+
+    def test_unknown_interest_domain_rejected(self, fig1_domain_influence):
+        domain_influence, _ = fig1_domain_influence
+        with pytest.raises(ParameterError, match="unknown domains"):
+            domain_influence.weighted_scores({"Astrology": 1.0})
+
+
+class TestConstruction:
+    def test_missing_memberships_rejected(self, fig1_corpus):
+        scores = InfluenceSolver(fig1_corpus).solve()
+        with pytest.raises(ParameterError, match="memberships missing"):
+            DomainInfluence(fig1_corpus, scores, {}, ["Computer"])
+
+    def test_empty_domains_rejected(self, fig1_corpus):
+        scores = InfluenceSolver(fig1_corpus).solve()
+        with pytest.raises(ParameterError, match="at least one domain"):
+            DomainInfluence(fig1_corpus, scores, {}, [])

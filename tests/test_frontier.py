@@ -1,0 +1,77 @@
+"""Unit tests for the BFS crawl frontier."""
+
+import pytest
+
+from repro.crawler import Frontier
+
+
+class TestWaves:
+    def test_seed_wave_first(self):
+        frontier = Frontier(["b", "a"], radius=2)
+        assert frontier.next_wave() == ["a", "b"]
+        assert frontier.current_depth == 0
+
+    def test_duplicate_seeds_deduped(self):
+        frontier = Frontier(["a", "a"], radius=1)
+        assert frontier.next_wave() == ["a"]
+
+    def test_discovery_advances_depth(self):
+        frontier = Frontier(["seed"], radius=2)
+        frontier.next_wave()
+        frontier.discover(["n1", "n2"])
+        assert frontier.next_wave() == ["n1", "n2"]
+        assert frontier.current_depth == 1
+        frontier.discover(["n3"])
+        assert frontier.next_wave() == ["n3"]
+        assert frontier.current_depth == 2
+
+    def test_radius_limits_expansion(self):
+        frontier = Frontier(["seed"], radius=0)
+        frontier.next_wave()
+        frontier.discover(["n1"])
+        assert frontier.next_wave() == []
+
+    def test_already_discovered_not_requeued(self):
+        frontier = Frontier(["seed"], radius=3)
+        frontier.next_wave()
+        frontier.discover(["seed", "n1"])
+        assert frontier.next_wave() == ["n1"]
+        frontier.discover(["n1", "seed"])
+        assert frontier.next_wave() == []
+
+    def test_empty_when_nothing_discovered(self):
+        frontier = Frontier(["seed"], radius=5)
+        frontier.next_wave()
+        assert frontier.next_wave() == []
+
+
+class TestBudget:
+    def test_max_spaces_caps_admission(self):
+        frontier = Frontier(["s"], radius=3, max_spaces=3)
+        frontier.next_wave()
+        frontier.discover(["a", "b", "c", "d"])
+        wave = frontier.next_wave()
+        assert wave == ["a", "b"]  # 1 seed + 2 = 3
+        assert frontier.scheduled == 3
+
+    def test_budget_spans_waves(self):
+        frontier = Frontier(["s"], radius=3, max_spaces=2)
+        frontier.next_wave()
+        frontier.discover(["a"])
+        assert frontier.next_wave() == ["a"]
+        frontier.discover(["b"])
+        assert frontier.next_wave() == []
+
+
+class TestValidation:
+    def test_no_seeds_rejected(self):
+        with pytest.raises(ValueError, match="seed"):
+            Frontier([], radius=1)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError, match="radius"):
+            Frontier(["a"], radius=-1)
+
+    def test_bad_max_spaces_rejected(self):
+        with pytest.raises(ValueError, match="max_spaces"):
+            Frontier(["a"], radius=1, max_spaces=0)

@@ -1,0 +1,192 @@
+"""Unit tests for the blogosphere generator."""
+
+import pytest
+
+from repro.data import dumps_corpus
+from repro.errors import ParameterError
+from repro.nlp import SentimentClassifier
+from repro.synth import BlogosphereConfig, BlogosphereGenerator, generate_blogosphere
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        BlogosphereConfig()
+
+    def test_paper_scale(self):
+        config = BlogosphereConfig.paper_scale()
+        assert config.num_bloggers == 3000
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_bloggers": 0},
+            {"posts_per_blogger": 0},
+            {"mean_post_words": 5},
+            {"copied_post_fraction": 1.0},
+            {"planted_per_domain": -1},
+            {"domains": ()},
+            {"domains": ("Sports", "Sports")},
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ParameterError):
+            BlogosphereConfig(**kwargs)
+
+    def test_too_many_planted(self):
+        with pytest.raises(ParameterError, match="plant"):
+            BlogosphereConfig(num_bloggers=5, planted_per_domain=3)
+
+
+class TestGeneration:
+    def test_counts(self, small_blogosphere):
+        corpus, truth = small_blogosphere
+        assert len(corpus) == 120
+        assert len(corpus.posts) > 120  # everyone posts at least once
+        assert len(truth.bloggers) == 120
+
+    def test_deterministic(self):
+        config = BlogosphereConfig(num_bloggers=50)
+        corpus1, truth1 = generate_blogosphere(config, seed=9)
+        corpus2, truth2 = generate_blogosphere(config, seed=9)
+        assert dumps_corpus(corpus1) == dumps_corpus(corpus2)
+        assert truth1.copied_posts == truth2.copied_posts
+        assert truth1.comment_sentiments == truth2.comment_sentiments
+
+    def test_seeds_differ(self):
+        config = BlogosphereConfig(num_bloggers=50)
+        corpus1, _ = generate_blogosphere(config, seed=1)
+        corpus2, _ = generate_blogosphere(config, seed=2)
+        assert dumps_corpus(corpus1) != dumps_corpus(corpus2)
+
+    def test_corpus_is_frozen_and_valid(self, small_blogosphere):
+        corpus, _ = small_blogosphere
+        assert corpus.frozen
+
+    def test_planted_influencers_exist_per_domain(self, small_blogosphere):
+        _, truth = small_blogosphere
+        for domain in truth.domains:
+            planted = truth.planted_influencers(domain)
+            assert len(planted) == 3
+            for blogger_id in planted:
+                assert truth.bloggers[blogger_id].latent_influence >= 0.9
+
+    def test_planted_attract_more_comments(self, small_blogosphere):
+        corpus, truth = small_blogosphere
+        planted = {
+            blogger_id
+            for domain in truth.domains
+            for blogger_id in truth.planted_influencers(domain)
+        }
+        def received(blogger_id):
+            return sum(
+                len(corpus.comments_on(post.post_id))
+                for post in corpus.posts_by(blogger_id)
+            )
+        planted_avg = sum(received(b) for b in planted) / len(planted)
+        others = [b for b in corpus.blogger_ids() if b not in planted]
+        other_avg = sum(received(b) for b in others) / len(others)
+        assert planted_avg > 2 * other_avg
+
+    def test_ground_truth_covers_all_posts(self, small_blogosphere):
+        corpus, truth = small_blogosphere
+        assert set(truth.post_domains) == set(corpus.posts)
+
+    def test_ground_truth_covers_all_comments(self, small_blogosphere):
+        corpus, truth = small_blogosphere
+        assert set(truth.comment_sentiments) == set(corpus.comments)
+
+    def test_sentiments_recoverable_by_classifier(self, small_blogosphere):
+        corpus, truth = small_blogosphere
+        classifier = SentimentClassifier()
+        sample = sorted(truth.comment_sentiments)[:300]
+        hits = sum(
+            1
+            for comment_id in sample
+            if classifier.classify(corpus.comments[comment_id].text)
+            is truth.comment_sentiments[comment_id]
+        )
+        assert hits / len(sample) > 0.95
+
+    def test_copied_posts_marked(self, small_blogosphere):
+        corpus, truth = small_blogosphere
+        from repro.core import LexiconNoveltyDetector
+
+        detector = LexiconNoveltyDetector()
+        assert truth.copied_posts, "generator should produce some copies"
+        for post_id in sorted(truth.copied_posts)[:20]:
+            assert detector.is_copy(corpus.posts[post_id])
+
+    def test_profiles_nonempty(self, small_blogosphere):
+        corpus, _ = small_blogosphere
+        assert all(b.profile_text for b in corpus.bloggers.values())
+
+    def test_links_favor_high_latent(self, small_blogosphere):
+        corpus, truth = small_blogosphere
+        ranked = sorted(
+            corpus.blogger_ids(),
+            key=lambda b: truth.bloggers[b].latent_influence,
+            reverse=True,
+        )
+        top_in = sum(len(corpus.in_links(b)) for b in ranked[:12]) / 12
+        bottom_in = sum(len(corpus.in_links(b)) for b in ranked[-60:]) / 60
+        assert top_in > bottom_in
+
+    def test_generator_config_property(self):
+        generator = BlogosphereGenerator(
+            BlogosphereConfig(num_bloggers=10, planted_per_domain=1)
+        )
+        assert generator.config.num_bloggers == 10
+
+    def test_single_blogger_edge_case(self):
+        corpus, truth = generate_blogosphere(
+            BlogosphereConfig(num_bloggers=1, planted_per_domain=0), seed=0
+        )
+        assert len(corpus) == 1
+        assert len(corpus.comments) == 0  # no one to comment
+        assert len(corpus.links) == 0
+
+
+class TestRisingBloggers:
+    def test_no_rising_by_default(self, small_blogosphere):
+        _, truth = small_blogosphere
+        assert truth.rising_bloggers() == []
+
+    def test_rising_marked_and_ramped(self):
+        config = BlogosphereConfig(
+            num_bloggers=150, posts_per_blogger=8, rising_bloggers=4,
+            planted_per_domain=1,
+        )
+        corpus, truth = generate_blogosphere(config, seed=5)
+        rising = truth.rising_bloggers()
+        assert len(rising) == 4
+        for blogger_id in rising:
+            assert truth.bloggers[blogger_id].rising
+            # Posts skew late: mean day above the uniform midpoint.
+            days = [p.created_day for p in corpus.posts_by(blogger_id)]
+            assert sum(days) / len(days) > 365 * 0.5
+
+    def test_rising_comments_ramp(self):
+        config = BlogosphereConfig(
+            num_bloggers=150, posts_per_blogger=10, rising_bloggers=4,
+            planted_per_domain=1,
+        )
+        corpus, truth = generate_blogosphere(config, seed=6)
+        early = late = 0
+        for blogger_id in truth.rising_bloggers():
+            for post in corpus.posts_by(blogger_id):
+                count = len(corpus.comments_on(post.post_id))
+                if post.created_day < 183:
+                    early += count
+                else:
+                    late += count
+        assert late > early
+
+    def test_invalid_rising_count(self):
+        import pytest as _pytest
+        from repro.errors import ParameterError as _PE
+
+        with _pytest.raises(_PE):
+            BlogosphereConfig(rising_bloggers=-1)
+        with _pytest.raises(_PE, match="plant"):
+            BlogosphereConfig(num_bloggers=31, rising_bloggers=2,
+                              planted_per_domain=3)

@@ -1,0 +1,59 @@
+"""Unit tests for ground-truth bookkeeping."""
+
+import math
+
+import pytest
+
+from repro.synth import BloggerTruth, GroundTruth
+
+
+@pytest.fixture()
+def truth() -> GroundTruth:
+    bloggers = {
+        "star": BloggerTruth(
+            "star", 1.0, {"Sports": 0.8, "Art": 0.2}, ("Sports",)
+        ),
+        "mid": BloggerTruth("mid", 0.5, {"Sports": 0.5, "Art": 0.5}),
+        "weak": BloggerTruth("weak", 0.1, {"Sports": 0.1, "Art": 0.9}),
+    }
+    return GroundTruth(domains=["Sports", "Art"], bloggers=bloggers)
+
+
+class TestStrengths:
+    def test_domain_strength_product(self, truth):
+        assert math.isclose(
+            truth.bloggers["star"].domain_strength("Sports"), 0.8
+        )
+        assert truth.bloggers["star"].domain_strength("Travel") == 0.0
+
+    def test_domain_strengths_map(self, truth):
+        strengths = truth.domain_strengths("Sports")
+        assert set(strengths) == {"star", "mid", "weak"}
+        assert strengths["star"] > strengths["mid"] > strengths["weak"]
+
+    def test_unknown_domain_rejected(self, truth):
+        with pytest.raises(KeyError):
+            truth.domain_strengths("Travel")
+
+    def test_general_strengths(self, truth):
+        assert truth.general_strengths()["star"] == 1.0
+
+
+class TestRankingsAndApplicability:
+    def test_top_true_influencers(self, truth):
+        assert truth.top_true_influencers("Sports", 2) == ["star", "mid"]
+        assert truth.top_true_influencers("Art", 1) == ["mid"]
+
+    def test_planted_influencers(self, truth):
+        assert truth.planted_influencers("Sports") == ["star"]
+        assert truth.planted_influencers("Art") == []
+
+    def test_applicability_normalized(self, truth):
+        assert math.isclose(truth.applicability("star", "Sports"), 1.0)
+        assert 0.0 < truth.applicability("weak", "Sports") < 1.0
+        assert truth.applicability("ghost", "Sports") == 0.0
+
+    def test_general_applicability(self, truth):
+        assert math.isclose(truth.general_applicability("star"), 1.0)
+        assert math.isclose(truth.general_applicability("mid"), 0.5)
+        assert truth.general_applicability("ghost") == 0.0

@@ -1,0 +1,87 @@
+"""Unit tests for HITS."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.graph import Digraph, hits
+
+node = st.sampled_from(list("abcdef"))
+
+
+def star_to_center() -> Digraph:
+    # One connected component: h, a, b all endorse "center"; h also
+    # fans out to x and y, making it the strongest hub.
+    graph = Digraph()
+    graph.add_edges(
+        [("h", "center"), ("a", "center"), ("b", "center"),
+         ("h", "x"), ("h", "y")]
+    )
+    return graph
+
+
+class TestBasics:
+    def test_empty_graph(self):
+        result = hits(Digraph())
+        assert result.authorities == {}
+        assert result.converged
+
+    def test_authority_vs_hub_roles(self):
+        result = hits(star_to_center())
+        best_authority = max(result.authorities, key=result.authorities.get)
+        assert best_authority == "center"
+        best_hub = max(result.hubs, key=result.hubs.get)
+        assert best_hub == "h"
+
+    def test_scores_sum_to_one(self):
+        result = hits(star_to_center())
+        assert math.isclose(sum(result.authorities.values()), 1.0)
+        assert math.isclose(sum(result.hubs.values()), 1.0)
+
+    def test_isolated_nodes_zero(self):
+        graph = Digraph()
+        graph.add_edge("a", "b")
+        graph.add_node("loner")
+        result = hits(graph)
+        assert result.authorities["loner"] == 0.0
+        assert result.hubs["loner"] == 0.0
+
+    def test_weights_matter(self):
+        graph = Digraph()
+        graph.add_edge("h", "heavy", 5.0)
+        graph.add_edge("h", "light", 1.0)
+        result = hits(graph)
+        assert result.authorities["heavy"] > result.authorities["light"]
+
+
+class TestValidation:
+    def test_bad_tolerance(self):
+        with pytest.raises(ParameterError):
+            hits(star_to_center(), tolerance=-1)
+
+    def test_bad_max_iterations(self):
+        with pytest.raises(ParameterError):
+            hits(star_to_center(), max_iterations=0)
+
+    def test_nonconverged_flagged(self):
+        graph = Digraph()
+        graph.add_edges([("a", "b"), ("b", "c"), ("c", "a"), ("a", "c")])
+        result = hits(graph, max_iterations=1, tolerance=1e-18)
+        assert not result.converged
+
+
+class TestProperties:
+    @settings(max_examples=30)
+    @given(st.lists(st.tuples(node, node), min_size=1, max_size=25))
+    def test_nonnegative_and_normalized(self, edges):
+        graph = Digraph()
+        for source, target in edges:
+            graph.add_edge(source, target)
+        result = hits(graph)
+        assert all(value >= 0 for value in result.authorities.values())
+        total = sum(result.authorities.values())
+        if total > 0:
+            assert math.isclose(total, 1.0, abs_tol=1e-6)

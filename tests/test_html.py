@@ -1,0 +1,134 @@
+"""Tests for HTML rendering/scraping of space pages."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crawler import (
+    BlogCrawler,
+    CrawlConfig,
+    HtmlBlogService,
+    SimulatedBlogService,
+    parse_space_html,
+    render_space_html,
+)
+from repro.data import Blogger, Comment, Link, Post, dumps_corpus
+from repro.crawler.service import SpacePage
+from repro.errors import CrawlError
+
+
+@pytest.fixture(scope="module")
+def amery_page(fig1_corpus):
+    return SimulatedBlogService(fig1_corpus).fetch_space("amery")
+
+
+class TestRender:
+    def test_contains_all_sections(self, amery_page):
+        markup = render_space_html(amery_page)
+        assert '<div class="profile" data-id="amery"' in markup
+        assert 'class="post" data-id="post1"' in markup
+        assert 'class="comment" data-id=' in markup
+        assert "<!DOCTYPE html>" in markup
+
+    def test_escapes_markup_in_text(self):
+        page = SpacePage(
+            Blogger("x", name="<b>bold</b>", profile_text="a & b"),
+            (Post("p", "x", title="1 < 2", body="x > y"),),
+            (),
+            (),
+        )
+        markup = render_space_html(page)
+        assert "<b>bold</b>" not in markup
+        assert "&lt;b&gt;" in markup
+        assert "a &amp; b" in markup
+
+
+class TestRoundTrip:
+    def test_page_roundtrip(self, amery_page):
+        restored = parse_space_html(render_space_html(amery_page))
+        assert restored.blogger == amery_page.blogger
+        assert restored.posts == amery_page.posts
+        assert restored.comments == amery_page.comments
+        assert restored.links == amery_page.links
+
+    def test_all_fig1_pages_roundtrip(self, fig1_corpus):
+        service = SimulatedBlogService(fig1_corpus)
+        for blogger_id in fig1_corpus.blogger_ids():
+            page = service.fetch_space(blogger_id)
+            assert parse_space_html(render_space_html(page)) == page
+
+    @given(
+        name=st.text(max_size=40),
+        about=st.text(max_size=80),
+        body=st.text(max_size=120),
+        comment_text=st.text(max_size=60),
+    )
+    def test_arbitrary_text_roundtrips(self, name, about, body,
+                                       comment_text):
+        page = SpacePage(
+            Blogger("b1", name=name or "b1", profile_text=about),
+            (Post("p1", "b1", title="t", body=body, created_day=3),),
+            (Comment("c1", "p1", "b2", text=comment_text, created_day=4),),
+            (Link("b1", "b2", 2.0),),
+        )
+        restored = parse_space_html(render_space_html(page))
+        assert restored.posts[0].body == page.posts[0].body
+        assert restored.comments[0].text == page.comments[0].text
+        assert restored.blogger.profile_text == page.blogger.profile_text
+
+
+class TestParserErrors:
+    def test_no_profile(self):
+        with pytest.raises(CrawlError, match="no profile"):
+            parse_space_html("<html><body>nothing</body></html>")
+
+    def test_comment_outside_post(self):
+        markup = (
+            '<div class="profile" data-id="x" data-joined="0"></div>'
+            '<li class="comment" data-id="c" data-by="y" data-day="0">t</li>'
+        )
+        with pytest.raises(CrawlError, match="outside any post"):
+            parse_space_html(markup)
+
+    def test_malformed_post_day(self):
+        markup = (
+            '<div class="profile" data-id="x" data-joined="0"></div>'
+            '<div class="post" data-id="p" data-day="someday"></div>'
+        )
+        with pytest.raises(CrawlError, match="malformed post"):
+            parse_space_html(markup)
+
+    def test_bad_blogroll_href(self):
+        markup = (
+            '<div class="profile" data-id="x" data-joined="0"></div>'
+            '<a class="bloglink" href="http://evil" data-weight="1">y</a>'
+        )
+        with pytest.raises(CrawlError, match="unexpected blogroll href"):
+            parse_space_html(markup)
+
+
+class TestHtmlBlogService:
+    def test_crawl_through_html_identical(self, fig1_corpus):
+        """Crawling via the HTML layer must produce the same corpus as
+        crawling structured pages directly."""
+        direct = BlogCrawler(
+            SimulatedBlogService(fig1_corpus), CrawlConfig(radius=3)
+        ).crawl(["helen"])
+        via_html = BlogCrawler(
+            HtmlBlogService(SimulatedBlogService(fig1_corpus)),
+            CrawlConfig(radius=3),
+        ).crawl(["helen"])
+        assert dumps_corpus(via_html.corpus) == dumps_corpus(direct.corpus)
+
+    def test_fetch_html_raw(self, fig1_corpus):
+        service = HtmlBlogService(SimulatedBlogService(fig1_corpus))
+        markup = service.fetch_html("bob")
+        assert markup.startswith("<!DOCTYPE html>")
+        assert 'data-id="bob"' in markup
+
+    def test_errors_propagate(self, fig1_corpus):
+        from repro.crawler import SpaceNotFoundError
+
+        service = HtmlBlogService(SimulatedBlogService(fig1_corpus))
+        with pytest.raises(SpaceNotFoundError):
+            service.fetch_space("ghost")

@@ -1,0 +1,139 @@
+"""Tests for incremental re-analysis with warm starts."""
+
+import pytest
+
+from repro.core import (
+    CorpusDelta,
+    IncrementalAnalyzer,
+    MassModel,
+    MassParameters,
+)
+from repro.data import Blogger, Comment, Link, Post
+from repro.errors import ReproError
+from repro.nlp import NaiveBayesClassifier
+from repro.synth import DOMAIN_VOCABULARIES
+
+
+@pytest.fixture(scope="module")
+def classifier():
+    return NaiveBayesClassifier.from_seed_vocabulary(DOMAIN_VOCABULARIES)
+
+
+def make_delta(corpus, seq=0):
+    """A small realistic delta: one new blogger, post, comment, link."""
+    existing = corpus.blogger_ids()[0]
+    new_id = f"newcomer-{seq:02d}"
+    post = Post(f"newpost-{seq:02d}", new_id,
+                body="a new post about the marathon stadium game " * 4,
+                created_day=300)
+    comment = Comment(f"newcomment-{seq:02d}", post.post_id, existing,
+                      text="I agree, a wonderful read", created_day=301)
+    return CorpusDelta(
+        bloggers=[Blogger(new_id)],
+        posts=[post],
+        comments=[comment],
+        links=[Link(existing, new_id)],
+    )
+
+
+class TestLifecycle:
+    def test_report_before_fit_rejected(self, classifier):
+        analyzer = IncrementalAnalyzer(classifier)
+        with pytest.raises(ReproError, match="no analysis yet"):
+            analyzer.report
+        with pytest.raises(ReproError, match="call fit"):
+            analyzer.apply(CorpusDelta())
+
+    def test_fit_matches_batch_model(self, classifier, small_blogosphere):
+        corpus, _ = small_blogosphere
+        analyzer = IncrementalAnalyzer(classifier)
+        incremental = analyzer.fit(corpus)
+        batch = MassModel(classifier=classifier).fit(corpus)
+        assert incremental.general_scores() == batch.general_scores()
+
+    def test_empty_delta_is_noop(self, classifier, small_blogosphere):
+        corpus, _ = small_blogosphere
+        analyzer = IncrementalAnalyzer(classifier)
+        report = analyzer.fit(corpus)
+        assert analyzer.apply(CorpusDelta()) is report
+
+
+class TestApply:
+    def test_delta_entities_visible(self, classifier, small_blogosphere):
+        corpus, _ = small_blogosphere
+        analyzer = IncrementalAnalyzer(classifier)
+        analyzer.fit(corpus)
+        report = analyzer.apply(make_delta(corpus))
+        assert "newcomer-00" in report.corpus
+        assert "newcomer-00" in report.general_scores()
+        # Original corpus untouched.
+        assert "newcomer-00" not in corpus
+
+    def test_incremental_equals_full_reanalysis(self, classifier,
+                                                small_blogosphere):
+        corpus, _ = small_blogosphere
+        analyzer = IncrementalAnalyzer(classifier)
+        analyzer.fit(corpus)
+        incremental = analyzer.apply(make_delta(corpus))
+
+        # Build the same grown corpus from scratch and batch-analyze.
+        from repro.core.incremental import _copy_corpus
+
+        grown = _copy_corpus(corpus)
+        delta = make_delta(corpus)
+        grown.extend(bloggers=delta.bloggers, posts=delta.posts,
+                     comments=delta.comments, links=delta.links)
+        grown.freeze()
+        batch = MassModel(classifier=classifier).fit(grown)
+
+        for blogger_id, value in batch.general_scores().items():
+            assert incremental.general_scores()[blogger_id] == pytest.approx(
+                value, abs=1e-8
+            )
+
+    def test_warm_start_saves_iterations(self, classifier,
+                                         small_blogosphere):
+        corpus, _ = small_blogosphere
+        analyzer = IncrementalAnalyzer(classifier)
+        analyzer.fit(corpus)
+        cold_iterations = analyzer.last_iterations
+        analyzer.apply(make_delta(corpus))
+        warm_iterations = analyzer.last_iterations
+        assert warm_iterations < cold_iterations
+
+    def test_successive_deltas(self, classifier, small_blogosphere):
+        corpus, _ = small_blogosphere
+        analyzer = IncrementalAnalyzer(classifier)
+        analyzer.fit(corpus)
+        for seq in range(3):
+            report = analyzer.apply(make_delta(analyzer.report.corpus, seq))
+        assert len(report.corpus) == len(corpus) + 3
+
+    def test_comment_delta_shifts_influence(self, classifier,
+                                            small_blogosphere):
+        corpus, _ = small_blogosphere
+        analyzer = IncrementalAnalyzer(classifier)
+        before = analyzer.fit(corpus)
+        # Shower an author with fresh positive comments.
+        target_post = next(iter(sorted(corpus.posts)))
+        author = corpus.post(target_post).author_id
+        commenters = [b for b in corpus.blogger_ids() if b != author][:5]
+        delta = CorpusDelta(
+            comments=[
+                Comment(f"extra-{i}", target_post, commenter,
+                        text="excellent, I agree and support this")
+                for i, commenter in enumerate(commenters)
+            ]
+        )
+        before_score = before.general_scores()[author]
+        after = analyzer.apply(delta)
+        assert after.general_scores()[author] > before_score
+
+
+class TestDelta:
+    def test_size_and_empty(self):
+        assert CorpusDelta().is_empty()
+        assert CorpusDelta().size() == 0
+        delta = CorpusDelta(bloggers=[Blogger("x")])
+        assert not delta.is_empty()
+        assert delta.size() == 1

@@ -1,0 +1,89 @@
+"""Unit tests for corpus graph views (link graph, post-reply graph)."""
+
+from repro.graph import (
+    combined_graph,
+    ego_network,
+    link_graph,
+    post_reply_graph,
+)
+
+
+class TestLinkGraph:
+    def test_all_bloggers_present(self, fig1_corpus):
+        graph = link_graph(fig1_corpus)
+        assert len(graph) == 9
+
+    def test_link_edges(self, fig1_corpus):
+        graph = link_graph(fig1_corpus)
+        assert graph.has_edge("bob", "amery")
+        assert graph.has_edge("helen", "amery")
+        assert not graph.has_edge("amery", "bob")
+
+    def test_amery_in_degree(self, fig1_corpus):
+        graph = link_graph(fig1_corpus)
+        # bob, cary, helen link to amery.
+        assert graph.in_degree("amery") == 3
+
+
+class TestPostReplyGraph:
+    def test_edge_weight_is_comment_count(self, fig1_corpus):
+        graph = post_reply_graph(fig1_corpus)
+        # Cary commented twice on Amery's posts (post1 + post2).
+        assert graph.weight("cary", "amery") == 2.0
+        assert graph.weight("bob", "amery") == 1.0
+
+    def test_direction_is_commenter_to_author(self, fig1_corpus):
+        graph = post_reply_graph(fig1_corpus)
+        assert graph.has_edge("jane", "helen")
+        assert not graph.has_edge("helen", "jane")
+
+    def test_self_comments_excluded_by_default(self):
+        from repro.data import CorpusBuilder
+
+        builder = CorpusBuilder()
+        builder.blogger("a")
+        post = builder.post("a", body="x")
+        builder.comment(post.post_id, "a", text="replying to myself")
+        corpus = builder.build()
+        assert post_reply_graph(corpus).num_edges() == 0
+        included = post_reply_graph(corpus, include_self_comments=True)
+        assert included.weight("a", "a") == 1.0
+
+    def test_isolated_bloggers_kept(self, fig1_corpus):
+        graph = post_reply_graph(fig1_corpus)
+        assert "amery" in graph  # amery never comments but is a node
+
+
+class TestCombinedGraph:
+    def test_union_weights(self, fig1_corpus):
+        graph = combined_graph(fig1_corpus)
+        # bob→amery: 1 link + 1 comment = 2.
+        assert graph.weight("bob", "amery") == 2.0
+
+    def test_scaling(self, fig1_corpus):
+        graph = combined_graph(fig1_corpus, link_weight=0.0, reply_weight=2.0)
+        assert graph.weight("bob", "amery") == 2.0  # only reply, doubled
+        assert graph.weight("helen", "amery") == 0.0  # link-only edge gone
+
+
+class TestEgoNetwork:
+    def test_radius_one_around_amery(self, fig1_corpus):
+        ego = ego_network(fig1_corpus, "amery", radius=1)
+        # Direct post-reply neighbours: bob, cary.
+        assert set(ego.nodes()) == {"amery", "bob", "cary"}
+
+    def test_radius_zero(self, fig1_corpus):
+        ego = ego_network(fig1_corpus, "helen", radius=0)
+        assert ego.nodes() == ["helen"]
+
+    def test_edges_restricted_to_members(self, fig1_corpus):
+        ego = ego_network(fig1_corpus, "amery", radius=1)
+        assert ego.weight("cary", "amery") == 2.0
+        assert not ego.has_edge("jane", "helen")
+
+    def test_unknown_center_raises_corpus_error(self, fig1_corpus):
+        from repro.errors import CorpusError
+        import pytest as _pytest
+
+        with _pytest.raises(CorpusError, match="unknown blogger"):
+            ego_network(fig1_corpus, "ghost")

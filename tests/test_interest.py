@@ -1,0 +1,96 @@
+"""Unit tests for interest-vector mining (Scenario 1 & 2 front end)."""
+
+import math
+
+import pytest
+
+from repro.errors import ClassifierError
+from repro.nlp import InterestMiner, InterestVector, NaiveBayesClassifier
+
+SEEDS = {
+    "Sports": ["game", "match", "stadium", "marathon"],
+    "Art": ["painting", "canvas", "gallery", "sculpture"],
+    "Economics": ["market", "stocks", "inflation", "bank"],
+}
+
+
+@pytest.fixture(scope="module")
+def miner() -> InterestMiner:
+    classifier = NaiveBayesClassifier.from_seed_vocabulary(SEEDS)
+    return InterestMiner(classifier, domain_vocabularies=SEEDS)
+
+
+class TestInterestVector:
+    def test_from_weights_normalizes(self):
+        vec = InterestVector.from_weights({"A": 3.0, "B": 1.0})
+        assert math.isclose(vec["A"], 0.75)
+        assert math.isclose(sum(vec.values()), 1.0)
+
+    def test_missing_domain_reads_zero(self):
+        vec = InterestVector.from_weights({"A": 1.0})
+        assert vec["nope"] == 0.0
+
+    def test_all_zero_becomes_uniform(self):
+        vec = InterestVector.from_weights({"A": 0.0, "B": 0.0})
+        assert math.isclose(vec["A"], 0.5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            InterestVector.from_weights({"A": -1.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no domains"):
+            InterestVector.from_weights({})
+
+    def test_single_domain(self):
+        vec = InterestVector.single_domain("Art", ["Art", "Sports"])
+        assert vec["Art"] == 1.0
+        assert vec["Sports"] == 0.0
+
+    def test_single_domain_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown domain"):
+            InterestVector.single_domain("X", ["Art"])
+
+    def test_top_domains_ordering(self):
+        vec = InterestVector.from_weights({"A": 1.0, "B": 3.0, "C": 1.0})
+        assert vec.top_domains(2)[0] == ("B", 0.6)
+        assert vec.dominant_domain() == "B"
+
+    def test_dominant_on_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            InterestVector().dominant_domain()
+
+
+class TestInterestMiner:
+    def test_classifier_strategy(self, miner):
+        vec = miner.mine("a marathon in the stadium, what a game")
+        assert vec.dominant_domain() == "Sports"
+        assert math.isclose(sum(vec.values()), 1.0)
+
+    def test_keyword_strategy(self, miner):
+        vec = miner.mine("gallery sculpture painting", strategy="keyword")
+        assert vec.dominant_domain() == "Art"
+
+    def test_keyword_without_vocabularies_rejected(self):
+        classifier = NaiveBayesClassifier.from_seed_vocabulary(SEEDS)
+        bare = InterestMiner(classifier)
+        with pytest.raises(ClassifierError, match="requires domain_vocabularies"):
+            bare.mine("anything", strategy="keyword")
+
+    def test_unknown_strategy_rejected(self, miner):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            miner.mine("text", strategy="magic")
+
+    def test_missing_vocabulary_domain_rejected(self):
+        classifier = NaiveBayesClassifier.from_seed_vocabulary(SEEDS)
+        with pytest.raises(ClassifierError, match="missing"):
+            InterestMiner(classifier, domain_vocabularies={"Sports": ["x"]})
+
+    def test_ad_and_profile_aliases(self, miner):
+        ad = miner.mine_advertisement("stocks and the market")
+        profile = miner.mine_profile("stocks and the market")
+        assert ad == profile
+        assert ad.dominant_domain() == "Economics"
+
+    def test_domains_property(self, miner):
+        assert set(miner.domains) == set(SEEDS)

@@ -1,0 +1,70 @@
+"""Unit tests for the force-directed layout."""
+
+import math
+
+import pytest
+
+from repro.graph import Digraph, force_layout, scale_positions
+
+
+def two_clusters() -> Digraph:
+    graph = Digraph()
+    graph.add_edges([("a1", "a2"), ("a2", "a3"), ("a3", "a1")])
+    graph.add_edges([("b1", "b2"), ("b2", "b3"), ("b3", "b1")])
+    return graph
+
+
+class TestForceLayout:
+    def test_empty_graph(self):
+        assert force_layout(Digraph()) == {}
+
+    def test_single_node_centered(self):
+        graph = Digraph()
+        graph.add_node("only")
+        positions = force_layout(graph, size=2.0)
+        assert positions["only"] == (1.0, 1.0)
+
+    def test_positions_in_frame(self):
+        positions = force_layout(two_clusters(), size=1.0, seed=3)
+        for x, y in positions.values():
+            assert 0.0 <= x <= 1.0
+            assert 0.0 <= y <= 1.0
+
+    def test_deterministic_for_seed(self):
+        graph = two_clusters()
+        assert force_layout(graph, seed=5) == force_layout(graph, seed=5)
+
+    def test_different_seeds_differ(self):
+        graph = two_clusters()
+        assert force_layout(graph, seed=1) != force_layout(graph, seed=2)
+
+    def test_connected_nodes_closer_than_disconnected(self):
+        positions = force_layout(two_clusters(), iterations=150, seed=0)
+
+        def dist(u, v):
+            (ux, uy), (vx, vy) = positions[u], positions[v]
+            return math.hypot(ux - vx, uy - vy)
+
+        intra = (dist("a1", "a2") + dist("b1", "b2")) / 2
+        inter = dist("a1", "b1")
+        assert intra < inter
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            force_layout(two_clusters(), iterations=0)
+
+
+class TestScalePositions:
+    def test_scales_to_canvas(self):
+        positions = {"a": (0.0, 0.0), "b": (1.0, 2.0)}
+        scaled = scale_positions(positions, 100, 50)
+        assert scaled["a"] == (0.0, 0.0)
+        assert scaled["b"] == (100.0, 50.0)
+
+    def test_degenerate_axis(self):
+        positions = {"a": (0.5, 0.0), "b": (0.5, 1.0)}
+        scaled = scale_positions(positions, 10, 10)
+        assert scaled["a"][0] == scaled["b"][0]
+
+    def test_empty(self):
+        assert scale_positions({}, 10, 10) == {}

@@ -1,0 +1,146 @@
+"""Tests for the MassSystem facade (Fig. 2 wiring)."""
+
+import pytest
+
+from repro.crawler import SimulatedBlogService
+from repro.errors import ReproError
+from repro.system import MassSystem
+
+
+@pytest.fixture()
+def loaded_system(small_blogosphere) -> MassSystem:
+    corpus, _ = small_blogosphere
+    system = MassSystem()
+    system.load_dataset(corpus)
+    return system
+
+
+class TestDataLoading:
+    def test_no_dataset_rejected(self):
+        with pytest.raises(ReproError, match="no data set"):
+            MassSystem().corpus
+
+    def test_load_corpus_object(self, loaded_system, small_blogosphere):
+        assert loaded_system.corpus is small_blogosphere[0]
+
+    def test_load_xml_directory(self, fig1_corpus, tmp_path):
+        from repro.data import save_corpus, figure1_domains
+
+        save_corpus(fig1_corpus, tmp_path)
+        system = MassSystem(domain_seed_words=figure1_domains())
+        corpus = system.load_dataset(tmp_path)
+        assert len(corpus) == 9
+
+    def test_crawl_sets_corpus(self, small_blogosphere, tmp_path):
+        corpus, _ = small_blogosphere
+        system = MassSystem()
+        seed = corpus.blogger_ids()[0]
+        result = system.crawl(
+            SimulatedBlogService(corpus), [seed], radius=1,
+            save_to=tmp_path,
+        )
+        assert system.corpus is result.corpus
+        assert (tmp_path / "index.xml").exists()
+
+
+class TestAnalysis:
+    def test_report_lazy(self, loaded_system):
+        report = loaded_system.report
+        assert report.converged
+        assert loaded_system.report is report  # cached
+
+    def test_top_influencers(self, loaded_system):
+        top = loaded_system.top_influencers(3, domain="Sports")
+        assert len(top) == 3
+
+    def test_set_parameters_invalidates(self, loaded_system):
+        report_before = loaded_system.report
+        params = loaded_system.set_parameters(alpha=0.9)
+        assert params.alpha == 0.9
+        report_after = loaded_system.report
+        assert report_after is not report_before
+        assert report_after.params.alpha == 0.9
+
+    def test_new_dataset_invalidates(self, loaded_system, fig1_corpus):
+        from repro.data import figure1_domains
+
+        first = loaded_system.report
+        system = MassSystem(domain_seed_words=figure1_domains())
+        system.load_dataset(fig1_corpus)
+        assert system.report is not first
+
+    def test_blogger_detail(self, loaded_system):
+        top_id = loaded_system.top_influencers(1)[0][0]
+        detail = loaded_system.blogger_detail(top_id)
+        assert detail.blogger_id == top_id
+
+
+class TestUiBackends:
+    def test_advertising_engine(self, loaded_system, small_blogosphere):
+        _, truth = small_blogosphere
+        engine = loaded_system.advertising()
+        result = engine.recommend_for_domains(["Travel"], k=3)
+        assert len(result.blogger_ids) == 3
+
+    def test_recommendation_engine(self, loaded_system):
+        engine = loaded_system.recommendations()
+        rec = engine.recommend_for_profile(
+            "military army navy defense strategy", k=2
+        )
+        assert len(rec.blogger_ids) == 2
+
+    def test_visualize_ego(self, loaded_system):
+        top_id = loaded_system.top_influencers(1)[0][0]
+        viz = loaded_system.visualize(center=top_id, radius=1)
+        assert top_id in {node.blogger_id for node in viz.nodes}
+        assert len(viz) >= 1
+
+
+class TestAnalysisPersistence:
+    def test_save_load_roundtrip(self, small_blogosphere, tmp_path):
+        corpus, _ = small_blogosphere
+        system = MassSystem()
+        system.load_dataset(corpus)
+        system.set_parameters(alpha=0.7)
+        original = system.analyze()
+        path = system.save_analysis(tmp_path / "analysis.xml")
+
+        fresh = MassSystem()
+        fresh.load_dataset(corpus)
+        restored = fresh.load_analysis(path)
+        assert restored.general_scores() == original.general_scores()
+        assert fresh.params.alpha == 0.7
+        assert fresh.top_influencers(3) == system.top_influencers(3)
+
+    def test_engines_work_after_load(self, small_blogosphere, tmp_path):
+        corpus, _ = small_blogosphere
+        system = MassSystem()
+        system.load_dataset(corpus)
+        system.analyze()
+        path = system.save_analysis(tmp_path / "analysis.xml")
+
+        fresh = MassSystem()
+        fresh.load_dataset(corpus)
+        fresh.load_analysis(path)
+        ad = fresh.advertising().recommend_for_domains(["Sports"], k=2)
+        assert len(ad.blogger_ids) == 2
+        rec = fresh.recommendations().recommend_for_profile(
+            "travel flight hotel", k=2
+        )
+        assert len(rec.blogger_ids) == 2
+
+    def test_load_against_wrong_corpus_rejected(self, small_blogosphere,
+                                                fig1_corpus, tmp_path):
+        from repro.errors import XmlFormatError
+        from repro.data import figure1_domains
+
+        corpus, _ = small_blogosphere
+        system = MassSystem()
+        system.load_dataset(corpus)
+        system.analyze()
+        path = system.save_analysis(tmp_path / "analysis.xml")
+
+        other = MassSystem(domain_seed_words=figure1_domains())
+        other.load_dataset(fig1_corpus)
+        with pytest.raises(XmlFormatError):
+            other.load_analysis(path)

@@ -1,0 +1,140 @@
+"""Unit and property tests for ranking metrics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evaluation import (
+    jaccard_at_k,
+    kendall_tau,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    spearman_rho,
+)
+
+scores_strategy = st.dictionaries(
+    st.sampled_from(list("abcdefgh")),
+    st.floats(-10, 10, allow_nan=False),
+    min_size=2,
+    max_size=8,
+)
+
+
+class TestPrecisionRecall:
+    def test_precision_basics(self):
+        assert precision_at_k(["a", "b", "c"], {"a", "c"}, 2) == 0.5
+        assert precision_at_k(["a", "b"], {"a", "b"}, 2) == 1.0
+        assert precision_at_k(["x"], {"a"}, 1) == 0.0
+
+    def test_precision_short_list_counts_k(self):
+        # One relevant in a 1-item list at k=3: 1/3 by convention.
+        assert math.isclose(precision_at_k(["a"], {"a"}, 3), 1 / 3)
+
+    def test_precision_empty_list(self):
+        assert precision_at_k([], {"a"}, 3) == 0.0
+
+    def test_recall_basics(self):
+        assert recall_at_k(["a", "b"], {"a", "c"}, 2) == 0.5
+        assert recall_at_k(["a", "c"], {"a", "c"}, 2) == 1.0
+        assert recall_at_k(["a"], set(), 1) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k(["a"], {"a"}, 0)
+        with pytest.raises(ValueError):
+            recall_at_k(["a"], {"a"}, 0)
+
+
+class TestNdcg:
+    def test_perfect_ranking_is_one(self):
+        gains = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert math.isclose(ndcg_at_k(["a", "b", "c"], gains, 3), 1.0)
+
+    def test_worst_ranking_below_one(self):
+        gains = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg_at_k(["c", "b", "a"], gains, 3) < 1.0
+
+    def test_zero_gains(self):
+        assert ndcg_at_k(["a"], {}, 1) == 0.0
+
+    def test_negative_gain_rejected(self):
+        with pytest.raises(ValueError):
+            ndcg_at_k(["a"], {"a": -1.0}, 1)
+
+    @given(
+        st.permutations(["a", "b", "c", "d"]),
+        st.dictionaries(
+            st.sampled_from(list("abcd")), st.floats(0, 5, allow_nan=False),
+            min_size=4, max_size=4,
+        ),
+    )
+    def test_bounded_zero_one(self, ranking, gains):
+        value = ndcg_at_k(list(ranking), gains, 4)
+        assert -1e-9 <= value <= 1.0 + 1e-9
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard_at_k(["a", "b"], ["b", "a"], 2) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_at_k(["a"], ["b"], 1) == 0.0
+
+    def test_empty_both(self):
+        assert jaccard_at_k([], [], 3) == 1.0
+
+
+class TestKendall:
+    def test_perfect_agreement(self):
+        left = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert math.isclose(kendall_tau(left, dict(left)), 1.0)
+
+    def test_perfect_disagreement(self):
+        left = {"a": 3.0, "b": 2.0, "c": 1.0}
+        right = {"a": 1.0, "b": 2.0, "c": 3.0}
+        assert math.isclose(kendall_tau(left, right), -1.0)
+
+    def test_ties_neither_concordant_nor_discordant(self):
+        left = {"a": 1.0, "b": 1.0}
+        right = {"a": 2.0, "b": 1.0}
+        assert kendall_tau(left, right) == 0.0
+
+    def test_needs_two_common(self):
+        with pytest.raises(ValueError):
+            kendall_tau({"a": 1.0}, {"b": 1.0})
+
+    @given(scores_strategy, scores_strategy)
+    def test_bounded_and_symmetric(self, left, right):
+        common = set(left) & set(right)
+        if len(common) < 2:
+            return
+        tau = kendall_tau(left, right)
+        assert -1.0 <= tau <= 1.0
+        assert math.isclose(tau, kendall_tau(right, left))
+
+
+class TestSpearman:
+    def test_perfect_agreement(self):
+        left = {"a": 10.0, "b": 5.0, "c": 1.0}
+        assert math.isclose(spearman_rho(left, dict(left)), 1.0)
+
+    def test_reversal(self):
+        left = {"a": 3.0, "b": 2.0, "c": 1.0}
+        right = {"a": 1.0, "b": 2.0, "c": 3.0}
+        assert math.isclose(spearman_rho(left, right), -1.0)
+
+    def test_all_tied_returns_zero(self):
+        left = {"a": 1.0, "b": 1.0, "c": 1.0}
+        right = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert spearman_rho(left, right) == 0.0
+
+    @given(scores_strategy, scores_strategy)
+    def test_bounded(self, left, right):
+        common = set(left) & set(right)
+        if len(common) < 2:
+            return
+        rho = spearman_rho(left, right)
+        assert -1.0 - 1e-9 <= rho <= 1.0 + 1e-9

@@ -1,0 +1,77 @@
+"""Unit tests for the MassModel facade (classifier resolution, fitting)."""
+
+import pytest
+
+from repro.core import MassModel, MassParameters
+from repro.errors import ClassifierError, ParameterError
+from repro.nlp import NaiveBayesClassifier
+
+
+class TestClassifierResolution:
+    def test_seed_words_mode(self, fig1_corpus, fig1_seed_words):
+        model = MassModel(domain_seed_words=fig1_seed_words)
+        report = model.fit(fig1_corpus)
+        assert set(report.domains) == {"Computer", "Economics"}
+        assert model.classifier is not None
+
+    def test_pretrained_classifier_mode(self, fig1_corpus):
+        classifier = NaiveBayesClassifier().fit(
+            ["programming code software", "economy markets stocks"],
+            ["Computer", "Economics"],
+        )
+        report = MassModel(classifier=classifier).fit(fig1_corpus)
+        assert set(report.domains) == {"Computer", "Economics"}
+
+    def test_training_data_mode(self, fig1_corpus):
+        report = MassModel().fit(
+            fig1_corpus,
+            train_texts=["programming code software compiler",
+                         "economy markets stocks inflation"],
+            train_labels=["Computer", "Economics"],
+        )
+        assert set(report.domains) == {"Computer", "Economics"}
+
+    def test_no_domain_model_rejected(self, fig1_corpus):
+        with pytest.raises(ClassifierError, match="no domain model"):
+            MassModel().fit(fig1_corpus)
+
+    def test_both_classifier_and_training_rejected(self, fig1_corpus):
+        classifier = NaiveBayesClassifier().fit(
+            ["a b", "c d"], ["X", "Y"]
+        )
+        with pytest.raises(ParameterError, match="only one"):
+            MassModel(classifier=classifier).fit(
+                fig1_corpus, train_texts=["x"], train_labels=["X"]
+            )
+
+    def test_texts_without_labels_rejected(self, fig1_corpus,
+                                           fig1_seed_words):
+        with pytest.raises(ParameterError, match="together"):
+            MassModel(domain_seed_words=fig1_seed_words).fit(
+                fig1_corpus, train_texts=["x"]
+            )
+
+
+class TestFitting:
+    def test_custom_params_flow_through(self, fig1_corpus, fig1_seed_words):
+        params = MassParameters(alpha=1.0)
+        report = MassModel(
+            params=params, domain_seed_words=fig1_seed_words
+        ).fit(fig1_corpus)
+        assert report.params.alpha == 1.0
+
+    def test_unfrozen_corpus_validated(self, fig1_seed_words):
+        from repro.data import CorpusBuilder
+
+        builder = CorpusBuilder()
+        builder.blogger("a")
+        builder.post("a", body="programming code software")
+        corpus = builder.build(freeze=False)
+        report = MassModel(domain_seed_words=fig1_seed_words).fit(corpus)
+        assert report.top_influencers(1)[0][0] == "a"
+
+    def test_deterministic_across_fits(self, fig1_corpus, fig1_seed_words):
+        report1 = MassModel(domain_seed_words=fig1_seed_words).fit(fig1_corpus)
+        report2 = MassModel(domain_seed_words=fig1_seed_words).fit(fig1_corpus)
+        assert report1.general_scores() == report2.general_scores()
+        assert report1.ranking("Computer") == report2.ranking("Computer")

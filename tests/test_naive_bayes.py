@@ -1,0 +1,132 @@
+"""Unit and property tests for the multinomial naive Bayes classifier."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ClassifierError
+from repro.nlp import NaiveBayesClassifier
+
+TRAIN_TEXTS = [
+    "the marathon race and the stadium crowd",
+    "football match in the league final",
+    "stock market crash and inflation fears",
+    "bank interest rates and the budget deficit",
+]
+TRAIN_LABELS = ["Sports", "Sports", "Economics", "Economics"]
+
+
+@pytest.fixture()
+def trained() -> NaiveBayesClassifier:
+    return NaiveBayesClassifier().fit(TRAIN_TEXTS, TRAIN_LABELS)
+
+
+class TestTraining:
+    def test_classes_sorted(self, trained):
+        assert trained.classes == ["Economics", "Sports"]
+
+    def test_untrained_predict_rejected(self):
+        with pytest.raises(ClassifierError, match="not trained"):
+            NaiveBayesClassifier().predict("anything")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ClassifierError, match="texts but"):
+            NaiveBayesClassifier().fit(["a"], ["x", "y"])
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ClassifierError, match="empty corpus"):
+            NaiveBayesClassifier().fit([], [])
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ClassifierError, match="at least 2 classes"):
+            NaiveBayesClassifier().fit(["a", "b"], ["X", "X"])
+
+    def test_stopword_only_corpus_rejected(self):
+        with pytest.raises(ClassifierError, match="no usable tokens"):
+            NaiveBayesClassifier().fit(["the a of", "and or"], ["X", "Y"])
+
+    def test_bad_smoothing_rejected(self):
+        with pytest.raises(ClassifierError, match="smoothing"):
+            NaiveBayesClassifier(smoothing=0.0)
+
+    def test_vocabulary_size(self, trained):
+        assert trained.vocabulary_size > 0
+
+
+class TestPrediction:
+    def test_predicts_obvious_classes(self, trained):
+        assert trained.predict("a new marathon record") == "Sports"
+        assert trained.predict("inflation hits the market") == "Economics"
+
+    def test_proba_sums_to_one(self, trained):
+        probabilities = trained.predict_proba("football and stocks")
+        assert math.isclose(sum(probabilities.values()), 1.0)
+        assert set(probabilities) == {"Economics", "Sports"}
+
+    def test_oov_text_falls_back_to_priors(self, trained):
+        probabilities = trained.predict_proba("zzz qqq www")
+        # Uniform priors here (2 docs per class).
+        assert math.isclose(probabilities["Sports"], 0.5)
+
+    def test_more_evidence_moves_posterior(self, trained):
+        weak = trained.predict_proba("marathon")["Sports"]
+        strong = trained.predict_proba("marathon stadium football")["Sports"]
+        assert strong > weak
+
+    def test_score_accuracy(self, trained):
+        accuracy = trained.score(TRAIN_TEXTS, TRAIN_LABELS)
+        assert accuracy == 1.0
+
+    def test_score_validates_input(self, trained):
+        with pytest.raises(ClassifierError):
+            trained.score(["a"], [])
+        with pytest.raises(ClassifierError):
+            trained.score([], [])
+
+
+class TestSeedVocabulary:
+    def test_seed_mode_classifies(self):
+        clf = NaiveBayesClassifier.from_seed_vocabulary(
+            {"Sports": ["game", "match"], "Art": ["painting", "canvas"]}
+        )
+        assert clf.predict("a painting on canvas") == "Art"
+        assert clf.predict("the match was a great game") == "Sports"
+
+    def test_seed_mode_uniform_priors(self):
+        clf = NaiveBayesClassifier.from_seed_vocabulary(
+            {"A": ["alpha"], "B": ["beta"]}
+        )
+        probabilities = clf.predict_proba("unrelated words entirely")
+        assert math.isclose(probabilities["A"], 0.5)
+
+    def test_empty_seed_rejected(self):
+        with pytest.raises(ClassifierError, match="empty"):
+            NaiveBayesClassifier.from_seed_vocabulary({"A": [], "B": ["x"]})
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.sampled_from(["alpha beta", "gamma delta", "alpha gamma"]),
+            min_size=2,
+            max_size=10,
+        )
+    )
+    def test_posterior_always_normalized(self, texts):
+        labels = ["X" if i % 2 == 0 else "Y" for i in range(len(texts))]
+        if len(set(labels)) < 2:
+            return
+        clf = NaiveBayesClassifier(use_stopwords=False).fit(texts, labels)
+        for text in texts + ["alpha", "unknown zzz"]:
+            probabilities = clf.predict_proba(text)
+            assert math.isclose(sum(probabilities.values()), 1.0)
+            assert all(0.0 <= p <= 1.0 for p in probabilities.values())
+
+    @given(st.integers(0, 2**31))
+    def test_prediction_deterministic(self, seed):
+        clf1 = NaiveBayesClassifier().fit(TRAIN_TEXTS, TRAIN_LABELS)
+        clf2 = NaiveBayesClassifier().fit(TRAIN_TEXTS, TRAIN_LABELS)
+        text = f"marathon {seed % 7} market"
+        assert clf1.predict_proba(text) == clf2.predict_proba(text)

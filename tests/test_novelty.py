@@ -1,0 +1,108 @@
+"""Unit tests for novelty detection (original vs reproduced content)."""
+
+import pytest
+
+from repro.core import (
+    CompositeNoveltyDetector,
+    LexiconNoveltyDetector,
+    ShingleNoveltyDetector,
+)
+from repro.data import Post
+
+
+def post(body: str, post_id: str = "p", day: int = 0) -> Post:
+    return Post(post_id, "author", body=body, created_day=day)
+
+
+class TestLexiconDetector:
+    def test_original_post(self):
+        detector = LexiconNoveltyDetector()
+        assert detector.novelty(post("my own fresh thoughts today")) == 1.0
+
+    @pytest.mark.parametrize(
+        "marker",
+        ["reposted from", "originally posted", "copied from", "excerpt from"],
+    )
+    def test_copy_markers_fire(self, marker):
+        detector = LexiconNoveltyDetector(copied_value=0.07)
+        assert detector.novelty(post(f"{marker} some other blog: text")) == 0.07
+
+    def test_marker_with_punctuation(self):
+        detector = LexiconNoveltyDetector()
+        assert detector.is_copy(post("Reposted from: example.com!"))
+
+    def test_partial_phrase_does_not_fire(self):
+        detector = LexiconNoveltyDetector(phrases=["reposted from"])
+        assert detector.novelty(post("I reposted my own article")) == 1.0
+
+    def test_value_in_paper_range(self):
+        with pytest.raises(ValueError, match=r"\(0, 0.1\]"):
+            LexiconNoveltyDetector(copied_value=0.2)
+        with pytest.raises(ValueError, match=r"\(0, 0.1\]"):
+            LexiconNoveltyDetector(copied_value=0.0)
+
+    def test_custom_phrases(self):
+        detector = LexiconNoveltyDetector(phrases=["stolen text"])
+        assert detector.is_copy(post("this is stolen text indeed"))
+        assert not detector.is_copy(post("reposted from elsewhere"))
+
+    def test_empty_phrase_rejected(self):
+        with pytest.raises(ValueError):
+            LexiconNoveltyDetector(phrases=["..."])
+        with pytest.raises(ValueError):
+            LexiconNoveltyDetector(phrases=[])
+
+    def test_title_also_scanned(self):
+        detector = LexiconNoveltyDetector()
+        copied = Post("p", "a", title="Reposted from the news", body="text")
+        assert detector.is_copy(copied)
+
+
+class TestShingleDetector:
+    ORIGINAL = "alpha beta gamma delta epsilon zeta eta theta iota kappa"
+
+    def test_duplicate_of_earlier_post_flagged(self):
+        first = post(self.ORIGINAL, "p1", day=1)
+        second = post("intro words. " + self.ORIGINAL, "p2", day=2)
+        detector = ShingleNoveltyDetector([first, second], threshold=0.5)
+        assert detector.novelty(first) == 1.0
+        assert detector.is_copy(second)
+
+    def test_order_by_day_decides_original(self):
+        late_original = post(self.ORIGINAL, "p1", day=9)
+        early_copy = post(self.ORIGINAL, "p2", day=1)
+        detector = ShingleNoveltyDetector([late_original, early_copy])
+        # p2 is earlier: it is the original; p1 is the copy.
+        assert detector.novelty(early_copy) == 1.0
+        assert detector.is_copy(late_original)
+
+    def test_distinct_posts_both_original(self):
+        a = post("one two three four five six seven", "p1", day=1)
+        b = post("red orange yellow green blue indigo violet", "p2", day=2)
+        detector = ShingleNoveltyDetector([a, b])
+        assert detector.novelty(a) == 1.0
+        assert detector.novelty(b) == 1.0
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError, match="threshold"):
+            ShingleNoveltyDetector([], threshold=0.0)
+
+    def test_bad_copied_value(self):
+        with pytest.raises(ValueError, match="copied_value"):
+            ShingleNoveltyDetector([], copied_value=0.5)
+
+
+class TestCompositeDetector:
+    def test_minimum_wins(self):
+        lexicon = LexiconNoveltyDetector(copied_value=0.05)
+        first = post(TestShingleDetector.ORIGINAL, "p1", day=1)
+        reposted = post("reposted from elsewhere: new words here", "p2", day=2)
+        shingle = ShingleNoveltyDetector([first, reposted])
+        composite = CompositeNoveltyDetector([lexicon, shingle])
+        # Lexicon flags p2; shingle does not. Composite takes the min.
+        assert composite.is_copy(reposted)
+        assert composite.novelty(first) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeNoveltyDetector([])

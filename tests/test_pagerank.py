@@ -1,0 +1,105 @@
+"""Unit and property tests for PageRank."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConvergenceError, ParameterError
+from repro.graph import Digraph, pagerank
+
+node = st.sampled_from(list("abcdef"))
+
+
+def chain() -> Digraph:
+    graph = Digraph()
+    graph.add_edges([("a", "b"), ("b", "c")])
+    return graph
+
+
+class TestBasics:
+    def test_empty_graph(self):
+        result = pagerank(Digraph())
+        assert result.scores == {}
+        assert result.converged
+
+    def test_single_node(self):
+        graph = Digraph()
+        graph.add_node("only")
+        result = pagerank(graph)
+        assert math.isclose(result.scores["only"], 1.0)
+
+    def test_scores_sum_to_one(self):
+        result = pagerank(chain())
+        assert math.isclose(sum(result.scores.values()), 1.0)
+
+    def test_sink_accumulates_rank(self):
+        scores = pagerank(chain()).scores
+        assert scores["c"] > scores["b"] > scores["a"]
+
+    def test_symmetric_cycle_uniform(self):
+        graph = Digraph()
+        graph.add_edges([("a", "b"), ("b", "c"), ("c", "a")])
+        scores = pagerank(graph).scores
+        for value in scores.values():
+            assert math.isclose(value, 1 / 3, abs_tol=1e-9)
+
+    def test_dangling_mass_redistributed(self):
+        # b is dangling; total mass must stay 1.
+        graph = Digraph()
+        graph.add_edge("a", "b")
+        result = pagerank(graph)
+        assert math.isclose(sum(result.scores.values()), 1.0)
+        assert result.converged
+
+    def test_weights_steer_rank(self):
+        graph = Digraph()
+        graph.add_edge("s", "heavy", 10.0)
+        graph.add_edge("s", "light", 1.0)
+        scores = pagerank(graph).scores
+        assert scores["heavy"] > scores["light"]
+
+    def test_damping_zero_is_uniform(self):
+        scores = pagerank(chain(), damping=0.0).scores
+        for value in scores.values():
+            assert math.isclose(value, 1 / 3)
+
+
+class TestValidationAndConvergence:
+    @pytest.mark.parametrize("damping", [-0.1, 1.0, 1.5])
+    def test_bad_damping(self, damping):
+        with pytest.raises(ParameterError):
+            pagerank(chain(), damping=damping)
+
+    def test_bad_tolerance(self):
+        with pytest.raises(ParameterError):
+            pagerank(chain(), tolerance=0.0)
+
+    def test_bad_max_iterations(self):
+        with pytest.raises(ParameterError):
+            pagerank(chain(), max_iterations=0)
+
+    def test_nonconverged_reported(self):
+        result = pagerank(chain(), max_iterations=1, tolerance=1e-15)
+        assert not result.converged
+        assert result.iterations == 1
+
+    def test_strict_raises_on_nonconvergence(self):
+        with pytest.raises(ConvergenceError):
+            pagerank(chain(), max_iterations=1, tolerance=1e-15, strict=True)
+
+
+class TestProperties:
+    @settings(max_examples=30)
+    @given(st.lists(st.tuples(node, node), max_size=25))
+    def test_distribution_invariants(self, edges):
+        graph = Digraph()
+        for source, target in edges:
+            graph.add_edge(source, target)
+        if len(graph) == 0:
+            return
+        result = pagerank(graph)
+        assert result.converged
+        assert math.isclose(sum(result.scores.values()), 1.0, abs_tol=1e-6)
+        assert all(value > 0 for value in result.scores.values())

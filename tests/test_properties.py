@@ -1,0 +1,223 @@
+"""Cross-module property-based tests.
+
+These drive hypothesis-generated corpora through whole subsystems and
+assert the invariants that hold for *any* input: the solver's
+fixed-point identities, the Eq. 5 decomposition, XML round trips, and
+monotonicity of influence under favourable changes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DomainInfluence,
+    InfluenceSolver,
+    MassParameters,
+)
+from repro.data import (
+    BlogCorpus,
+    Blogger,
+    Comment,
+    Link,
+    Post,
+    dumps_corpus,
+    loads_corpus,
+)
+from repro.nlp import NaiveBayesClassifier
+
+# ----------------------------------------------------------------------
+# Corpus strategy
+# ----------------------------------------------------------------------
+_WORDS = ["alpha", "bravo", "code", "stadium", "market", "paint", "agree",
+          "wrong", "notes", "travel"]
+
+_blogger_ids = [f"b{i}" for i in range(6)]
+
+
+@st.composite
+def corpora(draw) -> BlogCorpus:
+    """Small random but always-valid corpora."""
+    num_bloggers = draw(st.integers(2, 6))
+    bloggers = _blogger_ids[:num_bloggers]
+    corpus = BlogCorpus()
+    for blogger_id in bloggers:
+        corpus.add_blogger(Blogger(blogger_id))
+
+    num_posts = draw(st.integers(1, 8))
+    for index in range(num_posts):
+        author = draw(st.sampled_from(bloggers))
+        words = draw(st.lists(st.sampled_from(_WORDS), min_size=1,
+                              max_size=30))
+        corpus.add_post(
+            Post(f"p{index}", author, body=" ".join(words),
+                 created_day=draw(st.integers(0, 100)))
+        )
+
+    num_comments = draw(st.integers(0, 12))
+    for index in range(num_comments):
+        post_id = f"p{draw(st.integers(0, num_posts - 1))}"
+        commenter = draw(st.sampled_from(bloggers))
+        words = draw(st.lists(st.sampled_from(_WORDS), min_size=1,
+                              max_size=8))
+        corpus.add_comment(
+            Comment(f"c{index}", post_id, commenter, text=" ".join(words),
+                    created_day=draw(st.integers(0, 100)))
+        )
+
+    link_pairs = draw(
+        st.lists(
+            st.tuples(st.sampled_from(bloggers), st.sampled_from(bloggers)),
+            max_size=8,
+        )
+    )
+    for source, target in link_pairs:
+        if source != target:
+            corpus.add_link(Link(source, target))
+    return corpus.freeze()
+
+
+_params = st.builds(
+    MassParameters,
+    alpha=st.floats(0.0, 1.0),
+    beta=st.floats(0.3, 1.0),  # keeps the contraction bound < 1
+    include_self_comments=st.booleans(),
+)
+
+
+# ----------------------------------------------------------------------
+# Solver invariants
+# ----------------------------------------------------------------------
+class TestSolverInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(corpus=corpora(), params=_params)
+    def test_fixed_point_identities(self, corpus, params):
+        scores = InfluenceSolver(corpus, params).solve()
+        assert scores.converged
+        for blogger_id in corpus.blogger_ids():
+            # Eq. 1 holds at the fixed point.
+            expected = (
+                params.alpha * scores.ap[blogger_id]
+                + (1 - params.alpha) * scores.gl[blogger_id]
+            )
+            assert math.isclose(
+                scores.influence[blogger_id], expected,
+                rel_tol=1e-6, abs_tol=1e-7,
+            )
+            assert scores.influence[blogger_id] >= 0
+        for post_id in corpus.posts:
+            # Eq. 2 holds per post.
+            expected = (
+                params.beta * scores.quality[post_id]
+                + (1 - params.beta) * scores.comment_score[post_id]
+            )
+            assert math.isclose(
+                scores.post_influence[post_id], expected, abs_tol=1e-9
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(corpus=corpora(), params=_params)
+    def test_ap_is_sum_of_posts(self, corpus, params):
+        scores = InfluenceSolver(corpus, params).solve()
+        totals = {blogger_id: 0.0 for blogger_id in corpus.blogger_ids()}
+        for post_id, value in scores.post_influence.items():
+            totals[corpus.post(post_id).author_id] += value
+        for blogger_id in corpus.blogger_ids():
+            assert math.isclose(
+                scores.ap[blogger_id], totals[blogger_id], abs_tol=1e-9
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(corpus=corpora())
+    def test_warm_start_reaches_same_fixed_point(self, corpus):
+        solver = InfluenceSolver(corpus)
+        cold = solver.solve()
+        # Warm start from a perturbed assignment.
+        perturbed = {
+            blogger_id: value * 3.0 + 1.0
+            for blogger_id, value in cold.influence.items()
+        }
+        warm = InfluenceSolver(corpus).solve(initial=perturbed)
+        for blogger_id in corpus.blogger_ids():
+            assert math.isclose(
+                warm.influence[blogger_id], cold.influence[blogger_id],
+                rel_tol=1e-6, abs_tol=1e-8,
+            )
+
+
+class TestDomainDecomposition:
+    @settings(max_examples=25, deadline=None)
+    @given(corpus=corpora())
+    def test_domain_vector_sums_to_ap(self, corpus):
+        classifier = NaiveBayesClassifier.from_seed_vocabulary(
+            {"X": ["alpha", "code", "stadium"],
+             "Y": ["market", "paint", "travel"]}
+        )
+        scores = InfluenceSolver(corpus).solve()
+        domain_influence = DomainInfluence.from_classifier(
+            corpus, scores, classifier
+        )
+        for blogger_id in corpus.blogger_ids():
+            vector = domain_influence.vector(blogger_id)
+            assert math.isclose(
+                sum(vector.values()), scores.ap[blogger_id], abs_tol=1e-9
+            )
+            assert all(value >= 0 for value in vector.values())
+
+
+class TestXmlRoundTrip:
+    @settings(max_examples=30, deadline=None)
+    @given(corpus=corpora())
+    def test_generated_corpora_roundtrip(self, corpus):
+        loaded = loads_corpus(dumps_corpus(corpus))
+        assert dumps_corpus(loaded) == dumps_corpus(corpus)
+        assert loaded.blogger_ids() == corpus.blogger_ids()
+        assert set(loaded.posts) == set(corpus.posts)
+        assert set(loaded.comments) == set(corpus.comments)
+
+    @settings(max_examples=30)
+    @given(text=st.text(max_size=60))
+    def test_arbitrary_profile_text_roundtrips_sanitized(self, text):
+        from repro.data.xml_store import sanitize_xml_text
+
+        corpus = BlogCorpus()
+        corpus.add_blogger(Blogger("a", profile_text=text))
+        corpus.freeze()
+        loaded = loads_corpus(dumps_corpus(corpus))
+        assert loaded.blogger("a").profile_text == sanitize_xml_text(text)
+
+
+class TestMonotonicity:
+    @settings(max_examples=25, deadline=None)
+    @given(corpus=corpora())
+    def test_positive_comment_never_decreases_author(self, corpus):
+        params = MassParameters()
+        base = InfluenceSolver(corpus, params).solve()
+        post_id = sorted(corpus.posts)[0]
+        author = corpus.post(post_id).author_id
+        commenter = next(
+            (b for b in corpus.blogger_ids() if b != author), None
+        )
+        if commenter is None:
+            return
+        grown = BlogCorpus()
+        for blogger_id in corpus.blogger_ids():
+            grown.add_blogger(corpus.blogger(blogger_id))
+        for pid in sorted(corpus.posts):
+            grown.add_post(corpus.post(pid))
+        for cid in sorted(corpus.comments):
+            grown.add_comment(corpus.comments[cid])
+        for link in corpus.links:
+            grown.add_link(link)
+        grown.add_comment(
+            Comment("extra-positive", post_id, commenter,
+                    text="agree agree agree")
+        )
+        grown.freeze()
+        boosted = InfluenceSolver(grown, params).solve()
+        # The author gains (or at worst their commenters' TC dilution
+        # elsewhere cancels out to equality).
+        assert boosted.influence[author] >= base.influence[author] - 1e-9

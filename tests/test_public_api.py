@@ -1,0 +1,90 @@
+"""Guardrails on the public API surface.
+
+These catch the embarrassing release bugs: names listed in ``__all__``
+that do not exist, exceptions that escape the common base class, and
+re-export drift between packages.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+from repro import errors
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.data",
+    "repro.nlp",
+    "repro.graph",
+    "repro.synth",
+    "repro.crawler",
+    "repro.baselines",
+    "repro.apps",
+    "repro.userstudy",
+    "repro.viz",
+    "repro.system",
+    "repro.evaluation",
+]
+
+
+class TestAllExports:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_names_resolve(self, package_name):
+        module = importlib.import_module(package_name)
+        assert hasattr(module, "__all__"), package_name
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package_name}.{name} missing"
+
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_has_no_duplicates(self, package_name):
+        module = importlib.import_module(package_name)
+        assert len(module.__all__) == len(set(module.__all__))
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+
+class TestErrorHierarchy:
+    def test_every_error_derives_from_repro_error(self):
+        for name in errors.__dict__:
+            obj = getattr(errors, name)
+            if (
+                isinstance(obj, type)
+                and issubclass(obj, Exception)
+                and obj is not errors.ReproError
+            ):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_catching_base_catches_all(self):
+        from repro.core import MassParameters
+        from repro.data import Blogger
+
+        with pytest.raises(errors.ReproError):
+            Blogger("")  # CorpusError
+        with pytest.raises(errors.ReproError):
+            MassParameters(alpha=7)  # ParameterError
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(errors.ReproError, Exception)
+
+
+class TestTopLevelConvenience:
+    def test_headline_workflow_importable_from_root(self):
+        # The README quickstart must work with root imports only.
+        from repro import (
+            BlogosphereConfig,
+            MassParameters,
+            MassSystem,
+            generate_blogosphere,
+        )
+
+        corpus, _ = generate_blogosphere(
+            BlogosphereConfig(num_bloggers=20, planted_per_domain=1), seed=0
+        )
+        system = MassSystem(params=MassParameters(alpha=0.4))
+        system.load_dataset(corpus)
+        assert len(system.top_influencers(3)) == 3

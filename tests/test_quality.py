@@ -1,0 +1,82 @@
+"""Unit tests for QualityScore (length × novelty, Eq. 2)."""
+
+import math
+
+from repro.core import MassParameters, QualityScorer
+from repro.data import Post
+
+
+def post(words: int, post_id: str = "p", body_word: str = "word") -> Post:
+    return Post(post_id, "a", body=" ".join([body_word] * words))
+
+
+class TestLengthMeasures:
+    def test_raw_is_word_count(self):
+        scorer = QualityScorer(MassParameters(length_normalization="raw"))
+        assert scorer.length_value(post(17)) == 17.0
+
+    def test_log_is_log1p(self):
+        scorer = QualityScorer(MassParameters(length_normalization="log"))
+        assert math.isclose(scorer.length_value(post(9)), math.log(10))
+
+    def test_max_normalizes_to_unit(self):
+        posts = [post(10, "p1"), post(40, "p2")]
+        scorer = QualityScorer(MassParameters(), posts=posts)
+        assert math.isclose(scorer.length_value(posts[1]), 1.0)
+        assert math.isclose(scorer.length_value(posts[0]), 0.25)
+
+    def test_max_with_empty_population(self):
+        scorer = QualityScorer(MassParameters(), posts=[])
+        assert scorer.length_value(post(10)) == 0.0
+
+    def test_longer_never_scores_lower(self):
+        posts = [post(n, f"p{n}") for n in (5, 20, 80)]
+        for mode in ("raw", "log", "max"):
+            scorer = QualityScorer(
+                MassParameters(length_normalization=mode), posts=posts
+            )
+            values = [scorer.length_value(p) for p in posts]
+            assert values == sorted(values)
+
+
+class TestNovelty:
+    def test_copied_post_penalized(self):
+        posts = [post(30, "orig")]
+        copied = Post("copy", "a", body="reposted from x. " + " ".join(["w"] * 30))
+        scorer = QualityScorer(MassParameters(), posts=posts + [copied])
+        assert scorer.novelty_value(copied) == MassParameters().novelty_copied
+        assert scorer.score(copied) < scorer.score(posts[0])
+
+    def test_novelty_facet_disabled(self):
+        copied = Post("copy", "a", body="reposted from x. content")
+        scorer = QualityScorer(
+            MassParameters(use_novelty=False), posts=[copied]
+        )
+        assert scorer.novelty_value(copied) == 1.0
+
+    def test_custom_detector_used(self):
+        from repro.core import LexiconNoveltyDetector
+
+        detector = LexiconNoveltyDetector(phrases=["zzz marker"],
+                                          copied_value=0.01)
+        flagged = Post("p", "a", body="zzz marker text here")
+        scorer = QualityScorer(MassParameters(), novelty_detector=detector,
+                               posts=[flagged])
+        assert scorer.novelty_value(flagged) == 0.01
+
+
+class TestScore:
+    def test_score_is_product(self):
+        posts = [post(50, "p1")]
+        scorer = QualityScorer(
+            MassParameters(length_normalization="raw"), posts=posts
+        )
+        assert scorer.score(posts[0]) == 50.0 * 1.0
+
+    def test_title_not_counted_in_length(self):
+        with_title = Post("p1", "a", title="long long long title",
+                          body="two words")
+        scorer = QualityScorer(
+            MassParameters(length_normalization="raw"), posts=[with_title]
+        )
+        assert scorer.length_value(with_title) == 2.0

@@ -1,0 +1,94 @@
+"""Unit tests for Scenario 2 (personalized recommendation)."""
+
+import pytest
+
+from repro.apps import RecommendationEngine
+from repro.errors import ParameterError
+from repro.nlp import NaiveBayesClassifier
+
+
+@pytest.fixture(scope="module")
+def engine(medium_model_and_report) -> RecommendationEngine:
+    model, report = medium_model_and_report
+    return RecommendationEngine(report, model.classifier)
+
+
+class TestNewUserPath:
+    def test_profile_drives_domain(self, engine, medium_blogosphere):
+        _, truth = medium_blogosphere
+        rec = engine.recommend_for_profile(
+            "I love painting and sculpture, often visit the gallery "
+            "and study the renaissance masters and impressionism",
+            k=3,
+        )
+        assert rec.interest_vector.dominant_domain() == "Art"
+        true_top = set(truth.top_true_influencers("Art", 5))
+        assert set(rec.blogger_ids) & true_top
+
+    def test_empty_profile_rejected(self, engine):
+        with pytest.raises(ParameterError, match="empty"):
+            engine.recommend_for_profile("")
+
+    def test_exclude_honored(self, engine):
+        baseline = engine.recommend_for_profile("travel flight hotel", k=1)
+        top = baseline.blogger_ids[0]
+        excluded = engine.recommend_for_profile(
+            "travel flight hotel", k=1, exclude=top
+        )
+        assert top not in excluded.blogger_ids
+
+
+class TestExistingBloggerPath:
+    def test_domain_mode_excludes_self(self, engine, medium_report):
+        domain_top = [
+            b for b, _ in medium_report.top_influencers(1, "Sports")
+        ]
+        requester = domain_top[0]
+        rec = engine.recommend_for_blogger(requester, k=3, domain="Sports")
+        assert requester not in rec.blogger_ids
+        assert len(rec.blogger_ids) == 3
+
+    def test_unknown_domain_rejected(self, engine, medium_blogosphere):
+        corpus, _ = medium_blogosphere
+        blogger_id = corpus.blogger_ids()[0]
+        with pytest.raises(ParameterError, match="unknown domain"):
+            engine.recommend_for_blogger(blogger_id, domain="Astrology")
+
+    def test_profile_mode_mines_interests(self, engine, medium_blogosphere):
+        corpus, truth = medium_blogosphere
+        # Pick a blogger with a strong primary domain.
+        blogger_id = truth.planted_influencers("Travel")[0]
+        rec = engine.recommend_for_blogger(blogger_id, k=3)
+        assert blogger_id not in rec.blogger_ids
+        assert rec.interest_vector.dominant_domain() == "Travel"
+
+    def test_unknown_blogger_rejected(self, engine):
+        from repro.errors import CorpusError
+
+        with pytest.raises(CorpusError):
+            engine.recommend_for_blogger("ghost")
+
+    def test_blogger_without_text_rejected(self, medium_model_and_report):
+        from repro.core import MassModel
+        from repro.data import CorpusBuilder
+        from repro.synth import DOMAIN_VOCABULARIES
+
+        builder = CorpusBuilder()
+        builder.blogger("silent")  # no profile, no posts
+        builder.blogger("other")
+        builder.post("other", body="sports game match")
+        corpus = builder.build()
+        model = MassModel(domain_seed_words=DOMAIN_VOCABULARIES)
+        report = model.fit(corpus)
+        engine = RecommendationEngine(report, model.classifier)
+        with pytest.raises(ParameterError, match="no profile or posts"):
+            engine.recommend_for_blogger("silent")
+
+
+class TestConstruction:
+    def test_domain_mismatch_rejected(self, medium_report):
+        other = NaiveBayesClassifier.from_seed_vocabulary(
+            {"X": ["x"], "Y": ["y"]}
+        )
+        with pytest.raises(ParameterError, match="do not match"):
+            RecommendationEngine(medium_report, other)

@@ -1,0 +1,68 @@
+"""Unit tests for InfluenceReport and the blogger detail pop-up."""
+
+import pytest
+
+from repro.core import MassModel
+
+
+@pytest.fixture(scope="module")
+def fig1_report(fig1_corpus, fig1_seed_words):
+    return MassModel(domain_seed_words=fig1_seed_words).fit(fig1_corpus)
+
+
+class TestRankings:
+    def test_general_top_is_amery(self, fig1_report):
+        assert fig1_report.top_influencers(1)[0][0] == "amery"
+
+    def test_domain_rankings_differ_from_general_scores(self, fig1_report):
+        computer = fig1_report.ranking("Computer")
+        economics = fig1_report.ranking("Economics")
+        assert computer != economics
+
+    def test_full_ranking_covers_everyone(self, fig1_report):
+        assert len(fig1_report.ranking()) == 9
+
+    def test_converged(self, fig1_report):
+        assert fig1_report.converged
+
+    def test_general_scores_copy(self, fig1_report):
+        scores = fig1_report.general_scores()
+        scores["amery"] = -1
+        assert fig1_report.general_scores()["amery"] > 0
+
+
+class TestBloggerDetail:
+    def test_amery_detail(self, fig1_report):
+        detail = fig1_report.blogger_detail("amery")
+        assert detail.name == "Amery"
+        assert detail.num_posts == 2
+        assert detail.num_comments_received == 3
+        assert detail.num_comments_written == 0
+        assert detail.influence > 0
+        assert detail.ap > 0
+        assert set(detail.domain_scores) == {"Computer", "Economics"}
+        assert len(detail.top_posts) == 2
+
+    def test_dominant_domain(self, fig1_report):
+        assert fig1_report.blogger_detail("helen").dominant_domain() == \
+            "Computer"
+
+    def test_commenter_only_detail(self, fig1_report):
+        detail = fig1_report.blogger_detail("cary")
+        assert detail.num_posts == 0
+        assert detail.num_comments_written == 2
+        assert detail.top_posts == []
+
+    def test_top_posts_ordered(self, fig1_report):
+        detail = fig1_report.blogger_detail("amery", top_posts=2)
+        scores = [score for _, score in detail.top_posts]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestSummary:
+    def test_summary_rows_per_domain(self, fig1_report):
+        rows = fig1_report.summary_rows(k=2)
+        assert len(rows) == 2
+        for domain, bloggers in rows:
+            assert domain in ("Computer", "Economics")
+            assert len(bloggers) == 2

@@ -1,0 +1,89 @@
+"""Tests for analysis-report XML persistence."""
+
+import pytest
+
+from repro.core import MassModel, MassParameters, load_report, save_report
+from repro.data import figure1_corpus, figure1_domains
+from repro.errors import XmlFormatError
+
+
+@pytest.fixture(scope="module")
+def fig1_report():
+    corpus = figure1_corpus()
+    params = MassParameters(alpha=0.7, beta=0.4, gl_method="hits")
+    report = MassModel(
+        params=params, domain_seed_words=figure1_domains()
+    ).fit(corpus)
+    return corpus, report
+
+
+class TestRoundTrip:
+    def test_scores_bit_exact(self, fig1_report, tmp_path):
+        corpus, report = fig1_report
+        path = save_report(report, tmp_path / "analysis.xml")
+        loaded = load_report(path, corpus)
+        assert loaded.scores.influence == report.scores.influence
+        assert loaded.scores.ap == report.scores.ap
+        assert loaded.scores.gl == report.scores.gl
+        assert loaded.scores.post_influence == report.scores.post_influence
+        assert loaded.scores.quality == report.scores.quality
+        assert loaded.scores.comment_score == report.scores.comment_score
+
+    def test_params_restored(self, fig1_report, tmp_path):
+        corpus, report = fig1_report
+        path = save_report(report, tmp_path / "analysis.xml")
+        loaded = load_report(path, corpus)
+        assert loaded.params == report.params
+
+    def test_domain_vectors_restored(self, fig1_report, tmp_path):
+        corpus, report = fig1_report
+        path = save_report(report, tmp_path / "analysis.xml")
+        loaded = load_report(path, corpus)
+        for blogger_id in corpus.blogger_ids():
+            assert loaded.domain_influence.vector(blogger_id) == \
+                report.domain_influence.vector(blogger_id)
+
+    def test_rankings_identical(self, fig1_report, tmp_path):
+        corpus, report = fig1_report
+        path = save_report(report, tmp_path / "analysis.xml")
+        loaded = load_report(path, corpus)
+        assert loaded.top_influencers(3) == report.top_influencers(3)
+        assert loaded.ranking("Computer") == report.ranking("Computer")
+
+    def test_solver_diagnostics_restored(self, fig1_report, tmp_path):
+        corpus, report = fig1_report
+        path = save_report(report, tmp_path / "analysis.xml")
+        loaded = load_report(path, corpus)
+        assert loaded.scores.iterations == report.scores.iterations
+        assert loaded.scores.converged == report.scores.converged
+
+
+class TestErrors:
+    def test_wrong_corpus_rejected(self, fig1_report, tmp_path,
+                                   small_blogosphere):
+        _, report = fig1_report
+        other_corpus, _ = small_blogosphere
+        path = save_report(report, tmp_path / "analysis.xml")
+        with pytest.raises(XmlFormatError, match="do not match"):
+            load_report(path, other_corpus)
+
+    def test_invalid_xml(self, tmp_path, fig1_report):
+        corpus, _ = fig1_report
+        path = tmp_path / "broken.xml"
+        path.write_text("<analysis><solver>")
+        with pytest.raises(XmlFormatError, match="invalid analysis XML"):
+            load_report(path, corpus)
+
+    def test_wrong_root(self, tmp_path, fig1_report):
+        corpus, _ = fig1_report
+        path = tmp_path / "wrong.xml"
+        path.write_text("<other/>")
+        with pytest.raises(XmlFormatError, match="expected <analysis>"):
+            load_report(path, corpus)
+
+    def test_missing_sections(self, tmp_path, fig1_report):
+        corpus, _ = fig1_report
+        path = tmp_path / "empty.xml"
+        path.write_text("<analysis/>")
+        with pytest.raises(XmlFormatError, match="no <parameters>"):
+            load_report(path, corpus)

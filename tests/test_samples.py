@@ -1,0 +1,42 @@
+"""Tests for the built-in Fig. 1 sample corpus."""
+
+from repro.data import FIGURE1_BLOGGERS, figure1_corpus, figure1_domains
+
+
+class TestFigure1:
+    def test_nine_bloggers(self, fig1_corpus):
+        assert set(fig1_corpus.blogger_ids()) == set(FIGURE1_BLOGGERS)
+
+    def test_amery_has_two_posts(self, fig1_corpus):
+        assert {p.post_id for p in fig1_corpus.posts_by("amery")} == {
+            "post1",
+            "post2",
+        }
+
+    def test_post1_commenters_match_figure(self, fig1_corpus):
+        commenters = {
+            c.commenter_id for c in fig1_corpus.comments_on("post1")
+        }
+        assert commenters == {"bob", "cary"}
+
+    def test_post2_commenter_is_cary(self, fig1_corpus):
+        assert [c.commenter_id for c in fig1_corpus.comments_on("post2")] == [
+            "cary"
+        ]
+
+    def test_cary_total_comments(self, fig1_corpus):
+        # Cary commented on post1 and post2: TC(cary) = 2 for Eq. 3.
+        assert fig1_corpus.total_comments_by("cary") == 2
+
+    def test_corpus_is_frozen_and_valid(self):
+        corpus = figure1_corpus()
+        assert corpus.frozen
+
+    def test_two_domains(self):
+        domains = figure1_domains()
+        assert set(domains) == {"Computer", "Economics"}
+        assert all(domains.values())
+
+    def test_post_bodies_reflect_domains(self, fig1_corpus):
+        assert "programming" in fig1_corpus.post("post1").body
+        assert "economic" in fig1_corpus.post("post2").body

@@ -1,0 +1,90 @@
+"""Unit tests for the lexicon sentiment classifier (the attitude facet)."""
+
+import pytest
+
+from repro.nlp import Sentiment, SentimentClassifier
+
+
+@pytest.fixture(scope="module")
+def clf() -> SentimentClassifier:
+    return SentimentClassifier()
+
+
+class TestPaperExemplars:
+    """The paper names "agree", "support", "conform" as positive words."""
+
+    @pytest.mark.parametrize("word", ["agree", "support", "conform"])
+    def test_paper_positive_words(self, clf, word):
+        assert clf.classify(f"I {word} with this post") is Sentiment.POSITIVE
+
+
+class TestBasicPolarities:
+    def test_positive(self, clf):
+        assert clf.classify("what a wonderful, insightful post") is \
+            Sentiment.POSITIVE
+
+    def test_negative(self, clf):
+        assert clf.classify("this is wrong and misleading") is \
+            Sentiment.NEGATIVE
+
+    def test_neutral_no_polar_words(self, clf):
+        assert clf.classify("see my notes from last week") is \
+            Sentiment.NEUTRAL
+
+    def test_empty_text_neutral(self, clf):
+        assert clf.classify("") is Sentiment.NEUTRAL
+
+    def test_tie_is_neutral(self, clf):
+        assert clf.classify("good points but wrong conclusion") is \
+            Sentiment.NEUTRAL
+
+
+class TestNegation:
+    def test_negated_positive_reads_negative(self, clf):
+        assert clf.classify("I don't agree with this") is Sentiment.NEGATIVE
+
+    def test_negated_negative_reads_positive(self, clf):
+        assert clf.classify("this is not wrong at all") is Sentiment.POSITIVE
+
+    def test_negation_through_intensifier(self, clf):
+        # "not really agree": intensifier must not break the window.
+        assert clf.classify("I do not really agree here") is \
+            Sentiment.NEGATIVE
+
+    def test_negation_out_of_window(self, clf):
+        # Negator four content words back: out of the default window.
+        assert clf.classify(
+            "never mind the other stuff people agree"
+        ) is Sentiment.POSITIVE
+
+
+class TestAnalyze:
+    def test_breakdown_counts(self, clf):
+        breakdown = clf.analyze("great great terrible")
+        assert breakdown.positive_hits == 2
+        assert breakdown.negative_hits == 1
+        assert breakdown.sentiment is Sentiment.POSITIVE
+        assert breakdown.tokens == 3
+
+
+class TestCustomLexicons:
+    def test_custom_words(self):
+        clf = SentimentClassifier(
+            positive_words=["yay"], negative_words=["boo"]
+        )
+        assert clf.classify("yay") is Sentiment.POSITIVE
+        assert clf.classify("boo") is Sentiment.NEGATIVE
+        # Built-ins are replaced, not extended.
+        assert clf.classify("wonderful") is Sentiment.NEUTRAL
+
+    def test_overlapping_lexicons_rejected(self):
+        with pytest.raises(ValueError, match="both positive and negative"):
+            SentimentClassifier(positive_words=["x"], negative_words=["x"])
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError, match="negation_window"):
+            SentimentClassifier(negation_window=-1)
+
+    def test_zero_window_disables_negation(self):
+        clf = SentimentClassifier(negation_window=0)
+        assert clf.classify("I don't agree") is Sentiment.POSITIVE

@@ -1,0 +1,82 @@
+"""Unit tests for the simulated blog service."""
+
+import pytest
+
+from repro.crawler import (
+    SimulatedBlogService,
+    SpaceNotFoundError,
+    TransientFetchError,
+)
+
+
+class TestFetch:
+    def test_page_contents(self, fig1_corpus):
+        service = SimulatedBlogService(fig1_corpus)
+        page = service.fetch_space("amery")
+        assert page.blogger.blogger_id == "amery"
+        assert [p.post_id for p in page.posts] == ["post1", "post2"]
+        assert {c.commenter_id for c in page.comments} == {"bob", "cary"}
+        assert page.links == ()  # amery links to nobody
+
+    def test_neighbors_union_commenters_and_links(self, fig1_corpus):
+        service = SimulatedBlogService(fig1_corpus)
+        page = service.fetch_space("amery")
+        assert page.neighbors == ["bob", "cary"]
+        bob_page = service.fetch_space("bob")
+        assert bob_page.neighbors == ["amery"]
+
+    def test_neighbors_exclude_self(self, fig1_corpus):
+        service = SimulatedBlogService(fig1_corpus)
+        for blogger_id in fig1_corpus.blogger_ids():
+            page = service.fetch_space(blogger_id)
+            assert blogger_id not in page.neighbors
+
+    def test_not_found(self, fig1_corpus):
+        service = SimulatedBlogService(fig1_corpus)
+        with pytest.raises(SpaceNotFoundError):
+            service.fetch_space("ghost")
+        assert service.stats.not_found == 1
+
+    def test_stats_count_fetches(self, fig1_corpus):
+        service = SimulatedBlogService(fig1_corpus)
+        service.fetch_space("amery")
+        service.fetch_space("bob")
+        assert service.stats.fetches == 2
+
+
+class TestFailures:
+    def test_failures_are_transient(self, fig1_corpus):
+        service = SimulatedBlogService(
+            fig1_corpus, failure_rate=0.99, seed=1
+        )
+        failures = 0
+        for blogger_id in fig1_corpus.blogger_ids():
+            try:
+                service.fetch_space(blogger_id)
+            except TransientFetchError:
+                failures += 1
+                # Retry always succeeds.
+                service.fetch_space(blogger_id)
+        assert failures > 0
+        assert service.stats.transient_failures == failures
+
+    def test_failure_pattern_deterministic(self, fig1_corpus):
+        def failing_set(seed):
+            service = SimulatedBlogService(
+                fig1_corpus, failure_rate=0.5, seed=seed
+            )
+            failed = set()
+            for blogger_id in fig1_corpus.blogger_ids():
+                try:
+                    service.fetch_space(blogger_id)
+                except TransientFetchError:
+                    failed.add(blogger_id)
+            return failed
+
+        assert failing_set(3) == failing_set(3)
+
+    def test_invalid_parameters(self, fig1_corpus):
+        with pytest.raises(ValueError):
+            SimulatedBlogService(fig1_corpus, latency=-1)
+        with pytest.raises(ValueError):
+            SimulatedBlogService(fig1_corpus, failure_rate=1.0)

@@ -1,0 +1,262 @@
+"""Unit and property tests for the influence fixed-point solver.
+
+The hand-computed cases pin the solver to Eqs. 1-4 exactly; the
+property tests check convergence and monotonicity over generated
+corpora and parameters.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import InfluenceSolver, MassParameters, compute_gl_scores
+from repro.data import CorpusBuilder
+from repro.errors import ConvergenceError
+
+
+def one_post_one_comment():
+    """A: one post; B comments positively; no links."""
+    builder = CorpusBuilder()
+    builder.blogger("A").blogger("B")
+    post = builder.post("A", body="word " * 40)
+    builder.comment(post.post_id, "B", text="I agree completely, wonderful")
+    return builder.build(), post.post_id
+
+
+class TestHandComputed:
+    def test_two_blogger_fixed_point(self):
+        """With α=0.5, β=0.6, Q=1, GL=1 (mean-normalized, no links):
+
+        Inf(B) = 0.5·0 + 0.5·1 = 0.5
+        Inf(A) = 0.5·(0.6·1 + 0.4·Inf(B)·1/1) + 0.5·1 = 0.9
+        """
+        corpus, post_id = one_post_one_comment()
+        scores = InfluenceSolver(corpus).solve()
+        assert scores.converged
+        assert math.isclose(scores.influence["B"], 0.5, abs_tol=1e-9)
+        assert math.isclose(scores.influence["A"], 0.9, abs_tol=1e-9)
+        # Per-post: 0.6·1 + 0.4·0.5 = 0.8
+        assert math.isclose(scores.post_influence[post_id], 0.8, abs_tol=1e-9)
+        assert math.isclose(scores.ap["A"], 0.8, abs_tol=1e-9)
+
+    def test_eq1_identity_holds_at_fixed_point(self, fig1_corpus):
+        params = MassParameters()
+        scores = InfluenceSolver(fig1_corpus, params).solve()
+        assert scores.converged
+        for blogger_id in fig1_corpus.blogger_ids():
+            expected = (
+                params.alpha * scores.ap[blogger_id]
+                + (1 - params.alpha) * scores.gl[blogger_id]
+            )
+            assert math.isclose(
+                scores.influence[blogger_id], expected, abs_tol=1e-7
+            ), blogger_id
+
+    def test_eq2_identity_per_post(self, fig1_corpus):
+        params = MassParameters()
+        scores = InfluenceSolver(fig1_corpus, params).solve()
+        for post_id in fig1_corpus.posts:
+            expected = (
+                params.beta * scores.quality[post_id]
+                + (1 - params.beta) * scores.comment_score[post_id]
+            )
+            assert math.isclose(
+                scores.post_influence[post_id], expected, abs_tol=1e-9
+            )
+
+    def test_negative_comment_worth_less_than_positive(self):
+        def build(comment_text):
+            builder = CorpusBuilder()
+            builder.blogger("A").blogger("B")
+            post = builder.post("A", body="word " * 40)
+            builder.comment(post.post_id, "B", text=comment_text)
+            return builder.build()
+
+        positive = InfluenceSolver(build("I agree, excellent")).solve()
+        negative = InfluenceSolver(build("this is wrong, terrible")).solve()
+        assert positive.influence["A"] > negative.influence["A"]
+
+    def test_tc_normalization_splits_impact(self):
+        """A commenter spreading over two posts contributes half each."""
+        builder = CorpusBuilder()
+        builder.blogger("A").blogger("A2").blogger("B")
+        post_a = builder.post("A", body="word " * 40)
+        post_a2 = builder.post("A2", body="word " * 40)
+        builder.comment(post_a.post_id, "B", text="I agree, great")
+        builder.comment(post_a2.post_id, "B", text="I agree, great")
+        corpus = builder.build()
+        scores = InfluenceSolver(corpus).solve()
+        # Each comment is SF/TC = 1/2, so CommentScore = Inf(B)/2 each.
+        expected = 0.4 * scores.influence["B"] / 2 + 0.6 * scores.quality[
+            post_a.post_id
+        ]
+        assert math.isclose(
+            scores.post_influence[post_a.post_id], expected, abs_tol=1e-9
+        )
+
+
+class TestAlphaExtremes:
+    def test_alpha_one_is_pure_ap(self, fig1_corpus):
+        scores = InfluenceSolver(
+            fig1_corpus, MassParameters(alpha=1.0)
+        ).solve()
+        for blogger_id in fig1_corpus.blogger_ids():
+            assert math.isclose(
+                scores.influence[blogger_id], scores.ap[blogger_id],
+                abs_tol=1e-7,
+            )
+
+    def test_alpha_zero_is_pure_gl(self, fig1_corpus):
+        scores = InfluenceSolver(
+            fig1_corpus, MassParameters(alpha=0.0)
+        ).solve()
+        for blogger_id in fig1_corpus.blogger_ids():
+            assert math.isclose(
+                scores.influence[blogger_id], scores.gl[blogger_id],
+                abs_tol=1e-9,
+            )
+
+
+class TestGlBackends:
+    def test_pagerank_mean_normalized(self, fig1_corpus):
+        gl = compute_gl_scores(fig1_corpus, MassParameters())
+        assert math.isclose(sum(gl.values()) / len(gl), 1.0, abs_tol=1e-9)
+
+    def test_pagerank_sum_normalized(self, fig1_corpus):
+        gl = compute_gl_scores(
+            fig1_corpus, MassParameters(gl_normalization="sum")
+        )
+        assert math.isclose(sum(gl.values()), 1.0, abs_tol=1e-9)
+
+    def test_amery_highest_authority(self, fig1_corpus):
+        for method in ("pagerank", "hits", "inlinks"):
+            gl = compute_gl_scores(
+                fig1_corpus, MassParameters(gl_method=method)
+            )
+            assert max(gl, key=gl.get) == "amery", method
+
+    def test_inlinks_no_links_uniform(self):
+        builder = CorpusBuilder()
+        builder.blogger("x").blogger("y")
+        corpus = builder.build()
+        gl = compute_gl_scores(corpus, MassParameters(gl_method="inlinks"))
+        assert math.isclose(gl["x"], gl["y"])
+
+    def test_empty_corpus(self):
+        corpus = CorpusBuilder().build()
+        assert compute_gl_scores(corpus, MassParameters()) == {}
+
+
+class TestCitationAblation:
+    def test_citation_off_closed_form(self):
+        corpus, post_id = one_post_one_comment()
+        params = MassParameters(use_citation=False)
+        scores = InfluenceSolver(corpus, params).solve()
+        assert scores.converged
+        assert scores.iterations == 0
+        # CommentScore = SF = 1.0 (count mode).
+        assert math.isclose(scores.post_influence[post_id], 0.6 + 0.4 * 1.0)
+
+
+class TestConvergence:
+    def test_strict_raises_when_capped(self, fig1_corpus):
+        params = MassParameters(max_iterations=1, tolerance=1e-18)
+        with pytest.raises(ConvergenceError):
+            InfluenceSolver(fig1_corpus, params).solve(strict=True)
+
+    def test_non_strict_reports_flag(self, fig1_corpus):
+        params = MassParameters(max_iterations=1, tolerance=1e-18)
+        scores = InfluenceSolver(fig1_corpus, params).solve()
+        assert not scores.converged
+        assert scores.iterations == 1
+
+    def test_no_comments_converges_immediately(self):
+        builder = CorpusBuilder()
+        builder.blogger("x")
+        builder.post("x", body="hello world " * 5)
+        corpus = builder.build()
+        scores = InfluenceSolver(corpus).solve()
+        assert scores.converged
+        assert scores.iterations == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        alpha=st.floats(0.0, 1.0),
+        beta=st.floats(0.05, 1.0),
+    )
+    def test_contractive_params_converge(self, fig1_corpus, alpha, beta):
+        params = MassParameters(alpha=alpha, beta=beta)
+        if not params.is_contractive:
+            return
+        scores = InfluenceSolver(fig1_corpus, params).solve()
+        assert scores.converged
+        assert all(v >= 0 for v in scores.influence.values())
+
+
+class TestMonotonicity:
+    def test_extra_positive_comment_increases_author_influence(self):
+        def build(extra: bool):
+            builder = CorpusBuilder()
+            builder.blogger("A").blogger("B").blogger("C")
+            post = builder.post("A", body="word " * 40)
+            builder.comment(post.post_id, "B", text="I agree, great")
+            if extra:
+                builder.comment(post.post_id, "C", text="wonderful, I support")
+            return builder.build()
+
+        base = InfluenceSolver(build(False)).solve().influence["A"]
+        boosted = InfluenceSolver(build(True)).solve().influence["A"]
+        assert boosted > base
+
+    def test_longer_post_increases_influence(self):
+        def build(words: int):
+            builder = CorpusBuilder()
+            builder.blogger("A").blogger("Z")
+            builder.post("A", body="word " * words)
+            builder.post("Z", body="word " * 100)  # fixes the max length
+            return builder.build()
+
+        short = InfluenceSolver(build(10)).solve().influence["A"]
+        long_ = InfluenceSolver(build(90)).solve().influence["A"]
+        assert long_ > short
+
+
+class TestPaperLiteralMode:
+    """The paper-literal scoring (raw lengths, sum-normalized GL)."""
+
+    def test_raw_mode_runs_and_ranks_consistently(self, fig1_corpus):
+        literal = MassParameters(
+            length_normalization="raw", gl_normalization="sum"
+        )
+        raw_scores = InfluenceSolver(fig1_corpus, literal).solve()
+        assert raw_scores.converged
+        default_scores = InfluenceSolver(fig1_corpus).solve()
+        # Absolute values differ wildly (raw lengths are O(100))…
+        assert raw_scores.influence["amery"] > 10 * \
+            default_scores.influence["amery"]
+        # …but the top blogger agrees.
+        from repro.core import top_k
+
+        assert top_k(raw_scores.influence, 1)[0][0] == \
+            top_k(default_scores.influence, 1)[0][0] == "amery"
+
+    def test_log_mode_compresses(self, fig1_corpus):
+        log_scores = InfluenceSolver(
+            fig1_corpus, MassParameters(length_normalization="log")
+        ).solve()
+        raw_scores = InfluenceSolver(
+            fig1_corpus, MassParameters(length_normalization="raw")
+        ).solve()
+        assert log_scores.converged
+        assert log_scores.influence["amery"] < raw_scores.influence["amery"]
+
+    def test_raw_quality_is_word_count(self, fig1_corpus):
+        scores = InfluenceSolver(
+            fig1_corpus, MassParameters(length_normalization="raw")
+        ).solve()
+        from repro.nlp import word_count
+
+        post1_words = word_count(fig1_corpus.post("post1").body)
+        assert scores.quality["post1"] == float(post1_words)

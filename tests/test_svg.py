@@ -1,0 +1,82 @@
+"""Tests for the SVG renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core import MassModel
+from repro.viz import VisualizationGraph, render_svg, save_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+@pytest.fixture(scope="module")
+def fig1_viz(fig1_corpus, fig1_seed_words):
+    report = MassModel(domain_seed_words=fig1_seed_words).fit(fig1_corpus)
+    return VisualizationGraph.from_report(report)
+
+
+class TestRenderSvg:
+    def test_valid_xml(self, fig1_viz):
+        document = render_svg(fig1_viz)
+        root = ET.fromstring(document)
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_circle_per_node(self, fig1_viz):
+        root = ET.fromstring(render_svg(fig1_viz))
+        circles = root.findall(f".//{SVG_NS}circle")
+        assert len(circles) == len(fig1_viz)
+
+    def test_one_line_per_edge(self, fig1_viz):
+        root = ET.fromstring(render_svg(fig1_viz))
+        lines = root.findall(f".//{SVG_NS}line")
+        assert len(lines) == len(fig1_viz.edges)
+
+    def test_edge_count_labels(self, fig1_viz):
+        # Cary commented twice on Amery: a "2" edge label must exist.
+        root = ET.fromstring(render_svg(fig1_viz))
+        labels = [
+            el.text
+            for el in root.findall(f".//{SVG_NS}text")
+            if el.get("class") == "edge-label"
+        ]
+        assert "2" in labels
+
+    def test_node_tooltips(self, fig1_viz):
+        root = ET.fromstring(render_svg(fig1_viz))
+        titles = root.findall(f".//{SVG_NS}circle/{SVG_NS}title")
+        assert len(titles) == len(fig1_viz)
+        assert any("influence" in (t.text or "") for t in titles)
+
+    def test_labels_limited(self, fig1_viz):
+        root = ET.fromstring(render_svg(fig1_viz, max_labels=2))
+        node_labels = [
+            el
+            for el in root.findall(f".//{SVG_NS}text")
+            if el.get("class") == "node-label"
+        ]
+        assert len(node_labels) == 2
+
+    def test_influence_scales_radius(self, fig1_viz):
+        root = ET.fromstring(render_svg(fig1_viz))
+        radii = {}
+        for circle in root.findall(f".//{SVG_NS}circle"):
+            title = circle.find(f"{SVG_NS}title").text or ""
+            radii[title.split(":")[0]] = float(circle.get("r"))
+        assert radii["Amery"] > radii["Bob"]
+
+    def test_title_escaped(self, fig1_viz):
+        document = render_svg(fig1_viz, title="a <b> & c")
+        ET.fromstring(document)  # would raise if unescaped
+        assert "a &lt;b&gt; &amp; c" in document
+
+    def test_small_canvas_rejected(self, fig1_viz):
+        with pytest.raises(ValueError):
+            render_svg(fig1_viz, width=50, height=50)
+
+
+class TestSaveSvg:
+    def test_writes_file(self, fig1_viz, tmp_path):
+        path = save_svg(fig1_viz, tmp_path / "network.svg")
+        assert path.exists()
+        ET.fromstring(path.read_text(encoding="utf-8"))

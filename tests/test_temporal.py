@@ -1,0 +1,107 @@
+"""Tests for time-sliced corpora and influence trajectories."""
+
+import pytest
+
+from repro.core import InfluenceSolver, MassParameters, trajectory
+from repro.data import CorpusBuilder
+from repro.errors import CorpusError, ParameterError
+
+
+def two_era_corpus():
+    """Early era: alice dominant.  Late era: bob dominant."""
+    builder = CorpusBuilder()
+    for blogger_id in ("alice", "bob", "carol", "dave"):
+        builder.blogger(blogger_id)
+    for day in (0, 10, 20):
+        post = builder.post("alice", body="early words " * 30,
+                            created_day=day)
+        builder.comment(post.post_id, "carol", text="I agree, wonderful",
+                        created_day=day + 1)
+        builder.comment(post.post_id, "dave", text="great, I support this",
+                        created_day=day + 2)
+    for day in (60, 70, 80):
+        post = builder.post("bob", body="late words " * 30, created_day=day)
+        builder.comment(post.post_id, "carol", text="I agree, wonderful",
+                        created_day=day + 1)
+        builder.comment(post.post_id, "dave", text="great, I support this",
+                        created_day=day + 2)
+    builder.link("carol", "alice").link("dave", "bob")
+    return builder.build()
+
+
+class TestTimeSlice:
+    def test_window_contents(self):
+        corpus = two_era_corpus()
+        early = corpus.time_slice(0, 30)
+        assert len(early.posts) == 3
+        assert all(p.author_id == "alice" for p in early.posts.values())
+        assert len(early.comments) == 6
+        # Bloggers and links are always kept.
+        assert len(early) == 4
+        assert len(early.links) == 2
+
+    def test_comment_outside_window_dropped(self):
+        builder = CorpusBuilder()
+        builder.blogger("a").blogger("b")
+        post = builder.post("a", body="x", created_day=5)
+        builder.comment(post.post_id, "b", text="late reply", created_day=50)
+        corpus = builder.build()
+        sliced = corpus.time_slice(0, 10)
+        assert len(sliced.posts) == 1
+        assert len(sliced.comments) == 0
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(CorpusError, match="empty window"):
+            two_era_corpus().time_slice(10, 10)
+
+    def test_slice_is_validatable(self):
+        two_era_corpus().time_slice(0, 30).validate()
+
+
+class TestTrajectory:
+    def test_eras_swap_leaders(self):
+        corpus = two_era_corpus()
+        result = trajectory(corpus, window_days=30, step_days=30)
+        assert result.num_windows == 3
+        early = result.influence_at(0)
+        late = result.influence_at(2)
+        assert early["alice"] > early["bob"]
+        assert late["bob"] > late["alice"]
+
+    def test_series_length_matches_windows(self):
+        corpus = two_era_corpus()
+        result = trajectory(corpus, window_days=30, step_days=30)
+        assert len(result.series("alice")) == result.num_windows
+
+    def test_rising_blogger_is_bob(self):
+        corpus = two_era_corpus()
+        result = trajectory(corpus, window_days=30, step_days=30)
+        rising = result.rising_bloggers(1)
+        assert rising[0][0] == "bob"
+        assert result.trend("bob") > 0
+        assert result.trend("alice") < 0
+
+    def test_window_bounds(self):
+        corpus = two_era_corpus()
+        result = trajectory(corpus, window_days=30, step_days=30,
+                            start_day=0, end_day=90)
+        assert result.window_bounds() == [(0, 30), (30, 60), (60, 90)]
+
+    def test_invalid_parameters(self):
+        corpus = two_era_corpus()
+        with pytest.raises(ParameterError):
+            trajectory(corpus, window_days=0)
+        with pytest.raises(ParameterError):
+            trajectory(corpus, start_day=100, end_day=50)
+
+    def test_warm_start_matches_cold_solution(self):
+        """Windows solved warm must equal independent cold solves."""
+        corpus = two_era_corpus()
+        result = trajectory(corpus, window_days=30, step_days=30)
+        for index, (start, end) in enumerate(result.window_bounds()):
+            cold = InfluenceSolver(
+                corpus.time_slice(start, end), MassParameters()
+            ).solve()
+            warm = result.influence_at(index)
+            for blogger_id, value in cold.influence.items():
+                assert warm[blogger_id] == pytest.approx(value, abs=1e-8)

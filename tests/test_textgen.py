@@ -1,0 +1,98 @@
+"""Unit tests for the synthetic text generator."""
+
+import random
+
+import pytest
+
+from repro.nlp import Sentiment, SentimentClassifier, tokenize, word_count
+from repro.core import LexiconNoveltyDetector
+from repro.data import Post
+from repro.synth import DOMAIN_VOCABULARIES, TextGenerator
+
+
+@pytest.fixture()
+def gen() -> TextGenerator:
+    return TextGenerator(random.Random(42))
+
+
+class TestPostGeneration:
+    def test_body_length_close_to_target(self, gen):
+        body = gen.post_body({"Sports": 1.0}, words=100)
+        assert 90 <= word_count(body) <= 110
+
+    def test_domain_words_dominate(self, gen):
+        body = gen.post_body({"Sports": 1.0}, words=300)
+        tokens = set(tokenize(body))
+        sports_hits = tokens & set(DOMAIN_VOCABULARIES["Sports"])
+        art_hits = tokens & set(DOMAIN_VOCABULARIES["Art"])
+        assert len(sports_hits) > len(art_hits)
+
+    def test_mixture_weights_respected(self, gen):
+        weights = {"Sports": 0.9, "Art": 0.1}
+        body = gen.post_body(weights, words=500)
+        tokens = tokenize(body)
+        sports = sum(1 for t in tokens if t in DOMAIN_VOCABULARIES["Sports"])
+        art = sum(1 for t in tokens if t in DOMAIN_VOCABULARIES["Art"])
+        assert sports > art
+
+    def test_zero_weights_fall_back(self, gen):
+        body = gen.post_body({"Sports": 0.0}, words=50)
+        assert word_count(body) >= 45
+
+    def test_invalid_words(self, gen):
+        with pytest.raises(ValueError):
+            gen.post_body({"Sports": 1.0}, words=0)
+
+    def test_title_from_domain(self, gen):
+        title = gen.post_title("Travel")
+        assert any(
+            token in DOMAIN_VOCABULARIES["Travel"]
+            for token in tokenize(title)
+        )
+
+    def test_deterministic_for_same_rng_seed(self):
+        gen1 = TextGenerator(random.Random(7))
+        gen2 = TextGenerator(random.Random(7))
+        assert gen1.post_body({"Art": 1.0}, 60) == gen2.post_body(
+            {"Art": 1.0}, 60
+        )
+
+
+class TestCopiedBody:
+    def test_copy_marker_detected(self, gen):
+        original = gen.post_body({"Travel": 1.0}, 60)
+        copied = gen.copied_body(original)
+        detector = LexiconNoveltyDetector()
+        assert detector.is_copy(Post("p", "a", body=copied))
+        assert original in copied
+
+
+class TestComments:
+    @pytest.mark.parametrize("sentiment", list(Sentiment))
+    def test_sentiment_recoverable(self, gen, sentiment):
+        classifier = SentimentClassifier()
+        for _ in range(25):
+            text = gen.comment_text(sentiment, "Sports")
+            assert classifier.classify(text) is sentiment, text
+
+
+class TestAdsAndProfiles:
+    def test_advertisement_concentrated(self, gen):
+        ad = gen.advertisement("Medicine", words=80)
+        tokens = set(tokenize(ad))
+        assert tokens & set(DOMAIN_VOCABULARIES["Medicine"])
+        assert not tokens & set(DOMAIN_VOCABULARIES["Military"])
+
+    def test_profile_reflects_weights(self, gen):
+        profile = gen.profile({"Politics": 1.0}, words=60)
+        assert set(tokenize(profile)) & set(DOMAIN_VOCABULARIES["Politics"])
+
+
+class TestValidation:
+    def test_bad_domain_mix(self):
+        with pytest.raises(ValueError, match="domain_mix"):
+            TextGenerator(random.Random(0), domain_mix=1.5)
+
+    def test_empty_vocabulary_rejected(self):
+        with pytest.raises(ValueError, match="empty vocabulary"):
+            TextGenerator(random.Random(0), domains={"X": []})

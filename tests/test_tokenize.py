@@ -1,0 +1,95 @@
+"""Unit and property tests for tokenization primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nlp import ngrams, sentences, shingles, tokenize, word_count
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Hello WORLD") == ["hello", "world"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("well, done!") == ["well", "done"]
+
+    def test_keeps_contractions(self):
+        assert tokenize("don't stop") == ["don't", "stop"]
+
+    def test_numbers_kept(self):
+        assert tokenize("42 reasons") == ["42", "reasons"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("  \n\t ") == []
+
+    def test_unicode_stripped(self):
+        # Non-ASCII letters are treated as separators by design.
+        assert tokenize("café society") == ["caf", "society"]
+
+    @given(st.text())
+    def test_tokens_are_lowercase_nonempty(self, text):
+        for token in tokenize(text):
+            assert token
+            assert token == token.lower()
+
+    @given(st.text())
+    def test_idempotent_on_joined_tokens(self, text):
+        tokens = tokenize(text)
+        assert tokenize(" ".join(tokens)) == tokens
+
+
+class TestWordCount:
+    def test_counts_tokens(self):
+        assert word_count("one two three!") == 3
+
+    def test_empty(self):
+        assert word_count("") == 0
+
+    @given(st.text())
+    def test_matches_tokenize(self, text):
+        assert word_count(text) == len(tokenize(text))
+
+
+class TestSentences:
+    def test_splits_on_terminators(self):
+        assert sentences("One. Two! Three?") == ["One", "Two", "Three"]
+
+    def test_no_terminator(self):
+        assert sentences("no end") == ["no end"]
+
+    def test_empty(self):
+        assert sentences("") == []
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert list(ngrams(["a", "b", "c"], 2)) == [("a", "b"), ("b", "c")]
+
+    def test_n_longer_than_sequence(self):
+        assert list(ngrams(["a"], 2)) == []
+
+    def test_unigrams(self):
+        assert list(ngrams(["a", "b"], 1)) == [("a",), ("b",)]
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            list(ngrams(["a"], 0))
+
+    @given(st.lists(st.text(min_size=1), max_size=20), st.integers(1, 5))
+    def test_count_formula(self, tokens, n):
+        expected = max(0, len(tokens) - n + 1)
+        assert len(list(ngrams(tokens, n))) == expected
+
+
+class TestShingles:
+    def test_shared_shingles_detect_overlap(self):
+        a = shingles("the quick brown fox jumps over the lazy dog", k=3)
+        b = shingles("quick brown fox jumps", k=3)
+        assert b <= a
+
+    def test_short_text_no_shingles(self):
+        assert shingles("too short", k=4) == set()

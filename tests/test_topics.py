@@ -1,0 +1,109 @@
+"""Unit tests for automatic domain discovery (spherical k-means)."""
+
+import pytest
+
+from repro.errors import ClassifierError
+from repro.nlp import discover_domains
+
+SPORTS = [
+    "stadium match league game goal team",
+    "marathon athlete team game stadium medal",
+    "football team coach game match league",
+]
+ART = [
+    "painting canvas gallery sculpture art museum",
+    "museum portrait painting brush palette art",
+    "gallery sculpture canvas art painting exhibition",
+]
+ECON = [
+    "market stocks inflation bank trade",
+    "budget deficit tax market trade bank",
+    "mortgage loan bank stocks dividend market",
+]
+TEXTS = SPORTS + ART + ECON
+
+
+class TestDiscovery:
+    def test_three_clusters_separate_topics(self):
+        result = discover_domains(TEXTS, k=3, seed=0)
+        assert result.k == 3
+        # Documents of the same topic land in the same cluster.
+        for group in (range(0, 3), range(3, 6), range(6, 9)):
+            clusters = {result.assignments[i] for i in group}
+            assert len(clusters) == 1, result.assignments
+        # And the three groups land in three different clusters.
+        assert len({result.assignments[0], result.assignments[3],
+                    result.assignments[6]}) == 3
+
+    def test_names_derived_from_content(self):
+        result = discover_domains(TEXTS, k=3, seed=0)
+        sports_cluster = result.assignments[0]
+        name = result.names[sports_cluster]
+        sports_words = set(" ".join(SPORTS).split())
+        assert any(part in sports_words for part in name.split("-"))
+
+    def test_deterministic(self):
+        a = discover_domains(TEXTS, k=3, seed=5)
+        b = discover_domains(TEXTS, k=3, seed=5)
+        assert a.assignments == b.assignments
+        assert a.names == b.names
+
+    def test_seed_changes_initialization(self):
+        # Different seeds may converge to the same partition on easy
+        # data, but must at least run without error.
+        discover_domains(TEXTS, k=3, seed=1)
+        discover_domains(TEXTS, k=3, seed=2)
+
+    def test_inertia_in_unit_range(self):
+        result = discover_domains(TEXTS, k=3, seed=0)
+        assert 0.0 <= result.inertia <= 1.0 + 1e-9
+
+    def test_cluster_sizes_sum_to_documents(self):
+        result = discover_domains(TEXTS, k=3, seed=0)
+        assert sum(result.cluster_sizes()) == len(TEXTS)
+
+    def test_names_unique(self):
+        result = discover_domains(TEXTS + TEXTS, k=4, seed=0)
+        assert len(set(result.names)) == len(result.names)
+
+
+class TestSeedVocabularies:
+    def test_plug_into_mass_model(self):
+        result = discover_domains(TEXTS, k=3, seed=0)
+        vocabularies = result.seed_vocabularies(terms_per_domain=10)
+        assert set(vocabularies) == set(result.names)
+        assert all(1 <= len(words) <= 10 for words in vocabularies.values())
+
+        from repro.nlp import NaiveBayesClassifier
+
+        classifier = NaiveBayesClassifier.from_seed_vocabulary(vocabularies)
+        sports_cluster = result.names[result.assignments[0]]
+        assert classifier.predict("an athlete at the stadium") == \
+            sports_cluster
+
+    def test_bad_terms_per_domain(self):
+        result = discover_domains(TEXTS, k=3, seed=0)
+        with pytest.raises(ClassifierError):
+            result.seed_vocabularies(terms_per_domain=0)
+
+
+class TestValidation:
+    def test_k_too_small(self):
+        with pytest.raises(ClassifierError, match="k must be"):
+            discover_domains(TEXTS, k=1)
+
+    def test_no_texts(self):
+        with pytest.raises(ClassifierError, match="zero texts"):
+            discover_domains([], k=2)
+
+    def test_not_enough_nonempty_texts(self):
+        with pytest.raises(ClassifierError, match="non-empty"):
+            discover_domains(["only one usable doc", "", "  "], k=2)
+
+    def test_bad_max_iterations(self):
+        with pytest.raises(ClassifierError, match="max_iterations"):
+            discover_domains(TEXTS, k=2, max_iterations=0)
+
+    def test_empty_documents_still_assigned(self):
+        result = discover_domains(TEXTS + [""], k=3, seed=0)
+        assert len(result.assignments) == len(TEXTS) + 1

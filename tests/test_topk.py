@@ -1,0 +1,71 @@
+"""Unit and property tests for top-k selection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import full_ranking, rank_of, top_k
+
+scores_strategy = st.dictionaries(
+    st.text(st.characters(categories=["Ll"]), min_size=1, max_size=4),
+    st.floats(-100, 100, allow_nan=False),
+    max_size=20,
+)
+
+
+class TestTopK:
+    SCORES = {"a": 3.0, "b": 1.0, "c": 3.0, "d": 2.0}
+
+    def test_orders_by_score_then_id(self):
+        assert top_k(self.SCORES, 3) == [("a", 3.0), ("c", 3.0), ("d", 2.0)]
+
+    def test_k_zero(self):
+        assert top_k(self.SCORES, 0) == []
+
+    def test_k_larger_than_population(self):
+        assert len(top_k(self.SCORES, 99)) == 4
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            top_k(self.SCORES, -1)
+
+    def test_exclude(self):
+        result = top_k(self.SCORES, 2, exclude={"a", "c"})
+        assert result == [("d", 2.0), ("b", 1.0)]
+
+    def test_empty_scores(self):
+        assert top_k({}, 3) == []
+
+    @given(scores_strategy, st.integers(0, 25))
+    def test_topk_is_prefix_of_full_ranking(self, scores, k):
+        assert top_k(scores, k) == full_ranking(scores)[:k]
+
+    @given(scores_strategy)
+    def test_full_ranking_sorted_desc(self, scores):
+        ranking = full_ranking(scores)
+        values = [score for _, score in ranking]
+        assert values == sorted(values, reverse=True)
+        assert len(ranking) == len(scores)
+
+
+class TestRankOf:
+    def test_basic_ranks(self):
+        scores = {"a": 3.0, "b": 1.0, "c": 2.0}
+        assert rank_of(scores, "a") == 1
+        assert rank_of(scores, "c") == 2
+        assert rank_of(scores, "b") == 3
+
+    def test_tie_breaks_by_id(self):
+        scores = {"x": 2.0, "a": 2.0}
+        assert rank_of(scores, "a") == 1
+        assert rank_of(scores, "x") == 2
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            rank_of({"a": 1.0}, "zzz")
+
+    @given(scores_strategy.filter(lambda d: len(d) >= 1))
+    def test_rank_consistent_with_ranking(self, scores):
+        ranking = full_ranking(scores)
+        for position, (item_id, _) in enumerate(ranking, start=1):
+            assert rank_of(scores, item_id) == position

@@ -1,0 +1,158 @@
+"""Unit tests for the simulated Table I user study."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.userstudy import (
+    TABLE1_DOMAINS,
+    RaterPanelConfig,
+    SimulatedRaterPanel,
+    UserStudy,
+)
+
+
+@pytest.fixture(scope="module")
+def truth(medium_blogosphere):
+    return medium_blogosphere[1]
+
+
+class TestPanelConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_raters": 0},
+            {"noise_std": -1.0},
+            {"sharpness": 0.0},
+            {"halo": 1.0},
+            {"halo": -0.1},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ParameterError):
+            RaterPanelConfig(**kwargs)
+
+
+class TestPanel:
+    def test_scores_in_range(self, truth):
+        panel = SimulatedRaterPanel(truth, seed=1)
+        for rater in range(panel.num_raters):
+            for blogger_id in list(truth.bloggers)[:5]:
+                score = panel.score(rater, blogger_id, "Sports")
+                assert 1 <= score <= 5
+
+    def test_deterministic(self, truth):
+        panel1 = SimulatedRaterPanel(truth, seed=9)
+        panel2 = SimulatedRaterPanel(truth, seed=9)
+        blogger_id = list(truth.bloggers)[0]
+        assert panel1.score(0, blogger_id, "Art") == panel2.score(
+            0, blogger_id, "Art"
+        )
+
+    def test_seed_changes_scores_somewhere(self, truth):
+        panel1 = SimulatedRaterPanel(truth, seed=1)
+        panel2 = SimulatedRaterPanel(truth, seed=2)
+        bloggers = list(truth.bloggers)[:20]
+        differs = any(
+            panel1.score(r, b, "Travel") != panel2.score(r, b, "Travel")
+            for r in range(panel1.num_raters)
+            for b in bloggers
+        )
+        assert differs
+
+    def test_invalid_rater_index(self, truth):
+        panel = SimulatedRaterPanel(truth, seed=0)
+        with pytest.raises(ParameterError):
+            panel.score(99, list(truth.bloggers)[0], "Art")
+
+    def test_planted_influencer_outsores_weak_blogger(self, truth):
+        panel = SimulatedRaterPanel(truth, seed=4)
+        planted = truth.planted_influencers("Sports")[0]
+        weakest = min(
+            truth.bloggers,
+            key=lambda b: truth.bloggers[b].domain_strength("Sports")
+            + truth.bloggers[b].latent_influence,
+        )
+        planted_avg = panel.average_score([planted], "Sports")
+        weak_avg = panel.average_score([weakest], "Sports")
+        assert planted_avg > weak_avg + 1.0
+
+    def test_average_empty_rejected(self, truth):
+        panel = SimulatedRaterPanel(truth, seed=0)
+        with pytest.raises(ParameterError):
+            panel.average_score([], "Sports")
+
+
+class TestStudy:
+    def test_run_produces_all_cells(self, truth):
+        study = UserStudy(truth, seed=2)
+        planted = {
+            domain: truth.planted_influencers(domain)
+            for domain in TABLE1_DOMAINS
+        }
+        result = study.run({"Oracle": planted})
+        for domain in TABLE1_DOMAINS:
+            assert 1.0 <= result.score("Oracle", domain) <= 5.0
+        assert result.winner("Travel") == "Oracle"
+
+    def test_oracle_beats_random(self, truth):
+        study = UserStudy(truth, seed=2)
+        everyone = sorted(truth.bloggers)
+        systems = {
+            "Oracle": {
+                domain: truth.top_true_influencers(domain, 3)
+                for domain in TABLE1_DOMAINS
+            },
+            "FirstThree": {
+                domain: everyone[:3] for domain in TABLE1_DOMAINS
+            },
+        }
+        result = study.run(systems)
+        for domain in TABLE1_DOMAINS:
+            assert result.score("Oracle", domain) > result.score(
+                "FirstThree", domain
+            )
+
+    def test_missing_domain_list_rejected(self, truth):
+        study = UserStudy(truth, seed=0)
+        with pytest.raises(ParameterError, match="no list"):
+            study.run({"Broken": {"Travel": ["a", "b", "c"]}})
+
+    def test_short_list_rejected(self, truth):
+        study = UserStudy(truth, seed=0)
+        lists = {domain: ["only-one"] for domain in TABLE1_DOMAINS}
+        with pytest.raises(ParameterError, match="only 1"):
+            study.run({"Short": lists})
+
+    def test_long_lists_truncated(self, truth):
+        study = UserStudy(truth, k=2, seed=0)
+        five = sorted(truth.bloggers)[:5]
+        result = study.run(
+            {"Long": {domain: five for domain in TABLE1_DOMAINS}}
+        )
+        assert all(
+            len(result.lists["Long"][domain]) == 2
+            for domain in TABLE1_DOMAINS
+        )
+
+    def test_unknown_evaluation_domain_rejected(self, truth):
+        with pytest.raises(ParameterError, match="not in ground truth"):
+            UserStudy(truth, domains=["Astrology"])
+
+    def test_bad_k_rejected(self, truth):
+        with pytest.raises(ParameterError, match="k must be"):
+            UserStudy(truth, k=0)
+
+    def test_as_table_renders(self, truth):
+        study = UserStudy(truth, seed=2)
+        result = study.run(
+            {
+                "Sys": {
+                    domain: truth.top_true_influencers(domain, 3)
+                    for domain in TABLE1_DOMAINS
+                }
+            }
+        )
+        table = result.as_table()
+        assert "Average Applicable Scores" in table
+        assert "Sys" in table
+        assert "Travel" in table

@@ -1,0 +1,85 @@
+"""Tests for user-study significance statistics."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.userstudy import compare_systems, paired_permutation_test
+
+
+class TestPermutationTest:
+    def test_identical_samples_not_significant(self):
+        data = [3.0, 4.0, 2.0, 5.0]
+        assert paired_permutation_test(data, list(data), rounds=500) > 0.9
+
+    def test_clear_difference_significant(self):
+        left = [5.0] * 20
+        right = [1.0] * 20
+        assert paired_permutation_test(left, right, rounds=2000) < 0.01
+
+    def test_noise_not_significant(self):
+        left = [3.0, 4.0, 2.0, 5.0, 3.0]
+        right = [4.0, 3.0, 3.0, 4.0, 3.0]
+        assert paired_permutation_test(left, right, rounds=2000) > 0.05
+
+    def test_deterministic(self):
+        left = [1.0, 2.0, 3.0, 5.0]
+        right = [2.0, 2.0, 2.0, 3.0]
+        a = paired_permutation_test(left, right, rounds=500, seed=7)
+        b = paired_permutation_test(left, right, rounds=500, seed=7)
+        assert a == b
+
+    def test_p_value_in_unit_interval(self):
+        p = paired_permutation_test([1.0, 2.0], [2.0, 1.0], rounds=100)
+        assert 0.0 < p <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError, match="differ in length"):
+            paired_permutation_test([1.0], [1.0, 2.0])
+        with pytest.raises(ParameterError, match="at least one"):
+            paired_permutation_test([], [])
+        with pytest.raises(ParameterError, match="rounds"):
+            paired_permutation_test([1.0], [2.0], rounds=0)
+
+
+class TestCompareSystems:
+    def test_oracle_vs_worst_significant(self, medium_blogosphere):
+        _, truth = medium_blogosphere
+        domains = ["Sports", "Art"]
+        oracle = {d: truth.top_true_influencers(d, 3) for d in domains}
+        worst = {
+            d: [
+                blogger_id
+                for blogger_id, _ in sorted(
+                    truth.domain_strengths(d).items(),
+                    key=lambda kv: kv[1],
+                )[:3]
+            ]
+            for d in domains
+        }
+        results = compare_systems(
+            truth, oracle, worst, system_a="Oracle", system_b="Worst",
+            rounds=2000,
+        )
+        assert len(results) == 2
+        for comparison in results:
+            assert comparison.difference > 1.0
+            assert comparison.significant()
+
+    def test_self_comparison_not_significant(self, medium_blogosphere):
+        _, truth = medium_blogosphere
+        lists = {"Sports": truth.top_true_influencers("Sports", 3)}
+        results = compare_systems(truth, lists, dict(lists), rounds=500)
+        assert not results[0].significant()
+        assert results[0].difference == 0.0
+
+    def test_mismatched_lengths_rejected(self, medium_blogosphere):
+        _, truth = medium_blogosphere
+        a = {"Sports": truth.top_true_influencers("Sports", 3)}
+        b = {"Sports": truth.top_true_influencers("Sports", 2)}
+        with pytest.raises(ParameterError, match="differ in length"):
+            compare_systems(truth, a, b)
+
+    def test_no_common_domains_rejected(self, medium_blogosphere):
+        _, truth = medium_blogosphere
+        with pytest.raises(ParameterError, match="no common domains"):
+            compare_systems(truth, {"Sports": ["x"]}, {"Art": ["y"]})

@@ -1,0 +1,141 @@
+"""Unit tests for the visualization graph and ASCII renderer."""
+
+import pytest
+
+from repro.core import MassModel
+from repro.errors import XmlFormatError
+from repro.viz import (
+    VisualizationGraph,
+    VizEdge,
+    VizNode,
+    render_network,
+    render_ranking,
+)
+
+
+@pytest.fixture(scope="module")
+def fig1_report(fig1_corpus, fig1_seed_words):
+    return MassModel(domain_seed_words=fig1_seed_words).fit(fig1_corpus)
+
+
+@pytest.fixture(scope="module")
+def full_viz(fig1_report) -> VisualizationGraph:
+    return VisualizationGraph.from_report(fig1_report)
+
+
+class TestFromReport:
+    def test_full_network_nodes(self, full_viz):
+        assert len(full_viz) == 9
+
+    def test_edge_comment_counts(self, full_viz):
+        cary_edge = next(
+            edge for edge in full_viz.edges
+            if edge.source == "cary" and edge.target == "amery"
+        )
+        assert cary_edge.comment_count == 2
+
+    def test_nodes_annotated(self, full_viz, fig1_report):
+        node = full_viz.node("amery")
+        assert node.influence == fig1_report.scores.influence["amery"]
+        assert node.num_posts == 2
+        assert set(node.domain_scores) == {"Computer", "Economics"}
+
+    def test_ego_network(self, fig1_report):
+        ego = VisualizationGraph.from_report(
+            fig1_report, center="amery", radius=1
+        )
+        assert {node.blogger_id for node in ego.nodes} == {
+            "amery", "bob", "cary",
+        }
+
+    def test_layout_deterministic(self, fig1_report):
+        a = VisualizationGraph.from_report(fig1_report, layout_seed=4)
+        b = VisualizationGraph.from_report(fig1_report, layout_seed=4)
+        assert [(n.x, n.y) for n in a.nodes] == [(n.x, n.y) for n in b.nodes]
+
+    def test_total_comments(self, full_viz):
+        assert full_viz.total_comments() == 7
+
+
+class TestConstruction:
+    def test_duplicate_nodes_rejected(self):
+        nodes = [VizNode("a", "A", 0, 0), VizNode("a", "A2", 1, 1)]
+        with pytest.raises(ValueError, match="duplicate"):
+            VisualizationGraph(nodes, [])
+
+    def test_edge_to_unknown_node_rejected(self):
+        nodes = [VizNode("a", "A", 0, 0)]
+        with pytest.raises(ValueError, match="unknown node"):
+            VisualizationGraph(nodes, [VizEdge("a", "ghost", 1)])
+
+
+class TestXmlRoundTrip:
+    def test_roundtrip(self, full_viz, tmp_path):
+        path = full_viz.save_xml(tmp_path / "network.xml")
+        loaded = VisualizationGraph.load_xml(path)
+        assert len(loaded) == len(full_viz)
+        assert loaded.total_comments() == full_viz.total_comments()
+        original = full_viz.node("amery")
+        restored = loaded.node("amery")
+        assert restored.influence == original.influence
+        assert restored.domain_scores == original.domain_scores
+        assert (restored.x, restored.y) == (original.x, original.y)
+
+    def test_load_invalid_xml(self, tmp_path):
+        path = tmp_path / "broken.xml"
+        path.write_text("<visualization><nodes></visualization>")
+        with pytest.raises(XmlFormatError):
+            VisualizationGraph.load_xml(path)
+
+    def test_load_wrong_root(self, tmp_path):
+        path = tmp_path / "wrong.xml"
+        path.write_text("<other/>")
+        with pytest.raises(XmlFormatError, match="expected <visualization>"):
+            VisualizationGraph.load_xml(path)
+
+    def test_missing_nodes_section(self, tmp_path):
+        path = tmp_path / "no-nodes.xml"
+        path.write_text("<visualization/>")
+        with pytest.raises(XmlFormatError, match="no <nodes>"):
+            VisualizationGraph.load_xml(path)
+
+    def test_bad_node_attribute(self, tmp_path):
+        path = tmp_path / "bad-node.xml"
+        path.write_text(
+            '<visualization><nodes><node id="a" x="left" y="0"/>'
+            "</nodes></visualization>"
+        )
+        with pytest.raises(XmlFormatError, match="bad <node>"):
+            VisualizationGraph.load_xml(path)
+
+    def test_bad_edge(self, tmp_path):
+        path = tmp_path / "bad-edge.xml"
+        path.write_text(
+            '<visualization><nodes><node id="a" x="0" y="0"/></nodes>'
+            '<edges><edge from="a" to="a" comments="lots"/></edges>'
+            "</visualization>"
+        )
+        with pytest.raises(XmlFormatError, match="bad <edge>"):
+            VisualizationGraph.load_xml(path)
+
+
+class TestAsciiRender:
+    def test_render_contains_stats_line(self, full_viz):
+        art = render_network(full_viz, width=60, height=15)
+        assert "9 bloggers" in art
+        assert "-->" in art  # heaviest edges listed
+
+    def test_render_has_node_markers(self, full_viz):
+        art = render_network(full_viz)
+        assert "*" in art
+
+    def test_small_canvas_rejected(self, full_viz):
+        with pytest.raises(ValueError):
+            render_network(full_viz, width=5, height=2)
+
+    def test_render_ranking(self):
+        text = render_ranking([("a", 1.5), ("b", 0.5)], title="Top")
+        assert "1. a" in text and "2. b" in text
+
+    def test_render_empty_ranking(self):
+        assert "(no bloggers)" in render_ranking([])
