@@ -1,0 +1,114 @@
+"""Experiment A13 (extension) — instrumentation overhead and telemetry.
+
+The observability layer (`repro.obs`) threads metrics, tracing, and
+structured logging through the whole pipeline; its contract is that an
+instrumented run costs at most a few percent over a bare one (the
+per-iteration work is one dict append, one guarded debug call, and a
+handful of counter updates per solve).  This bench
+
+- times the influence solver bare vs fully instrumented at bench scale
+  and asserts the overhead stays small;
+- runs one instrumented end-to-end analysis and dumps the resulting
+  metrics-registry snapshot (plus the overhead measurement) as
+  ``BENCH_observability.json`` at the repo root, so successive PRs
+  leave a telemetry trajectory behind.
+
+Expected shape: overhead within timer noise (well under 1.1x), solver
+iteration counts matching the A6 scaling bench.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from conftest import BENCH_SEED, bench_scale, print_header, print_rows
+
+from repro.core import MassModel
+from repro.obs import Instrumentation
+from repro.core.solver import InfluenceSolver
+from repro.synth import DOMAIN_VOCABULARIES
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_observability.json"
+ROUNDS = 5
+
+
+def _solve_seconds(corpus, instrumentation) -> float:
+    solver = InfluenceSolver(corpus, instrumentation=instrumentation)
+    started = time.perf_counter()
+    scores = solver.solve()
+    elapsed = time.perf_counter() - started
+    assert scores.converged
+    return elapsed
+
+
+def test_observability_overhead_and_telemetry(benchmark, bench_blogosphere):
+    corpus, _ = bench_blogosphere
+
+    # Interleave bare / instrumented rounds so drift hits both equally.
+    bare, instrumented = [], []
+    for _ in range(ROUNDS):
+        bare.append(_solve_seconds(corpus, None))
+        instrumented.append(
+            _solve_seconds(corpus, Instrumentation.enabled())
+        )
+    bare_s = statistics.median(bare)
+    instrumented_s = statistics.median(instrumented)
+    overhead = instrumented_s / max(bare_s, 1e-9)
+
+    # One fully instrumented end-to-end analysis for the telemetry dump.
+    instr = Instrumentation.enabled()
+    model = MassModel(
+        domain_seed_words=DOMAIN_VOCABULARIES, instrumentation=instr
+    )
+    report = benchmark.pedantic(
+        lambda: model.fit(corpus), rounds=1, iterations=1
+    )
+    diagnostics = report.diagnostics()
+
+    print_header("A13 — instrumentation overhead (solver, median of "
+                 f"{ROUNDS})", corpus)
+    print_rows(
+        ["variant", "solve time", "ratio"],
+        [
+            ["bare", f"{bare_s * 1000:.0f} ms", "1.00x"],
+            ["instrumented", f"{instrumented_s * 1000:.0f} ms",
+             f"{overhead:.2f}x"],
+        ],
+    )
+    analyze_span = instr.tracer.find("analyze")
+    assert analyze_span is not None
+    stage_rows = [
+        [child.name, f"{child.duration * 1000:.0f} ms"]
+        for child in analyze_span.children
+    ]
+    print_rows(["stage", "wall time"], stage_rows)
+
+    payload = {
+        "bench": "observability",
+        "scale": bench_scale(),
+        "seed": BENCH_SEED,
+        "solver_overhead": {
+            "bare_seconds": bare_s,
+            "instrumented_seconds": instrumented_s,
+            "ratio": overhead,
+            "rounds": ROUNDS,
+        },
+        "diagnostics": diagnostics,
+        "metrics": instr.metrics.as_dict(),
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                           + "\n", encoding="utf-8")
+    print(f"telemetry snapshot written to {RESULT_PATH.name}")
+
+    # Contract: instrumentation must stay within noise of free.  The
+    # acceptance bar is 5%; allow slack for shared-runner timer jitter.
+    assert overhead < 1.15, (
+        f"instrumentation overhead {overhead:.2f}x exceeds budget"
+    )
+    metrics = instr.metrics.as_dict()
+    assert metrics["repro_solver_solves_total"]["value"] == 1
+    assert metrics["repro_solver_iterations_total"]["value"] == \
+        diagnostics["solver"]["iterations"]

@@ -41,6 +41,12 @@ from repro.errors import (
     ReproError,
     XmlFormatError,
 )
+from repro.obs import (
+    Instrumentation,
+    MetricsRegistry,
+    Tracer,
+    configure_logging,
+)
 from repro.synth import BlogosphereConfig, GroundTruth, generate_blogosphere
 from repro.system import MassSystem
 
@@ -62,6 +68,11 @@ __all__ = [
     "Link",
     "BlogCorpus",
     "CorpusBuilder",
+    # Observability
+    "Instrumentation",
+    "MetricsRegistry",
+    "Tracer",
+    "configure_logging",
     # Synthetic blogosphere
     "generate_blogosphere",
     "BlogosphereConfig",

@@ -21,18 +21,23 @@ command.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.core import MassParameters
 from repro.crawler import SimulatedBlogService
 from repro.data import load_corpus, save_corpus
 from repro.errors import ReproError
+from repro.obs import Instrumentation, configure_logging, get_logger
 from repro.synth import BlogosphereConfig, generate_blogosphere
 from repro.system import MassSystem
 from repro.viz import render_network, render_ranking
 
 __all__ = ["main", "build_parser"]
+
+_LOG = get_logger("cli")
 
 
 def _add_toolbar(parser: argparse.ArgumentParser) -> None:
@@ -47,9 +52,33 @@ def _add_data(parser: argparse.ArgumentParser) -> None:
                         help="XML crawl directory to analyze")
 
 
+def _observability_parent() -> argparse.ArgumentParser:
+    """Flags every subcommand shares: logging, metrics, tracing."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
+    group.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        choices=["DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL"],
+        help="enable repro.* logging at this level (off by default)")
+    group.add_argument(
+        "--log-json", action="store_true",
+        help="emit logs as one JSON object per line")
+    group.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the metrics-registry snapshot as JSON on exit")
+    group.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the pipeline span tree as JSON on exit")
+    return parent
+
+
+def _instrumentation(args: argparse.Namespace) -> Instrumentation | None:
+    return getattr(args, "instrumentation", None)
+
+
 def _system(args: argparse.Namespace) -> MassSystem:
     params = MassParameters(alpha=args.alpha, beta=args.beta)
-    system = MassSystem(params=params)
+    system = MassSystem(params=params, instrumentation=_instrumentation(args))
     system.load_dataset(args.data)
     return system
 
@@ -62,8 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
                     "blogger mining (ICDE 2010 reproduction)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
+    observability = _observability_parent()
 
-    generate = commands.add_parser(
+    def subcommand(name: str, help: str) -> argparse.ArgumentParser:
+        return commands.add_parser(name, help=help, parents=[observability])
+
+    generate = subcommand(
         "generate", help="generate a synthetic blogosphere as an XML store"
     )
     generate.add_argument("--out", required=True, help="output directory")
@@ -71,7 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--posts-per-blogger", type=float, default=7.0)
     generate.add_argument("--seed", type=int, default=0)
 
-    crawl = commands.add_parser(
+    crawl = subcommand(
         "crawl", help="crawl a stored blogosphere from a seed blogger"
     )
     crawl.add_argument("--store", required=True,
@@ -83,7 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
     crawl.add_argument("--max-spaces", type=int, default=None)
     crawl.add_argument("--out", required=True, help="output XML directory")
 
-    analyze = commands.add_parser(
+    analyze = subcommand(
         "analyze", help="rank the top-k influential bloggers"
     )
     _add_data(analyze)
@@ -91,8 +124,10 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--domain", default=None,
                          help="domain to rank in (omit for general)")
     analyze.add_argument("--top", type=int, default=3)
+    analyze.add_argument("--diagnostics", action="store_true",
+                         help="also print solver/corpus diagnostics as JSON")
 
-    advertise = commands.add_parser(
+    advertise = subcommand(
         "advertise", help="Scenario 1: recommend bloggers for an ad"
     )
     _add_data(advertise)
@@ -103,7 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
                            default=None, help="dropdown mode (repeatable)")
     advertise.add_argument("--top", type=int, default=3)
 
-    recommend = commands.add_parser(
+    recommend = subcommand(
         "recommend", help="Scenario 2: personalized recommendation"
     )
     _add_data(recommend)
@@ -115,14 +150,14 @@ def build_parser() -> argparse.ArgumentParser:
                            help="explicit domain (with --blogger)")
     recommend.add_argument("--top", type=int, default=3)
 
-    detail = commands.add_parser(
+    detail = subcommand(
         "detail", help="show a blogger's influence pop-up"
     )
     _add_data(detail)
     _add_toolbar(detail)
     detail.add_argument("--blogger", required=True)
 
-    visualize = commands.add_parser(
+    visualize = subcommand(
         "visualize", help="render a post-reply ego network"
     )
     _add_data(visualize)
@@ -134,7 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
     visualize.add_argument("--svg", default=None,
                            help="also save an SVG rendering")
 
-    campaign = commands.add_parser(
+    campaign = subcommand(
         "campaign", help="coverage-aware campaign planning"
     )
     _add_data(campaign)
@@ -146,7 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--top", type=int, default=3)
     campaign.add_argument("--coverage-weight", type=float, default=0.5)
 
-    trend = commands.add_parser(
+    trend = subcommand(
         "trend", help="influence trajectories and rising bloggers"
     )
     _add_data(trend)
@@ -155,7 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
     trend.add_argument("--step-days", type=int, default=90)
     trend.add_argument("--top", type=int, default=5)
 
-    discover = commands.add_parser(
+    discover = subcommand(
         "discover", help="discover domains automatically (k-means topics)"
     )
     _add_data(discover)
@@ -163,12 +198,12 @@ def build_parser() -> argparse.ArgumentParser:
     discover.add_argument("--seed", type=int, default=0)
     discover.add_argument("--max-posts", type=int, default=3000)
 
-    stats = commands.add_parser(
+    stats = subcommand(
         "stats", help="corpus and network structure summary"
     )
     _add_data(stats)
 
-    table1 = commands.add_parser(
+    table1 = subcommand(
         "table1", help="reproduce the paper's Table I user study"
     )
     table1.add_argument("--bloggers", type=int, default=800)
@@ -198,7 +233,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_crawl(args: argparse.Namespace) -> int:
     store = load_corpus(args.store)
     service = SimulatedBlogService(store)
-    system = MassSystem()
+    system = MassSystem(instrumentation=_instrumentation(args))
     result = system.crawl(
         service, args.seeds, radius=args.radius,
         max_spaces=args.max_spaces, num_threads=args.threads,
@@ -219,6 +254,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     print(render_ranking(
         system.top_influencers(args.top, domain=args.domain), title
     ))
+    if args.diagnostics:
+        print(json.dumps(system.report.diagnostics(), indent=2))
     return 0
 
 
@@ -424,14 +461,53 @@ _COMMANDS = {
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    The shared observability flags work on every subcommand:
+    ``--log-level`` configures the ``repro.*`` logger hierarchy, and
+    ``--metrics-out`` / ``--trace-out`` turn on instrumentation and
+    write the metrics snapshot / span tree as JSON when the command
+    finishes (even if it fails, so a crashed run still leaves
+    telemetry behind).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level:
+        configure_logging(args.log_level, json=args.log_json)
+    instrument = bool(args.metrics_out or args.trace_out)
+    args.instrumentation = Instrumentation.enabled() if instrument else None
+    code = 1
     try:
-        return _COMMANDS[args.command](args)
+        code = _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+    finally:
+        if instrument and not _write_telemetry(args):
+            code = code or 1
+    return code
+
+
+def _write_telemetry(args: argparse.Namespace) -> bool:
+    """Write requested telemetry files; returns False if any write fails."""
+    ok = True
+    outputs = (
+        (args.metrics_out, "metrics snapshot",
+         args.instrumentation.metrics.render_json),
+        (args.trace_out, "trace", args.instrumentation.tracer.render_json),
+    )
+    for target, label, render in outputs:
+        if not target:
+            continue
+        path = Path(target)
+        try:
+            path.write_text(render() + "\n", encoding="utf-8")
+        except OSError as exc:
+            print(f"error: cannot write {label} to {path}: {exc}",
+                  file=sys.stderr)
+            ok = False
+        else:
+            _LOG.info("wrote %s to %s", label, path)
+    return ok
 
 
 if __name__ == "__main__":  # pragma: no cover - module execution path

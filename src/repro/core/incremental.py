@@ -25,8 +25,11 @@ from repro.data.corpus import BlogCorpus
 from repro.data.entities import Blogger, Comment, Link, Post
 from repro.errors import ReproError
 from repro.nlp.naive_bayes import NaiveBayesClassifier
+from repro.obs import NULL_INSTRUMENTATION, Instrumentation, get_logger
 
 __all__ = ["CorpusDelta", "IncrementalAnalyzer"]
+
+_LOG = get_logger("incremental")
 
 
 @dataclass(frozen=True, slots=True)
@@ -74,19 +77,25 @@ class IncrementalAnalyzer:
         between domains).
     params:
         Model parameters.
+    instrumentation:
+        Observability sinks; tracks the warm-start iteration savings
+        each delta buys over the cold initial fit.
     """
 
     def __init__(
         self,
         classifier: NaiveBayesClassifier,
         params: MassParameters | None = None,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         self._classifier = classifier
         self._params = params or MassParameters()
+        self._instr = instrumentation or NULL_INSTRUMENTATION
         self._corpus: BlogCorpus | None = None
         self._report: InfluenceReport | None = None
         self._memberships: dict[str, dict[str, float]] = {}
         self._last_iterations = 0
+        self._cold_iterations = 0
 
     @property
     def report(self) -> InfluenceReport:
@@ -111,7 +120,9 @@ class IncrementalAnalyzer:
     def _analyze(
         self, corpus: BlogCorpus, initial: dict[str, float] | None
     ) -> InfluenceReport:
-        scores = InfluenceSolver(corpus, self._params).solve(initial=initial)
+        scores = InfluenceSolver(
+            corpus, self._params, instrumentation=self._instr
+        ).solve(initial=initial)
         self._last_iterations = scores.iterations
         self._classify_new_posts(corpus)
         memberships = {
@@ -128,7 +139,13 @@ class IncrementalAnalyzer:
             corpus.validate()
         self._corpus = corpus
         self._memberships = {}
-        self._report = self._analyze(corpus, initial=None)
+        with self._instr.tracer.span("incremental-fit"):
+            self._report = self._analyze(corpus, initial=None)
+        self._cold_iterations = self._last_iterations
+        _LOG.info(
+            "initial fit: %d bloggers, %d solver iterations",
+            len(corpus.bloggers), self._cold_iterations,
+        )
         return self._report
 
     def apply(self, delta: CorpusDelta) -> InfluenceReport:
@@ -142,15 +159,39 @@ class IncrementalAnalyzer:
         if delta.is_empty():
             return self._report
 
-        grown = _copy_corpus(self._corpus)
-        grown.extend(
-            bloggers=delta.bloggers,
-            posts=delta.posts,
-            comments=delta.comments,
-            links=delta.links,
+        metrics = self._instr.metrics
+        with self._instr.tracer.span("incremental-apply"):
+            grown = _copy_corpus(self._corpus)
+            grown.extend(
+                bloggers=delta.bloggers,
+                posts=delta.posts,
+                comments=delta.comments,
+                links=delta.links,
+            )
+            grown.freeze()
+            warm_start = self._report.scores.influence
+            self._corpus = grown
+            self._report = self._analyze(grown, initial=warm_start)
+
+        savings = max(0, self._cold_iterations - self._last_iterations)
+        metrics.counter(
+            "repro_incremental_deltas_total", "Corpus deltas applied"
+        ).inc()
+        metrics.counter(
+            "repro_incremental_entities_total", "Entities added via deltas"
+        ).inc(delta.size())
+        metrics.gauge(
+            "repro_incremental_last_iterations",
+            "Solver iterations of the last warm-started re-analysis",
+        ).set(self._last_iterations)
+        metrics.gauge(
+            "repro_incremental_iteration_savings",
+            "Iterations saved vs the cold initial fit",
+        ).set(savings)
+        _LOG.info(
+            "applied delta of %d entities: %d warm-started iterations "
+            "(cold fit took %d; saved %d)",
+            delta.size(), self._last_iterations, self._cold_iterations,
+            savings,
         )
-        grown.freeze()
-        warm_start = self._report.scores.influence
-        self._corpus = grown
-        self._report = self._analyze(grown, initial=warm_start)
         return self._report

@@ -29,8 +29,11 @@ from repro.data.corpus import BlogCorpus
 from repro.errors import ClassifierError, ParameterError
 from repro.nlp.naive_bayes import NaiveBayesClassifier
 from repro.nlp.sentiment import SentimentClassifier
+from repro.obs import NULL_INSTRUMENTATION, Instrumentation, get_logger
 
 __all__ = ["MassModel"]
+
+_LOG = get_logger("model")
 
 
 class MassModel:
@@ -47,6 +50,9 @@ class MassModel:
         when none is given and no labelled posts are provided.
     sentiment_classifier / novelty_detector:
         Analyzer overrides; default to the built-in lexicon analyzers.
+    instrumentation:
+        Observability sinks threaded down into the solver; no-op when
+        omitted.
     """
 
     def __init__(
@@ -56,8 +62,10 @@ class MassModel:
         domain_seed_words: Mapping[str, Sequence[str]] | None = None,
         sentiment_classifier: SentimentClassifier | None = None,
         novelty_detector: NoveltyDetector | None = None,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         self._params = params or MassParameters()
+        self._instr = instrumentation or NULL_INSTRUMENTATION
         self._classifier = classifier
         self._domain_seed_words = (
             {domain: list(words) for domain, words in domain_seed_words.items()}
@@ -125,17 +133,56 @@ class MassModel:
             Raise on solver non-convergence instead of returning
             partial scores.
         """
-        if not corpus.frozen:
-            corpus.validate()
-        self._classifier = self._resolve_classifier(train_texts, train_labels)
-        solver = InfluenceSolver(
-            corpus,
-            self._params,
-            sentiment_classifier=self._sentiment_classifier,
-            novelty_detector=self._novelty_detector,
-        )
-        scores = solver.solve(strict=strict)
-        domain_influence = DomainInfluence.from_classifier(
-            corpus, scores, self._classifier
-        )
+        metrics = self._instr.metrics
+        tracer = self._instr.tracer
+        with tracer.span("analyze"), metrics.histogram(
+            "repro_analyze_seconds", "End-to-end analysis time"
+        ).time():
+            if not corpus.frozen:
+                corpus.validate()
+            stats = corpus.stats()
+            metrics.gauge(
+                "repro_corpus_bloggers", "Bloggers in the analyzed corpus"
+            ).set(stats.num_bloggers)
+            metrics.gauge(
+                "repro_corpus_posts", "Posts in the analyzed corpus"
+            ).set(stats.num_posts)
+            metrics.gauge(
+                "repro_corpus_comments", "Comments in the analyzed corpus"
+            ).set(stats.num_comments)
+            metrics.gauge(
+                "repro_corpus_links", "Links in the analyzed corpus"
+            ).set(stats.num_links)
+            _LOG.info(
+                "analyzing corpus: %d bloggers, %d posts, %d comments, "
+                "%d links",
+                stats.num_bloggers, stats.num_posts, stats.num_comments,
+                stats.num_links,
+            )
+
+            with tracer.span("train-classifier"):
+                self._classifier = self._resolve_classifier(
+                    train_texts, train_labels
+                )
+            solver = InfluenceSolver(
+                corpus,
+                self._params,
+                sentiment_classifier=self._sentiment_classifier,
+                novelty_detector=self._novelty_detector,
+                instrumentation=self._instr,
+            )
+            scores = solver.solve(strict=strict)
+            with tracer.span("classify"), metrics.histogram(
+                "repro_analyze_classify_seconds",
+                "Domain classification + Eq. 5 scoring time",
+            ).time():
+                domain_influence = DomainInfluence.from_classifier(
+                    corpus, scores, self._classifier
+                )
+            _LOG.info(
+                "analysis complete: %d domains, solver %s in %d iterations",
+                len(domain_influence.domains),
+                "converged" if scores.converged else "NOT converged",
+                scores.iterations,
+            )
         return InfluenceReport(corpus, self._params, scores, domain_influence)

@@ -91,6 +91,43 @@ class InfluenceReport:
         """Whether the influence iteration converged."""
         return self._scores.converged
 
+    def diagnostics(self) -> dict[str, object]:
+        """Solver and corpus telemetry behind this analysis.
+
+        A JSON-able view for dashboards and the CLI: solver convergence
+        diagnostics (iterations, residual, the contraction bound that
+        governs them), corpus shape, and the headline parameters.  The
+        contraction bound is reported as ``None`` when it is void (the
+        citation ablation), keeping the dict strict-JSON safe.
+        """
+        stats = self._corpus.stats()
+        bound = self._params.contraction_bound()
+        return {
+            "solver": {
+                "iterations": self._scores.iterations,
+                "converged": self._scores.converged,
+                "residual": self._scores.residual,
+                "tolerance": self._params.tolerance,
+                "max_iterations": self._params.max_iterations,
+                "contraction_bound": (
+                    None if bound == float("inf") else bound
+                ),
+            },
+            "corpus": {
+                "bloggers": stats.num_bloggers,
+                "posts": stats.num_posts,
+                "comments": stats.num_comments,
+                "links": stats.num_links,
+            },
+            "params": {
+                "alpha": self._params.alpha,
+                "beta": self._params.beta,
+                "gl_method": self._params.gl_method,
+                "gl_normalization": self._params.gl_normalization,
+            },
+            "domains": list(self.domains),
+        }
+
     # ------------------------------------------------------------------
     def general_scores(self) -> dict[str, float]:
         """Inf(b) for every blogger."""

@@ -29,6 +29,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import time
+
 from repro.core.comments import CommentModel
 from repro.core.novelty import NoveltyDetector
 from repro.core.parameters import MassParameters
@@ -39,8 +41,11 @@ from repro.graph.hits import hits
 from repro.graph.influence_graph import link_graph
 from repro.graph.pagerank import pagerank
 from repro.nlp.sentiment import SentimentClassifier
+from repro.obs import NULL_INSTRUMENTATION, Instrumentation, get_logger
 
 __all__ = ["InfluenceScores", "InfluenceSolver", "compute_gl_scores"]
+
+_LOG = get_logger("solver")
 
 
 @dataclass(frozen=True, slots=True)
@@ -107,6 +112,17 @@ def compute_gl_scores(corpus: BlogCorpus, params: MassParameters) -> dict[str, f
         mean = sum(scores.values()) / len(scores)
         if mean > 0:
             scores = {node: value / mean for node, value in scores.items()}
+        else:
+            # An all-zero authority vector (e.g. HITS over a linkless
+            # graph) cannot be mean-normalized; fall back to uniform
+            # authority (mean exactly 1) instead of silently returning
+            # zeros that knock GL out of Eq. 1.
+            _LOG.warning(
+                "GL scores from %r are all zero for %d bloggers; "
+                "falling back to uniform authority",
+                params.gl_method, len(scores),
+            )
+            scores = {node: 1.0 for node in scores}
     return scores
 
 
@@ -121,6 +137,8 @@ class InfluenceSolver:
         Model parameters; defaults to the paper's.
     sentiment_classifier / novelty_detector:
         Optional analyzer overrides; default to the built-ins.
+    instrumentation:
+        Observability sinks (metrics + tracing); no-op when omitted.
     """
 
     def __init__(
@@ -129,9 +147,11 @@ class InfluenceSolver:
         params: MassParameters | None = None,
         sentiment_classifier: SentimentClassifier | None = None,
         novelty_detector: NoveltyDetector | None = None,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         self._corpus = corpus
         self._params = params or MassParameters()
+        self._instr = instrumentation or NULL_INSTRUMENTATION
         self._comment_model = CommentModel(
             corpus, self._params, sentiment_classifier
         )
@@ -166,12 +186,20 @@ class InfluenceSolver:
         params = self._params
         corpus = self._corpus
         bloggers = corpus.blogger_ids()
+        metrics = self._instr.metrics
+        tracer = self._instr.tracer
 
-        gl = compute_gl_scores(corpus, params)
-        quality = {
-            post_id: self._quality_scorer.score(corpus.post(post_id))
-            for post_id in sorted(corpus.posts)
-        }
+        with tracer.span("gl"), metrics.histogram(
+            "repro_solver_gl_seconds", "GL authority computation time"
+        ).time():
+            gl = compute_gl_scores(corpus, params)
+        with tracer.span("quality"), metrics.histogram(
+            "repro_solver_quality_seconds", "QualityScore computation time"
+        ).time():
+            quality = {
+                post_id: self._quality_scorer.score(corpus.post(post_id))
+                for post_id in sorted(corpus.posts)
+            }
 
         # Constant term c_i = α β ΣQ + (1 − α) GL.
         quality_sum = {blogger_id: 0.0 for blogger_id in bloggers}
@@ -217,27 +245,78 @@ class InfluenceSolver:
                 for blogger_id in bloggers
             }
 
-        while not converged and iterations < params.max_iterations:
-            iterations += 1
-            next_influence = {}
-            for blogger_id in bloggers:
-                acc = 0.0
-                for commenter_id, weight in linear_terms[blogger_id]:
-                    acc += influence[commenter_id] * weight
-                next_influence[blogger_id] = constant[blogger_id] + coupling * acc
-            residual = sum(
-                abs(next_influence[blogger_id] - influence[blogger_id])
-                for blogger_id in bloggers
-            )
-            influence = next_influence
-            if residual < params.tolerance:
-                converged = True
+        started = time.perf_counter()
+        with tracer.span("solver") as span:
+            while not converged and iterations < params.max_iterations:
+                iterations += 1
+                next_influence = {}
+                for blogger_id in bloggers:
+                    acc = 0.0
+                    for commenter_id, weight in linear_terms[blogger_id]:
+                        acc += influence[commenter_id] * weight
+                    next_influence[blogger_id] = (
+                        constant[blogger_id] + coupling * acc
+                    )
+                residual = sum(
+                    abs(next_influence[blogger_id] - influence[blogger_id])
+                    for blogger_id in bloggers
+                )
+                influence = next_influence
+                if residual < params.tolerance:
+                    converged = True
+                span.event(iteration=iterations, residual=residual)
+                _LOG.debug(
+                    "iteration %d: residual %.3e (tolerance %.1e)",
+                    iterations, residual, params.tolerance,
+                )
+        elapsed = time.perf_counter() - started
 
-        if not converged and strict:
-            raise ConvergenceError(
-                f"influence iteration did not converge in "
-                f"{params.max_iterations} iterations (residual {residual:.3e}); "
-                f"contraction bound is {params.contraction_bound():.3f}"
+        metrics.counter(
+            "repro_solver_solves_total", "Influence systems solved"
+        ).inc()
+        metrics.counter(
+            "repro_solver_iterations_total", "Fixed-point iterations run"
+        ).inc(iterations)
+        metrics.gauge(
+            "repro_solver_last_iterations", "Iterations of the last solve"
+        ).set(iterations)
+        metrics.gauge(
+            "repro_solver_residual", "Final L1 residual of the last solve"
+        ).set(residual)
+        bound = params.contraction_bound()
+        if bound != float("inf"):
+            metrics.gauge(
+                "repro_solver_contraction_bound",
+                "Operator-norm bound of the influence system",
+            ).set(bound)
+        metrics.histogram(
+            "repro_solver_iterate_seconds", "Fixed-point iteration time"
+        ).observe(elapsed)
+
+        if not converged:
+            metrics.counter(
+                "repro_solver_non_converged_total",
+                "Solves hitting the iteration cap",
+            ).inc()
+            if strict:
+                raise ConvergenceError(
+                    f"influence iteration did not converge in "
+                    f"{params.max_iterations} iterations "
+                    f"(residual {residual:.3e}); "
+                    f"contraction bound is {params.contraction_bound():.3f}"
+                )
+            _LOG.warning(
+                "influence iteration did not converge in %d iterations "
+                "(residual %.3e, tolerance %.1e, contraction bound %.3f); "
+                "returning partial scores",
+                params.max_iterations, residual, params.tolerance,
+                params.contraction_bound(),
+            )
+        else:
+            _LOG.debug(
+                "solved %d bloggers in %d iterations (%.1f ms, "
+                "residual %.3e)",
+                len(bloggers), iterations, elapsed * 1000.0, residual,
             )
 
         # Evaluate the per-post layers at the fixed point.

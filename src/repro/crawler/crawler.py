@@ -33,8 +33,11 @@ from repro.crawler.service import (
 from repro.data.corpus import BlogCorpus
 from repro.data.xml_store import save_corpus
 from repro.errors import CrawlError
+from repro.obs import NULL_INSTRUMENTATION, Instrumentation, get_logger
 
 __all__ = ["CrawlConfig", "CrawlResult", "BlogCrawler"]
+
+_LOG = get_logger("crawler")
 
 
 @dataclass(frozen=True, slots=True)
@@ -74,11 +77,22 @@ class CrawlResult:
 
 
 class BlogCrawler:
-    """Crawl a :class:`BlogService` into a :class:`BlogCorpus`."""
+    """Crawl a :class:`BlogService` into a :class:`BlogCorpus`.
 
-    def __init__(self, service: BlogService, config: CrawlConfig | None = None) -> None:
+    ``instrumentation`` (optional) receives fetch/failure counters, a
+    frontier-size gauge, and a ``crawl`` span with one child per BFS
+    wave; omitted, all of that is a no-op.
+    """
+
+    def __init__(
+        self,
+        service: BlogService,
+        config: CrawlConfig | None = None,
+        instrumentation: Instrumentation | None = None,
+    ) -> None:
         self._service = service
         self._config = config or CrawlConfig()
+        self._instr = instrumentation or NULL_INSTRUMENTATION
 
     @property
     def config(self) -> CrawlConfig:
@@ -108,6 +122,21 @@ class BlogCrawler:
         reported in ``result.failed``).
         """
         started = time.monotonic()
+        metrics = self._instr.metrics
+        tracer = self._instr.tracer
+        fetched_counter = metrics.counter(
+            "repro_crawler_pages_fetched_total", "Spaces fetched successfully"
+        )
+        failure_counter = metrics.counter(
+            "repro_crawler_fetch_failures_total", "Space fetches that failed"
+        )
+        frontier_gauge = metrics.gauge(
+            "repro_crawler_frontier_size", "Ids queued but not yet fetched"
+        )
+        wave_seconds = metrics.histogram(
+            "repro_crawler_wave_seconds", "Wall time per BFS wave"
+        )
+
         frontier = Frontier(
             seeds, self._config.radius, max_spaces=self._config.max_spaces
         )
@@ -115,29 +144,65 @@ class BlogCrawler:
         failed: dict[str, str] = {}
         max_depth = 0
 
-        with ThreadPoolExecutor(max_workers=self._config.num_threads) as pool:
+        with tracer.span("crawl"), ThreadPoolExecutor(
+            max_workers=self._config.num_threads
+        ) as pool:
             while True:
                 wave = frontier.next_wave()
                 if not wave:
                     break
                 max_depth = frontier.current_depth
-                results = list(pool.map(self._fetch_with_retries, wave))
-                for blogger_id, outcome in zip(wave, results):
-                    if isinstance(outcome, Exception):
-                        failed[blogger_id] = str(outcome)
-                        continue
-                    pages[blogger_id] = outcome
-                    frontier.discover(outcome.neighbors)
+                with tracer.span(f"wave-{max_depth}") as wave_span, \
+                        wave_seconds.time():
+                    results = list(pool.map(self._fetch_with_retries, wave))
+                    wave_failures = 0
+                    for blogger_id, outcome in zip(wave, results):
+                        if isinstance(outcome, Exception):
+                            failed[blogger_id] = str(outcome)
+                            wave_failures += 1
+                            _LOG.warning(
+                                "fetch of %s failed: %s", blogger_id, outcome
+                            )
+                            continue
+                        pages[blogger_id] = outcome
+                        frontier.discover(outcome.neighbors)
+                    fetched_counter.inc(len(wave) - wave_failures)
+                    failure_counter.inc(wave_failures)
+                    frontier_gauge.set(frontier.pending)
+                    wave_span.event(
+                        depth=max_depth,
+                        spaces=len(wave),
+                        failures=wave_failures,
+                        frontier=frontier.pending,
+                    )
+                    _LOG.debug(
+                        "wave %d: fetched %d spaces (%d failed), "
+                        "frontier now %d",
+                        max_depth, len(wave) - wave_failures, wave_failures,
+                        frontier.pending,
+                    )
 
-        if not pages:
-            raise CrawlError(
-                f"crawl produced no pages; all seeds failed: {failed}"
-            )
-        missing_seeds = [seed for seed in seeds if seed in failed]
-        if len(missing_seeds) == len(set(seeds)):
-            raise CrawlError(f"every seed failed: {failed}")
+            if not pages:
+                raise CrawlError(
+                    f"crawl produced no pages; all seeds failed: {failed}"
+                )
+            missing_seeds = [seed for seed in seeds if seed in failed]
+            if len(missing_seeds) == len(set(seeds)):
+                raise CrawlError(f"every seed failed: {failed}")
 
-        corpus, dropped_comments, dropped_links = self._assemble(pages)
+            with tracer.span("assemble"):
+                corpus, dropped_comments, dropped_links = self._assemble(pages)
+
+        elapsed = time.monotonic() - started
+        metrics.histogram(
+            "repro_crawler_crawl_seconds", "Wall time per full crawl"
+        ).observe(elapsed)
+        _LOG.info(
+            "crawled %d spaces to depth %d in %.2fs (%d failed, "
+            "%d comments / %d links dropped at the boundary)",
+            len(pages), max_depth, elapsed, len(failed),
+            dropped_comments, dropped_links,
+        )
         return CrawlResult(
             corpus=corpus,
             fetched=sorted(pages),
@@ -145,7 +210,7 @@ class BlogCrawler:
             dropped_comments=dropped_comments,
             dropped_links=dropped_links,
             max_depth=max_depth,
-            elapsed=time.monotonic() - started,
+            elapsed=elapsed,
         )
 
     @staticmethod

@@ -63,6 +63,11 @@ class Frontier:
         """Total number of spaces admitted for fetching so far."""
         return self._scheduled
 
+    @property
+    def pending(self) -> int:
+        """Ids queued but not yet handed out (current + next depth)."""
+        return len(self._pending) + len(self._next_depth_ids)
+
     def next_wave(self) -> list[str]:
         """The next batch of blogger ids to fetch (empty when done)."""
         if self._pending:

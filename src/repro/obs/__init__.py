@@ -1,0 +1,90 @@
+"""Observability for MASS: metrics, tracing, structured logging.
+
+Stdlib-only instrumentation threaded through every pipeline layer
+(crawler → storage → analyzer → scoring → UI facade):
+
+- :class:`MetricsRegistry` — thread-safe counters / gauges / fixed-
+  bucket histograms with Prometheus-text and JSON renderers;
+- :class:`Tracer` / :class:`Span` — wall-time span trees with per-
+  iteration solver events, exported as JSON;
+- :func:`configure_logging` / :func:`get_logger` — one structured
+  ``repro.*`` logger hierarchy (text or JSON lines);
+- :class:`Instrumentation` — the bundle the pipeline passes around,
+  with a shared no-op :data:`NULL_INSTRUMENTATION` so uninstrumented
+  runs pay almost nothing.
+
+See ``docs/observability.md`` for metric names, the span tree, and the
+CLI flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.logging import (
+    ROOT_LOGGER_NAME,
+    JsonFormatter,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+    "configure_logging",
+    "get_logger",
+    "JsonFormatter",
+    "ROOT_LOGGER_NAME",
+    "Instrumentation",
+    "NULL_INSTRUMENTATION",
+]
+
+
+@dataclass(slots=True)
+class Instrumentation:
+    """A metrics registry and a tracer travelling together.
+
+    Every instrumented constructor accepts ``instrumentation=``; pass
+    one :class:`Instrumentation` through the whole pipeline to get a
+    single coherent picture of a run::
+
+        instr = Instrumentation.enabled()
+        system = MassSystem(instrumentation=instr)
+        system.load_dataset(corpus)
+        system.analyze()
+        print(instr.metrics.render_text())
+        print(instr.tracer.render_json())
+    """
+
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    tracer: Tracer = field(default_factory=Tracer)
+
+    @classmethod
+    def enabled(cls) -> "Instrumentation":
+        """A fresh, recording instrumentation bundle."""
+        return cls(MetricsRegistry(enabled=True), Tracer(enabled=True))
+
+    @classmethod
+    def disabled(cls) -> "Instrumentation":
+        """A no-op bundle (shared :data:`NULL_INSTRUMENTATION` exists)."""
+        return cls(MetricsRegistry(enabled=False), Tracer(enabled=False))
+
+
+# The shared default for ``instrumentation=None`` call sites.  It holds
+# no state (a disabled registry hands out null metrics; a disabled
+# tracer yields a null span), so sharing one instance is safe.
+NULL_INSTRUMENTATION = Instrumentation.disabled()

@@ -1,0 +1,100 @@
+"""Structured logging for the ``repro.*`` logger hierarchy.
+
+Every module logs under one hierarchy rooted at ``repro`` (e.g.
+``repro.solver``, ``repro.crawler``), so one call configures the whole
+system::
+
+    from repro.obs import configure_logging
+    configure_logging("DEBUG")            # human-readable lines
+    configure_logging("INFO", json=True)  # one JSON object per line
+
+Library code never configures handlers on import — an application that
+does nothing sees no output (standard library etiquette); the CLI's
+``--log-level`` flag is what turns this on.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO
+
+__all__ = ["ROOT_LOGGER_NAME", "configure_logging", "get_logger"]
+
+ROOT_LOGGER_NAME = "repro"
+
+_TEXT_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+# logging.LogRecord attributes that are plumbing, not payload.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, message, extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, object] = {
+            "ts": self.formatTime(record, "%Y-%m-%dT%H:%M:%S%z"),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED:
+                payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger inside the ``repro`` hierarchy.
+
+    ``get_logger("solver")`` → ``repro.solver``; an empty name (or a
+    name already under ``repro``) returns the corresponding logger
+    unchanged.
+    """
+    if not name or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(
+    level: int | str = "INFO",
+    json: bool = False,
+    stream: IO[str] | None = None,
+) -> logging.Logger:
+    """Attach one handler to the ``repro`` root logger and set its level.
+
+    Idempotent: repeated calls replace the previously installed handler
+    rather than stacking duplicates.  Returns the configured logger.
+    ``json=True`` switches to one-object-per-line output for log
+    shippers; ``stream`` defaults to stderr.
+    """
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    logger.setLevel(level)
+    logger.propagate = False
+
+    for handler in [
+        h for h in logger.handlers if getattr(h, "_repro_managed", False)
+    ]:
+        logger.removeHandler(handler)
+        handler.close()
+
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        JsonFormatter() if json else logging.Formatter(_TEXT_FORMAT)
+    )
+    handler._repro_managed = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    return logger

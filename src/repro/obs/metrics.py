@@ -1,0 +1,337 @@
+"""Thread-safe metrics registry: counters, gauges, histograms.
+
+A deployed MASS serves many analyses concurrently; the registry is the
+process-wide scoreboard the operator scrapes.  It is stdlib-only and
+deliberately small: three metric kinds, no labels, two renderers —
+Prometheus-style text exposition (:meth:`MetricsRegistry.render_text`)
+and JSON (:meth:`MetricsRegistry.render_json`) for the CLI's
+``--metrics-out`` flag and the bench telemetry dumps.
+
+A registry constructed with ``enabled=False`` hands out shared no-op
+metrics, so instrumented code never branches on "is observability on"
+— the null objects make the disabled path nearly free (one attribute
+lookup and a pass-through call per update).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from collections.abc import Sequence
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+# Seconds-oriented default buckets: wide enough for a 3,000-space crawl,
+# fine enough for a per-stage solver timing.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+
+class Counter:
+    """A monotonically increasing value (events, iterations, failures)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ParameterError(
+                f"counter {self.name} cannot decrease (inc by {amount})"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current total."""
+        with self._lock:
+            return self._value
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-able snapshot."""
+        return {"type": self.kind, "help": self.help, "value": self.value}
+
+    def render_text(self) -> list[str]:
+        """Prometheus exposition lines."""
+        return [*_meta_lines(self), f"{self.name} {_format(self.value)}"]
+
+
+class Gauge:
+    """A value that can go up and down (frontier size, corpus size)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative)."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount``."""
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        with self._lock:
+            return self._value
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-able snapshot."""
+        return {"type": self.kind, "help": self.help, "value": self.value}
+
+    def render_text(self) -> list[str]:
+        """Prometheus exposition lines."""
+        return [*_meta_lines(self), f"{self.name} {_format(self.value)}"]
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram (stage latencies, wave sizes)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        if not buckets:
+            raise ParameterError(f"histogram {name} needs at least one bucket")
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if len(set(bounds)) != len(bounds):
+            raise ParameterError(f"histogram {name} has duplicate buckets")
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self._sum = 0.0
+        self._total = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = len(self.buckets)
+        for position, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = position
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._total += 1
+
+    def time(self) -> "_HistogramTimer":
+        """Context manager observing the elapsed wall time in seconds."""
+        return _HistogramTimer(self)
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        with self._lock:
+            return self._total
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        with self._lock:
+            return self._sum
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-able snapshot with cumulative bucket counts."""
+        with self._lock:
+            counts = list(self._counts)
+            total, observed_sum = self._total, self._sum
+        cumulative: dict[str, int] = {}
+        running = 0
+        for bound, count in zip(self.buckets, counts):
+            running += count
+            cumulative[_format(bound)] = running
+        cumulative["+Inf"] = total
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "count": total,
+            "sum": observed_sum,
+            "buckets": cumulative,
+        }
+
+    def render_text(self) -> list[str]:
+        """Prometheus exposition lines (cumulative ``le`` buckets)."""
+        snapshot = self.as_dict()
+        lines = _meta_lines(self)
+        for bound, running in snapshot["buckets"].items():  # type: ignore[union-attr]
+            lines.append(f'{self.name}_bucket{{le="{bound}"}} {running}')
+        lines.append(f"{self.name}_sum {_format(snapshot['sum'])}")
+        lines.append(f"{self.name}_count {snapshot['count']}")
+        return lines
+
+
+class _HistogramTimer:
+    """``with histogram.time():`` — observes seconds on exit."""
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._started = 0.0
+
+    def __enter__(self) -> "_HistogramTimer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._histogram.observe(time.perf_counter() - self._started)
+
+
+def _meta_lines(metric: Counter | Gauge | Histogram) -> list[str]:
+    lines = []
+    if metric.help:
+        lines.append(f"# HELP {metric.name} {metric.help}")
+    lines.append(f"# TYPE {metric.name} {metric.kind}")
+    return lines
+
+
+def _format(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class _NullMetric:
+    """Shared no-op stand-in handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:  # noqa: ARG002
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:  # noqa: ARG002
+        pass
+
+    def set(self, value: float) -> None:  # noqa: ARG002
+        pass
+
+    def observe(self, value: float) -> None:  # noqa: ARG002
+        pass
+
+    def time(self) -> "_NullTimer":
+        return _NULL_TIMER
+
+
+class _NullTimer:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+_NULL_TIMER = _NullTimer()
+
+
+class MetricsRegistry:
+    """Get-or-create home for named metrics.
+
+    Thread-safe: creation is serialized on the registry lock and each
+    metric serializes its own updates.  Metric names are unique across
+    kinds — asking for an existing name with a different kind raises.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create the histogram ``name``."""
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def _get_or_create(self, kind: type, name: str, help: str, **kwargs: object):
+        if not self.enabled:
+            return _NULL_METRIC
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise ParameterError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, requested {kind.kind}"
+                    )
+                return existing
+            metric = kind(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def names(self) -> list[str]:
+        """Registered metric names, sorted."""
+        with self._lock:
+            return sorted(self._metrics)
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """The metric registered under ``name``, or None."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def as_dict(self) -> dict[str, dict[str, object]]:
+        """One JSON-able snapshot of every metric, keyed by name."""
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        return {name: metric.as_dict() for name, metric in metrics}
+
+    def render_json(self, indent: int = 2) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def render_text(self) -> str:
+        """Prometheus text exposition of every metric."""
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        lines: list[str] = []
+        for _, metric in metrics:
+            lines.extend(metric.render_text())
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,150 @@
+"""Wall-time span trees for the MASS pipeline.
+
+The paper's Fig. 2 pipeline is multi-stage (Crawler → Storage →
+Analyzer → Scoring → UI) and its solver is iterative; a flat timer
+cannot say *where* an analysis spent its time.  A :class:`Tracer`
+records nested :class:`Span` trees::
+
+    tracer = Tracer()
+    with tracer.span("analyze"):
+        with tracer.span("solver") as span:
+            span.event(iteration=1, residual=0.25)
+
+and exports them as JSON (the CLI's ``--trace-out``).  Spans carry
+point-in-time *events* — the solver logs one per iteration with the
+residual, which is the convergence trajectory of Eqs. 1–4.
+
+The span stack is per-tracer and thread-confined: open spans from the
+thread that owns the tracer (worker threads report through the
+thread-safe metrics registry instead).  A tracer constructed with
+``enabled=False`` yields a shared no-op span, so instrumented code
+pays one context-manager entry and nothing else.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["Span", "Tracer", "NULL_SPAN"]
+
+
+class Span:
+    """One timed pipeline stage, with child spans and point events."""
+
+    __slots__ = ("name", "start", "end", "children", "events")
+
+    def __init__(self, name: str, start: float) -> None:
+        self.name = name
+        self.start = start
+        self.end: float | None = None
+        self.children: list[Span] = []
+        self.events: list[dict[str, object]] = []
+
+    def event(self, **fields: object) -> None:
+        """Record a point-in-time event (e.g. one solver iteration)."""
+        self.events.append(dict(fields))
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (up to now if the span is still open)."""
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+    def find(self, name: str) -> "Span | None":
+        """First descendant span called ``name`` (depth-first), or None."""
+        for child in self.children:
+            if child.name == name:
+                return child
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def as_dict(self, origin: float | None = None) -> dict[str, object]:
+        """JSON-able tree rooted at this span.
+
+        ``origin`` anchors ``start_ms`` offsets; the root uses its own
+        start so the tree is self-contained.
+        """
+        base = self.start if origin is None else origin
+        node: dict[str, object] = {
+            "name": self.name,
+            "start_ms": round((self.start - base) * 1000.0, 3),
+            "duration_ms": round(self.duration * 1000.0, 3),
+        }
+        if self.events:
+            node["events"] = self.events
+        if self.children:
+            node["children"] = [
+                child.as_dict(origin=base) for child in self.children
+            ]
+        return node
+
+
+class _NullSpan:
+    """No-op span returned by a disabled tracer."""
+
+    __slots__ = ()
+
+    def event(self, **fields: object) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collect span trees for one run of the pipeline."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Span | _NullSpan]:
+        """Open a child of the current span (or a new root)."""
+        if not self.enabled:
+            yield NULL_SPAN
+            return
+        span = Span(name, time.perf_counter())
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end = time.perf_counter()
+            self._stack.pop()
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def find(self, name: str) -> Span | None:
+        """First span called ``name`` across all recorded trees."""
+        for root in self.roots:
+            if root.name == name:
+                return root
+            found = root.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def clear(self) -> None:
+        """Drop all recorded (closed) trees."""
+        self.roots = [root for root in self.roots if root.end is None]
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-able export of every recorded tree."""
+        return {"spans": [root.as_dict() for root in self.roots]}
+
+    def render_json(self, indent: int = 2) -> str:
+        """The trace as a JSON document."""
+        return json.dumps(self.as_dict(), indent=indent)

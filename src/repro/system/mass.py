@@ -24,10 +24,13 @@ from repro.crawler.service import BlogService
 from repro.data.corpus import BlogCorpus
 from repro.data.xml_store import load_corpus, save_corpus
 from repro.errors import ReproError
+from repro.obs import NULL_INSTRUMENTATION, Instrumentation, get_logger
 from repro.synth.vocabulary import DOMAIN_VOCABULARIES
 from repro.viz.network import VisualizationGraph
 
 __all__ = ["MassSystem"]
+
+_LOG = get_logger("system")
 
 
 class MassSystem:
@@ -40,6 +43,10 @@ class MassSystem:
     domain_seed_words:
         Per-domain vocabularies for the Post Analyzer; defaults to the
         built-in ten predefined domains.
+    instrumentation:
+        Observability sinks (:class:`repro.obs.Instrumentation`)
+        threaded through the crawler, the analyzer, and the solver;
+        everything is a no-op when omitted.
 
     Examples
     --------
@@ -53,8 +60,10 @@ class MassSystem:
         self,
         params: MassParameters | None = None,
         domain_seed_words: Mapping[str, Sequence[str]] | None = None,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         self._params = params or MassParameters()
+        self._instr = instrumentation or NULL_INSTRUMENTATION
         self._domain_seed_words = dict(
             domain_seed_words
             if domain_seed_words is not None
@@ -88,27 +97,50 @@ class MassSystem:
             CrawlConfig(
                 radius=radius, max_spaces=max_spaces, num_threads=num_threads
             ),
+            instrumentation=self._instr,
         )
         result = crawler.crawl(seeds)
         if save_to is not None:
-            save_corpus(result.corpus, save_to)
+            with self._instr.tracer.span("save-corpus"):
+                save_corpus(result.corpus, save_to)
         self._set_corpus(result.corpus)
         return result
 
     def load_dataset(self, source: BlogCorpus | str | Path) -> BlogCorpus:
         """Load an offline data set: a corpus object or an XML directory."""
-        if isinstance(source, BlogCorpus):
-            corpus = source
-            if not corpus.frozen:
-                corpus.validate()
-        else:
-            corpus = load_corpus(source)
+        with self._instr.tracer.span("load-dataset"):
+            if isinstance(source, BlogCorpus):
+                corpus = source
+                if not corpus.frozen:
+                    corpus.validate()
+            else:
+                corpus = load_corpus(source)
         self._set_corpus(corpus)
         return corpus
 
     def _set_corpus(self, corpus: BlogCorpus) -> None:
         self._corpus = corpus
         self._report = None  # stale analysis
+        stats = corpus.stats()
+        metrics = self._instr.metrics
+        metrics.gauge(
+            "repro_corpus_bloggers", "Bloggers in the analyzed corpus"
+        ).set(stats.num_bloggers)
+        metrics.gauge(
+            "repro_corpus_posts", "Posts in the analyzed corpus"
+        ).set(stats.num_posts)
+        metrics.gauge(
+            "repro_corpus_comments", "Comments in the analyzed corpus"
+        ).set(stats.num_comments)
+        metrics.gauge(
+            "repro_corpus_links", "Links in the analyzed corpus"
+        ).set(stats.num_links)
+        _LOG.info(
+            "working corpus set: %d bloggers, %d posts, %d comments, "
+            "%d links",
+            stats.num_bloggers, stats.num_posts, stats.num_comments,
+            stats.num_links,
+        )
 
     @property
     def corpus(self) -> BlogCorpus:
@@ -125,6 +157,11 @@ class MassSystem:
         """Current model parameters."""
         return self._params
 
+    @property
+    def instrumentation(self) -> Instrumentation:
+        """The observability sinks this system reports into."""
+        return self._instr
+
     def set_parameters(self, **changes: object) -> MassParameters:
         """Adjust toolbar parameters; invalidates any existing analysis."""
         self._params = self._params.with_overrides(**changes)
@@ -137,7 +174,9 @@ class MassSystem:
     def analyze(self, strict: bool = False) -> InfluenceReport:
         """Run the Post Analyzer + Comment Analyzer + Scoring pipeline."""
         self._model = MassModel(
-            params=self._params, domain_seed_words=self._domain_seed_words
+            params=self._params,
+            domain_seed_words=self._domain_seed_words,
+            instrumentation=self._instr,
         )
         self._report = self._model.fit(self.corpus, strict=strict)
         return self._report

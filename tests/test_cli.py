@@ -223,3 +223,110 @@ class TestErrorHandling:
             "visualize", "--data", str(store_dir), "--center", "ghost",
         ])
         assert code == 1
+
+
+class TestObservabilityFlags:
+    @pytest.fixture(autouse=True)
+    def _restore_repro_logger(self):
+        """main(--log-level …) reconfigures the repro logger; undo it."""
+        import logging
+
+        logger = logging.getLogger("repro")
+        saved = (list(logger.handlers), logger.level, logger.propagate)
+        yield
+        for handler in list(logger.handlers):
+            logger.removeHandler(handler)
+        for handler in saved[0]:
+            logger.addHandler(handler)
+        logger.setLevel(saved[1])
+        logger.propagate = saved[2]
+
+    def test_analyze_writes_metrics_and_trace(self, store_dir, tmp_path,
+                                              capsys):
+        import json
+
+        metrics_path = tmp_path / "m.json"
+        trace_path = tmp_path / "t.json"
+        code = main([
+            "analyze", "--data", str(store_dir),
+            "--metrics-out", str(metrics_path),
+            "--trace-out", str(trace_path),
+        ])
+        assert code == 0
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["repro_solver_solves_total"]["value"] == 1
+        assert metrics["repro_solver_iterations_total"]["value"] > 0
+        assert metrics["repro_analyze_seconds"]["count"] == 1
+
+        trace = json.loads(trace_path.read_text())
+        names = [span["name"] for span in trace["spans"]]
+        assert "analyze" in names
+        analyze = trace["spans"][names.index("analyze")]
+        children = [child["name"] for child in analyze["children"]]
+        for stage in ("classify", "quality", "gl", "solver"):
+            assert stage in children, children
+        solver = analyze["children"][children.index("solver")]
+        assert solver["events"][0]["iteration"] == 1
+
+    def test_log_level_debug_emits_solver_iterations(self, store_dir,
+                                                     tmp_path, capsys):
+        code = main([
+            "analyze", "--data", str(store_dir), "--log-level", "DEBUG",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "repro.solver" in err
+        assert "iteration 1: residual" in err
+
+    def test_log_json_lines(self, store_dir, capsys):
+        import json
+
+        code = main([
+            "analyze", "--data", str(store_dir),
+            "--log-level", "INFO", "--log-json",
+        ])
+        assert code == 0
+        lines = [line for line in capsys.readouterr().err.splitlines()
+                 if line.strip()]
+        records = [json.loads(line) for line in lines]
+        assert any(record["logger"].startswith("repro") for record in records)
+
+    def test_diagnostics_flag_prints_solver_telemetry(self, store_dir,
+                                                      capsys):
+        import json
+
+        code = main([
+            "analyze", "--data", str(store_dir), "--diagnostics",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["solver"]["converged"] is True
+        assert payload["solver"]["iterations"] > 0
+        assert payload["corpus"]["bloggers"] > 0
+
+    def test_telemetry_written_even_on_error(self, tmp_path, capsys):
+        import json
+
+        metrics_path = tmp_path / "m.json"
+        code = main([
+            "analyze", "--data", str(tmp_path / "nowhere"),
+            "--metrics-out", str(metrics_path),
+        ])
+        assert code == 1
+        assert json.loads(metrics_path.read_text()) == {}
+
+    def test_crawl_with_metrics(self, store_dir, tmp_path):
+        import json
+
+        metrics_path = tmp_path / "m.json"
+        code = main([
+            "crawl", "--store", str(store_dir),
+            "--seed-blogger", "blogger-0000", "--radius", "1",
+            "--out", str(tmp_path / "c"),
+            "--metrics-out", str(metrics_path),
+        ])
+        assert code == 0
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["repro_crawler_pages_fetched_total"]["value"] > 0
+        assert "repro_crawler_frontier_size" in metrics

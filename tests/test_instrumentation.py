@@ -1,0 +1,211 @@
+"""Integration tests: instrumentation threaded through the pipeline.
+
+These pin the observable contract documented in docs/observability.md:
+the metric names each layer emits, the span tree shape of one analysis,
+and the telemetry views (report diagnostics, incremental savings).
+"""
+
+import logging
+
+import pytest
+
+from repro.core import (
+    CorpusDelta,
+    IncrementalAnalyzer,
+    InfluenceSolver,
+    MassModel,
+    MassParameters,
+)
+from repro.crawler import BlogCrawler, CrawlConfig, SimulatedBlogService
+from repro.data import figure1_corpus, figure1_domains
+from repro.nlp.naive_bayes import NaiveBayesClassifier
+from repro.obs import Instrumentation
+from repro.synth import (
+    DOMAIN_VOCABULARIES,
+    BlogosphereConfig,
+    generate_blogosphere,
+)
+from repro.system import MassSystem
+
+
+@pytest.fixture()
+def instr() -> Instrumentation:
+    return Instrumentation.enabled()
+
+
+@pytest.fixture(scope="module")
+def small_corpus_and_truth():
+    return generate_blogosphere(
+        BlogosphereConfig(num_bloggers=60, posts_per_blogger=5.0), seed=11
+    )
+
+
+class TestSolverInstrumentation:
+    def test_solver_metrics_and_span_events(self, instr):
+        corpus = figure1_corpus()
+        scores = InfluenceSolver(corpus, instrumentation=instr).solve()
+        metrics = instr.metrics.as_dict()
+        assert metrics["repro_solver_solves_total"]["value"] == 1
+        assert (metrics["repro_solver_iterations_total"]["value"]
+                == scores.iterations)
+        assert (metrics["repro_solver_last_iterations"]["value"]
+                == scores.iterations)
+        assert metrics["repro_solver_residual"]["value"] == scores.residual
+        assert metrics["repro_solver_contraction_bound"]["value"] == (
+            pytest.approx(MassParameters().contraction_bound())
+        )
+        solver_span = instr.tracer.find("solver")
+        assert solver_span is not None
+        assert len(solver_span.events) == scores.iterations
+        assert solver_span.events[-1]["residual"] == scores.residual
+        # Residuals contract geometrically, so the trajectory decreases.
+        residuals = [event["residual"] for event in solver_span.events]
+        assert residuals == sorted(residuals, reverse=True)
+
+    def test_non_convergence_warns_with_bound(self, caplog):
+        corpus = figure1_corpus()
+        params = MassParameters(max_iterations=1, tolerance=1e-12)
+        logging.getLogger("repro").propagate = True
+        with caplog.at_level(logging.WARNING, logger="repro.solver"):
+            scores = InfluenceSolver(corpus, params).solve(strict=False)
+        assert not scores.converged
+        (record,) = [r for r in caplog.records
+                     if "did not converge" in r.message]
+        assert "residual" in record.message
+        assert "contraction bound" in record.message
+
+    def test_non_convergence_counter(self, instr):
+        corpus = figure1_corpus()
+        params = MassParameters(max_iterations=1, tolerance=1e-12)
+        InfluenceSolver(corpus, params, instrumentation=instr).solve()
+        metrics = instr.metrics.as_dict()
+        assert metrics["repro_solver_non_converged_total"]["value"] == 1
+
+
+class TestAnalyzeTrace:
+    def test_analyze_span_decomposes_into_stages(self, instr):
+        corpus = figure1_corpus()
+        model = MassModel(
+            domain_seed_words=figure1_domains(), instrumentation=instr
+        )
+        report = model.fit(corpus)
+        (root,) = instr.tracer.roots
+        assert root.name == "analyze"
+        child_names = [child.name for child in root.children]
+        for stage in ("classify", "quality", "gl", "solver"):
+            assert stage in child_names, child_names
+        assert report.converged
+
+    def test_corpus_gauges_set(self, instr):
+        corpus = figure1_corpus()
+        MassModel(
+            domain_seed_words=figure1_domains(), instrumentation=instr
+        ).fit(corpus)
+        metrics = instr.metrics.as_dict()
+        stats = corpus.stats()
+        assert metrics["repro_corpus_bloggers"]["value"] == stats.num_bloggers
+        assert metrics["repro_corpus_posts"]["value"] == stats.num_posts
+        assert metrics["repro_corpus_comments"]["value"] == stats.num_comments
+        assert metrics["repro_analyze_seconds"]["count"] == 1
+
+
+class TestCrawlerInstrumentation:
+    def test_crawl_counters_and_wave_spans(self, instr,
+                                           small_corpus_and_truth):
+        corpus, _ = small_corpus_and_truth
+        service = SimulatedBlogService(corpus)
+        crawler = BlogCrawler(
+            service, CrawlConfig(radius=1, num_threads=2),
+            instrumentation=instr,
+        )
+        result = crawler.crawl([corpus.blogger_ids()[0]])
+        metrics = instr.metrics.as_dict()
+        assert (metrics["repro_crawler_pages_fetched_total"]["value"]
+                == len(result.fetched))
+        assert metrics["repro_crawler_fetch_failures_total"]["value"] == 0
+        assert metrics["repro_crawler_crawl_seconds"]["count"] == 1
+        crawl_span = instr.tracer.find("crawl")
+        assert crawl_span is not None
+        wave_names = [child.name for child in crawl_span.children]
+        assert wave_names[0] == "wave-0"
+        assert wave_names[-1] == "assemble"
+        wave0 = crawl_span.children[0]
+        assert wave0.events[0]["spaces"] == 1
+
+    def test_failures_counted(self, instr, small_corpus_and_truth):
+        corpus, _ = small_corpus_and_truth
+        service = SimulatedBlogService(corpus)
+        crawler = BlogCrawler(
+            service,
+            CrawlConfig(radius=0, max_retries=0),
+            instrumentation=instr,
+        )
+        result = crawler.crawl(
+            [corpus.blogger_ids()[0], "no-such-blogger"]
+        )
+        assert "no-such-blogger" in result.failed
+        metrics = instr.metrics.as_dict()
+        assert metrics["repro_crawler_fetch_failures_total"]["value"] == 1
+        assert metrics["repro_crawler_pages_fetched_total"]["value"] == 1
+
+
+class TestSystemFacade:
+    def test_mass_system_threads_instrumentation(self, instr,
+                                                 small_corpus_and_truth):
+        corpus, _ = small_corpus_and_truth
+        system = MassSystem(
+            domain_seed_words=DOMAIN_VOCABULARIES, instrumentation=instr
+        )
+        assert system.instrumentation is instr
+        system.load_dataset(corpus)
+        system.analyze()
+        metrics = instr.metrics.as_dict()
+        assert metrics["repro_solver_solves_total"]["value"] == 1
+        assert (metrics["repro_corpus_bloggers"]["value"]
+                == len(corpus.bloggers))
+        span_names = [root.name for root in instr.tracer.roots]
+        assert "load-dataset" in span_names
+        assert "analyze" in span_names
+
+    def test_uninstrumented_system_records_nothing(self,
+                                                   small_corpus_and_truth):
+        corpus, _ = small_corpus_and_truth
+        system = MassSystem(domain_seed_words=DOMAIN_VOCABULARIES)
+        system.load_dataset(corpus)
+        system.analyze()
+        assert system.instrumentation.metrics.as_dict() == {}
+        assert system.instrumentation.tracer.roots == []
+
+
+class TestIncrementalInstrumentation:
+    def test_warm_start_savings_tracked(self, instr,
+                                        small_corpus_and_truth):
+        corpus, _ = small_corpus_and_truth
+        classifier = NaiveBayesClassifier.from_seed_vocabulary(
+            DOMAIN_VOCABULARIES
+        )
+        analyzer = IncrementalAnalyzer(classifier, instrumentation=instr)
+        analyzer.fit(corpus)
+        cold = analyzer.last_iterations
+
+        blogger_id = corpus.blogger_ids()[0]
+        post = corpus.posts_by(blogger_id)[0]
+        from repro.data import Comment
+
+        delta = CorpusDelta(comments=(
+            Comment(
+                comment_id="obs-new-comment",
+                post_id=post.post_id,
+                commenter_id=corpus.blogger_ids()[1],
+                text="insightful, I agree",
+            ),
+        ))
+        analyzer.apply(delta)
+        metrics = instr.metrics.as_dict()
+        assert metrics["repro_incremental_deltas_total"]["value"] == 1
+        assert metrics["repro_incremental_entities_total"]["value"] == 1
+        warm = metrics["repro_incremental_last_iterations"]["value"]
+        savings = metrics["repro_incremental_iteration_savings"]["value"]
+        assert warm == analyzer.last_iterations
+        assert savings == max(0, cold - warm)
+        assert instr.tracer.find("incremental-apply") is not None

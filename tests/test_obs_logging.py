@@ -1,0 +1,80 @@
+"""Tests for structured logging configuration."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import ROOT_LOGGER_NAME, configure_logging, get_logger
+
+
+@pytest.fixture(autouse=True)
+def _reset_repro_logger():
+    """Leave the repro logger as the suite found it."""
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    saved_handlers = list(logger.handlers)
+    saved_level = logger.level
+    saved_propagate = logger.propagate
+    yield
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    for handler in saved_handlers:
+        logger.addHandler(handler)
+    logger.setLevel(saved_level)
+    logger.propagate = saved_propagate
+
+
+class TestGetLogger:
+    def test_prefixes_into_the_hierarchy(self):
+        assert get_logger("solver").name == "repro.solver"
+
+    def test_keeps_qualified_names(self):
+        assert get_logger("repro.crawler").name == "repro.crawler"
+
+    def test_empty_name_is_the_root(self):
+        assert get_logger().name == "repro"
+
+
+class TestConfigureLogging:
+    def test_text_output_has_level_and_logger(self):
+        stream = io.StringIO()
+        configure_logging("DEBUG", stream=stream)
+        get_logger("solver").debug("iteration %d", 7)
+        line = stream.getvalue()
+        assert "DEBUG" in line
+        assert "repro.solver" in line
+        assert "iteration 7" in line
+
+    def test_level_filters(self):
+        stream = io.StringIO()
+        configure_logging("WARNING", stream=stream)
+        get_logger("solver").info("should not appear")
+        get_logger("solver").warning("should appear")
+        output = stream.getvalue()
+        assert "should not appear" not in output
+        assert "should appear" in output
+
+    def test_idempotent_no_duplicate_handlers(self):
+        stream = io.StringIO()
+        configure_logging("INFO", stream=stream)
+        configure_logging("INFO", stream=stream)
+        get_logger("x").info("once")
+        assert stream.getvalue().count("once") == 1
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging("LOUD")
+
+    def test_json_lines_output(self):
+        stream = io.StringIO()
+        configure_logging("INFO", json=True, stream=stream)
+        get_logger("crawler").info(
+            "wave done", extra={"wave": 3, "fetched": 12}
+        )
+        record = json.loads(stream.getvalue())
+        assert record["level"] == "INFO"
+        assert record["logger"] == "repro.crawler"
+        assert record["message"] == "wave done"
+        assert record["wave"] == 3
+        assert record["fetched"] == 12

@@ -1,0 +1,129 @@
+"""Tests for the metrics registry (counters, gauges, histograms)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import _NULL_METRIC
+
+
+@pytest.fixture()
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self, registry):
+        counter = registry.counter("c")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_cannot_decrease(self, registry):
+        with pytest.raises(ParameterError, match="cannot decrease"):
+            registry.counter("c").inc(-1)
+
+    def test_get_or_create_returns_same_instance(self, registry):
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_kind_conflict_raises(self, registry):
+        registry.counter("c")
+        with pytest.raises(ParameterError, match="already registered"):
+            registry.gauge("c")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12.0
+
+
+class TestHistogram:
+    def test_bucket_assignment_is_cumulative(self, registry):
+        histogram = registry.histogram("h", buckets=(1.0, 5.0))
+        for value in (0.5, 0.7, 3.0, 100.0):
+            histogram.observe(value)
+        snapshot = histogram.as_dict()
+        assert snapshot["count"] == 4
+        assert snapshot["sum"] == pytest.approx(104.2)
+        assert snapshot["buckets"] == {"1": 2, "5": 3, "+Inf": 4}
+
+    def test_boundary_value_falls_in_bucket(self, registry):
+        histogram = registry.histogram("h", buckets=(1.0,))
+        histogram.observe(1.0)  # le="1" is inclusive
+        assert histogram.as_dict()["buckets"]["1"] == 1
+
+    def test_time_context_manager_observes(self, registry):
+        histogram = registry.histogram("h")
+        with histogram.time():
+            pass
+        assert histogram.count == 1
+        assert histogram.sum >= 0.0
+
+    def test_empty_buckets_rejected(self, registry):
+        with pytest.raises(ParameterError, match="at least one bucket"):
+            registry.histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_as_dict_snapshot(self, registry):
+        registry.counter("a", help="first").inc(2)
+        registry.gauge("b").set(7)
+        snapshot = registry.as_dict()
+        assert snapshot["a"] == {"type": "counter", "help": "first",
+                                 "value": 2.0}
+        assert snapshot["b"]["value"] == 7.0
+
+    def test_render_json_is_valid_json(self, registry):
+        registry.counter("a").inc()
+        registry.histogram("h", buckets=(0.1,)).observe(0.05)
+        parsed = json.loads(registry.render_json())
+        assert parsed["a"]["value"] == 1
+        assert parsed["h"]["buckets"]["+Inf"] == 1
+
+    def test_render_text_exposition_format(self, registry):
+        registry.counter("repro_x_total", help="things").inc(3)
+        registry.histogram("repro_h_seconds", buckets=(0.5,)).observe(0.2)
+        text = registry.render_text()
+        assert "# HELP repro_x_total things" in text
+        assert "# TYPE repro_x_total counter" in text
+        assert "repro_x_total 3" in text
+        assert 'repro_h_seconds_bucket{le="0.5"} 1' in text
+        assert 'repro_h_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_h_seconds_count 1" in text
+
+    def test_thread_safety_under_contention(self, registry):
+        counter = registry.counter("c")
+        histogram = registry.histogram("h", buckets=(0.5,))
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+                histogram.observe(0.1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000.0
+        assert histogram.count == 8000
+
+    def test_disabled_registry_hands_out_null_metrics(self):
+        registry = MetricsRegistry(enabled=False)
+        metric = registry.counter("c")
+        assert metric is _NULL_METRIC
+        metric.inc()
+        metric.set(5)
+        metric.observe(1.0)
+        with metric.time():
+            pass
+        assert registry.as_dict() == {}
+        assert registry.render_text() == ""

@@ -1,0 +1,110 @@
+"""Tests for the span-tree tracer."""
+
+import json
+
+import pytest
+
+from repro.obs import NULL_SPAN, Tracer
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child-a"):
+                pass
+            with tracer.span("child-b"):
+                with tracer.span("grandchild"):
+                    pass
+        (root,) = tracer.roots
+        assert root.name == "root"
+        assert [child.name for child in root.children] == [
+            "child-a", "child-b",
+        ]
+        assert root.children[1].children[0].name == "grandchild"
+
+    def test_siblings_become_separate_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [root.name for root in tracer.roots] == ["first", "second"]
+
+    def test_events_recorded_in_order(self):
+        tracer = Tracer()
+        with tracer.span("solver") as span:
+            span.event(iteration=1, residual=0.5)
+            span.event(iteration=2, residual=0.1)
+        assert tracer.roots[0].events == [
+            {"iteration": 1, "residual": 0.5},
+            {"iteration": 2, "residual": 0.1},
+        ]
+
+    def test_durations_are_positive_and_nested(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer = tracer.roots[0]
+        inner = outer.children[0]
+        assert outer.end is not None and inner.end is not None
+        assert outer.duration >= inner.duration >= 0.0
+
+    def test_span_closed_even_when_body_raises(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("body failed")
+        assert tracer.roots[0].end is not None
+        assert tracer.current is None
+
+    def test_find_searches_depth_first(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("target"):
+                    pass
+        assert tracer.find("target") is not None
+        assert tracer.find("missing") is None
+
+
+class TestExport:
+    def test_as_dict_tree_shape(self):
+        tracer = Tracer()
+        with tracer.span("root") as span:
+            span.event(k=1)
+            with tracer.span("child"):
+                pass
+        tree = tracer.as_dict()["spans"][0]
+        assert tree["name"] == "root"
+        assert tree["start_ms"] == 0.0
+        assert tree["duration_ms"] >= 0.0
+        assert tree["events"] == [{"k": 1}]
+        child = tree["children"][0]
+        assert child["name"] == "child"
+        assert child["start_ms"] >= 0.0
+
+    def test_render_json_round_trips(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            pass
+        parsed = json.loads(tracer.render_json())
+        assert parsed["spans"][0]["name"] == "root"
+
+    def test_clear_drops_closed_trees(self):
+        tracer = Tracer()
+        with tracer.span("old"):
+            pass
+        tracer.clear()
+        assert tracer.roots == []
+
+
+class TestDisabled:
+    def test_disabled_tracer_yields_null_span(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("anything") as span:
+            assert span is NULL_SPAN
+            span.event(ignored=True)
+        assert tracer.roots == []
+        assert tracer.as_dict() == {"spans": []}

@@ -56,6 +56,25 @@ class TestRoundTrip:
         loaded = load_report(path, corpus)
         assert loaded.scores.iterations == report.scores.iterations
         assert loaded.scores.converged == report.scores.converged
+        assert loaded.scores.residual == report.scores.residual
+        assert loaded.scores.iterations > 0
+
+    def test_diagnostics_view_survives_round_trip(self, fig1_report,
+                                                  tmp_path):
+        """The report's diagnostics() view is identical after reload."""
+        import json
+
+        corpus, report = fig1_report
+        path = save_report(report, tmp_path / "analysis.xml")
+        loaded = load_report(path, corpus)
+        original = report.diagnostics()
+        restored = loaded.diagnostics()
+        assert restored == original
+        assert restored["solver"]["iterations"] == report.scores.iterations
+        assert restored["solver"]["converged"] == report.scores.converged
+        assert restored["solver"]["residual"] == report.scores.residual
+        # The view must be strict-JSON serializable for dashboards.
+        json.dumps(restored, allow_nan=False)
 
 
 class TestErrors:

@@ -260,3 +260,47 @@ class TestPaperLiteralMode:
 
         post1_words = word_count(fig1_corpus.post("post1").body)
         assert scores.quality["post1"] == float(post1_words)
+
+
+class TestGlZeroFallback:
+    """Regression: all-zero GL vectors must not skip mean normalization.
+
+    HITS over a linkless graph converges to all-zero authorities; under
+    ``gl_normalization="mean"`` the old code silently returned those
+    zeros, knocking the GL term out of Eq. 1 with no signal.  Now the
+    fallback is explicit: uniform authority (mean exactly 1) plus a
+    warning log.
+    """
+
+    @staticmethod
+    def _linkless_corpus():
+        builder = CorpusBuilder()
+        builder.blogger("A").blogger("B").blogger("C")
+        builder.post("A", body="a post about gardens " * 10)
+        builder.post("B", body="a post about computers " * 10)
+        return builder.build()
+
+    def test_uniform_fallback_and_warning(self, caplog):
+        import logging as _logging
+
+        corpus = self._linkless_corpus()
+        params = MassParameters(gl_method="hits", gl_normalization="mean")
+        _logging.getLogger("repro").propagate = True
+        with caplog.at_level(_logging.WARNING, logger="repro.solver"):
+            scores = compute_gl_scores(corpus, params)
+        assert scores == {"A": 1.0, "B": 1.0, "C": 1.0}
+        assert any("all zero" in record.message for record in caplog.records)
+
+    def test_solver_stays_finite_with_zero_gl(self):
+        corpus = self._linkless_corpus()
+        params = MassParameters(gl_method="hits", gl_normalization="mean")
+        scores = InfluenceSolver(corpus, params).solve()
+        assert scores.converged
+        # GL contributes uniformly instead of vanishing.
+        assert scores.gl == {"A": 1.0, "B": 1.0, "C": 1.0}
+
+    def test_sum_normalization_unaffected(self):
+        corpus = self._linkless_corpus()
+        params = MassParameters(gl_method="hits", gl_normalization="sum")
+        scores = compute_gl_scores(corpus, params)
+        assert all(value == 0.0 for value in scores.values())
