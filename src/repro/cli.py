@@ -15,7 +15,8 @@ subcommand over an XML data directory:
     python -m repro table1    --bloggers 800 --seed 2010
 
 ``--alpha`` / ``--beta`` reproduce the demo toolbar on every analysis
-command.
+command; ``--solver-backend`` selects the fixed-point implementation
+(``reference`` dict sweeps or the compiled ``sparse`` backend).
 """
 
 from __future__ import annotations
@@ -45,6 +46,12 @@ def _add_toolbar(parser: argparse.ArgumentParser) -> None:
                         help="AP vs GL weight (paper default 0.5)")
     parser.add_argument("--beta", type=float, default=0.6,
                         help="quality vs comment weight (paper default 0.6)")
+    parser.add_argument("--solver-backend",
+                        choices=("reference", "sparse", "auto"),
+                        default="auto",
+                        help="fixed-point implementation: the dict-based "
+                             "reference solver, the compiled sparse solver, "
+                             "or auto (default: sparse)")
 
 
 def _add_data(parser: argparse.ArgumentParser) -> None:
@@ -77,7 +84,11 @@ def _instrumentation(args: argparse.Namespace) -> Instrumentation | None:
 
 
 def _system(args: argparse.Namespace) -> MassSystem:
-    params = MassParameters(alpha=args.alpha, beta=args.beta)
+    params = MassParameters(
+        alpha=args.alpha,
+        beta=args.beta,
+        solver_backend=args.solver_backend,
+    )
     system = MassSystem(params=params, instrumentation=_instrumentation(args))
     system.load_dataset(args.data)
     return system

@@ -1,5 +1,6 @@
 """The MASS influence model — the paper's primary contribution."""
 
+from repro.core.assemble import AssemblyCache, CompiledSystem, compile_system
 from repro.core.comments import CommentModel, CommentTerm
 from repro.core.domains import DomainInfluence
 from repro.core.incremental import CorpusDelta, IncrementalAnalyzer
@@ -15,6 +16,7 @@ from repro.core.quality import QualityScorer
 from repro.core.report import BloggerDetail, InfluenceReport
 from repro.core.report_io import load_report, save_report
 from repro.core.solver import InfluenceScores, InfluenceSolver, compute_gl_scores
+from repro.core.sparse_solver import SparseSolution, default_kernel, jacobi_solve
 from repro.core.temporal import InfluenceTrajectory, trajectory
 from repro.core.topk import full_ranking, rank_of, top_k
 
@@ -27,6 +29,12 @@ __all__ = [
     "InfluenceSolver",
     "InfluenceScores",
     "compute_gl_scores",
+    "AssemblyCache",
+    "CompiledSystem",
+    "compile_system",
+    "SparseSolution",
+    "default_kernel",
+    "jacobi_solve",
     "DomainInfluence",
     "QualityScorer",
     "CommentModel",

@@ -14,7 +14,7 @@ is a cheap weighted sum.
 from __future__ import annotations
 
 from collections import Counter
-from collections.abc import Mapping
+from collections.abc import Mapping, MutableMapping
 from dataclasses import dataclass
 
 from repro.core.parameters import MassParameters
@@ -50,6 +50,13 @@ class CommentModel:
         Supplies SF values and the self-comment / facet toggles.
     sentiment_classifier:
         Defaults to the built-in lexicon classifier.
+    sentiment_cache:
+        Optional mapping from comment id to its analyzed sentiment
+        breakdown, consulted before the classifier and populated on
+        miss.  The incremental analyzer passes one persistent cache so
+        re-analyses after a corpus delta only classify the *new*
+        comments.  The cache is only sound while the same classifier
+        is in play; discard it when the classifier changes.
     """
 
     def __init__(
@@ -57,6 +64,7 @@ class CommentModel:
         corpus: BlogCorpus,
         params: MassParameters,
         sentiment_classifier: SentimentClassifier | None = None,
+        sentiment_cache: MutableMapping[str, object] | None = None,
     ) -> None:
         self._params = params
         classifier = sentiment_classifier or SentimentClassifier()
@@ -75,7 +83,13 @@ class CommentModel:
                     and not params.include_self_comments
                 ):
                     continue
-                breakdown = classifier.analyze(comment.text)
+                breakdown = None
+                if sentiment_cache is not None:
+                    breakdown = sentiment_cache.get(comment.comment_id)
+                if breakdown is None:
+                    breakdown = classifier.analyze(comment.text)
+                    if sentiment_cache is not None:
+                        sentiment_cache[comment.comment_id] = breakdown
                 sentiment = breakdown.sentiment
                 self._sentiment_counts[sentiment] += 1
                 if graded:

@@ -50,6 +50,7 @@ DEFAULT_DOMAINS: tuple[str, ...] = (
 _LENGTH_NORMALIZATIONS = ("max", "log", "raw")
 _GL_METHODS = ("pagerank", "hits", "inlinks")
 _GL_NORMALIZATIONS = ("mean", "sum")
+_SOLVER_BACKENDS = ("reference", "sparse", "auto")
 
 
 @dataclass(frozen=True, slots=True)
@@ -86,6 +87,16 @@ class MassParameters:
         citation off ⇒ commenters count 1 each without TC normalization
         (reducing CommentScore to weighted comment counting, as in the
         WSDM'08 comparator); novelty off ⇒ Novelty ≡ 1.
+    solver_backend:
+        Which fixed-point implementation solves Eqs. 1–4:
+        ``"reference"`` (dict-of-dicts Jacobi, the paper-shaped code),
+        ``"sparse"`` (corpus compiled once into flat CSR index arrays,
+        then array sweeps — see :mod:`repro.core.assemble` and
+        :mod:`repro.core.sparse_solver`), or ``"auto"`` (the default:
+        resolves to ``"sparse"``; the sparse kernels pick numpy when it
+        is importable and fall back to pure-python ``array`` sweeps).
+        Both backends agree to 1e-9 — the equivalence suite in
+        ``tests/test_backend_equivalence.py`` enforces it.
     include_self_comments:
         Whether a blogger commenting on their own post contributes to
         that post's CommentScore (default False).
@@ -106,6 +117,7 @@ class MassParameters:
     use_sentiment: bool = True
     use_citation: bool = True
     use_novelty: bool = True
+    solver_backend: str = "auto"
     include_self_comments: bool = False
     tolerance: float = 1e-10
     max_iterations: int = 500
@@ -138,6 +150,11 @@ class MassParameters:
             raise ParameterError(
                 f"gl_normalization must be one of {_GL_NORMALIZATIONS}, "
                 f"got {self.gl_normalization!r}"
+            )
+        if self.solver_backend not in _SOLVER_BACKENDS:
+            raise ParameterError(
+                f"solver_backend must be one of {_SOLVER_BACKENDS}, "
+                f"got {self.solver_backend!r}"
             )
         if self.sentiment_mode not in ("discrete", "graded"):
             raise ParameterError(
@@ -199,6 +216,20 @@ class MassParameters:
             self.sf_neutral
             + (-balance) * (self.sf_negative - self.sf_neutral)
         )
+
+    def resolved_solver_backend(self) -> str:
+        """The concrete backend ``"auto"`` resolves to.
+
+        ``"auto"`` picks the compiled sparse backend unconditionally:
+        it is never slower than the reference sweep (assembly costs
+        about one reference iteration) and the kernel itself selects
+        numpy when available.  The reference backend remains the
+        executable specification of Eqs. 1–4 and the anchor of the
+        backend-equivalence suite.
+        """
+        if self.solver_backend == "auto":
+            return "sparse"
+        return self.solver_backend
 
     def contraction_bound(self) -> float:
         """Upper bound on the influence-system operator norm.

@@ -104,6 +104,7 @@ class InfluenceReport:
         bound = self._params.contraction_bound()
         return {
             "solver": {
+                "backend": self._scores.backend,
                 "iterations": self._scores.iterations,
                 "converged": self._scores.converged,
                 "residual": self._scores.residual,

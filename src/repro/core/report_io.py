@@ -78,6 +78,7 @@ def save_report(report: InfluenceReport, path: str | Path) -> Path:
             "iterations": str(scores.iterations),
             "converged": str(scores.converged),
             "residual": repr(scores.residual),
+            "backend": scores.backend,
         },
     )
     bloggers_el = ET.SubElement(solver_el, "bloggers")
@@ -216,6 +217,7 @@ def load_report(path: str | Path, corpus: BlogCorpus) -> InfluenceReport:
         iterations=int(solver_el.get("iterations", "0")),
         converged=solver_el.get("converged", "True") == "True",
         residual=float(solver_el.get("residual", "0.0")),
+        backend=solver_el.get("backend", "reference"),
     )
     domain_influence = DomainInfluence(corpus, scores, memberships, domains)
     return InfluenceReport(corpus, params, scores, domain_influence)

@@ -40,6 +40,9 @@ class MassSystem:
     ----------
     params:
         Model parameters (the demo toolbar); paper defaults if omitted.
+        ``params.solver_backend`` selects the fixed-point
+        implementation — ``"auto"`` (the default) runs the compiled
+        sparse solver, ``"reference"`` the paper-shaped dict sweeps.
     domain_seed_words:
         Per-domain vocabularies for the Post Analyzer; defaults to the
         built-in ten predefined domains.

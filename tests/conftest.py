@@ -9,6 +9,22 @@ from __future__ import annotations
 import pytest
 
 from repro.core import MassModel
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden fixtures under tests/golden/ from the "
+             "current model output instead of asserting against them",
+    )
+
+
+@pytest.fixture()
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    """Whether this run should regenerate golden fixtures."""
+    return bool(request.config.getoption("--update-golden"))
 from repro.data import BlogCorpus, CorpusBuilder, figure1_corpus, figure1_domains
 from repro.synth import (
     DOMAIN_VOCABULARIES,

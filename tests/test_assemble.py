@@ -1,0 +1,256 @@
+"""Unit tests for the corpus → CSR compilation layer.
+
+Covers the flat-array invariants of :class:`CompiledSystem`, the
+constant-term formula, the citation ablation folding, and the
+:class:`AssemblyCache` dirty-row refresh semantics the incremental
+analyzer relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AssemblyCache, CommentModel, MassParameters, compile_system
+from repro.core.quality import QualityScorer
+from repro.core.solver import compute_gl_scores
+from repro.data import CorpusBuilder
+
+
+def quality_scores(corpus, params):
+    scorer = QualityScorer(params, posts=corpus.posts.values())
+    return {
+        post_id: scorer.score(corpus.post(post_id))
+        for post_id in sorted(corpus.posts)
+    }
+
+
+def compiled_for(corpus, params=None):
+    params = params or MassParameters()
+    comment_model = CommentModel(corpus, params)
+    quality = quality_scores(corpus, params)
+    gl = compute_gl_scores(corpus, params)
+    return compile_system(corpus, params, comment_model, quality, gl), (
+        params, comment_model, quality, gl
+    )
+
+
+class TestCompiledSystem:
+    def test_csr_shape_invariants(self, fig1_corpus):
+        compiled, _ = compiled_for(fig1_corpus)
+        n = compiled.num_bloggers
+        assert n == len(fig1_corpus.bloggers)
+        assert len(compiled.row_ptr) == n + 1
+        assert compiled.row_ptr[0] == 0
+        assert compiled.row_ptr[-1] == compiled.nnz
+        assert len(compiled.col_idx) == compiled.nnz
+        assert list(compiled.row_ptr) == sorted(compiled.row_ptr)
+        assert all(0 <= col < n for col in compiled.col_idx)
+        assert len(compiled.post_ids) == len(fig1_corpus.posts)
+        assert len(compiled.post_row_ptr) == len(compiled.post_ids) + 1
+
+    def test_index_inverts_row_order(self, fig1_corpus):
+        compiled, _ = compiled_for(fig1_corpus)
+        for row, blogger_id in enumerate(compiled.blogger_ids):
+            assert compiled.index[blogger_id] == row
+
+    def test_rows_match_comment_model(self, fig1_corpus):
+        compiled, (params, comment_model, _, _) = compiled_for(fig1_corpus)
+        for blogger_id in compiled.blogger_ids:
+            expected = []
+            for post in sorted(
+                fig1_corpus.posts_by(blogger_id), key=lambda p: p.post_id
+            ):
+                for term in comment_model.terms_for(post.post_id):
+                    expected.append(
+                        (term.commenter_id, term.citation_weight)
+                    )
+            actual = compiled.row_terms(blogger_id)
+            assert [c for c, _ in actual] == [c for c, _ in expected]
+            for (_, got), (_, want) in zip(actual, expected):
+                assert got == pytest.approx(want, abs=1e-15)
+
+    def test_constant_term_formula(self, fig1_corpus):
+        compiled, (params, _, quality, gl) = compiled_for(fig1_corpus)
+        for row, blogger_id in enumerate(compiled.blogger_ids):
+            quality_sum = sum(
+                quality[post.post_id]
+                for post in fig1_corpus.posts_by(blogger_id)
+            )
+            expected = (
+                params.alpha * params.beta * quality_sum
+                + (1.0 - params.alpha) * gl.get(blogger_id, 0.0)
+            )
+            assert compiled.constant[row] == pytest.approx(
+                expected, abs=1e-12
+            )
+
+    def test_citation_off_folds_into_constant(self, fig1_corpus):
+        params = MassParameters(use_citation=False)
+        compiled, (_, comment_model, _, _) = compiled_for(
+            fig1_corpus, params
+        )
+        # The comment matrix vanishes: CommentScore is influence-free.
+        assert compiled.nnz == 0
+        # But the SF sums survive as the scatter-stage closed form.
+        for k, post_id in enumerate(compiled.post_ids):
+            assert compiled.post_sf_sum[k] == pytest.approx(
+                sum(t.sf for t in comment_model.terms_for(post_id)),
+                abs=1e-12,
+            )
+
+    def test_coupling_scalar(self, fig1_corpus):
+        params = MassParameters(alpha=0.7, beta=0.4)
+        compiled, _ = compiled_for(fig1_corpus, params)
+        assert compiled.coupling == pytest.approx(0.7 * 0.6)
+
+
+def grown_copy(corpus, *, bloggers=(), posts=(), comments=(), links=()):
+    from repro.core.incremental import _copy_corpus
+
+    grown = _copy_corpus(corpus)
+    grown.extend(bloggers=bloggers, posts=posts, comments=comments,
+                 links=links)
+    return grown.freeze()
+
+
+class TestAssemblyCache:
+    def build_corpus(self):
+        builder = CorpusBuilder()
+        for name in ("ann", "ben", "cat", "dan"):
+            builder.blogger(name)
+        p1 = builder.post("ann", body="gardens and roses bloom " * 6)
+        p2 = builder.post("ben", body="stadium games and scores " * 4)
+        p3 = builder.post("cat", body="markets rise and fall " * 5)
+        builder.comment(p1.post_id, "ben", text="I agree, wonderful")
+        builder.comment(p1.post_id, "cat", text="boring and wrong")
+        builder.comment(p2.post_id, "dan", text="great match report")
+        builder.link("ben", "ann").link("cat", "ann").link("dan", "ben")
+        return builder.build().freeze(), (p1, p2, p3)
+
+    def compile_with(self, cache, corpus, params=None):
+        params = params or MassParameters()
+        comment_model = CommentModel(
+            corpus, params, sentiment_cache=cache.sentiment_cache
+        )
+        quality = quality_scores(corpus, params)
+        gl = compute_gl_scores(corpus, params)
+        return cache.compile(corpus, params, comment_model, quality, gl)
+
+    def test_first_compile_is_cold(self):
+        corpus, _ = self.build_corpus()
+        cache = AssemblyCache()
+        compiled = self.compile_with(cache, corpus)
+        assert cache.last_mode == "cold"
+        assert cache.last_dirty_rows == compiled.num_bloggers
+
+    def test_refresh_matches_cold_compile(self):
+        from repro.data import Comment
+
+        corpus, (p1, _, _) = self.build_corpus()
+        cache = AssemblyCache()
+        self.compile_with(cache, corpus)
+
+        new_comment = Comment("c-new", p1.post_id, "dan",
+                              text="excellent, I support this")
+        grown = grown_copy(corpus, comments=[new_comment])
+        cache.note_delta(comments=[(p1.post_id, "dan")])
+        refreshed = self.compile_with(cache, grown)
+        assert cache.last_mode == "refresh"
+        assert cache.last_dirty_rows < refreshed.num_bloggers
+
+        cold, _ = compiled_for(grown)
+        assert refreshed.blogger_ids == cold.blogger_ids
+        assert list(refreshed.row_ptr) == list(cold.row_ptr)
+        assert list(refreshed.col_idx) == list(cold.col_idx)
+        assert list(refreshed.weights) == pytest.approx(
+            list(cold.weights), abs=1e-15
+        )
+        assert list(refreshed.constant) == pytest.approx(
+            list(cold.constant), abs=1e-15
+        )
+        assert list(refreshed.post_weights) == pytest.approx(
+            list(cold.post_weights), abs=1e-15
+        )
+
+    def test_tc_change_dirties_other_rows(self):
+        from repro.data import Comment
+
+        corpus, (p1, p2, p3) = self.build_corpus()
+        cache = AssemblyCache()
+        self.compile_with(cache, corpus)
+
+        # ben already comments on ann's p1; a new ben comment on cat's
+        # p3 changes TC(ben), so ann's row weights are stale too.
+        new_comment = Comment("c-tc", p3.post_id, "ben",
+                              text="interesting analysis")
+        grown = grown_copy(corpus, comments=[new_comment])
+        cache.note_delta(comments=[(p3.post_id, "ben")])
+        refreshed = self.compile_with(cache, grown)
+        assert cache.last_mode == "refresh"
+
+        cold, _ = compiled_for(grown)
+        assert list(refreshed.weights) == pytest.approx(
+            list(cold.weights), abs=1e-15
+        )
+
+    def test_new_blogger_appends_rows(self):
+        from repro.data import Blogger, Comment, Post
+
+        corpus, _ = self.build_corpus()
+        cache = AssemblyCache()
+        old = self.compile_with(cache, corpus)
+
+        post = Post("p-new", "eve", body="travel diary from the coast " * 3)
+        comment = Comment("c-eve", post.post_id, "ann",
+                          text="I agree, lovely trip")
+        grown = grown_copy(
+            corpus, bloggers=[Blogger("eve")], posts=[post],
+            comments=[comment],
+        )
+        cache.note_delta(
+            bloggers=["eve"], posts=["p-new"],
+            comments=[(post.post_id, "ann")],
+        )
+        refreshed = self.compile_with(cache, grown)
+        assert cache.last_mode == "refresh"
+        # Old rows keep their positions; the new blogger is appended.
+        assert refreshed.blogger_ids[: old.num_bloggers] == old.blogger_ids
+        assert refreshed.blogger_ids[-1] == "eve"
+
+    def test_param_change_forces_cold(self):
+        corpus, _ = self.build_corpus()
+        cache = AssemblyCache()
+        self.compile_with(cache, corpus)
+        self.compile_with(cache, corpus, MassParameters(alpha=0.7))
+        assert cache.last_mode == "cold"
+
+    def test_invalidate_forces_cold(self):
+        corpus, _ = self.build_corpus()
+        cache = AssemblyCache()
+        self.compile_with(cache, corpus)
+        cache.invalidate()
+        self.compile_with(cache, corpus)
+        assert cache.last_mode == "cold"
+
+    def test_unrecorded_growth_forces_cold(self):
+        from repro.data import Comment
+
+        corpus, (p1, _, _) = self.build_corpus()
+        cache = AssemblyCache()
+        self.compile_with(cache, corpus)
+        # Grow the corpus without note_delta: the shape guard trips.
+        grown = grown_copy(
+            corpus,
+            comments=[Comment("c-x", p1.post_id, "dan", text="nice")],
+        )
+        self.compile_with(cache, grown)
+        assert cache.last_mode == "cold"
+
+    def test_sentiment_cache_reused(self):
+        corpus, _ = self.build_corpus()
+        cache = AssemblyCache()
+        self.compile_with(cache, corpus)
+        cached = dict(cache.sentiment_cache)
+        assert cached  # every comment classified once
+        self.compile_with(cache, corpus)
+        assert cache.sentiment_cache == cached

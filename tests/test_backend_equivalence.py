@@ -1,0 +1,155 @@
+"""Backend equivalence: reference and sparse solvers agree to 1e-9.
+
+The reference solver is the executable specification of Eqs. 1–4; the
+sparse backend compiles the corpus to CSR arrays and sweeps them (with
+either the numpy or the pure-python kernel).  Assembly preserves the
+reference accumulation order, so the two backends may differ only by
+float-summation noise — these tests pin that to 1e-9 on every fixture,
+every kernel, and across the ablation grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import InfluenceSolver, MassParameters
+from repro.core.sparse_solver import HAS_NUMPY
+from tests.test_properties import corpora
+
+TOL = 1e-9
+
+KERNELS = ["python"] + (["numpy"] if HAS_NUMPY else [])
+
+PARAM_GRID = [
+    MassParameters(),
+    MassParameters(alpha=0.8, beta=0.3),
+    MassParameters(alpha=0.0),
+    MassParameters(beta=1.0),
+    MassParameters(use_citation=False),
+    MassParameters(use_sentiment=False),
+    MassParameters(use_novelty=False),
+    MassParameters(include_self_comments=True),
+    MassParameters(gl_method="inlinks", gl_normalization="sum"),
+    MassParameters(sentiment_mode="graded"),
+]
+
+
+def assert_scores_match(reference, sparse, tol=TOL):
+    """Field-by-field comparison of two InfluenceScores."""
+    assert set(sparse.influence) == set(reference.influence)
+    assert set(sparse.post_influence) == set(reference.post_influence)
+    for blogger_id, value in reference.influence.items():
+        assert sparse.influence[blogger_id] == pytest.approx(value, abs=tol)
+        assert sparse.ap[blogger_id] == pytest.approx(
+            reference.ap[blogger_id], abs=tol
+        )
+        assert sparse.gl[blogger_id] == pytest.approx(
+            reference.gl[blogger_id], abs=tol
+        )
+    for post_id, value in reference.post_influence.items():
+        assert sparse.post_influence[post_id] == pytest.approx(value, abs=tol)
+        assert sparse.comment_score[post_id] == pytest.approx(
+            reference.comment_score[post_id], abs=tol
+        )
+        assert sparse.quality[post_id] == pytest.approx(
+            reference.quality[post_id], abs=tol
+        )
+    assert sparse.converged == reference.converged
+
+
+def solve_both(corpus, params, kernel, monkeypatch, initial=None):
+    monkeypatch.setenv("REPRO_SPARSE_KERNEL", kernel)
+    reference = InfluenceSolver(
+        corpus, params.with_overrides(solver_backend="reference")
+    ).solve(initial=initial)
+    sparse = InfluenceSolver(
+        corpus, params.with_overrides(solver_backend="sparse")
+    ).solve(initial=initial)
+    assert reference.backend == "reference"
+    assert sparse.backend == "sparse"
+    return reference, sparse
+
+
+class TestFixtureEquivalence:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_tiny_corpus(self, tiny_corpus, kernel, monkeypatch):
+        reference, sparse = solve_both(
+            tiny_corpus.freeze(), MassParameters(), kernel, monkeypatch
+        )
+        assert_scores_match(reference, sparse)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize(
+        "params", PARAM_GRID, ids=lambda p: "grid"
+    )
+    def test_fig1_parameter_grid(self, fig1_corpus, kernel, params,
+                                 monkeypatch):
+        reference, sparse = solve_both(
+            fig1_corpus, params, kernel, monkeypatch
+        )
+        assert_scores_match(reference, sparse)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_small_blogosphere(self, small_blogosphere, kernel, monkeypatch):
+        corpus, _ = small_blogosphere
+        reference, sparse = solve_both(
+            corpus, MassParameters(), kernel, monkeypatch
+        )
+        assert_scores_match(reference, sparse)
+
+    def test_medium_blogosphere(self, medium_blogosphere, monkeypatch):
+        corpus, _ = medium_blogosphere
+        reference, sparse = solve_both(
+            corpus, MassParameters(), KERNELS[-1], monkeypatch
+        )
+        assert_scores_match(reference, sparse)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_warm_start_equivalence(self, fig1_corpus, kernel, monkeypatch):
+        base = InfluenceSolver(fig1_corpus, MassParameters()).solve()
+        perturbed = {
+            blogger_id: value * 2.0 + 0.5
+            for blogger_id, value in base.influence.items()
+        }
+        reference, sparse = solve_both(
+            fig1_corpus, MassParameters(), kernel, monkeypatch,
+            initial=perturbed,
+        )
+        assert_scores_match(reference, sparse, tol=1e-8)
+
+    def test_iteration_counts_match(self, fig1_corpus, monkeypatch):
+        # Same start, same tolerance, same residual definition — the
+        # two backends take the same number of sweeps.
+        reference, sparse = solve_both(
+            fig1_corpus, MassParameters(), KERNELS[-1], monkeypatch
+        )
+        assert sparse.iterations == reference.iterations
+        assert sparse.residual == pytest.approx(
+            reference.residual, abs=1e-12
+        )
+
+
+class TestKernelEquivalence:
+    @pytest.mark.skipif(not HAS_NUMPY, reason="numpy unavailable")
+    def test_python_and_numpy_kernels_agree(self, fig1_corpus, monkeypatch):
+        params = MassParameters(solver_backend="sparse")
+        monkeypatch.setenv("REPRO_SPARSE_KERNEL", "python")
+        python_scores = InfluenceSolver(fig1_corpus, params).solve()
+        monkeypatch.setenv("REPRO_SPARSE_KERNEL", "numpy")
+        numpy_scores = InfluenceSolver(fig1_corpus, params).solve()
+        assert_scores_match(python_scores, numpy_scores)
+
+
+class TestPropertyEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(corpus=corpora())
+    def test_random_corpora_agree(self, corpus):
+        params = MassParameters()
+        reference = InfluenceSolver(
+            corpus, params.with_overrides(solver_backend="reference")
+        ).solve()
+        sparse = InfluenceSolver(
+            corpus, params.with_overrides(solver_backend="sparse")
+        ).solve()
+        assert_scores_match(reference, sparse)

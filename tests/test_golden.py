@@ -1,0 +1,116 @@
+"""Golden regression fixtures for the influence solver.
+
+Each case solves a small canonical corpus and compares every score
+layer against a checked-in JSON snapshot under ``tests/golden/``.  The
+snapshots pin the *numbers*, not just the invariants — any change to
+sentiment factors, quality normalization, GL, or solver arithmetic
+shows up as a diff here.
+
+Regenerate deliberately with::
+
+    pytest tests/test_golden.py --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import InfluenceSolver, MassParameters
+from repro.data import CorpusBuilder, figure1_corpus
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+TOL = 1e-9
+
+
+def village_corpus():
+    """A hand-written six-blogger corpus exercising every facet."""
+    builder = CorpusBuilder()
+    for name in ("ava", "bruno", "chen", "dara", "emil", "fritz"):
+        builder.blogger(name)
+    p1 = builder.post("ava", title="Trail review",
+                      body="the mountain trail winds past three lakes "
+                           "and a glacier " * 4)
+    p2 = builder.post("ava", body="short travel note about the harbour")
+    p3 = builder.post("bruno", title="Market recap",
+                      body="markets closed higher on strong earnings "
+                           "and steady rates " * 3)
+    p4 = builder.post("chen", body="I painted the old bridge at dawn "
+                                   "with thin washes " * 2)
+    builder.comment(p1.post_id, "bruno", text="wonderful, I agree completely")
+    builder.comment(p1.post_id, "chen", text="lovely route, great photos")
+    builder.comment(p1.post_id, "dara", text="this is wrong and overrated")
+    builder.comment(p2.post_id, "emil", text="useful note")
+    builder.comment(p3.post_id, "ava", text="I agree with this analysis")
+    builder.comment(p3.post_id, "dara", text="terrible take, disagree")
+    builder.comment(p4.post_id, "bruno", text="beautiful work, excellent")
+    builder.link("bruno", "ava").link("chen", "ava").link("dara", "ava")
+    builder.link("ava", "bruno").link("emil", "bruno").link("fritz", "chen")
+    return builder.build().freeze()
+
+
+def scores_to_dict(scores) -> dict:
+    return {
+        "influence": dict(sorted(scores.influence.items())),
+        "ap": dict(sorted(scores.ap.items())),
+        "gl": dict(sorted(scores.gl.items())),
+        "quality": dict(sorted(scores.quality.items())),
+        "comment_score": dict(sorted(scores.comment_score.items())),
+        "post_influence": dict(sorted(scores.post_influence.items())),
+        "iterations": scores.iterations,
+        "converged": scores.converged,
+    }
+
+
+def check_golden(name: str, payload: dict, update: bool) -> None:
+    path = GOLDEN_DIR / f"{name}.json"
+    if update:
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"golden fixture {path} missing — run with --update-golden"
+    )
+    expected = json.loads(path.read_text())
+    assert payload.keys() == expected.keys()
+    for key, want in expected.items():
+        got = payload[key]
+        if isinstance(want, dict):
+            assert got.keys() == want.keys(), f"{name}.{key} keys changed"
+            for entry, value in want.items():
+                assert got[entry] == pytest.approx(value, abs=TOL), (
+                    f"{name}.{key}[{entry}] drifted"
+                )
+        else:
+            assert got == want, f"{name}.{key} changed"
+
+
+CASES = {
+    "village_defaults": (village_corpus, MassParameters()),
+    "village_toolbar": (
+        village_corpus, MassParameters(alpha=0.7, beta=0.4)
+    ),
+    "village_no_citation": (
+        village_corpus, MassParameters(use_citation=False)
+    ),
+    "fig1_defaults": (figure1_corpus, MassParameters()),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_scores(name, update_golden):
+    build, params = CASES[name]
+    scores = InfluenceSolver(build(), params).solve()
+    check_golden(name, scores_to_dict(scores), update_golden)
+
+
+def test_golden_backends_share_fixture(update_golden):
+    """Both backends must reproduce the same golden numbers."""
+    corpus = village_corpus()
+    for backend in ("reference", "sparse"):
+        scores = InfluenceSolver(
+            corpus, MassParameters(solver_backend=backend)
+        ).solve()
+        check_golden("village_defaults", scores_to_dict(scores), False)

@@ -130,6 +130,88 @@ class TestApply:
         assert after.general_scores()[author] > before_score
 
 
+class TestSparseWarmStart:
+    """Dirty-row re-assembly under the sparse backend.
+
+    The incremental analyzer's AssemblyCache must hand back compiled
+    arrays that are indistinguishable from a cold compile — the scores
+    after a delta have to match a from-scratch analysis of the grown
+    corpus, while re-assembling strictly fewer rows than a cold pass.
+    """
+
+    def test_refresh_engages_and_matches_cold_solve(self, classifier,
+                                                    small_blogosphere):
+        corpus, _ = small_blogosphere
+        analyzer = IncrementalAnalyzer(
+            classifier, MassParameters(solver_backend="sparse")
+        )
+        analyzer.fit(corpus)
+        assert analyzer.assembly_cache.last_mode == "cold"
+
+        incremental = analyzer.apply(make_delta(corpus))
+        cache = analyzer.assembly_cache
+        assert cache.last_mode == "refresh"
+        assert 0 < cache.last_dirty_rows < len(incremental.corpus.bloggers)
+
+        from repro.core.incremental import _copy_corpus
+
+        grown = _copy_corpus(corpus)
+        delta = make_delta(corpus)
+        grown.extend(bloggers=delta.bloggers, posts=delta.posts,
+                     comments=delta.comments, links=delta.links)
+        grown.freeze()
+        cold = MassModel(
+            classifier=classifier,
+            params=MassParameters(solver_backend="sparse"),
+        ).fit(grown)
+        for blogger_id, value in cold.general_scores().items():
+            assert incremental.general_scores()[blogger_id] == pytest.approx(
+                value, abs=1e-9
+            )
+
+    def test_successive_refreshes_stay_consistent(self, classifier,
+                                                  small_blogosphere):
+        corpus, _ = small_blogosphere
+        analyzer = IncrementalAnalyzer(
+            classifier, MassParameters(solver_backend="sparse")
+        )
+        analyzer.fit(corpus)
+        for seq in range(3):
+            report = analyzer.apply(make_delta(analyzer.report.corpus, seq))
+            assert analyzer.assembly_cache.last_mode == "refresh"
+        cold = MassModel(
+            classifier=classifier,
+            params=MassParameters(solver_backend="sparse"),
+        ).fit(report.corpus)
+        for blogger_id, value in cold.general_scores().items():
+            assert report.general_scores()[blogger_id] == pytest.approx(
+                value, abs=1e-9
+            )
+
+    def test_sentiment_cache_grows_with_corpus(self, classifier,
+                                               small_blogosphere):
+        corpus, _ = small_blogosphere
+        analyzer = IncrementalAnalyzer(
+            classifier, MassParameters(solver_backend="sparse")
+        )
+        analyzer.fit(corpus)
+        before = len(analyzer.assembly_cache.sentiment_cache)
+        analyzer.apply(make_delta(corpus))
+        after = len(analyzer.assembly_cache.sentiment_cache)
+        assert after == before + 1  # exactly the one new comment
+
+    def test_reference_backend_still_works_incrementally(
+            self, classifier, small_blogosphere):
+        corpus, _ = small_blogosphere
+        analyzer = IncrementalAnalyzer(
+            classifier, MassParameters(solver_backend="reference")
+        )
+        analyzer.fit(corpus)
+        report = analyzer.apply(make_delta(corpus))
+        assert "newcomer-00" in report.general_scores()
+        assert report.scores.backend == "reference"
+
+
 class TestDelta:
     def test_size_and_empty(self):
         assert CorpusDelta().is_empty()

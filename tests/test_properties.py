@@ -148,6 +148,147 @@ class TestSolverInvariants:
             )
 
 
+class TestSolverContraction:
+    @settings(max_examples=25, deadline=None)
+    @given(corpus=corpora(), params=_params)
+    def test_influence_is_non_negative(self, corpus, params):
+        scores = InfluenceSolver(corpus, params).solve()
+        assert all(value >= 0.0 for value in scores.influence.values())
+        assert all(value >= 0.0 for value in scores.ap.values())
+
+    @settings(max_examples=25, deadline=None)
+    @given(corpus=corpora(), params=_params)
+    def test_residuals_decrease_under_contraction(self, corpus, params):
+        """Each Jacobi residual shrinks by at least the contraction bound.
+
+        ``x_{k+1} − x_k = coupling·A(x_k − x_{k−1})``, and every column
+        of ``A`` sums to at most ``sf_max``, so the L1 residual obeys
+        ``r_{k+1} ≤ α(1−β)·sf_max · r_k``.
+        """
+        from repro.core import CommentModel, compile_system, jacobi_solve
+        from repro.core.quality import QualityScorer
+        from repro.core.solver import compute_gl_scores
+
+        comment_model = CommentModel(corpus, params)
+        scorer = QualityScorer(params, posts=corpus.posts.values())
+        quality = {
+            post_id: scorer.score(corpus.post(post_id))
+            for post_id in sorted(corpus.posts)
+        }
+        gl = compute_gl_scores(corpus, params)
+        compiled = compile_system(corpus, params, comment_model, quality, gl)
+
+        residuals: list[float] = []
+        jacobi_solve(
+            compiled, params.tolerance, params.max_iterations,
+            on_iteration=lambda _, residual: residuals.append(residual),
+        )
+        bound = params.contraction_bound()
+        assert bound < 1.0
+        for previous, current in zip(residuals, residuals[1:]):
+            assert current <= bound * previous + 1e-12
+
+    @settings(max_examples=20, deadline=None)
+    @given(corpus=corpora())
+    def test_fixed_point_stable_under_relabeling(self, corpus):
+        """Renaming bloggers (changing row order) leaves scores intact."""
+        mapping = {
+            blogger_id: f"zz-{index:02d}-{blogger_id}"
+            for index, blogger_id in enumerate(
+                reversed(corpus.blogger_ids())
+            )
+        }
+        relabeled = BlogCorpus()
+        for blogger_id in corpus.blogger_ids():
+            original = corpus.blogger(blogger_id)
+            relabeled.add_blogger(
+                Blogger(mapping[blogger_id],
+                        profile_text=original.profile_text)
+            )
+        for post_id in sorted(corpus.posts):
+            post = corpus.post(post_id)
+            relabeled.add_post(
+                Post(post.post_id, mapping[post.author_id],
+                     title=post.title, body=post.body,
+                     created_day=post.created_day)
+            )
+        for comment_id in sorted(corpus.comments):
+            comment = corpus.comments[comment_id]
+            relabeled.add_comment(
+                Comment(comment.comment_id, comment.post_id,
+                        mapping[comment.commenter_id], text=comment.text,
+                        created_day=comment.created_day)
+            )
+        for link in corpus.links:
+            relabeled.add_link(
+                Link(mapping[link.source_id], mapping[link.target_id],
+                     weight=link.weight)
+            )
+        relabeled.freeze()
+
+        base = InfluenceSolver(corpus).solve()
+        renamed = InfluenceSolver(relabeled).solve()
+        for blogger_id in corpus.blogger_ids():
+            assert math.isclose(
+                renamed.influence[mapping[blogger_id]],
+                base.influence[blogger_id],
+                rel_tol=1e-7, abs_tol=1e-8,
+            )
+
+
+class TestAblationClosedForms:
+    @settings(max_examples=20, deadline=None)
+    @given(corpus=corpora())
+    def test_alpha_zero_reduces_to_gl(self, corpus):
+        scores = InfluenceSolver(
+            corpus, MassParameters(alpha=0.0)
+        ).solve()
+        for blogger_id in corpus.blogger_ids():
+            assert math.isclose(
+                scores.influence[blogger_id], scores.gl[blogger_id],
+                abs_tol=1e-12,
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(corpus=corpora())
+    def test_beta_one_is_quality_closed_form(self, corpus):
+        params = MassParameters(beta=1.0)
+        scores = InfluenceSolver(corpus, params).solve()
+        for blogger_id in corpus.blogger_ids():
+            quality_sum = sum(
+                scores.quality[post.post_id]
+                for post in corpus.posts_by(blogger_id)
+            )
+            expected = (
+                params.alpha * quality_sum
+                + (1.0 - params.alpha) * scores.gl[blogger_id]
+            )
+            assert math.isclose(
+                scores.influence[blogger_id], expected, abs_tol=1e-9
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(corpus=corpora())
+    def test_citation_off_is_closed_form(self, corpus):
+        params = MassParameters(use_citation=False)
+        scores = InfluenceSolver(corpus, params).solve()
+        assert scores.iterations <= 1
+        for blogger_id in corpus.blogger_ids():
+            quality_sum = 0.0
+            comment_sum = 0.0
+            for post in corpus.posts_by(blogger_id):
+                quality_sum += scores.quality[post.post_id]
+                comment_sum += scores.comment_score[post.post_id]
+            expected = (
+                params.alpha * params.beta * quality_sum
+                + params.alpha * (1.0 - params.beta) * comment_sum
+                + (1.0 - params.alpha) * scores.gl[blogger_id]
+            )
+            assert math.isclose(
+                scores.influence[blogger_id], expected, abs_tol=1e-9
+            )
+
+
 class TestDomainDecomposition:
     @settings(max_examples=25, deadline=None)
     @given(corpus=corpora())
