@@ -1,0 +1,247 @@
+"""Experiment A14 (extension) — query-serving latency and throughput.
+
+The serving subsystem (`repro.serve`) promises interactive-latency
+queries over a batch analysis without changing a single answer.  This
+bench checks the promise in that order:
+
+1. **equivalence before timing** — the compiled snapshot must answer
+   byte-identically to the batch ``InfluenceReport`` for every query
+   shape timed below (a fast wrong answer is worthless);
+2. **engine latency** — p50/p99 for the Eq. 5 weighted-scan workload,
+   uncached (``cache_size=0``) vs cached (primed LRU), with the
+   precomputed top-k slice path reported alongside.  Acceptance:
+   cached p99 below uncached p50 on the scan workload (the slice path
+   is a list slice either way — the compile step already "cached" it);
+3. **HTTP throughput** — concurrent clients hammer a live
+   ``MassHttpServer`` for a fixed window; sustained qps is recorded
+   and the server's own ``repro_http_requests_total`` counter must
+   agree that traffic was served.
+
+Results land in ``BENCH_service.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+from conftest import BENCH_SEED, bench_scale, print_header, print_rows
+
+from repro.core import top_k
+from repro.obs import Instrumentation
+from repro.serve import (
+    InfluenceSnapshot,
+    QueryEngine,
+    ServiceConfig,
+    SnapshotStore,
+    create_server,
+)
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+WEIGHT_SETS = [
+    {"Sports": 0.5, "Art": 0.3, "Travel": 0.2},
+    {"Sports": 0.8, "Computer": 0.2},
+    {"Art": 1.0},
+]
+ENGINE_ROUNDS = 250          # rounds over each workload
+HTTP_DURATION = 2.0          # seconds of sustained load
+HTTP_CLIENTS = 4
+
+
+def _scan_mix():
+    """Eq. 5 composite queries — the weighted scans the cache exists for."""
+    mix = []
+    for weights in WEIGHT_SETS:
+        tag = "+".join(sorted(weights))
+        mix += [
+            (f"weighted10:{tag}", lambda e, w=weights: e.query(w, 10)),
+            (f"weighted3:{tag}", lambda e, w=weights: e.query(w, 3)),
+        ]
+    return mix
+
+
+def _slice_mix(snapshot):
+    """Precomputed-ranking queries — list slices even without the cache."""
+    mix = [("top10", lambda e: e.top(10)),
+           ("page5+5", lambda e: e.top(5, offset=5))]
+    mix += [
+        (f"top5:{domain}", lambda e, d=domain: e.top(5, domain=d))
+        for domain in snapshot.domains[:3]
+    ]
+    return mix
+
+
+def _assert_equivalence(snapshot, report):
+    """Every timed query shape must match the batch answer exactly."""
+    assert snapshot.top(25) == report.top_influencers(25)
+    assert snapshot.top(5, offset=5) == report.top_influencers(10)[5:]
+    for domain in snapshot.domains:
+        assert (snapshot.top(5, domain=domain)
+                == report.top_influencers(5, domain))
+    for weights in WEIGHT_SETS:
+        canonical = dict(sorted(weights.items()))
+        scores = report.domain_influence.weighted_scores(canonical)
+        for k in (3, 10):
+            assert snapshot.query(weights, k) == top_k(scores, k)
+
+
+def _time_engine(engine, mix, rounds):
+    samples = []
+    for _ in range(rounds):
+        for _, call in mix:
+            started = time.perf_counter()
+            call(engine)
+            samples.append(time.perf_counter() - started)
+    return samples
+
+
+def _percentile(samples, pct):
+    ordered = sorted(samples)
+    index = max(0, math.ceil(pct / 100 * len(ordered)) - 1)
+    return ordered[min(index, len(ordered) - 1)]
+
+
+def _http_load(server, duration, clients):
+    paths = [
+        "/top?k=5",
+        "/top?k=5&domain=Sports",
+        "/query?weights=Sports:0.5,Art:0.3,Travel:0.2&k=5",
+        "/blogger/" + server.store.snapshot.blogger_ids[0],
+    ]
+    counts, errors = [], []
+
+    def worker(offset):
+        count, i = 0, offset
+        deadline = time.monotonic() + duration
+        while time.monotonic() < deadline:
+            url = server.url + paths[i % len(paths)]
+            i += 1
+            try:
+                with urllib.request.urlopen(url, timeout=10) as resp:
+                    resp.read()
+                    count += resp.status == 200
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+        counts.append(count)
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(clients)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    return sum(counts), elapsed, errors
+
+
+def test_service_latency_and_throughput(benchmark, bench_blogosphere,
+                                        bench_report):
+    corpus, _ = bench_blogosphere
+    snapshot = InfluenceSnapshot.compile(bench_report)
+    _assert_equivalence(snapshot, bench_report)  # before any timing
+
+    scans = _scan_mix()
+    slices = _slice_mix(snapshot)
+
+    uncached_engine = QueryEngine(snapshot, cache_size=0)
+    uncached = _time_engine(uncached_engine, scans, ENGINE_ROUNDS)
+    sliced = _time_engine(uncached_engine, slices, ENGINE_ROUNDS)
+
+    cached_engine = QueryEngine(snapshot, cache_size=256)
+    _time_engine(cached_engine, scans, 1)        # prime every entry
+    cached = _time_engine(cached_engine, scans, ENGINE_ROUNDS)
+    assert cached_engine.cache_info["misses"] == len(scans)
+
+    # One benchmark-fixture round so the run shows up in pytest-benchmark.
+    benchmark.pedantic(
+        lambda: uncached_engine.query(WEIGHT_SETS[0], 10),
+        rounds=20, iterations=5,
+    )
+
+    uncached_p50 = _percentile(uncached, 50)
+    uncached_p99 = _percentile(uncached, 99)
+    cached_p50 = _percentile(cached, 50)
+    cached_p99 = _percentile(cached, 99)
+    sliced_p50 = _percentile(sliced, 50)
+    sliced_p99 = _percentile(sliced, 99)
+
+    # Sustained HTTP load against the real server (own store + fit).
+    instr = Instrumentation.enabled()
+    store = SnapshotStore(corpus, instrumentation=instr)
+    server = create_server(store, ServiceConfig(port=0), instr)
+    server.serve_in_thread()
+    try:
+        served, elapsed, errors = _http_load(
+            server, HTTP_DURATION, HTTP_CLIENTS
+        )
+    finally:
+        server.shutdown()
+        server.server_close()
+        store.close()
+    assert not errors, errors[:3]
+    qps = served / elapsed
+    counted = instr.metrics.get("repro_http_requests_total").value
+
+    print_header(
+        f"A14 — serving latency ({len(scans)} scan / {len(slices)} slice "
+        f"queries, {ENGINE_ROUNDS} rounds) and throughput", corpus
+    )
+    print_rows(
+        ["engine path", "p50", "p99"],
+        [
+            ["weighted scan, uncached", f"{uncached_p50 * 1e6:.1f} µs",
+             f"{uncached_p99 * 1e6:.1f} µs"],
+            ["weighted scan, cached", f"{cached_p50 * 1e6:.1f} µs",
+             f"{cached_p99 * 1e6:.1f} µs"],
+            ["precomputed slice", f"{sliced_p50 * 1e6:.1f} µs",
+             f"{sliced_p99 * 1e6:.1f} µs"],
+        ],
+    )
+    print_rows(
+        ["http load", "value"],
+        [
+            ["clients", HTTP_CLIENTS],
+            ["window", f"{elapsed:.2f} s"],
+            ["served 200s", served],
+            ["sustained qps", f"{qps:.0f}"],
+            ["server-counted requests", f"{counted:.0f}"],
+        ],
+    )
+
+    payload = {
+        "bench": "service",
+        "scale": bench_scale(),
+        "seed": BENCH_SEED,
+        "engine_latency_seconds": {
+            "scan_workload": [name for name, _ in scans],
+            "slice_workload": [name for name, _ in slices],
+            "rounds": ENGINE_ROUNDS,
+            "uncached": {"p50": uncached_p50, "p99": uncached_p99},
+            "cached": {"p50": cached_p50, "p99": cached_p99},
+            "precomputed_slice": {"p50": sliced_p50, "p99": sliced_p99},
+        },
+        "http_throughput": {
+            "clients": HTTP_CLIENTS,
+            "window_seconds": elapsed,
+            "served_200s": served,
+            "sustained_qps": qps,
+            "server_counted_requests": counted,
+        },
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                           + "\n", encoding="utf-8")
+    print(f"service results written to {RESULT_PATH.name}")
+
+    # Acceptance: the cache must beat ever re-scanning — its p99 under
+    # the uncached p50 — and the load window must have served traffic.
+    assert cached_p99 < uncached_p50, (
+        f"cached p99 {cached_p99 * 1e6:.1f}µs not below "
+        f"uncached p50 {uncached_p50 * 1e6:.1f}µs"
+    )
+    assert served > 0 and counted >= served

@@ -1,0 +1,140 @@
+"""CI smoke test for ``repro serve``.
+
+Generates a small synthetic corpus, starts the real CLI service as a
+subprocess, issues requests against every query endpoint with plain
+``urllib``, and asserts 200s plus nonzero qps counters on ``/metrics``.
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+
+Exits nonzero (with the server log on stderr) on any failure.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+STARTUP_TIMEOUT = 120.0
+REQUEST_TIMEOUT = 10.0
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def get(base: str, path: str) -> tuple[int, str]:
+    with urllib.request.urlopen(base + path, timeout=REQUEST_TIMEOUT) as resp:
+        return resp.status, resp.read().decode("utf-8")
+
+
+def wait_until_healthy(base: str, process: subprocess.Popen) -> None:
+    deadline = time.monotonic() + STARTUP_TIMEOUT
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise RuntimeError(
+                f"server exited early with code {process.returncode}"
+            )
+        try:
+            status, body = get(base, "/healthz")
+        except (urllib.error.URLError, ConnectionError, OSError):
+            time.sleep(0.25)
+            continue
+        if status == 200 and json.loads(body)["status"] == "ok":
+            return
+        time.sleep(0.25)
+    raise RuntimeError(f"server not healthy within {STARTUP_TIMEOUT}s")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="mass-smoke-") as tmp:
+        data_dir = Path(tmp) / "corpus"
+        generate = subprocess.run(
+            [sys.executable, "-m", "repro", "generate",
+             "--out", str(data_dir), "--bloggers", "100", "--seed", "7"],
+            capture_output=True, text=True,
+        )
+        if generate.returncode != 0:
+            print(generate.stdout, file=sys.stderr)
+            print(generate.stderr, file=sys.stderr)
+            raise RuntimeError("corpus generation failed")
+
+        port = free_port()
+        base = f"http://127.0.0.1:{port}"
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--data", str(data_dir), "--port", str(port)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            wait_until_healthy(base, server)
+
+            status, body = get(base, "/top?k=3&domain=Sports")
+            assert status == 200, f"/top returned {status}"
+            top = json.loads(body)
+            assert len(top["results"]) == 3, top
+            assert top["epoch"], "missing epoch stamp"
+            print(f"/top ok: {[r['blogger_id'] for r in top['results']]}")
+
+            status, body = get(base, "/query?weights=Sports:0.7,Art:0.3&k=3")
+            assert status == 200, f"/query returned {status}"
+            composite = json.loads(body)
+            assert len(composite["results"]) == 3, composite
+            print(f"/query ok: "
+                  f"{[r['blogger_id'] for r in composite['results']]}")
+
+            blogger_id = top["results"][0]["blogger_id"]
+            status, body = get(base, f"/blogger/{blogger_id}")
+            assert status == 200, f"/blogger returned {status}"
+            assert json.loads(body)["profile"]["blogger_id"] == blogger_id
+            print(f"/blogger/{blogger_id} ok")
+
+            # Re-issue /top so the cache sees a hit, then scrape metrics.
+            get(base, "/top?k=3&domain=Sports")
+            status, text = get(base, "/metrics")
+            assert status == 200, f"/metrics returned {status}"
+            counters = {}
+            for line in text.splitlines():
+                if line.startswith("#") or not line.strip():
+                    continue
+                name, _, value = line.partition(" ")
+                counters[name] = float(value)
+            qps = counters.get("repro_http_requests_total", 0.0)
+            assert qps > 0, "qps counter is zero"
+            assert counters.get("repro_http_requests_top_total", 0.0) > 0
+            assert counters.get("repro_query_cache_hits_total", 0.0) > 0, \
+                "expected at least one cache hit"
+            print(f"/metrics ok: {qps:.0f} requests counted")
+            print("smoke test passed")
+            return 0
+        except BaseException:
+            if server.poll() is None:
+                server.terminate()
+            try:
+                output = server.communicate(timeout=10)[0]
+            except subprocess.TimeoutExpired:
+                server.kill()
+                output = server.communicate()[0]
+            print("---- server output ----", file=sys.stderr)
+            print(output or "", file=sys.stderr)
+            raise
+        finally:
+            if server.poll() is None:
+                server.terminate()
+                try:
+                    server.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    server.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@ subcommand over an XML data directory:
     python -m repro detail    --data mycrawl/ --blogger blogger-0001
     python -m repro visualize --data mycrawl/ --center blogger-0001 \
                               --out network.xml
+    python -m repro serve     --data mycrawl/ --port 8350
     python -m repro table1    --bloggers 800 --seed 2010
 
 ``--alpha`` / ``--beta`` reproduce the demo toolbar on every analysis
@@ -208,6 +209,26 @@ def build_parser() -> argparse.ArgumentParser:
     discover.add_argument("--k", type=int, default=10)
     discover.add_argument("--seed", type=int, default=0)
     discover.add_argument("--max-posts", type=int, default=3000)
+
+    serve = subcommand(
+        "serve", help="run the influence query service over HTTP"
+    )
+    _add_data(serve)
+    _add_toolbar(serve)
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8350,
+                       help="bind port; 0 picks a free one (default 8350)")
+    serve.add_argument("--max-staleness", type=float, default=0.5,
+                       help="seconds a queued corpus delta may wait before "
+                            "it must be folded into the served snapshot")
+    serve.add_argument("--max-inflight", type=int, default=32,
+                       help="max concurrently executing requests before "
+                            "load shedding answers 503")
+    serve.add_argument("--max-k", type=int, default=100,
+                       help="largest k a single query may ask for")
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       help="bounded LRU result-cache entries (0 disables)")
 
     stats = subcommand(
         "stats", help="corpus and network structure summary"
@@ -407,6 +428,51 @@ def _cmd_discover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServiceConfig, SnapshotStore, create_server
+
+    params = MassParameters(
+        alpha=args.alpha,
+        beta=args.beta,
+        solver_backend=args.solver_backend,
+    )
+    corpus = load_corpus(args.data)
+    # /metrics is part of the API, so the service always records even
+    # without --metrics-out.
+    from repro.obs import Instrumentation as _Instrumentation
+
+    instr = _instrumentation(args) or _Instrumentation.enabled()
+    args.instrumentation = instr  # so --metrics-out/--trace-out still work
+    store = SnapshotStore(
+        corpus,
+        params=params,
+        max_staleness=args.max_staleness,
+        instrumentation=instr,
+    )
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        max_k=args.max_k,
+        cache_size=args.cache_size,
+    )
+    server = create_server(store, config, instr)
+    snapshot = store.snapshot
+    print(f"serving {snapshot.stats()['bloggers']} bloggers "
+          f"({len(snapshot.domains)} domains, epoch {snapshot.epoch[:12]}) "
+          f"on {server.url}", flush=True)
+    print("endpoints: /top /query /blogger/<id> /healthz /metrics",
+          flush=True)
+    with store:
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down")
+        finally:
+            server.server_close()
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.data import load_corpus as _load
     from repro.graph import link_graph, post_reply_graph, summarize_network
@@ -466,6 +532,7 @@ _COMMANDS = {
     "campaign": _cmd_campaign,
     "trend": _cmd_trend,
     "discover": _cmd_discover,
+    "serve": _cmd_serve,
     "stats": _cmd_stats,
     "table1": _cmd_table1,
 }

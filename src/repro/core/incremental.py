@@ -110,6 +110,16 @@ class IncrementalAnalyzer:
         return self._cache
 
     @property
+    def params(self) -> MassParameters:
+        """The parameters every (re)analysis runs with."""
+        return self._params
+
+    @property
+    def classifier(self) -> NaiveBayesClassifier:
+        """The fixed domain classifier behind the analyses."""
+        return self._classifier
+
+    @property
     def report(self) -> InfluenceReport:
         """The current analysis (raises before the first :meth:`fit`)."""
         if self._report is None:

@@ -26,7 +26,9 @@ cap and reported as non-converged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
 from typing import Any
 
 from repro.errors import ParameterError
@@ -250,3 +252,28 @@ class MassParameters:
     def with_overrides(self, **changes: Any) -> "MassParameters":
         """A copy with selected fields replaced (the toolbar edit)."""
         return replace(self, **changes)
+
+    def canonical_dict(self) -> dict[str, Any]:
+        """Every field as ``name → value``, in sorted field order.
+
+        The canonical serialization behind :meth:`fingerprint`: two
+        parameter sets produce the same dict iff they are equal, no
+        matter what order their fields were supplied in.
+        """
+        return {
+            name: getattr(self, name)
+            for name in sorted(f.name for f in fields(self))
+        }
+
+    def fingerprint(self) -> str:
+        """A stable content hash of the full parameter set.
+
+        Equal parameter sets (however constructed) share a fingerprint;
+        any changed field produces a different one.  Snapshot epochs and
+        the query-cache key use this so a toolbar change can never be
+        served from a stale cache entry.
+        """
+        payload = json.dumps(
+            self.canonical_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()

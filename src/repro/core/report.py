@@ -16,6 +16,7 @@ from repro.core.parameters import MassParameters
 from repro.core.solver import InfluenceScores
 from repro.core.topk import full_ranking, top_k
 from repro.data.corpus import BlogCorpus
+from repro.errors import ParameterError
 
 __all__ = ["BloggerDetail", "InfluenceReport"]
 
@@ -140,8 +141,15 @@ class InfluenceReport:
         """Top-k bloggers overall, or within one domain.
 
         This is the system's headline query: "find out the top-k most
-        influential bloggers on each domain".
+        influential bloggers on each domain".  ``k`` must be positive
+        and ``domain`` (when given) must be a known domain; both raise
+        :class:`~repro.errors.ParameterError` rather than silently
+        returning an empty list.
         """
+        if k <= 0:
+            raise ParameterError(
+                f"top_influencers needs k >= 1, got {k}"
+            )
         if domain is None:
             return top_k(self._scores.influence, k)
         return self._domain_influence.ranking(domain, k)

@@ -41,3 +41,13 @@ class XmlFormatError(ReproError):
 
 class ClassifierError(ReproError):
     """A text classifier was used before training or trained on bad data."""
+
+
+class QueryError(ReproError):
+    """A serving-layer query is invalid.
+
+    Raised by the query engine and the HTTP service for malformed
+    requests: non-positive or oversized ``k``, negative offsets,
+    unknown domains or bloggers, and empty or non-finite interest
+    weights.  Maps to a 400/404 response at the HTTP boundary.
+    """

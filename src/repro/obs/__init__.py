@@ -29,6 +29,7 @@ from repro.obs.logging import (
 )
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -42,6 +43,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
     "Span",
     "Tracer",
     "NULL_SPAN",

@@ -29,12 +29,21 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
 ]
 
 # Seconds-oriented default buckets: wide enough for a 3,000-space crawl,
 # fine enough for a per-stage solver timing.
 DEFAULT_BUCKETS: tuple[float, ...] = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+# Request-latency buckets for the serving layer: cached queries answer
+# in microseconds, uncached scans in fractions of a millisecond, so the
+# crawl-oriented defaults above would dump everything into one bucket.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    0.00001, 0.00005, 0.0001, 0.0005, 0.001, 0.005, 0.01,
+    0.05, 0.1, 0.5, 1.0, 5.0,
 )
 
 

@@ -1,0 +1,294 @@
+"""The multi-facet query engine — MASS's online read path.
+
+A :class:`QueryEngine` answers the three query shapes of the demo UI
+against whatever snapshot its source currently holds:
+
+- **top**: top-k bloggers, general or within one domain (the headline
+  "find the top-k most influential bloggers on each domain");
+- **query**: an Eq. 5 composite-topic query — arbitrary user-supplied
+  domain weights, evaluated as one weighted scan over the snapshot's
+  dense interest-vector rows;
+- **blogger**: the Fig. 4 detail pop-up.
+
+Results are wrapped in :class:`QueryResult` / :class:`ProfileResult`
+and stamped with the snapshot epoch they were computed from, so a
+caller (and the concurrency suite) can check that a response is
+internally consistent with exactly one analysis.
+
+The engine keeps a bounded LRU result cache keyed on
+``(snapshot epoch, canonicalized query)``.  Keying on the epoch makes
+invalidation automatic: a refreshed snapshot has a new epoch, so every
+old entry simply stops being reachable and ages out of the LRU.  Two
+textually different but semantically equal queries (reordered weight
+maps, defaulted offsets) canonicalize to the same key and share an
+entry.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Mapping
+
+from repro.errors import QueryError
+from repro.obs import (
+    LATENCY_BUCKETS,
+    NULL_INSTRUMENTATION,
+    Instrumentation,
+    get_logger,
+)
+from repro.serve.snapshot import InfluenceSnapshot
+
+__all__ = ["QueryEngine", "QueryResult", "ProfileResult"]
+
+_LOG = get_logger("serve.engine")
+
+# A cache key: (epoch, canonical query tuple).
+_CacheKey = tuple[str, tuple]
+
+
+class QueryResult:
+    """One ranked answer, pinned to the epoch that produced it."""
+
+    __slots__ = ("epoch", "kind", "k", "offset", "total", "results", "cached")
+
+    def __init__(
+        self,
+        *,
+        epoch: str,
+        kind: str,
+        k: int,
+        offset: int,
+        total: int,
+        results: tuple[tuple[str, float], ...],
+        cached: bool = False,
+    ) -> None:
+        self.epoch = epoch
+        self.kind = kind
+        self.k = k
+        self.offset = offset
+        self.total = total
+        self.results = results
+        self.cached = cached
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-able view (the HTTP response body)."""
+        return {
+            "epoch": self.epoch,
+            "kind": self.kind,
+            "k": self.k,
+            "offset": self.offset,
+            "total": self.total,
+            "cached": self.cached,
+            "results": [
+                {"blogger_id": blogger_id, "score": score}
+                for blogger_id, score in self.results
+            ],
+        }
+
+    def _replace_cached(self, cached: bool) -> "QueryResult":
+        return QueryResult(
+            epoch=self.epoch, kind=self.kind, k=self.k, offset=self.offset,
+            total=self.total, results=self.results, cached=cached,
+        )
+
+
+class ProfileResult:
+    """One blogger profile, pinned to the epoch that produced it."""
+
+    __slots__ = ("epoch", "profile")
+
+    def __init__(self, *, epoch: str, profile: dict[str, object]) -> None:
+        self.epoch = epoch
+        self.profile = profile
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-able view (the HTTP response body)."""
+        return {"epoch": self.epoch, "profile": self.profile}
+
+
+class _FixedSource:
+    """Adapts a bare snapshot to the store's ``.snapshot`` protocol."""
+
+    __slots__ = ("snapshot",)
+
+    def __init__(self, snapshot: InfluenceSnapshot) -> None:
+        self.snapshot = snapshot
+
+
+class QueryEngine:
+    """Serve top-k / composite / profile queries over a snapshot source.
+
+    Parameters
+    ----------
+    source:
+        Anything exposing a ``.snapshot`` attribute holding the current
+        :class:`InfluenceSnapshot` (normally a
+        :class:`~repro.serve.store.SnapshotStore`), or a bare snapshot
+        for a fixed, never-refreshed engine.
+    cache_size:
+        Maximum cached results; 0 disables caching entirely.
+    max_k:
+        Upper bound on ``k`` per query (``None`` = unbounded).  The
+        HTTP service sets one so a single request cannot ask for the
+        whole population times a large offset.
+    instrumentation:
+        Observability sinks; the engine maintains hit/miss counters and
+        a hit-rate gauge.
+    """
+
+    def __init__(
+        self,
+        source: object,
+        *,
+        cache_size: int = 256,
+        max_k: int | None = None,
+        instrumentation: Instrumentation | None = None,
+    ) -> None:
+        if isinstance(source, InfluenceSnapshot):
+            source = _FixedSource(source)
+        if not hasattr(source, "snapshot"):
+            raise QueryError(
+                "engine source must expose a .snapshot attribute "
+                f"(got {type(source).__name__})"
+            )
+        if cache_size < 0:
+            raise QueryError(f"cache_size must be >= 0, got {cache_size}")
+        if max_k is not None and max_k < 1:
+            raise QueryError(f"max_k must be >= 1, got {max_k}")
+        self._source = source
+        self._cache_size = cache_size
+        self._max_k = max_k
+        self._instr = instrumentation or NULL_INSTRUMENTATION
+        self._cache: OrderedDict[_CacheKey, QueryResult] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        metrics = self._instr.metrics
+        self._hit_counter = metrics.counter(
+            "repro_query_cache_hits_total", "Query-cache hits"
+        )
+        self._miss_counter = metrics.counter(
+            "repro_query_cache_misses_total", "Query-cache misses"
+        )
+        self._hit_rate = metrics.gauge(
+            "repro_query_cache_hit_rate", "Query-cache hit rate in [0, 1]"
+        )
+        self._size_gauge = metrics.gauge(
+            "repro_query_cache_entries", "Query-cache resident entries"
+        )
+        self._query_seconds = metrics.histogram(
+            "repro_query_seconds", "Query-engine evaluation latency",
+            buckets=LATENCY_BUCKETS,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def snapshot(self) -> InfluenceSnapshot:
+        """The snapshot the next query will be answered from."""
+        return self._source.snapshot
+
+    @property
+    def cache_info(self) -> dict[str, int | float]:
+        """Hits, misses, resident entries, and the hit rate."""
+        with self._lock:
+            hits, misses, entries = self._hits, self._misses, len(self._cache)
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "entries": entries,
+            "hit_rate": (hits / total) if total else 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    # The three query shapes
+    # ------------------------------------------------------------------
+    def top(
+        self, k: int, domain: str | None = None, offset: int = 0
+    ) -> QueryResult:
+        """Top-k bloggers, general (``domain=None``) or domain-specific."""
+        self._check_k(k)
+        snapshot = self._source.snapshot
+        key = (snapshot.epoch, ("top", domain, int(k), int(offset)))
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached
+        with self._query_seconds.time():
+            results = tuple(snapshot.top(k, domain=domain, offset=offset))
+        result = QueryResult(
+            epoch=snapshot.epoch, kind="top", k=k, offset=offset,
+            total=snapshot.num_bloggers, results=results,
+        )
+        self._cache_put(key, result)
+        return result
+
+    def query(
+        self, weights: Mapping[str, float], k: int, offset: int = 0
+    ) -> QueryResult:
+        """Eq. 5 composite-topic query with user-supplied domain weights."""
+        self._check_k(k)
+        snapshot = self._source.snapshot
+        canonical = tuple(
+            (domain, float(weights[domain])) for domain in sorted(weights)
+        )
+        key = (snapshot.epoch, ("query", canonical, int(k), int(offset)))
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached
+        with self._query_seconds.time():
+            results = tuple(
+                snapshot.query(dict(canonical), k, offset=offset)
+            )
+        result = QueryResult(
+            epoch=snapshot.epoch, kind="query", k=k, offset=offset,
+            total=snapshot.num_bloggers, results=results,
+        )
+        self._cache_put(key, result)
+        return result
+
+    def blogger(self, blogger_id: str) -> ProfileResult:
+        """The detail pop-up for one blogger (uncached: a dict copy)."""
+        snapshot = self._source.snapshot
+        return ProfileResult(
+            epoch=snapshot.epoch, profile=snapshot.profile(blogger_id)
+        )
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def _check_k(self, k: int) -> None:
+        if self._max_k is not None and k > self._max_k:
+            raise QueryError(
+                f"k={k} exceeds this service's maximum of {self._max_k}"
+            )
+
+    def _cache_get(self, key: _CacheKey) -> QueryResult | None:
+        if self._cache_size == 0:
+            return None
+        with self._lock:
+            result = self._cache.get(key)
+            if result is not None:
+                self._cache.move_to_end(key)
+                self._hits += 1
+                hits, misses = self._hits, self._misses
+            else:
+                self._misses += 1
+                hits, misses = self._hits, self._misses
+        if result is not None:
+            self._hit_counter.inc()
+        else:
+            self._miss_counter.inc()
+        self._hit_rate.set(hits / (hits + misses))
+        return result._replace_cached(True) if result is not None else None
+
+    def _cache_put(self, key: _CacheKey, result: QueryResult) -> None:
+        if self._cache_size == 0:
+            return
+        with self._lock:
+            self._cache[key] = result
+            self._cache.move_to_end(key)
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+            entries = len(self._cache)
+        self._size_gauge.set(entries)

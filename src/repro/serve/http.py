@@ -1,0 +1,399 @@
+"""The MASS HTTP service — the demo UI as a JSON API.
+
+A stdlib :class:`~http.server.ThreadingHTTPServer` exposing the query
+engine:
+
+====================  =================================================
+Endpoint              Meaning
+====================  =================================================
+``GET /top``          Top-k bloggers; ``k``, ``domain``, ``offset``.
+``GET /query``        Eq. 5 composite query; ``weights=Sports:0.7,
+                      Art:0.3`` plus ``k`` / ``offset``.  Also accepts
+                      ``POST`` with a JSON body ``{"weights": {...},
+                      "k": ..., "offset": ...}``.
+``GET /blogger/<id>`` The Fig. 4 detail pop-up for one blogger.
+``GET /healthz``      Liveness: status, snapshot epoch, corpus shape.
+``GET /metrics``      Prometheus text exposition of the shared
+                      :mod:`repro.obs` registry.
+====================  =================================================
+
+Observability: every request lands in ``repro_http_requests_total``
+(the qps source), a latency histogram, and a per-route counter; the
+engine keeps the cache hit-rate gauge current.
+
+Load shedding: at most ``max_inflight`` requests execute at once.
+Excess requests are answered immediately with **503** and a
+``Retry-After`` header instead of queueing behind the thread pool —
+under overload, fast rejection beats slow service.  ``/healthz`` and
+``/metrics`` are exempt so operators can always see in.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.errors import QueryError, ReproError
+from repro.obs import (
+    LATENCY_BUCKETS,
+    NULL_INSTRUMENTATION,
+    Instrumentation,
+    get_logger,
+)
+from repro.serve.engine import QueryEngine
+from repro.serve.store import SnapshotStore
+
+__all__ = ["ServiceConfig", "MassHttpServer", "create_server"]
+
+_LOG = get_logger("serve.http")
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceConfig:
+    """Operational knobs of the HTTP service."""
+
+    host: str = "127.0.0.1"
+    port: int = 8350
+    max_inflight: int = 32
+    retry_after_seconds: int = 1
+    max_k: int = 100
+    cache_size: int = 1024
+    default_k: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 0:
+            raise ReproError(
+                f"max_inflight must be >= 0, got {self.max_inflight}"
+            )
+        if self.max_k < 1:
+            raise ReproError(f"max_k must be >= 1, got {self.max_k}")
+        if self.default_k < 1:
+            raise ReproError(f"default_k must be >= 1, got {self.default_k}")
+
+
+class MassHttpServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the engine, config, and metrics."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        store: SnapshotStore,
+        config: ServiceConfig,
+        instrumentation: Instrumentation,
+    ) -> None:
+        super().__init__((config.host, config.port), _Handler)
+        self.store = store
+        self.config = config
+        self.instrumentation = instrumentation
+        self.engine = QueryEngine(
+            store,
+            cache_size=config.cache_size,
+            max_k=config.max_k,
+            instrumentation=instrumentation,
+        )
+        self.started_at = time.time()
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        metrics = instrumentation.metrics
+        self.requests_total = metrics.counter(
+            "repro_http_requests_total", "HTTP requests handled"
+        )
+        self.shed_total = metrics.counter(
+            "repro_http_shed_total", "Requests rejected by load shedding"
+        )
+        self.errors_total = metrics.counter(
+            "repro_http_errors_total", "Requests answered with 4xx/5xx"
+        )
+        self.request_seconds = metrics.histogram(
+            "repro_http_request_seconds", "HTTP request handling latency",
+            buckets=LATENCY_BUCKETS,
+        )
+        self.inflight_gauge = metrics.gauge(
+            "repro_http_inflight", "Requests currently executing"
+        )
+
+    @property
+    def url(self) -> str:
+        """The service base URL with the bound (possibly ephemeral) port."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def serve_in_thread(self) -> threading.Thread:
+        """Run ``serve_forever`` on a daemon thread (tests, benches)."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="mass-http", daemon=True
+        )
+        thread.start()
+        return thread
+
+    # -- load shedding -------------------------------------------------
+    def try_acquire_slot(self) -> bool:
+        """Claim an execution slot; False means shed this request."""
+        with self._inflight_lock:
+            if self._inflight >= self.config.max_inflight:
+                return False
+            self._inflight += 1
+            inflight = self._inflight
+        self.inflight_gauge.set(inflight)
+        return True
+
+    def release_slot(self) -> None:
+        """Return an execution slot."""
+        with self._inflight_lock:
+            self._inflight -= 1
+            inflight = self._inflight
+        self.inflight_gauge.set(inflight)
+
+
+def create_server(
+    store: SnapshotStore,
+    config: ServiceConfig | None = None,
+    instrumentation: Instrumentation | None = None,
+) -> MassHttpServer:
+    """Build the HTTP server over a snapshot store.
+
+    The instrumentation defaults to a fresh *enabled* bundle (not the
+    shared null one) because ``/metrics`` is part of the API surface.
+    """
+    return MassHttpServer(
+        store,
+        config or ServiceConfig(),
+        instrumentation
+        if instrumentation is not None
+        and instrumentation is not NULL_INSTRUMENTATION
+        else Instrumentation.enabled(),
+    )
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route, validate, and answer one request."""
+
+    server: MassHttpServer  # narrowed for type checkers
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        _LOG.debug("%s %s", self.address_string(), format % args)
+
+    def _send_json(
+        self, status: int, payload: dict[str, object],
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self.server.errors_total.inc()
+        self._send_json(status, {"error": message})
+
+    # -- entry points --------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler contract
+        self._dispatch()
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler contract
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        server = self.server
+        parts = urlsplit(self.path)
+        route = parts.path.rstrip("/") or "/"
+        server.requests_total.inc()
+        server.instrumentation.metrics.counter(
+            f"repro_http_requests{_route_suffix(route)}_total",
+            "HTTP requests on one route",
+        ).inc()
+
+        # Operational endpoints bypass shedding: during an overload the
+        # operator still needs /healthz and /metrics.
+        if route == "/healthz":
+            with server.request_seconds.time():
+                self._handle_healthz()
+            return
+        if route == "/metrics":
+            with server.request_seconds.time():
+                self._handle_metrics()
+            return
+
+        if not server.try_acquire_slot():
+            server.shed_total.inc()
+            self._send_error_json_with_retry()
+            return
+        try:
+            with server.request_seconds.time():
+                self._route_query(route, parts.query)
+        finally:
+            server.release_slot()
+
+    def _send_error_json_with_retry(self) -> None:
+        self.server.errors_total.inc()
+        self._send_json(
+            503,
+            {"error": "service overloaded; retry later"},
+            {"Retry-After": str(self.server.config.retry_after_seconds)},
+        )
+
+    def _route_query(self, route: str, query_string: str) -> None:
+        try:
+            if route == "/top":
+                self._handle_top(query_string)
+            elif route == "/query":
+                self._handle_query(query_string)
+            elif route.startswith("/blogger/"):
+                self._handle_blogger(unquote(route[len("/blogger/"):]))
+            else:
+                self._send_error_json(404, f"unknown endpoint {route!r}")
+        except QueryError as exc:
+            status = 404 if "unknown blogger" in str(exc) else 400
+            self._send_error_json(status, str(exc))
+        except ReproError as exc:
+            self._send_error_json(500, str(exc))
+
+    # -- endpoints -----------------------------------------------------
+    def _handle_healthz(self) -> None:
+        server = self.server
+        snapshot = server.store.snapshot
+        self._send_json(200, {
+            "status": "ok",
+            "epoch": snapshot.epoch,
+            "uptime_seconds": time.time() - server.started_at,
+            "snapshot_age_seconds": time.time() - snapshot.created_at,
+            "pending_deltas": server.store.pending_deltas,
+            "corpus": snapshot.stats(),
+            "domains": list(snapshot.domains),
+        })
+
+    def _handle_metrics(self) -> None:
+        body = (
+            self.server.instrumentation.metrics.render_text()
+            .encode("utf-8")
+        )
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _handle_top(self, query_string: str) -> None:
+        params = parse_qs(query_string)
+        k = _int_param(params, "k", self.server.config.default_k)
+        offset = _int_param(params, "offset", 0)
+        domain = _str_param(params, "domain")
+        result = self.server.engine.top(k, domain=domain, offset=offset)
+        self._send_json(200, result.as_dict())
+
+    def _handle_query(self, query_string: str) -> None:
+        if self.command == "POST":
+            weights, k, offset = self._parse_query_body()
+        else:
+            params = parse_qs(query_string)
+            k = _int_param(params, "k", self.server.config.default_k)
+            offset = _int_param(params, "offset", 0)
+            weights = _parse_weights(_str_param(params, "weights"))
+        result = self.server.engine.query(weights, k, offset=offset)
+        self._send_json(200, result.as_dict())
+
+    def _parse_query_body(self) -> tuple[dict[str, float], int, int]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise QueryError("invalid Content-Length header") from None
+        try:
+            body = json.loads(self.rfile.read(length) or b"{}")
+        except json.JSONDecodeError as exc:
+            raise QueryError(f"request body is not valid JSON: {exc}") from None
+        if not isinstance(body, dict):
+            raise QueryError("request body must be a JSON object")
+        weights = body.get("weights")
+        if not isinstance(weights, dict):
+            raise QueryError('request body needs a "weights" object')
+        k = body.get("k", self.server.config.default_k)
+        offset = body.get("offset", 0)
+        if not isinstance(k, int) or isinstance(k, bool):
+            raise QueryError(f"k must be an integer, got {k!r}")
+        if not isinstance(offset, int) or isinstance(offset, bool):
+            raise QueryError(f"offset must be an integer, got {offset!r}")
+        return {str(domain): value for domain, value in weights.items()}, k, offset
+
+    def _handle_blogger(self, blogger_id: str) -> None:
+        if not blogger_id:
+            raise QueryError("missing blogger id: use /blogger/<id>")
+        result = self.server.engine.blogger(blogger_id)
+        self._send_json(200, result.as_dict())
+
+
+# ----------------------------------------------------------------------
+# Parameter parsing
+# ----------------------------------------------------------------------
+def _str_param(params: dict[str, list[str]], name: str) -> str | None:
+    values = params.get(name)
+    if not values:
+        return None
+    if len(values) > 1:
+        raise QueryError(f"parameter {name!r} given more than once")
+    return values[0]
+
+
+def _int_param(params: dict[str, list[str]], name: str, default: int) -> int:
+    raw = _str_param(params, name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise QueryError(
+            f"parameter {name!r} must be an integer, got {raw!r}"
+        ) from None
+
+
+def _parse_weights(raw: str | None) -> dict[str, float]:
+    """``Sports:0.7,Art:0.3`` → ``{"Sports": 0.7, "Art": 0.3}``."""
+    if raw is None:
+        raise QueryError(
+            'missing "weights" parameter, e.g. weights=Sports:0.7,Art:0.3'
+        )
+    weights: dict[str, float] = {}
+    for term in raw.split(","):
+        term = term.strip()
+        if not term:
+            continue
+        domain, separator, value = term.partition(":")
+        domain = domain.strip()
+        if not separator or not domain:
+            raise QueryError(
+                f"malformed weight term {term!r}; expected Domain:weight"
+            )
+        try:
+            weight = float(value)
+        except ValueError:
+            raise QueryError(
+                f"weight for {domain!r} must be a number, got {value!r}"
+            ) from None
+        if domain in weights:
+            raise QueryError(f"domain {domain!r} given more than once")
+        weights[domain] = weight
+    if not weights:
+        raise QueryError("weights parameter names no domains")
+    return weights
+
+
+_KNOWN_ROUTES = {"/top", "/query", "/healthz", "/metrics"}
+
+
+def _route_suffix(route: str) -> str:
+    """A bounded per-route metric suffix (arbitrary 404 paths share one)."""
+    if route.startswith("/blogger/"):
+        return "_blogger"
+    if route in _KNOWN_ROUTES:
+        return f"_{route.strip('/')}"
+    return "_other"

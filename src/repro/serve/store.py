@@ -1,0 +1,259 @@
+"""Snapshot lifecycle: atomic swaps and background refresh.
+
+A deployed MASS keeps crawling while it serves queries.  The
+:class:`SnapshotStore` owns that tension: readers grab the current
+:class:`~repro.serve.snapshot.InfluenceSnapshot` through the
+``.snapshot`` property — one attribute read, never a lock held across
+an analysis — while a background refresher drains queued
+:class:`~repro.core.incremental.CorpusDelta` batches through an
+:class:`~repro.core.incremental.IncrementalAnalyzer` (warm sparse
+re-solves off the previous fixed point), compiles a *new* snapshot off
+to the side, and swaps it in with a single reference assignment.
+Copy-on-write end to end: no reader ever observes a half-updated
+analysis, and a reader that grabbed the old snapshot keeps a fully
+consistent (merely older) view.
+
+Staleness is bounded, not zero: after a delta is submitted the
+refresher may wait up to ``max_staleness`` seconds to coalesce more
+deltas into one re-solve (re-solving per comment would waste the warm
+start), but no longer.  ``refresh_now()`` forces a synchronous drain —
+tests and the CLI use it for determinism.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from collections.abc import Mapping, Sequence
+
+from repro.core.incremental import CorpusDelta, IncrementalAnalyzer
+from repro.core.parameters import MassParameters
+from repro.core.report import InfluenceReport
+from repro.data.corpus import BlogCorpus
+from repro.errors import ReproError
+from repro.nlp.naive_bayes import NaiveBayesClassifier
+from repro.obs import NULL_INSTRUMENTATION, Instrumentation, get_logger
+from repro.serve.snapshot import InfluenceSnapshot
+
+__all__ = ["SnapshotStore"]
+
+_LOG = get_logger("serve.store")
+
+
+class SnapshotStore:
+    """Serve-side owner of the current snapshot and its refresh loop.
+
+    Parameters
+    ----------
+    corpus:
+        The initial corpus; analyzed once (cold) at construction.
+    params:
+        Model parameters for every (re)analysis.
+    domain_seed_words / classifier:
+        The domain model, exactly as :class:`~repro.core.model.MassModel`
+        resolves it; defaults to the built-in ten-domain seed
+        vocabularies.
+    max_staleness:
+        Upper bound, in seconds, on how long a submitted delta may wait
+        before the refresher folds it into a served snapshot.
+    instrumentation:
+        Observability sinks: swap counters, refresh latency, queue
+        depth.
+
+    Use as a context manager (or call :meth:`start` / :meth:`close`) to
+    run the background refresher; without it, :meth:`refresh_now` still
+    works synchronously.
+    """
+
+    def __init__(
+        self,
+        corpus: BlogCorpus,
+        params: MassParameters | None = None,
+        domain_seed_words: Mapping[str, Sequence[str]] | None = None,
+        classifier: NaiveBayesClassifier | None = None,
+        *,
+        max_staleness: float = 0.5,
+        instrumentation: Instrumentation | None = None,
+    ) -> None:
+        if max_staleness < 0:
+            raise ReproError(
+                f"max_staleness must be >= 0, got {max_staleness}"
+            )
+        self._instr = instrumentation or NULL_INSTRUMENTATION
+        self._max_staleness = float(max_staleness)
+        if classifier is None:
+            from repro.synth.vocabulary import DOMAIN_VOCABULARIES
+
+            classifier = NaiveBayesClassifier.from_seed_vocabulary(
+                dict(domain_seed_words)
+                if domain_seed_words is not None
+                else DOMAIN_VOCABULARIES
+            )
+        elif domain_seed_words is not None:
+            raise ReproError(
+                "pass either classifier= or domain_seed_words=, not both"
+            )
+        self._analyzer = IncrementalAnalyzer(
+            classifier,
+            params=params or MassParameters(),
+            instrumentation=self._instr,
+        )
+        metrics = self._instr.metrics
+        self._swap_counter = metrics.counter(
+            "repro_serve_snapshot_swaps_total", "Snapshot swaps served"
+        )
+        self._delta_counter = metrics.counter(
+            "repro_serve_deltas_applied_total", "Corpus deltas folded in"
+        )
+        self._queue_gauge = metrics.gauge(
+            "repro_serve_queue_depth", "Deltas waiting for the refresher"
+        )
+        self._refresh_seconds = metrics.histogram(
+            "repro_serve_refresh_seconds",
+            "Delta drain + re-solve + snapshot compile latency",
+        )
+        with self._instr.tracer.span("serve-initial-fit"):
+            self._analyzer.fit(corpus)
+            self._snapshot = InfluenceSnapshot.compile(self._analyzer.report)
+
+        self._queue: deque[CorpusDelta] = deque()
+        self._queue_lock = threading.Lock()
+        self._first_pending: float | None = None
+        self._pending = threading.Event()
+        self._refresh_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        _LOG.info(
+            "snapshot store ready: epoch %s, %d bloggers",
+            self._snapshot.epoch[:12], self._snapshot.num_bloggers,
+        )
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    @property
+    def snapshot(self) -> InfluenceSnapshot:
+        """The currently served snapshot (a plain reference read)."""
+        return self._snapshot
+
+    @property
+    def report(self) -> InfluenceReport:
+        """The analyzer's current report (the batch-equivalence anchor)."""
+        return self._analyzer.report
+
+    @property
+    def params(self) -> MassParameters:
+        """The parameters every (re)analysis runs with."""
+        return self._analyzer.params
+
+    @property
+    def max_staleness(self) -> float:
+        """The configured staleness bound in seconds."""
+        return self._max_staleness
+
+    @property
+    def pending_deltas(self) -> int:
+        """Deltas submitted but not yet folded into a snapshot."""
+        with self._queue_lock:
+            return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def submit(self, delta: CorpusDelta) -> None:
+        """Queue a delta for the refresher; returns immediately.
+
+        Empty deltas are dropped.  The refresher folds everything
+        queued into one warm re-solve within ``max_staleness`` seconds
+        (when running); call :meth:`refresh_now` to force it.
+        """
+        if delta.is_empty():
+            return
+        with self._queue_lock:
+            self._queue.append(delta)
+            if self._first_pending is None:
+                self._first_pending = time.monotonic()
+            depth = len(self._queue)
+        self._queue_gauge.set(depth)
+        self._pending.set()
+
+    def refresh_now(self) -> InfluenceSnapshot:
+        """Drain the queue synchronously and swap in a fresh snapshot.
+
+        Serialized against the background refresher; readers are never
+        blocked — they keep the old snapshot until the single-reference
+        swap at the end.  With nothing queued this is a no-op returning
+        the current snapshot.
+        """
+        with self._refresh_lock:
+            with self._queue_lock:
+                pending = list(self._queue)
+                self._queue.clear()
+                self._first_pending = None
+                self._pending.clear()
+            self._queue_gauge.set(0)
+            if not pending:
+                return self._snapshot
+            with self._refresh_seconds.time(), \
+                    self._instr.tracer.span("serve-refresh"):
+                for delta in pending:
+                    self._analyzer.apply(delta)
+                    self._delta_counter.inc()
+                fresh = InfluenceSnapshot.compile(self._analyzer.report)
+                self._snapshot = fresh  # the atomic copy-on-write swap
+            self._swap_counter.inc()
+            _LOG.info(
+                "snapshot refreshed: %d deltas, epoch %s, %d bloggers",
+                len(pending), fresh.epoch[:12], fresh.num_bloggers,
+            )
+            return fresh
+
+    # ------------------------------------------------------------------
+    # Refresher lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "SnapshotStore":
+        """Start the background refresher (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="mass-snapshot-refresher", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop the refresher and drain anything still queued."""
+        self._stop.set()
+        self._pending.set()  # wake the loop so it can exit promptly
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.refresh_now()
+
+    def __enter__(self) -> "SnapshotStore":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            if not self._pending.wait(timeout=0.1):
+                continue
+            if self._stop.is_set():
+                return
+            # Coalesce: give later deltas up to the staleness bound
+            # (measured from the first queued delta) to pile on.
+            while True:
+                with self._queue_lock:
+                    first = self._first_pending
+                if first is None:
+                    break
+                remaining = self._max_staleness - (time.monotonic() - first)
+                if remaining <= 0:
+                    break
+                if self._stop.wait(timeout=min(remaining, 0.05)):
+                    return
+            self.refresh_now()

@@ -242,6 +242,35 @@ class MassSystem:
         )
 
     # ------------------------------------------------------------------
+    # Serving (the online read path; see repro.serve)
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        """Compile the current analysis into an immutable serving snapshot.
+
+        Returns a :class:`repro.serve.InfluenceSnapshot` — the
+        pre-indexed, epoch-stamped view the query layer reads.
+        """
+        from repro.serve.snapshot import InfluenceSnapshot
+
+        return InfluenceSnapshot.compile(self.report)
+
+    def query_engine(self, cache_size: int = 256):
+        """A :class:`repro.serve.QueryEngine` over the current analysis.
+
+        The engine is pinned to a snapshot of the *current* report;
+        re-analyzing the system does not refresh it.  For a live,
+        self-refreshing service use :class:`repro.serve.SnapshotStore`
+        and ``repro serve``.
+        """
+        from repro.serve.engine import QueryEngine
+
+        return QueryEngine(
+            self.snapshot(),
+            cache_size=cache_size,
+            instrumentation=self._instr,
+        )
+
+    # ------------------------------------------------------------------
     # Analysis persistence (Data Storage for the Analyzer's output)
     # ------------------------------------------------------------------
     def save_analysis(self, path: str | Path) -> Path:

@@ -1,0 +1,212 @@
+"""The HTTP JSON API: endpoints, errors, metrics, load shedding."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import MassParameters, top_k
+from repro.obs import Instrumentation
+from repro.serve import ServiceConfig, SnapshotStore, create_server
+
+
+@pytest.fixture(scope="module")
+def service(small_blogosphere):
+    """A running server over the 120-blogger corpus (module-scoped)."""
+    corpus, _ = small_blogosphere
+    instr = Instrumentation.enabled()
+    store = SnapshotStore(
+        corpus, params=MassParameters(), instrumentation=instr
+    )
+    server = create_server(
+        store, ServiceConfig(port=0, max_inflight=8), instr
+    )
+    server.serve_in_thread()
+    yield server
+    server.shutdown()
+    server.server_close()
+    store.close()
+
+
+def get(server, path):
+    with urllib.request.urlopen(server.url + path, timeout=10) as resp:
+        return resp.status, json.loads(resp.read().decode("utf-8"))
+
+
+def get_error(server, path):
+    try:
+        urllib.request.urlopen(server.url + path, timeout=10)
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.headers, json.loads(exc.read().decode("utf-8"))
+    raise AssertionError(f"{path} unexpectedly succeeded")
+
+
+class TestTop:
+    def test_general_top_matches_batch(self, service):
+        status, body = get(service, "/top?k=5")
+        assert status == 200
+        expected = service.store.report.top_influencers(5)
+        assert [(r["blogger_id"], r["score"]) for r in body["results"]] \
+            == expected
+        assert body["epoch"] == service.store.snapshot.epoch
+        assert body["total"] == service.store.snapshot.num_bloggers
+
+    def test_domain_top(self, service):
+        status, body = get(service, "/top?k=3&domain=Sports")
+        assert status == 200
+        expected = service.store.report.top_influencers(3, "Sports")
+        assert [(r["blogger_id"], r["score"]) for r in body["results"]] \
+            == expected
+
+    def test_pagination(self, service):
+        _, page = get(service, "/top?k=3&offset=2")
+        _, full = get(service, "/top?k=5")
+        assert page["results"] == full["results"][2:]
+
+    def test_default_k(self, service):
+        _, body = get(service, "/top")
+        assert len(body["results"]) == service.config.default_k
+
+    @pytest.mark.parametrize("path,fragment", [
+        ("/top?k=0", "k must be >= 1"),
+        ("/top?k=banana", "must be an integer"),
+        ("/top?k=3&domain=Astrology", "unknown domain"),
+        ("/top?k=3&offset=-1", "offset"),
+        ("/top?k=101", "maximum"),
+        ("/top?k=3&k=4", "more than once"),
+    ])
+    def test_top_errors(self, service, path, fragment):
+        code, _, body = get_error(service, path)
+        assert code == 400
+        assert fragment in body["error"]
+
+
+class TestQuery:
+    def test_get_weights_matches_batch(self, service):
+        status, body = get(
+            service, "/query?weights=Sports:0.7,Art:0.3&k=4"
+        )
+        assert status == 200
+        report = service.store.report
+        canonical = {"Art": 0.3, "Sports": 0.7}
+        expected = top_k(
+            report.domain_influence.weighted_scores(canonical), 4
+        )
+        assert [(r["blogger_id"], r["score"]) for r in body["results"]] \
+            == expected
+
+    def test_post_json_body(self, service):
+        payload = json.dumps(
+            {"weights": {"Sports": 0.7, "Art": 0.3}, "k": 4}
+        ).encode()
+        request = urllib.request.Request(
+            service.url + "/query", data=payload,
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=10) as resp:
+            body = json.loads(resp.read().decode())
+        _, via_get = get(service, "/query?weights=Sports:0.7,Art:0.3&k=4")
+        assert body["results"] == via_get["results"]
+
+    def test_repeat_query_served_from_cache(self, service):
+        get(service, "/query?weights=Travel:1.0&k=2")
+        _, body = get(service, "/query?weights=Travel:1.0&k=2")
+        assert body["cached"] is True
+
+    @pytest.mark.parametrize("path,fragment", [
+        ("/query?k=3", "missing \"weights\""),
+        ("/query?weights=&k=3", "missing \"weights\""),
+        ("/query?weights=,&k=3", "names no domains"),
+        ("/query?weights=Sports&k=3", "malformed weight term"),
+        ("/query?weights=Sports:x&k=3", "must be a number"),
+        ("/query?weights=Astrology:1.0&k=3", "unknown domains"),
+        ("/query?weights=Sports:0.5,Sports:0.5&k=3", "more than once"),
+        ("/query?weights=Sports:-1&k=3", "must be > 0"),
+    ])
+    def test_query_errors(self, service, path, fragment):
+        code, _, body = get_error(service, path)
+        assert code == 400
+        assert fragment in body["error"]
+
+    def test_bad_post_body(self, service):
+        request = urllib.request.Request(
+            service.url + "/query", data=b"not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+
+class TestBlogger:
+    def test_profile(self, service):
+        blogger_id = service.store.snapshot.blogger_ids[0]
+        status, body = get(service, f"/blogger/{blogger_id}")
+        assert status == 200
+        assert body["profile"]["blogger_id"] == blogger_id
+        assert body["epoch"] == service.store.snapshot.epoch
+
+    def test_unknown_blogger_is_404(self, service):
+        code, _, body = get_error(service, "/blogger/nobody")
+        assert code == 404
+        assert "unknown blogger" in body["error"]
+
+    def test_unknown_route_is_404(self, service):
+        code, _, _ = get_error(service, "/nope")
+        assert code == 404
+
+
+class TestOperational:
+    def test_healthz(self, service):
+        status, body = get(service, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["epoch"] == service.store.snapshot.epoch
+        assert body["corpus"]["bloggers"] == 120
+        assert body["pending_deltas"] == 0
+
+    def test_metrics_expose_qps_and_latency(self, service):
+        get(service, "/top?k=2")
+        with urllib.request.urlopen(
+            service.url + "/metrics", timeout=10
+        ) as resp:
+            text = resp.read().decode()
+        assert resp.status == 200
+        assert "repro_http_requests_total" in text
+        assert "repro_http_request_seconds_bucket" in text
+        assert "repro_query_cache_hit_rate" in text
+        for line in text.splitlines():
+            if line.startswith("repro_http_requests_total "):
+                assert float(line.split()[1]) > 0
+                break
+        else:  # pragma: no cover - assertion helper
+            raise AssertionError("qps counter missing")
+
+
+class TestLoadShedding:
+    def test_zero_inflight_sheds_queries_with_retry_after(
+        self, small_blogosphere
+    ):
+        corpus, _ = small_blogosphere
+        instr = Instrumentation.enabled()
+        store = SnapshotStore(corpus, instrumentation=instr)
+        server = create_server(
+            store,
+            ServiceConfig(port=0, max_inflight=0, retry_after_seconds=7),
+            instr,
+        )
+        server.serve_in_thread()
+        try:
+            code, headers, body = get_error(server, "/top?k=2")
+            assert code == 503
+            assert headers["Retry-After"] == "7"
+            assert "overloaded" in body["error"]
+            assert instr.metrics.get("repro_http_shed_total").value == 1
+            # Operational endpoints stay reachable under shedding.
+            status, _ = get(server, "/healthz")
+            assert status == 200
+        finally:
+            server.shutdown()
+            server.server_close()
+            store.close()

@@ -108,3 +108,40 @@ class TestContraction:
         assert params.beta == 0.6  # untouched
         with pytest.raises(ParameterError):
             MassParameters().with_overrides(alpha=3.0)
+
+
+class TestFingerprint:
+    def test_stable_across_construction_order(self):
+        a = MassParameters(alpha=0.4, beta=0.7, gl_method="hits")
+        b = MassParameters(gl_method="hits", beta=0.7, alpha=0.4)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_defaults_collide(self):
+        assert MassParameters().fingerprint() == MassParameters().fingerprint()
+
+    def test_every_changed_field_changes_the_fingerprint(self):
+        base = MassParameters()
+        changed = [
+            base.with_overrides(alpha=0.4),
+            base.with_overrides(beta=0.5),
+            base.with_overrides(sf_positive=0.9),
+            base.with_overrides(novelty_copied=0.01),
+            base.with_overrides(gl_method="hits"),
+            base.with_overrides(use_sentiment=False),
+            base.with_overrides(solver_backend="reference"),
+            base.with_overrides(max_iterations=100),
+        ]
+        fingerprints = {params.fingerprint() for params in changed}
+        assert len(fingerprints) == len(changed)
+        assert base.fingerprint() not in fingerprints
+
+    def test_fingerprint_is_hex_sha256(self):
+        fingerprint = MassParameters().fingerprint()
+        assert len(fingerprint) == 64
+        assert set(fingerprint) <= set("0123456789abcdef")
+
+    def test_canonical_dict_sorted_and_complete(self):
+        canonical = MassParameters().canonical_dict()
+        assert list(canonical) == sorted(canonical)
+        assert canonical["alpha"] == 0.5
+        assert canonical["solver_backend"] == "auto"

@@ -1,0 +1,140 @@
+"""QueryEngine: caching, canonicalization, validation, equivalence."""
+
+import pytest
+
+from repro.core import MassModel, top_k
+from repro.errors import QueryError
+from repro.obs import Instrumentation
+from repro.serve import InfluenceSnapshot, QueryEngine
+
+
+@pytest.fixture(scope="module")
+def report(fig1_corpus, fig1_seed_words):
+    return MassModel(domain_seed_words=fig1_seed_words).fit(fig1_corpus)
+
+
+@pytest.fixture(scope="module")
+def snapshot(report):
+    return InfluenceSnapshot.compile(report)
+
+
+@pytest.fixture()
+def engine(snapshot):
+    return QueryEngine(snapshot)
+
+
+class TestResults:
+    def test_top_carries_epoch_and_total(self, engine, snapshot):
+        result = engine.top(3)
+        assert result.epoch == snapshot.epoch
+        assert result.total == snapshot.num_bloggers
+        assert result.kind == "top"
+        assert len(result.results) == 3
+
+    def test_top_matches_batch(self, engine, report):
+        assert list(engine.top(5).results) == report.top_influencers(5)
+        assert (list(engine.top(4, domain="Computer").results)
+                == report.top_influencers(4, "Computer"))
+
+    def test_query_matches_batch(self, engine, report):
+        weights = {"Economics": 0.4, "Computer": 0.6}
+        canonical = dict(sorted(weights.items()))
+        expected = top_k(
+            report.domain_influence.weighted_scores(canonical), 5
+        )
+        assert list(engine.query(weights, 5).results) == expected
+
+    def test_as_dict_is_json_shaped(self, engine):
+        payload = engine.top(2).as_dict()
+        assert payload["kind"] == "top"
+        assert all({"blogger_id", "score"} == set(row)
+                   for row in payload["results"])
+
+    def test_blogger_profile(self, engine, snapshot, report):
+        blogger_id = snapshot.blogger_ids[0]
+        result = engine.blogger(blogger_id)
+        assert result.epoch == snapshot.epoch
+        assert (result.profile["influence"]
+                == report.blogger_detail(blogger_id).influence)
+
+
+class TestCache:
+    def test_second_identical_query_is_cached(self, engine):
+        first = engine.top(3)
+        second = engine.top(3)
+        assert not first.cached
+        assert second.cached
+        assert second.results == first.results
+
+    def test_semantically_equal_queries_share_an_entry(self, engine):
+        engine.query({"Computer": 0.7, "Economics": 0.3}, 3)
+        reordered = engine.query({"Economics": 0.3, "Computer": 0.7}, 3)
+        assert reordered.cached
+
+    def test_different_queries_do_not_collide(self, engine):
+        engine.top(3)
+        assert not engine.top(4).cached
+        assert not engine.top(3, domain="Computer").cached
+        assert not engine.top(3, offset=1).cached
+
+    def test_lru_eviction_is_bounded(self, snapshot):
+        engine = QueryEngine(snapshot, cache_size=2)
+        engine.top(1)
+        engine.top(2)
+        engine.top(3)          # evicts top(1)
+        assert engine.cache_info["entries"] == 2
+        assert not engine.top(1).cached  # was evicted
+        assert engine.top(3).cached      # still resident
+
+    def test_cache_disabled(self, snapshot):
+        engine = QueryEngine(snapshot, cache_size=0)
+        engine.top(3)
+        assert not engine.top(3).cached
+        assert engine.cache_info["entries"] == 0
+
+    def test_hit_rate_metrics(self, snapshot):
+        instr = Instrumentation.enabled()
+        engine = QueryEngine(snapshot, instrumentation=instr)
+        engine.top(3)
+        engine.top(3)
+        engine.top(3)
+        info = engine.cache_info
+        assert info["hits"] == 2 and info["misses"] == 1
+        assert info["hit_rate"] == pytest.approx(2 / 3)
+        metrics = instr.metrics
+        assert metrics.get("repro_query_cache_hits_total").value == 2
+        assert metrics.get("repro_query_cache_misses_total").value == 1
+        assert (metrics.get("repro_query_cache_hit_rate").value
+                == pytest.approx(2 / 3))
+
+    def test_cached_result_is_not_caller_mutable(self, engine):
+        first = engine.top(3)
+        assert isinstance(first.results, tuple)  # nothing to mutate in place
+
+
+class TestValidation:
+    def test_max_k_enforced(self, snapshot):
+        engine = QueryEngine(snapshot, max_k=5)
+        engine.top(5)
+        with pytest.raises(QueryError, match="maximum"):
+            engine.top(6)
+        with pytest.raises(QueryError, match="maximum"):
+            engine.query({"Computer": 1.0}, 6)
+
+    def test_engine_propagates_snapshot_validation(self, engine):
+        with pytest.raises(QueryError):
+            engine.top(0)
+        with pytest.raises(QueryError):
+            engine.top(3, domain="Astrology")
+        with pytest.raises(QueryError):
+            engine.query({}, 3)
+        with pytest.raises(QueryError):
+            engine.blogger("nobody")
+
+    def test_source_must_expose_snapshot(self):
+        with pytest.raises(QueryError, match="snapshot"):
+            QueryEngine(object())
+
+    def test_bad_cache_size(self, snapshot):
+        with pytest.raises(QueryError, match="cache_size"):
+            QueryEngine(snapshot, cache_size=-1)

@@ -1,0 +1,144 @@
+"""Concurrency: readers hammer the engine while snapshots swap.
+
+The serving contract under refresh is:
+
+1. **No torn reads** — every response is internally consistent with
+   exactly one epoch: its ``epoch`` stamp names a snapshot that really
+   existed, and its payload is byte-identical to the batch answer of
+   that epoch's analysis (a response mixing two analyses would match
+   neither).
+2. **No stale cache hits** — the result cache is keyed on the epoch, so
+   after a swap a repeated query must be answered from (and stamped
+   with) the new epoch, never from the old epoch's entry.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import CorpusDelta, MassParameters, top_k
+from repro.data import Blogger, Comment, Link, Post
+from repro.serve import QueryEngine, SnapshotStore
+from repro.synth import BlogosphereConfig, generate_blogosphere
+
+WEIGHTS = {"Sports": 0.6, "Art": 0.4}
+NUM_READERS = 4
+NUM_SWAPS = 4
+
+
+@pytest.fixture()
+def store():
+    corpus, _ = generate_blogosphere(
+        BlogosphereConfig(num_bloggers=60, posts_per_blogger=3), seed=41
+    )
+    store = SnapshotStore(corpus, params=MassParameters())
+    yield store
+    store.close()
+
+
+def make_delta(seq):
+    anchor = "blogger-0000"
+    new_id = f"hammer-{seq:02d}"
+    post = Post(f"hammerpost-{seq:02d}", new_id,
+                body="fresh thoughts on the stadium marathon game " * 3,
+                created_day=200 + seq)
+    comment = Comment(f"hammercomment-{seq:02d}", post.post_id, anchor,
+                      text="what a wonderful insightful read",
+                      created_day=201 + seq)
+    return CorpusDelta(
+        bloggers=[Blogger(new_id)],
+        posts=[post],
+        comments=[comment],
+        links=[Link(anchor, new_id)],
+    )
+
+
+def expected_answers(report):
+    """Ground-truth batch answers for the query mix the readers issue."""
+    canonical = dict(sorted(WEIGHTS.items()))
+    return {
+        "top": tuple(report.top_influencers(5)),
+        "top_sports": tuple(report.top_influencers(3, "Sports")),
+        "weighted": tuple(top_k(
+            report.domain_influence.weighted_scores(canonical), 5
+        )),
+    }
+
+
+class TestHammering:
+    def test_no_torn_reads_and_no_stale_cache(self, store):
+        engine = QueryEngine(store, cache_size=64)
+        truth = {store.snapshot.epoch: expected_answers(store.report)}
+        observations = []
+        observations_lock = threading.Lock()
+        failures = []
+        writer_done = threading.Event()
+
+        def reader():
+            local = []
+            try:
+                while not writer_done.is_set() or len(local) < 30:
+                    for kind, result in (
+                        ("top", engine.top(5)),
+                        ("top_sports", engine.top(3, domain="Sports")),
+                        ("weighted", engine.query(WEIGHTS, 5)),
+                    ):
+                        local.append((kind, result.epoch, result.results))
+                    if len(local) > 3000:
+                        break
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                failures.append(exc)
+            with observations_lock:
+                observations.extend(local)
+
+        def writer():
+            try:
+                for seq in range(NUM_SWAPS):
+                    store.submit(make_delta(seq))
+                    fresh = store.refresh_now()
+                    # store.report is the analysis `fresh` was compiled
+                    # from; it only changes inside refresh_now, which
+                    # this thread owns.
+                    truth[fresh.epoch] = expected_answers(store.report)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                failures.append(exc)
+            finally:
+                writer_done.set()
+
+        threads = [threading.Thread(target=reader)
+                   for _ in range(NUM_READERS)]
+        threads.append(threading.Thread(target=writer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not failures, failures
+
+        assert len(truth) == NUM_SWAPS + 1  # every swap made a new epoch
+        epochs_seen = {epoch for _, epoch, _ in observations}
+        assert epochs_seen <= set(truth), "response stamped with a " \
+            "never-existing epoch"
+        for kind, epoch, results in observations:
+            # Internally consistent with exactly the stamped epoch's
+            # analysis — a torn or stale-cache read would mismatch.
+            assert results == truth[epoch][kind], (
+                f"{kind} response at epoch {epoch[:12]} does not match "
+                f"that epoch's batch answer"
+            )
+
+    def test_cache_never_serves_a_previous_epoch(self, store):
+        engine = QueryEngine(store, cache_size=64)
+        first = engine.top(5)
+        assert engine.top(5).cached  # primed at the first epoch
+
+        store.submit(make_delta(99))
+        fresh = store.refresh_now()
+        assert fresh.epoch != first.epoch
+
+        after = engine.top(5)
+        assert after.epoch == fresh.epoch
+        assert not after.cached  # the old entry is unreachable by key
+        assert after.results == tuple(store.report.top_influencers(5))
+        # And the new epoch primes its own entry.
+        again = engine.top(5)
+        assert again.cached and again.epoch == fresh.epoch

@@ -69,3 +69,49 @@ class TestRankOf:
         ranking = full_ranking(scores)
         for position, (item_id, _) in enumerate(ranking, start=1):
             assert rank_of(scores, item_id) == position
+
+
+@pytest.fixture(scope="module")
+def validation_report(fig1_corpus, fig1_seed_words):
+    from repro.core import MassModel
+
+    return MassModel(domain_seed_words=fig1_seed_words).fit(fig1_corpus)
+
+
+class TestTopInfluencersValidation:
+    """k <= 0 and unknown domains raise instead of returning []."""
+
+    @pytest.mark.parametrize("k", [0, -1, -7])
+    def test_report_rejects_nonpositive_k(self, validation_report, k):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="k >= 1"):
+            validation_report.top_influencers(k)
+
+    @pytest.mark.parametrize("k", [0, -3])
+    def test_report_rejects_nonpositive_k_in_domain(self, validation_report, k):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="k >= 1"):
+            validation_report.top_influencers(k, domain="Computer")
+
+    def test_report_rejects_unknown_domain(self, validation_report):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="unknown domain"):
+            validation_report.top_influencers(3, domain="Astrology")
+
+    def test_system_path_raises_too(self, fig1_corpus, fig1_seed_words):
+        from repro.errors import ReproError
+        from repro.system import MassSystem
+
+        system = MassSystem(domain_seed_words=fig1_seed_words)
+        system.load_dataset(fig1_corpus)
+        with pytest.raises(ReproError, match="k >= 1"):
+            system.top_influencers(0)
+        with pytest.raises(ReproError, match="unknown domain"):
+            system.top_influencers(2, domain="Astrology")
+
+    def test_valid_queries_unaffected(self, validation_report):
+        assert len(validation_report.top_influencers(1)) == 1
+        assert len(validation_report.top_influencers(2, "Computer")) == 2
