@@ -1,0 +1,131 @@
+"""CI smoke test for ``repro ingest`` crash recovery.
+
+Generates a small corpus, runs a reference ingestion of a deterministic
+synthetic delta stream to completion, then re-runs the same stream in a
+second durable directory and SIGKILLs the process mid-stream.  A restart
+must recover from the checkpoint + WAL tail and finish with exactly the
+same epoch fingerprint and top-k ranking as the uninterrupted run.
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/ingest_smoke.py
+
+Exits nonzero (with the subprocess output on stderr) on any failure.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+STREAM_LENGTH = 40
+SEED = 7
+KILL_TIMEOUT = 120.0
+
+INGEST_FLAGS = [
+    "--synthetic", str(STREAM_LENGTH), "--seed", str(SEED),
+    "--checkpoint-every", "8", "--top", "5",
+]
+
+
+def run_cli(*argv: str) -> str:
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True, text=True,
+    )
+    if result.returncode != 0:
+        print(result.stdout, file=sys.stderr)
+        print(result.stderr, file=sys.stderr)
+        raise RuntimeError(f"repro {argv[0]} failed ({result.returncode})")
+    return result.stdout
+
+
+def ranking_lines(output: str) -> list[str]:
+    """The ``epoch ...`` line plus the top-k lines that follow it."""
+    lines = output.splitlines()
+    for index, line in enumerate(lines):
+        if line.startswith("epoch "):
+            return lines[index:]
+    raise RuntimeError(f"no epoch line in output:\n{output}")
+
+
+def kill_mid_stream(data_dir: Path, durable: Path) -> None:
+    """Start an ingestion run and SIGKILL it while deltas are in flight."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "ingest",
+         "--data", str(data_dir), "--dir", str(durable),
+         *INGEST_FLAGS, "--delta-delay", "0.05"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    try:
+        # Wait until the WAL holds at least one durable record so the
+        # kill lands mid-stream, after the bootstrap checkpoint.
+        deadline = time.monotonic() + KILL_TIMEOUT
+        while time.monotonic() < deadline:
+            if process.poll() is not None:
+                output = process.communicate()[0]
+                print(output or "", file=sys.stderr)
+                raise RuntimeError(
+                    "ingest finished before it could be killed; "
+                    "raise STREAM_LENGTH or --delta-delay"
+                )
+            segments = list((durable / "wal").glob("wal-*.log"))
+            if any(seg.stat().st_size > 0 for seg in segments):
+                break
+            time.sleep(0.02)
+        else:
+            raise RuntimeError("no WAL records appeared before timeout")
+        process.send_signal(signal.SIGKILL)
+        process.wait(timeout=30)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()
+    print(f"killed ingest mid-stream (pid {process.pid})")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="mass-ingest-smoke-") as tmp:
+        root = Path(tmp)
+        data_dir = root / "corpus"
+        run_cli("generate", "--out", str(data_dir),
+                "--bloggers", "60", "--seed", "7")
+
+        reference = run_cli(
+            "ingest", "--data", str(data_dir),
+            "--dir", str(root / "reference"), *INGEST_FLAGS,
+        )
+        expected = ranking_lines(reference)
+        print(f"reference run ok: {expected[0]}")
+
+        crashed = root / "crashed"
+        kill_mid_stream(data_dir, crashed)
+
+        recovered = run_cli("ingest", "--dir", str(crashed), *INGEST_FLAGS)
+        actual = ranking_lines(recovered)
+        assert actual == expected, (
+            "recovered run diverges from the uninterrupted reference\n"
+            f"expected: {expected}\nactual:   {actual}"
+        )
+        print(f"recovered run ok: {actual[0]}")
+
+        status = json.loads(
+            run_cli("ingest", "--dir", str(crashed), "--status",
+                    "--synthetic", "0")
+        )
+        audit = status["seq_audit"]
+        assert status["applied_seq"] == STREAM_LENGTH, status
+        assert audit["contiguous"], status
+        assert audit["no_double_apply"], status
+        assert audit["no_loss"], status
+        print(f"seq audit ok: {audit}")
+        print("ingest smoke test passed")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

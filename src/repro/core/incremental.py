@@ -29,7 +29,7 @@ from repro.core.report import InfluenceReport
 from repro.core.solver import InfluenceSolver
 from repro.data.corpus import BlogCorpus
 from repro.data.entities import Blogger, Comment, Link, Post
-from repro.errors import ReproError
+from repro.errors import CorpusError, ReproError
 from repro.nlp.naive_bayes import NaiveBayesClassifier
 from repro.obs import NULL_INSTRUMENTATION, Instrumentation, get_logger
 
@@ -58,6 +58,117 @@ class CorpusDelta:
             + len(self.comments) + len(self.links)
         )
 
+    @classmethod
+    def merge(cls, *deltas: "CorpusDelta") -> "CorpusDelta":
+        """Coalesce deltas into one batch, preserving arrival order.
+
+        Conflicting entity ids (the same blogger, post, or comment id
+        appearing in more than one delta, or twice within one) raise
+        :class:`~repro.errors.CorpusError` — applying such a stream
+        delta-by-delta would fail anyway, and failing *before* anything
+        is applied keeps the corpus untouched.  Links are exempt:
+        parallel links are legal and merge additively at the corpus
+        level.
+        """
+        bloggers: list[Blogger] = []
+        posts: list[Post] = []
+        comments: list[Comment] = []
+        links: list[Link] = []
+        seen: dict[str, set[str]] = {
+            "blogger": set(), "post": set(), "comment": set()
+        }
+
+        def take(kind: str, entity_id: str) -> None:
+            if entity_id in seen[kind]:
+                raise CorpusError(
+                    f"cannot merge deltas: duplicate {kind} id {entity_id!r}"
+                )
+            seen[kind].add(entity_id)
+
+        for delta in deltas:
+            for blogger in delta.bloggers:
+                take("blogger", blogger.blogger_id)
+                bloggers.append(blogger)
+            for post in delta.posts:
+                take("post", post.post_id)
+                posts.append(post)
+            for comment in delta.comments:
+                take("comment", comment.comment_id)
+                comments.append(comment)
+            links.extend(delta.links)
+        return cls(
+            bloggers=tuple(bloggers),
+            posts=tuple(posts),
+            comments=tuple(comments),
+            links=tuple(links),
+        )
+
+    @classmethod
+    def between(
+        cls, base: BlogCorpus, grown: BlogCorpus, *, strict: bool = True
+    ) -> "CorpusDelta":
+        """The delta that grows ``base`` into ``grown``.
+
+        With ``strict`` (the default) ``grown`` must be a superset of
+        ``base`` (MASS corpora only ever grow); an entity present in
+        ``base`` but absent from ``grown`` raises
+        :class:`~repro.errors.CorpusError`.  ``strict=False`` treats
+        ``grown`` as a *partial* view — a re-crawl that did not reach
+        every old space — and simply emits what is new.  Link weights
+        may increase — parallel links merge additively — in which case
+        the delta carries a link for the weight *difference*.  Entities
+        are emitted in sorted-id order so the same pair of corpora
+        always produces the same delta.
+        """
+        if strict:
+            for kind, base_ids, grown_ids in (
+                ("blogger", base.bloggers.keys(), grown.bloggers.keys()),
+                ("post", base.posts.keys(), grown.posts.keys()),
+                ("comment", base.comments.keys(), grown.comments.keys()),
+            ):
+                missing = base_ids - grown_ids
+                if missing:
+                    raise CorpusError(
+                        f"grown corpus is missing {kind} id "
+                        f"{sorted(missing)[0]!r} present in the base"
+                    )
+
+        bloggers = tuple(
+            grown.blogger(bid)
+            for bid in sorted(grown.bloggers.keys() - base.bloggers.keys())
+        )
+        posts = tuple(
+            grown.post(pid)
+            for pid in sorted(grown.posts.keys() - base.posts.keys())
+        )
+        comments = tuple(
+            grown.comments[cid]
+            for cid in sorted(grown.comments.keys() - base.comments.keys())
+        )
+
+        def weights(corpus: BlogCorpus) -> dict[tuple[str, str], float]:
+            merged: dict[tuple[str, str], float] = {}
+            for link in corpus.links:
+                key = (link.source_id, link.target_id)
+                merged[key] = merged.get(key, 0.0) + link.weight
+            return merged
+
+        base_weights = weights(base)
+        links = []
+        for key, weight in sorted(weights(grown).items()):
+            delta_weight = weight - base_weights.get(key, 0.0)
+            if delta_weight < 0 and strict:
+                raise CorpusError(
+                    f"link ({key[0]!r} -> {key[1]!r}) lost weight between "
+                    "base and grown corpus"
+                )
+            if delta_weight > 0:
+                links.append(Link(key[0], key[1], delta_weight))
+        return cls(
+            bloggers=bloggers, posts=posts, comments=comments,
+            links=tuple(links),
+        )
+
 
 def _copy_corpus(corpus: BlogCorpus) -> BlogCorpus:
     clone = BlogCorpus()
@@ -70,6 +181,62 @@ def _copy_corpus(corpus: BlogCorpus) -> BlogCorpus:
     for link in corpus.links:
         clone.add_link(link)
     return clone
+
+
+def _validate_delta(corpus: BlogCorpus, delta: CorpusDelta) -> None:
+    """Check a delta against the corpus *before* any mutation.
+
+    Only the delta's own entities and the referential edges they add
+    are examined — everything already in the corpus was validated when
+    it went in, and existing entities cannot reference new ones.  A
+    failure here therefore leaves the corpus byte-for-byte untouched,
+    which the durable ingestion pipeline relies on for its atomic
+    apply-or-reject contract.
+    """
+    new_bloggers = set()
+    for blogger in delta.bloggers:
+        if blogger.blogger_id in corpus.bloggers \
+                or blogger.blogger_id in new_bloggers:
+            raise CorpusError(f"duplicate blogger id {blogger.blogger_id!r}")
+        new_bloggers.add(blogger.blogger_id)
+    known_bloggers = corpus.bloggers.keys() | new_bloggers
+
+    new_posts = set()
+    for post in delta.posts:
+        if post.post_id in corpus.posts or post.post_id in new_posts:
+            raise CorpusError(f"duplicate post id {post.post_id!r}")
+        if post.author_id not in known_bloggers:
+            raise CorpusError(
+                f"post {post.post_id!r} authored by unknown blogger "
+                f"{post.author_id!r}"
+            )
+        new_posts.add(post.post_id)
+    known_posts = corpus.posts.keys() | new_posts
+
+    new_comments = set()
+    for comment in delta.comments:
+        if comment.comment_id in corpus.comments \
+                or comment.comment_id in new_comments:
+            raise CorpusError(f"duplicate comment id {comment.comment_id!r}")
+        if comment.post_id not in known_posts:
+            raise CorpusError(
+                f"comment {comment.comment_id!r} targets unknown post "
+                f"{comment.post_id!r}"
+            )
+        if comment.commenter_id not in known_bloggers:
+            raise CorpusError(
+                f"comment {comment.comment_id!r} written by unknown blogger "
+                f"{comment.commenter_id!r}"
+            )
+        new_comments.add(comment.comment_id)
+
+    for link in delta.links:
+        for endpoint in (link.source_id, link.target_id):
+            if endpoint not in known_bloggers:
+                raise CorpusError(
+                    f"link ({link.source_id!r} -> {link.target_id!r}) "
+                    f"references unknown blogger {endpoint!r}"
+                )
 
 
 class IncrementalAnalyzer:
@@ -98,6 +265,7 @@ class IncrementalAnalyzer:
         self._params = params or MassParameters()
         self._instr = instrumentation or NULL_INSTRUMENTATION
         self._corpus: BlogCorpus | None = None
+        self._owned = False  # whether _corpus is our private mutable copy
         self._report: InfluenceReport | None = None
         self._memberships: dict[str, dict[str, float]] = {}
         self._cache = AssemblyCache()
@@ -164,6 +332,7 @@ class IncrementalAnalyzer:
         if not corpus.frozen:
             corpus.validate()
         self._corpus = corpus
+        self._owned = False
         self._memberships = {}
         self._cache.invalidate()
         with self._instr.tracer.span("incremental-fit"):
@@ -175,11 +344,65 @@ class IncrementalAnalyzer:
         )
         return self._report
 
+    def restore(self, corpus: BlogCorpus, report: InfluenceReport) -> None:
+        """Adopt a previously computed analysis without re-solving.
+
+        The ingestion pipeline's recovery path loads a checkpointed
+        corpus and its bit-exact report (see
+        :mod:`repro.core.report_io`) and resumes from them: the next
+        :meth:`apply` warm-starts from the restored influence values
+        exactly as it would have from a live solve.  ``report`` must
+        have been computed under this analyzer's parameters and domain
+        classifier.
+        """
+        if report.params != self._params:
+            raise ReproError(
+                "restored report was computed under different parameters"
+            )
+        if list(report.domains) != list(self._classifier.classes):
+            raise ReproError(
+                "restored report's domains do not match the classifier: "
+                f"{list(report.domains)} vs {list(self._classifier.classes)}"
+            )
+        self._corpus = corpus
+        self._owned = False
+        self._report = report
+        self._memberships = {
+            post_id: dict(report.domain_influence.post_membership(post_id))
+            for post_id in corpus.posts
+        }
+        self._cache.invalidate()
+        self._last_iterations = report.scores.iterations
+        self._cold_iterations = report.scores.iterations
+        _LOG.info(
+            "restored analysis: %d bloggers, %d posts",
+            len(corpus.bloggers), len(corpus.posts),
+        )
+
+    def validate_delta(self, delta: CorpusDelta) -> None:
+        """Check that a delta would apply cleanly, without applying it.
+
+        Raises :class:`~repro.errors.CorpusError` on duplicate ids or
+        dangling references against the current corpus.  The durable
+        ingestion pipeline calls this *before* appending a delta to the
+        write-ahead log, so a poison delta is rejected up front rather
+        than persisted and replayed forever.
+        """
+        if self._corpus is None:
+            raise ReproError("call fit() before validate_delta()")
+        _validate_delta(self._corpus, delta)
+
     def apply(self, delta: CorpusDelta) -> InfluenceReport:
         """Fold a delta into the corpus and re-analyze warm-started.
 
         Returns the fresh report.  An empty delta returns the current
-        report unchanged.
+        report unchanged.  The delta is validated up front and a
+        rejected delta leaves the analyzer's state untouched.
+
+        The corpus handed to :meth:`fit` (or :meth:`restore`) is never
+        mutated: the first apply makes one private copy, and every
+        later delta extends that copy in place — per-delta cost is
+        O(delta), not O(corpus).
         """
         if self._corpus is None or self._report is None:
             raise ReproError("call fit() before apply()")
@@ -187,15 +410,21 @@ class IncrementalAnalyzer:
             return self._report
 
         metrics = self._instr.metrics
+        _validate_delta(self._corpus, delta)
         with self._instr.tracer.span("incremental-apply"):
-            grown = _copy_corpus(self._corpus)
-            grown.extend(
-                bloggers=delta.bloggers,
-                posts=delta.posts,
-                comments=delta.comments,
-                links=delta.links,
-            )
-            grown.freeze()
+            with metrics.histogram(
+                "repro_incremental_grow_seconds",
+                "Corpus-mutation cost of one delta apply (excludes solve)",
+            ).time():
+                if not self._owned:
+                    self._corpus = _copy_corpus(self._corpus)
+                    self._owned = True
+                self._corpus.extend(
+                    bloggers=delta.bloggers,
+                    posts=delta.posts,
+                    comments=delta.comments,
+                    links=delta.links,
+                )
             self._cache.note_delta(
                 bloggers=(b.blogger_id for b in delta.bloggers),
                 posts=(p.post_id for p in delta.posts),
@@ -204,8 +433,7 @@ class IncrementalAnalyzer:
                 ),
             )
             warm_start = self._report.scores.influence
-            self._corpus = grown
-            self._report = self._analyze(grown, initial=warm_start)
+            self._report = self._analyze(self._corpus, initial=warm_start)
 
         savings = max(0, self._cold_iterations - self._last_iterations)
         metrics.counter(

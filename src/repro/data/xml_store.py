@@ -22,7 +22,7 @@ from pathlib import Path
 
 from repro.data.corpus import BlogCorpus
 from repro.data.entities import Blogger, Comment, Link, Post
-from repro.errors import XmlFormatError
+from repro.errors import CorpusError, CorpusFormatError
 
 __all__ = [
     "space_to_element",
@@ -112,7 +112,7 @@ def space_to_element(corpus: BlogCorpus, blogger_id: str) -> ET.Element:
 def _attr(element: ET.Element, name: str) -> str:
     value = element.get(name)
     if value is None:
-        raise XmlFormatError(
+        raise CorpusFormatError(
             f"<{element.tag}> is missing required attribute {name!r}"
         )
     return value
@@ -123,7 +123,7 @@ def _int_attr(element: ET.Element, name: str) -> int:
     try:
         return int(raw)
     except ValueError:
-        raise XmlFormatError(
+        raise CorpusFormatError(
             f"<{element.tag}> attribute {name!r} must be an integer, got {raw!r}"
         ) from None
 
@@ -147,15 +147,15 @@ class SpaceRecord:
 def space_from_element(space: ET.Element) -> SpaceRecord:
     """Decode one ``<space>`` element into entities.
 
-    Raises :class:`XmlFormatError` on any structural deviation.
+    Raises :class:`CorpusFormatError` on any structural deviation.
     """
     if space.tag != "space":
-        raise XmlFormatError(f"expected <space>, got <{space.tag}>")
+        raise CorpusFormatError(f"expected <space>, got <{space.tag}>")
     blogger_id = _attr(space, "id")
 
     profile = space.find("profile")
     if profile is None:
-        raise XmlFormatError(f"space {blogger_id!r} has no <profile>")
+        raise CorpusFormatError(f"space {blogger_id!r} has no <profile>")
     name_el = profile.find("name")
     about_el = profile.find("about")
     blogger = Blogger(
@@ -202,7 +202,7 @@ def space_from_element(space: ET.Element) -> SpaceRecord:
             try:
                 weight = float(raw_weight)
             except ValueError:
-                raise XmlFormatError(
+                raise CorpusFormatError(
                     f"link weight must be a number, got {raw_weight!r}"
                 ) from None
             links.append(Link(blogger_id, _attr(link_el, "to"), weight))
@@ -219,22 +219,46 @@ def _corpus_to_element(corpus: BlogCorpus) -> ET.Element:
     return root
 
 
+def _build_corpus(records: list[SpaceRecord]) -> BlogCorpus:
+    """Assemble decoded space records into a frozen corpus.
+
+    Structural violations *inside* otherwise well-formed XML —
+    duplicate ids across space files, comments on posts that no file
+    contains, links to bloggers the store never mentions — surface as
+    :class:`CorpusFormatError`: to a loader they are corrupt stored
+    data, not a programming error.
+    """
+    try:
+        corpus = BlogCorpus()
+        for record in records:
+            corpus.add_blogger(record.blogger)
+        for record in records:
+            for post in record.posts:
+                corpus.add_post(post)
+        for record in records:
+            for comment in record.comments:
+                corpus.add_comment(comment)
+            for link in record.links:
+                corpus.add_link(link)
+        return corpus.freeze()
+    except CorpusError as exc:
+        raise CorpusFormatError(f"stored corpus data is invalid: {exc}") from exc
+
+
 def _corpus_from_element(root: ET.Element) -> BlogCorpus:
     if root.tag != "blogosphere":
-        raise XmlFormatError(f"expected <blogosphere>, got <{root.tag}>")
-    corpus = BlogCorpus()
-    records = [space_from_element(el) for el in root.findall("space")]
-    for record in records:
-        corpus.add_blogger(record.blogger)
-    for record in records:
-        for post in record.posts:
-            corpus.add_post(post)
-    for record in records:
-        for comment in record.comments:
-            corpus.add_comment(comment)
-        for link in record.links:
-            corpus.add_link(link)
-    return corpus.freeze()
+        raise CorpusFormatError(f"expected <blogosphere>, got <{root.tag}>")
+    return _build_corpus(
+        [_decode_space(el) for el in root.findall("space")]
+    )
+
+
+def _decode_space(space: ET.Element) -> SpaceRecord:
+    """Decode one space, downgrading entity-level CorpusError to format."""
+    try:
+        return space_from_element(space)
+    except CorpusError as exc:
+        raise CorpusFormatError(f"stored corpus data is invalid: {exc}") from exc
 
 
 def dumps_corpus(corpus: BlogCorpus) -> str:
@@ -249,7 +273,7 @@ def loads_corpus(text: str) -> BlogCorpus:
     try:
         root = ET.fromstring(text)
     except ET.ParseError as exc:
-        raise XmlFormatError(f"invalid XML: {exc}") from exc
+        raise CorpusFormatError(f"invalid XML: {exc}") from exc
     return _corpus_from_element(root)
 
 
@@ -282,34 +306,22 @@ def load_corpus(directory: str | Path) -> BlogCorpus:
     directory = Path(directory)
     index_path = directory / "index.xml"
     if not index_path.exists():
-        raise XmlFormatError(f"no index.xml in {directory}")
+        raise CorpusFormatError(f"no index.xml in {directory}")
     try:
         index = ET.fromstring(index_path.read_text(encoding="utf-8"))
     except ET.ParseError as exc:
-        raise XmlFormatError(f"invalid index.xml: {exc}") from exc
+        raise CorpusFormatError(f"invalid index.xml: {exc}") from exc
     if index.tag != "index":
-        raise XmlFormatError(f"expected <index>, got <{index.tag}>")
+        raise CorpusFormatError(f"expected <index>, got <{index.tag}>")
 
     records = []
     for entry in index.findall("space"):
         path = directory / _attr(entry, "file")
         if not path.exists():
-            raise XmlFormatError(f"index references missing file {path.name!r}")
+            raise CorpusFormatError(f"index references missing file {path.name!r}")
         try:
             space = ET.fromstring(path.read_text(encoding="utf-8"))
         except ET.ParseError as exc:
-            raise XmlFormatError(f"invalid XML in {path.name!r}: {exc}") from exc
-        records.append(space_from_element(space))
-
-    corpus = BlogCorpus()
-    for record in records:
-        corpus.add_blogger(record.blogger)
-    for record in records:
-        for post in record.posts:
-            corpus.add_post(post)
-    for record in records:
-        for comment in record.comments:
-            corpus.add_comment(comment)
-        for link in record.links:
-            corpus.add_link(link)
-    return corpus.freeze()
+            raise CorpusFormatError(f"invalid XML in {path.name!r}: {exc}") from exc
+        records.append(_decode_space(space))
+    return _build_corpus(records)

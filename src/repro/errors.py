@@ -39,8 +39,55 @@ class XmlFormatError(ReproError):
     """An XML document does not conform to the MASS storage format."""
 
 
+class CorpusFormatError(XmlFormatError):
+    """Stored corpus data is truncated, corrupt, or self-inconsistent.
+
+    Raised by the XML store when a crawl directory or corpus document
+    cannot be decoded into a valid :class:`~repro.data.corpus.BlogCorpus`:
+    unparseable XML, missing files or attributes, duplicate entity ids
+    across space files, or dangling references inside the stored data.
+    Subclasses :class:`XmlFormatError`, so callers that already handle
+    format errors keep working.
+    """
+
+
 class ClassifierError(ReproError):
     """A text classifier was used before training or trained on bad data."""
+
+
+class IngestError(ReproError):
+    """The durable ingestion pipeline failed.
+
+    Base class for everything :mod:`repro.ingest` raises; the concrete
+    subclasses say which durability mechanism broke.
+    """
+
+
+class WalCorruptionError(IngestError):
+    """A write-ahead-log record is damaged beyond the tolerated tail.
+
+    A torn *final* record (a crash mid-append) is expected and silently
+    truncated on open; a checksum or framing failure anywhere else in a
+    segment means the log cannot be trusted and replay must stop.
+    """
+
+
+class CheckpointError(IngestError):
+    """A checkpoint could not be written, read, or matched to the run.
+
+    Covers unreadable checkpoint directories, missing metadata, and
+    parameter-fingerprint mismatches between a checkpoint and the
+    pipeline trying to recover from it.
+    """
+
+
+class BackpressureError(IngestError):
+    """The ingestion queue is full and the shed policy rejected a delta.
+
+    Only raised under ``backpressure="shed"``; the blocking policy
+    waits instead.  The rejected delta was *not* written to the WAL —
+    the caller still owns it and may retry.
+    """
 
 
 class QueryError(ReproError):

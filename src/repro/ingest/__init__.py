@@ -1,0 +1,32 @@
+"""Durable ingestion: write-ahead delta log, checkpoints, recovery.
+
+The serving layer's :class:`~repro.serve.store.SnapshotStore` keeps its
+analysis in memory; a process crash loses every delta applied since
+startup.  This package adds the durability spine:
+
+- :mod:`repro.ingest.wal` — an append-only, checksummed, segmented log
+  of :class:`~repro.core.incremental.CorpusDelta` batches;
+- :mod:`repro.ingest.checkpoint` — atomic snapshots of the corpus and
+  bit-exact influence report, written with the rename trick;
+- :mod:`repro.ingest.pipeline` — the :class:`IngestPipeline` gluing
+  them to an :class:`~repro.core.incremental.IncrementalAnalyzer` with
+  bounded-queue backpressure and exactly-once recovery.
+
+Recovery is byte-identical: a pipeline killed at any point and
+reopened produces the same corpus, the same report, and the same
+snapshot content epoch as a process that never crashed.
+"""
+
+from repro.ingest.checkpoint import Checkpoint, CheckpointManager
+from repro.ingest.pipeline import IngestConfig, IngestPipeline
+from repro.ingest.wal import WriteAheadLog, decode_record, encode_record
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointManager",
+    "IngestConfig",
+    "IngestPipeline",
+    "WriteAheadLog",
+    "decode_record",
+    "encode_record",
+]

@@ -1,0 +1,232 @@
+"""Atomic checkpoints of the live analysis state.
+
+A checkpoint freezes everything the ingestion pipeline needs to resume
+without recomputation:
+
+- the grown corpus, via the existing XML store (``corpus/``);
+- the bit-exact influence report, via :mod:`repro.core.report_io`
+  (``report.xml`` — floats serialized with ``repr``, so the restored
+  warm-start vector is byte-identical to the live one);
+- ``meta.json`` with the last-applied WAL sequence number and the
+  parameter fingerprint the analysis ran under.
+
+Atomicity is the rename trick, twice: the checkpoint is built in a
+``.tmp-*`` directory and renamed into place, then the ``CURRENT``
+pointer file is rewritten via ``os.replace``.  A crash at any point
+leaves either the old checkpoint current or the new one — never a
+half-written one.  Leftover ``.tmp-*`` directories from crashed writes
+are swept on the next write, and ``load`` falls back to scanning for
+the newest complete checkpoint if ``CURRENT`` is missing or dangling.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.parameters import MassParameters
+from repro.core.report import InfluenceReport
+from repro.core.report_io import load_report, save_report
+from repro.data.corpus import BlogCorpus
+from repro.data.xml_store import load_corpus, save_corpus
+from repro.errors import CheckpointError, XmlFormatError
+from repro.obs import NULL_INSTRUMENTATION, Instrumentation, get_logger
+
+__all__ = ["Checkpoint", "CheckpointManager", "CHECKPOINT_FORMAT_VERSION"]
+
+_LOG = get_logger("ingest.checkpoint")
+
+CHECKPOINT_FORMAT_VERSION = 1
+
+_CURRENT = "CURRENT"
+_PREFIX = "ckpt-"
+_TMP_PREFIX = ".tmp-"
+
+
+@dataclass(frozen=True, slots=True)
+class Checkpoint:
+    """One loaded checkpoint: state plus provenance."""
+
+    seq: int
+    corpus: BlogCorpus
+    report: InfluenceReport
+    path: Path
+    meta: dict
+
+
+class CheckpointManager:
+    """Write, locate, load, and prune checkpoints in one directory."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        instrumentation: Instrumentation | None = None,
+    ) -> None:
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._instr = instrumentation or NULL_INSTRUMENTATION
+        metrics = self._instr.metrics
+        self._checkpoint_counter = metrics.counter(
+            "repro_ingest_checkpoints_total", "Checkpoints written"
+        )
+        self._checkpoint_seconds = metrics.histogram(
+            "repro_ingest_checkpoint_seconds", "Checkpoint write latency"
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def directory(self) -> Path:
+        """Where the checkpoints live."""
+        return self._dir
+
+    def _complete_dirs(self) -> list[Path]:
+        """Finished checkpoint directories (meta.json present), ordered."""
+        return sorted(
+            path for path in self._dir.glob(f"{_PREFIX}*")
+            if path.is_dir() and (path / "meta.json").is_file()
+        )
+
+    def latest_seq(self) -> int | None:
+        """Sequence number of the newest complete checkpoint, if any."""
+        dirs = self._complete_dirs()
+        if not dirs:
+            return None
+        return self._seq_of(dirs[-1])
+
+    @staticmethod
+    def _seq_of(path: Path) -> int:
+        try:
+            return int(path.name[len(_PREFIX):])
+        except ValueError:
+            raise CheckpointError(
+                f"unrecognized checkpoint directory {path.name!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def write(
+        self, corpus: BlogCorpus, report: InfluenceReport, seq: int
+    ) -> Path:
+        """Atomically persist the state as the current checkpoint.
+
+        Idempotent per sequence number: if a complete checkpoint for
+        ``seq`` already exists it is re-pointed, not rewritten.
+        """
+        final = self._dir / f"{_PREFIX}{seq:08d}"
+        with self._checkpoint_seconds.time(), \
+                self._instr.tracer.span("ingest-checkpoint"):
+            self._sweep_tmp()
+            if not (final / "meta.json").is_file():
+                tmp = self._dir / f"{_TMP_PREFIX}{final.name}-{os.getpid()}"
+                if tmp.exists():
+                    shutil.rmtree(tmp)
+                tmp.mkdir(parents=True)
+                save_corpus(corpus, tmp / "corpus")
+                save_report(report, tmp / "report.xml")
+                meta = {
+                    "format_version": CHECKPOINT_FORMAT_VERSION,
+                    "seq": seq,
+                    "params_fingerprint": report.params.fingerprint(),
+                    "bloggers": len(corpus.bloggers),
+                    "posts": len(corpus.posts),
+                }
+                (tmp / "meta.json").write_text(
+                    json.dumps(meta, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8",
+                )
+                if final.exists():  # incomplete leftover of the same seq
+                    shutil.rmtree(final)
+                os.replace(tmp, final)
+            self._point_current(final.name)
+            self._prune(keep=final.name)
+        self._checkpoint_counter.inc()
+        _LOG.info("checkpoint %s written at seq %d", final.name, seq)
+        return final
+
+    def _point_current(self, name: str) -> None:
+        pointer = self._dir / f"{_CURRENT}.tmp"
+        with pointer.open("w", encoding="utf-8") as handle:
+            handle.write(name + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(pointer, self._dir / _CURRENT)
+
+    def _sweep_tmp(self) -> None:
+        for leftover in self._dir.glob(f"{_TMP_PREFIX}*"):
+            _LOG.warning("removing crashed checkpoint attempt %s",
+                         leftover.name)
+            shutil.rmtree(leftover, ignore_errors=True)
+
+    def _prune(self, keep: str) -> None:
+        for old in self._dir.glob(f"{_PREFIX}*"):
+            if old.is_dir() and old.name != keep:
+                shutil.rmtree(old, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    def load(self, params: MassParameters | None = None) -> Checkpoint | None:
+        """Load the current checkpoint; ``None`` when there is none.
+
+        Falls back to the newest complete checkpoint when ``CURRENT``
+        is missing or dangling (a crash window, or manual deletion).
+        With ``params`` given, a fingerprint mismatch raises
+        :class:`CheckpointError` — recovering someone else's analysis
+        into a differently parameterized pipeline would silently change
+        every score.
+        """
+        target = self._resolve_current()
+        if target is None:
+            return None
+        meta_path = target / "meta.json"
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"checkpoint {target.name!r} has unreadable metadata: {exc}"
+            ) from exc
+        if meta.get("format_version") != CHECKPOINT_FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {target.name!r} has format version "
+                f"{meta.get('format_version')!r}; this build reads "
+                f"{CHECKPOINT_FORMAT_VERSION}"
+            )
+        seq = meta.get("seq")
+        if not isinstance(seq, int) or seq < 0:
+            raise CheckpointError(
+                f"checkpoint {target.name!r} has invalid seq {seq!r}"
+            )
+        if params is not None:
+            fingerprint = params.fingerprint()
+            if meta.get("params_fingerprint") != fingerprint:
+                raise CheckpointError(
+                    f"checkpoint {target.name!r} was written under "
+                    f"fingerprint {meta.get('params_fingerprint')!r}, "
+                    f"but this pipeline runs {fingerprint!r}"
+                )
+        try:
+            corpus = load_corpus(target / "corpus")
+            report = load_report(target / "report.xml", corpus)
+        except (XmlFormatError, OSError) as exc:
+            raise CheckpointError(
+                f"checkpoint {target.name!r} is unreadable: {exc}"
+            ) from exc
+        _LOG.info("loaded checkpoint %s (seq %d, %d bloggers)",
+                  target.name, seq, len(corpus.bloggers))
+        return Checkpoint(
+            seq=seq, corpus=corpus, report=report, path=target, meta=meta
+        )
+
+    def _resolve_current(self) -> Path | None:
+        pointer = self._dir / _CURRENT
+        if pointer.is_file():
+            name = pointer.read_text(encoding="utf-8").strip()
+            target = self._dir / name
+            if name.startswith(_PREFIX) and (target / "meta.json").is_file():
+                return target
+            _LOG.warning(
+                "CURRENT points at %r which is missing or incomplete; "
+                "falling back to newest complete checkpoint", name,
+            )
+        dirs = self._complete_dirs()
+        return dirs[-1] if dirs else None

@@ -1,0 +1,461 @@
+"""The durable ingestion pipeline: WAL → apply → checkpoint.
+
+:class:`IngestPipeline` ties the pieces together around an
+:class:`~repro.core.incremental.IncrementalAnalyzer`:
+
+1. **Accept** deltas through :meth:`submit` into a bounded queue with
+   explicit backpressure (block until space, or shed with
+   :class:`~repro.errors.BackpressureError` — the shed delta is *not*
+   in the WAL and still belongs to the caller).
+2. **Coalesce** everything queued into one merged batch per drain
+   (:meth:`CorpusDelta.merge <repro.core.incremental.CorpusDelta.merge>`),
+   so one WAL record corresponds to exactly one applied batch — the
+   invariant that makes replay granularity identical to live
+   granularity, and therefore recovery byte-identical.
+3. **Persist before apply**: the merged batch is validated against the
+   live corpus (a poison delta is rejected *before* it can be written
+   and replayed forever), appended to the write-ahead log, then applied
+   through the analyzer's warm-started re-solve.
+4. **Checkpoint** every ``checkpoint_interval`` applied batches: the
+   corpus and bit-exact report are written atomically, the WAL is
+   rotated, and segments fully covered by the checkpoint are deleted.
+
+:meth:`open` is the recovery path: load the newest checkpoint (if any),
+adopt its state without solving, replay the WAL tail with strict
+sequence contiguity — each record applied exactly once — and end up in
+the same state, byte for byte, as a process that never crashed.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.incremental import CorpusDelta, IncrementalAnalyzer
+from repro.core.report import InfluenceReport
+from repro.data.corpus import BlogCorpus
+from repro.errors import BackpressureError, IngestError, WalCorruptionError
+from repro.ingest.checkpoint import CheckpointManager
+from repro.ingest.wal import WriteAheadLog
+from repro.obs import NULL_INSTRUMENTATION, Instrumentation, get_logger
+
+__all__ = ["IngestConfig", "IngestPipeline"]
+
+_LOG = get_logger("ingest.pipeline")
+
+_BACKPRESSURE_POLICIES = ("block", "shed")
+
+
+@dataclass(frozen=True, slots=True)
+class IngestConfig:
+    """Durability and flow-control policy for one pipeline.
+
+    ``checkpoint_interval`` counts *applied batches* (WAL records)
+    between checkpoints; ``0`` disables periodic checkpoints (explicit
+    :meth:`IngestPipeline.checkpoint` and the close-time checkpoint
+    still run).  ``queue_capacity`` bounds :meth:`IngestPipeline.submit`;
+    ``backpressure`` says what a full queue does to the submitter.
+    """
+
+    checkpoint_interval: int = 16
+    queue_capacity: int = 64
+    backpressure: str = "block"
+    fsync: str = "batch"
+    fsync_interval: int = 8
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_interval < 0:
+            raise IngestError(
+                f"checkpoint_interval must be >= 0, "
+                f"got {self.checkpoint_interval}"
+            )
+        if self.queue_capacity < 1:
+            raise IngestError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.backpressure not in _BACKPRESSURE_POLICIES:
+            raise IngestError(
+                f"backpressure must be one of {_BACKPRESSURE_POLICIES}, "
+                f"got {self.backpressure!r}"
+            )
+
+
+class IngestPipeline:
+    """Durable, exactly-once delta ingestion for a live analysis.
+
+    Layout under ``directory``: ``wal/`` (segments) and
+    ``checkpoints/`` (atomic checkpoint dirs + ``CURRENT`` pointer).
+    The pipeline owns the analyzer's lifecycle from :meth:`open`
+    onward; mixing direct ``analyzer.apply`` calls with pipeline use
+    would desynchronize the WAL from the state and is on the caller.
+
+    Use as a context manager, or pair :meth:`open` with :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        analyzer: IncrementalAnalyzer,
+        config: IngestConfig | None = None,
+        instrumentation: Instrumentation | None = None,
+    ) -> None:
+        self._dir = Path(directory)
+        self._analyzer = analyzer
+        self._config = config or IngestConfig()
+        self._instr = instrumentation or NULL_INSTRUMENTATION
+        self._wal = WriteAheadLog(
+            self._dir / "wal",
+            fsync=self._config.fsync,
+            fsync_interval=self._config.fsync_interval,
+            instrumentation=self._instr,
+        )
+        self._ckpts = CheckpointManager(
+            self._dir / "checkpoints", instrumentation=self._instr
+        )
+
+        metrics = self._instr.metrics
+        self._submitted_counter = metrics.counter(
+            "repro_ingest_submitted_total", "Deltas accepted by submit()"
+        )
+        self._batch_counter = metrics.counter(
+            "repro_ingest_batches_total", "Merged batches durably applied"
+        )
+        self._entity_counter = metrics.counter(
+            "repro_ingest_entities_total", "Entities durably applied"
+        )
+        self._shed_counter = metrics.counter(
+            "repro_ingest_shed_total", "Deltas rejected by shed backpressure"
+        )
+        self._replayed_counter = metrics.counter(
+            "repro_ingest_replayed_total", "WAL records replayed on recovery"
+        )
+        self._queue_gauge = metrics.gauge(
+            "repro_ingest_queue_depth", "Deltas waiting to be drained"
+        )
+        self._applied_gauge = metrics.gauge(
+            "repro_ingest_applied_seq", "Sequence number of the last applied batch"
+        )
+        self._blocked_seconds = metrics.histogram(
+            "repro_ingest_blocked_seconds",
+            "Time submitters spent blocked on a full queue",
+        )
+        self._recovery_seconds = metrics.histogram(
+            "repro_ingest_recovery_seconds",
+            "open(): checkpoint load + WAL tail replay latency",
+        )
+
+        self._queue: deque[CorpusDelta] = deque()
+        self._cond = threading.Condition()
+        self._drain_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._opened = False
+        self._applied = 0
+        self._ckpt_seq: int | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def directory(self) -> Path:
+        """The durable root (``wal/`` + ``checkpoints/``)."""
+        return self._dir
+
+    @property
+    def analyzer(self) -> IncrementalAnalyzer:
+        """The live analyzer the pipeline feeds."""
+        return self._analyzer
+
+    @property
+    def config(self) -> IngestConfig:
+        """The durability and flow-control policy."""
+        return self._config
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        """The underlying write-ahead log."""
+        return self._wal
+
+    @property
+    def checkpoints(self) -> CheckpointManager:
+        """The underlying checkpoint store."""
+        return self._ckpts
+
+    @property
+    def applied_seq(self) -> int:
+        """Sequence number of the last batch folded into the analysis."""
+        return self._applied
+
+    @property
+    def report(self) -> InfluenceReport:
+        """The analyzer's current report."""
+        return self._analyzer.report
+
+    @property
+    def pending(self) -> int:
+        """Deltas submitted but not yet drained."""
+        with self._cond:
+            return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def open(self, base_corpus: BlogCorpus | None = None) -> InfluenceReport:
+        """Recover (or bootstrap) the analysis; idempotent per process.
+
+        With a checkpoint on disk its state is adopted without solving
+        and the WAL tail is replayed — each record exactly once, in
+        strictly contiguous sequence order.  Without one,
+        ``base_corpus`` is fitted cold and the *entire* WAL replays.
+        Ends by writing a fresh checkpoint when anything was replayed
+        (or none existed), so the next recovery starts warm.
+        """
+        if self._opened:
+            return self._analyzer.report
+        with self._recovery_seconds.time(), \
+                self._instr.tracer.span("ingest-recover"):
+            checkpoint = self._ckpts.load(self._analyzer.params)
+            if checkpoint is not None:
+                self._analyzer.restore(checkpoint.corpus, checkpoint.report)
+                self._applied = checkpoint.seq
+                self._ckpt_seq = checkpoint.seq
+            elif base_corpus is not None:
+                self._analyzer.fit(base_corpus)
+                self._applied = 0
+            else:
+                raise IngestError(
+                    f"nothing to recover in {self._dir}: no checkpoint "
+                    "found and no base corpus given"
+                )
+            replayed = 0
+            with self._instr.tracer.span("ingest-replay"):
+                for seq, delta in self._wal.replay(after_seq=self._applied):
+                    if seq != self._applied + 1:
+                        raise WalCorruptionError(
+                            f"recovery expected seq {self._applied + 1}, "
+                            f"wal yielded {seq}: a segment is missing"
+                        )
+                    self._analyzer.apply(delta)
+                    self._applied = seq
+                    replayed += 1
+            self._replayed_counter.inc(replayed)
+            self._applied_gauge.set(self._applied)
+            if replayed or checkpoint is None:
+                self.checkpoint()
+        self._opened = True
+        _LOG.info(
+            "pipeline open: %s, seq %d (%s checkpoint, %d replayed)",
+            self._dir, self._applied,
+            "from" if checkpoint is not None else "no", replayed,
+        )
+        return self._analyzer.report
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def submit(self, delta: CorpusDelta) -> None:
+        """Queue a delta; blocks or sheds when the queue is full.
+
+        Empty deltas are dropped.  Under ``backpressure="shed"`` a full
+        queue raises :class:`~repro.errors.BackpressureError` — the
+        delta was *not* logged and the caller may retry.  Under
+        ``"block"`` the call waits for the drainer to make room.
+        """
+        if delta.is_empty():
+            return
+        with self._cond:
+            if len(self._queue) >= self._config.queue_capacity:
+                if self._config.backpressure == "shed":
+                    self._shed_counter.inc()
+                    raise BackpressureError(
+                        f"ingest queue is full "
+                        f"({self._config.queue_capacity} deltas); "
+                        "delta shed, not logged"
+                    )
+                with self._blocked_seconds.time():
+                    while len(self._queue) >= self._config.queue_capacity:
+                        self._cond.wait()
+            self._queue.append(delta)
+            depth = len(self._queue)
+            self._cond.notify_all()
+        self._submitted_counter.inc()
+        self._queue_gauge.set(depth)
+
+    def drain(self) -> InfluenceReport:
+        """Coalesce everything queued into ONE durable batch and apply it.
+
+        The merge-then-apply shape is deliberate: one WAL record per
+        applied batch keeps replay granularity identical to live
+        granularity.  With nothing queued this is a no-op.
+        """
+        with self._drain_lock:
+            with self._cond:
+                pending = list(self._queue)
+                self._queue.clear()
+                self._cond.notify_all()
+            self._queue_gauge.set(0)
+            if not pending:
+                return self._analyzer.report
+            merged = CorpusDelta.merge(*pending)
+            return self.apply(merged)
+
+    def apply(self, delta: CorpusDelta) -> InfluenceReport:
+        """Durably apply one batch: validate → WAL append → warm re-solve.
+
+        The validate-first order is the poison-delta guard: a delta the
+        analyzer would reject never reaches the log, so replay can
+        never get stuck on it.  Exactly-once follows from the sequence
+        discipline — this batch is WAL record ``applied_seq + 1`` and
+        recovery skips records at or below the checkpoint.
+        """
+        if not self._opened:
+            raise IngestError("call open() before apply()")
+        if delta.is_empty():
+            return self._analyzer.report
+        self._analyzer.validate_delta(delta)
+        seq = self._wal.append(delta)
+        if seq != self._applied + 1:
+            raise IngestError(
+                f"wal assigned seq {seq} but pipeline expected "
+                f"{self._applied + 1}; log and state are desynchronized"
+            )
+        report = self._analyzer.apply(delta)
+        self._applied = seq
+        self._batch_counter.inc()
+        self._entity_counter.inc(delta.size())
+        self._applied_gauge.set(seq)
+        interval = self._config.checkpoint_interval
+        if interval and seq - (self._ckpt_seq or 0) >= interval:
+            self.checkpoint()
+        return report
+
+    def ingest(self, deltas) -> InfluenceReport:
+        """Submit an iterable of deltas and drain synchronously."""
+        for delta in deltas:
+            self.submit(delta)
+        return self.drain()
+
+    def ingest_crawl(self, service, seeds, crawl_config=None) -> InfluenceReport:
+        """Crawl a blog service and durably ingest whatever is new.
+
+        Runs a :class:`~repro.crawler.crawler.BlogCrawler` over
+        ``service`` from ``seeds``, diffs the crawled corpus against
+        the live one (``CorpusDelta.between(..., strict=False)`` — a
+        re-crawl is a partial view, not a superset), and applies the
+        difference as one durable batch.
+        """
+        from repro.crawler.crawler import BlogCrawler
+
+        crawler = BlogCrawler(
+            service, config=crawl_config, instrumentation=self._instr
+        )
+        result = crawler.crawl(list(seeds))
+        delta = CorpusDelta.between(
+            self._analyzer.report.corpus, result.corpus, strict=False
+        )
+        if delta.is_empty():
+            _LOG.info("crawl found nothing new (%d spaces fetched)",
+                      len(result.fetched))
+            return self._analyzer.report
+        _LOG.info(
+            "crawl found %d new entities across %d spaces",
+            delta.size(), len(result.fetched),
+        )
+        return self.apply(delta)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Path:
+        """Write a checkpoint at the current seq; rotate + truncate WAL."""
+        report = self._analyzer.report  # raises before the first fit/restore
+        path = self._ckpts.write(report.corpus, report, self._applied)
+        self._ckpt_seq = self._applied
+        self._wal.rotate()
+        self._wal.truncate_upto(self._applied)
+        return path
+
+    # ------------------------------------------------------------------
+    # Background drainer
+    # ------------------------------------------------------------------
+    def start(self) -> "IngestPipeline":
+        """Start a background drainer thread (idempotent)."""
+        if not self._opened:
+            raise IngestError("call open() before start()")
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="mass-ingest-drainer", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._stop.is_set():
+                    self._cond.wait(timeout=0.1)
+                if self._stop.is_set() and not self._queue:
+                    return
+            self.drain()
+
+    def close(self) -> None:
+        """Drain, checkpoint, and release the WAL (safe to call twice)."""
+        self._stop.set()
+        with self._cond:
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        if self._opened:
+            self.drain()
+            if self._ckpt_seq != self._applied:
+                self.checkpoint()
+        self._wal.close()
+
+    def __enter__(self) -> "IngestPipeline":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def diagnostics(self) -> dict:
+        """Durability health: seq audit across checkpoint, WAL, state.
+
+        ``seq_audit`` re-walks the WAL tail beyond the checkpoint and
+        asserts what exactly-once requires: contiguous sequence
+        numbers, nothing applied twice (``applied_seq`` never exceeds
+        the last durable record), and nothing lost (every record above
+        the checkpoint is at or below ``applied_seq`` or still
+        replayable).
+        """
+        ckpt_seq = self._ckpts.latest_seq()
+        tail_records = 0
+        contiguous = True
+        expected = (ckpt_seq or 0) + 1
+        try:
+            for seq, _delta in self._wal.replay(after_seq=ckpt_seq or 0):
+                if seq != expected:
+                    contiguous = False
+                    break
+                expected = seq + 1
+                tail_records += 1
+        except WalCorruptionError:
+            contiguous = False
+        wal_last = self._wal.last_seq
+        return {
+            "opened": self._opened,
+            "applied_seq": self._applied,
+            "checkpoint_seq": ckpt_seq,
+            "wal_last_seq": wal_last,
+            "wal_segments": [p.name for p in self._wal.segments()],
+            "queue_depth": self.pending,
+            "seq_audit": {
+                "contiguous": contiguous,
+                "records_after_checkpoint": tail_records,
+                "no_double_apply": self._applied <= wal_last,
+                "no_loss": self._applied >= wal_last - tail_records,
+            },
+        }

@@ -1,0 +1,411 @@
+"""Append-only write-ahead log of :class:`CorpusDelta` records.
+
+Every batch the ingestion pipeline applies is first made durable here:
+one JSONL record per batch, framed as ``<crc32 hex> <compact json>``
+with a monotonic sequence number inside the payload.  The format is
+deliberately boring — a crashed process leaves at most one torn final
+line, which :class:`WriteAheadLog` detects (bad checksum or framing at
+the very end of the *active* segment) and truncates on open.  A failed
+checksum anywhere else means the log cannot be trusted and raises
+:class:`~repro.errors.WalCorruptionError` instead of guessing.
+
+The log is segmented: ``wal-<first-seq>.log`` files, rotated by the
+checkpoint machinery so segments fully covered by a checkpoint can be
+deleted (:meth:`WriteAheadLog.truncate_upto`).  Because a segment is
+named after the first sequence number written into it, truncation needs
+no scanning: segment *i* covers everything below the first sequence of
+segment *i+1*.
+
+Durability is configurable (``fsync``):
+
+- ``"always"``: fsync after every append — slowest, loses nothing;
+- ``"batch"``: fsync every ``fsync_interval`` appends and on rotate /
+  close — bounded loss window, near-"never" throughput;
+- ``"never"``: flush to the OS only — a machine crash may lose the OS
+  write-back window, a *process* crash loses nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.core.incremental import CorpusDelta
+from repro.data.entities import Blogger, Comment, Link, Post
+from repro.errors import CorpusError, IngestError, WalCorruptionError
+from repro.obs import NULL_INSTRUMENTATION, Instrumentation, get_logger
+
+__all__ = ["WriteAheadLog", "encode_record", "decode_record"]
+
+_LOG = get_logger("ingest.wal")
+
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".log"
+_FSYNC_POLICIES = ("always", "batch", "never")
+
+
+# ----------------------------------------------------------------------
+# Record encoding
+# ----------------------------------------------------------------------
+def _delta_payload(delta: CorpusDelta) -> dict[str, list[list[object]]]:
+    """Field-ordered arrays; explicit so the format survives refactors."""
+    return {
+        "bloggers": [
+            [b.blogger_id, b.name, b.profile_text, b.joined_day]
+            for b in delta.bloggers
+        ],
+        "posts": [
+            [p.post_id, p.author_id, p.title, p.body, p.created_day]
+            for p in delta.posts
+        ],
+        "comments": [
+            [c.comment_id, c.post_id, c.commenter_id, c.text, c.created_day]
+            for c in delta.comments
+        ],
+        "links": [
+            [link.source_id, link.target_id, link.weight]
+            for link in delta.links
+        ],
+    }
+
+
+def _delta_from_payload(payload: dict) -> CorpusDelta:
+    return CorpusDelta(
+        bloggers=tuple(
+            Blogger(bid, name=name, profile_text=about, joined_day=day)
+            for bid, name, about, day in payload["bloggers"]
+        ),
+        posts=tuple(
+            Post(pid, author, title=title, body=body, created_day=day)
+            for pid, author, title, body, day in payload["posts"]
+        ),
+        comments=tuple(
+            Comment(cid, pid, by, text=text, created_day=day)
+            for cid, pid, by, text, day in payload["comments"]
+        ),
+        links=tuple(
+            Link(source, target, weight)
+            for source, target, weight in payload["links"]
+        ),
+    )
+
+
+def encode_record(seq: int, delta: CorpusDelta) -> bytes:
+    """One WAL line: ``<crc32:08x> <compact sorted-keys json>\\n``.
+
+    ``json.dumps`` round-trips floats exactly (shortest-repr), so link
+    weights survive replay bit-for-bit.
+    """
+    body = json.dumps(
+        {"seq": seq, "delta": _delta_payload(delta)},
+        sort_keys=True, separators=(",", ":"), ensure_ascii=False,
+    ).encode("utf-8")
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return b"%08x " % crc + body + b"\n"
+
+
+def decode_record(line: bytes) -> tuple[int, CorpusDelta]:
+    """Inverse of :func:`encode_record`; raises on any damage."""
+    if len(line) < 10 or line[8:9] != b" ":
+        raise WalCorruptionError("wal record framing is broken")
+    try:
+        expected = int(line[:8], 16)
+    except ValueError:
+        raise WalCorruptionError("wal record has a malformed checksum") from None
+    body = line[9:]
+    actual = zlib.crc32(body) & 0xFFFFFFFF
+    if actual != expected:
+        raise WalCorruptionError(
+            f"wal record checksum mismatch: {actual:08x} != {expected:08x}"
+        )
+    try:
+        payload = json.loads(body)
+        seq = payload["seq"]
+        delta = _delta_from_payload(payload["delta"])
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError,
+            CorpusError) as exc:
+        # The checksum matched, so this is our bug or someone else's
+        # editor — either way the record is unusable.
+        raise WalCorruptionError(f"wal record is undecodable: {exc}") from exc
+    if not isinstance(seq, int) or seq < 1:
+        raise WalCorruptionError(f"wal record has invalid seq {seq!r}")
+    return seq, delta
+
+
+def _segment_first_seq(path: Path) -> int:
+    stem = path.name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+    try:
+        return int(stem)
+    except ValueError:
+        raise WalCorruptionError(
+            f"unrecognized wal segment name {path.name!r}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# The log
+# ----------------------------------------------------------------------
+class WriteAheadLog:
+    """Segmented JSONL write-ahead log with checksums and fsync policy.
+
+    Opening an existing directory scans the active (last) segment: a
+    torn final record — the footprint of a crash mid-append — is
+    truncated away; damage anywhere before it raises
+    :class:`WalCorruptionError`.  ``next_seq`` resumes exactly after
+    the last durable record.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        fsync: str = "batch",
+        fsync_interval: int = 8,
+        instrumentation: Instrumentation | None = None,
+    ) -> None:
+        if fsync not in _FSYNC_POLICIES:
+            raise IngestError(
+                f"fsync must be one of {_FSYNC_POLICIES}, got {fsync!r}"
+            )
+        if fsync_interval < 1:
+            raise IngestError(
+                f"fsync_interval must be >= 1, got {fsync_interval}"
+            )
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._fsync = fsync
+        self._fsync_interval = fsync_interval
+        self._instr = instrumentation or NULL_INSTRUMENTATION
+        metrics = self._instr.metrics
+        self._append_counter = metrics.counter(
+            "repro_ingest_wal_appends_total", "WAL records appended"
+        )
+        self._bytes_counter = metrics.counter(
+            "repro_ingest_wal_bytes_total", "WAL bytes written"
+        )
+        self._fsync_counter = metrics.counter(
+            "repro_ingest_wal_fsyncs_total", "fsync calls issued by the WAL"
+        )
+        self._torn_counter = metrics.counter(
+            "repro_ingest_wal_torn_tails_total",
+            "Torn final records truncated on open",
+        )
+        self._append_seconds = metrics.histogram(
+            "repro_ingest_wal_append_seconds", "Durable-append latency"
+        )
+
+        self._handle = None
+        self._active: Path | None = None
+        self._appends_since_fsync = 0
+        self._next_seq = 1
+        self._recover_tail()
+
+    # ------------------------------------------------------------------
+    @property
+    def directory(self) -> Path:
+        """Where the segments live."""
+        return self._dir
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next append will receive."""
+        return self._next_seq
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the last durable record (0 if none)."""
+        return self._next_seq - 1
+
+    def segments(self) -> list[Path]:
+        """Segment files in sequence order."""
+        return sorted(self._dir.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}"))
+
+    # ------------------------------------------------------------------
+    def _recover_tail(self) -> None:
+        """Find the resume point; truncate a torn final record."""
+        segments = self.segments()
+        if not segments:
+            return
+        tail = segments[-1]
+        last_seq = _segment_first_seq(tail) - 1
+        data = tail.read_bytes()
+        good_end = 0
+        offset = 0
+        torn = None
+        while offset < len(data):
+            newline = data.find(b"\n", offset)
+            if newline < 0:
+                torn = "unterminated final record"
+                break
+            line = data[offset:newline]
+            try:
+                seq, _ = decode_record(line)
+            except WalCorruptionError as exc:
+                torn = str(exc)
+                break
+            if seq != last_seq + 1:
+                raise WalCorruptionError(
+                    f"wal segment {tail.name!r} jumps from seq {last_seq} "
+                    f"to {seq}"
+                )
+            last_seq = seq
+            offset = newline + 1
+            good_end = offset
+        if torn is not None:
+            # Tolerated only if nothing valid follows — i.e. a crash
+            # tore the very last append, not a hole in history.
+            rest = data[good_end:]
+            for candidate in rest.split(b"\n"):
+                try:
+                    decode_record(candidate)
+                except WalCorruptionError:
+                    continue
+                raise WalCorruptionError(
+                    f"wal segment {tail.name!r} is corrupt mid-log "
+                    f"({torn}) with valid records after the damage"
+                )
+            _LOG.warning(
+                "truncating torn wal tail in %s (%d bytes): %s",
+                tail.name, len(data) - good_end, torn,
+            )
+            with tail.open("r+b") as handle:
+                handle.truncate(good_end)
+            self._torn_counter.inc()
+        self._next_seq = last_seq + 1
+        self._active = tail
+
+    # ------------------------------------------------------------------
+    def _ensure_handle(self):
+        if self._handle is None:
+            if self._active is None:
+                self._active = (
+                    self._dir
+                    / f"{_SEGMENT_PREFIX}{self._next_seq:08d}{_SEGMENT_SUFFIX}"
+                )
+            self._handle = self._active.open("ab")
+        return self._handle
+
+    def append(self, delta: CorpusDelta) -> int:
+        """Durably append one delta; returns its sequence number.
+
+        "Durably" is qualified by the fsync policy — see the module
+        docstring.  The record is on its way to disk when this returns;
+        under ``"always"`` it *is* on disk.
+        """
+        seq = self._next_seq
+        record = encode_record(seq, delta)
+        with self._append_seconds.time(), \
+                self._instr.tracer.span("wal-append"):
+            handle = self._ensure_handle()
+            handle.write(record)
+            handle.flush()
+            self._appends_since_fsync += 1
+            if self._fsync == "always" or (
+                self._fsync == "batch"
+                and self._appends_since_fsync >= self._fsync_interval
+            ):
+                self._do_fsync()
+        self._next_seq = seq + 1
+        self._append_counter.inc()
+        self._bytes_counter.inc(len(record))
+        return seq
+
+    def _do_fsync(self) -> None:
+        if self._handle is not None and self._appends_since_fsync:
+            os.fsync(self._handle.fileno())
+            self._fsync_counter.inc()
+            self._appends_since_fsync = 0
+
+    def sync(self) -> None:
+        """Force outstanding appends to disk (no-op under ``"never"``)."""
+        if self._fsync != "never":
+            self._do_fsync()
+
+    # ------------------------------------------------------------------
+    def replay(self, after_seq: int = 0) -> Iterator[tuple[int, CorpusDelta]]:
+        """Yield ``(seq, delta)`` for every record with seq > after_seq.
+
+        Records are yielded in strictly increasing, contiguous sequence
+        order; any gap, regression, or mid-log damage raises
+        :class:`WalCorruptionError`.  A torn final record in the last
+        segment is tolerated (the stream simply ends there) so replay
+        works even on a directory this object did not open and repair.
+        """
+        segments = self.segments()
+        expected = None
+        for position, segment in enumerate(segments):
+            is_last = position == len(segments) - 1
+            data = segment.read_bytes()
+            offset = 0
+            while offset < len(data):
+                newline = data.find(b"\n", offset)
+                if newline < 0:
+                    if is_last:
+                        return
+                    raise WalCorruptionError(
+                        f"wal segment {segment.name!r} ends mid-record "
+                        f"but is not the active segment"
+                    )
+                try:
+                    seq, delta = decode_record(data[offset:newline])
+                except WalCorruptionError:
+                    if is_last and data.find(b"\n", newline + 1) < 0:
+                        # Damaged final record: a torn append.
+                        return
+                    raise
+                if expected is not None and seq != expected:
+                    raise WalCorruptionError(
+                        f"wal sequence jumps from {expected - 1} to {seq} "
+                        f"in {segment.name!r}"
+                    )
+                expected = seq + 1
+                if seq > after_seq:
+                    yield seq, delta
+                offset = newline + 1
+
+    # ------------------------------------------------------------------
+    def rotate(self) -> None:
+        """Close the active segment; the next append starts a new one."""
+        if self._handle is not None:
+            self._handle.flush()
+            if self._fsync != "never":
+                self._do_fsync()
+            self._handle.close()
+            self._handle = None
+        self._active = None
+        self._appends_since_fsync = 0
+
+    def truncate_upto(self, seq: int) -> int:
+        """Delete segments fully covered by ``seq``; returns the count.
+
+        A segment is removable when the *next* segment's first sequence
+        number shows everything in it is ≤ ``seq``.  The active (last)
+        segment always survives.
+        """
+        segments = self.segments()
+        removed = 0
+        for current, following in zip(segments, segments[1:]):
+            if _segment_first_seq(following) <= seq + 1:
+                current.unlink()
+                removed += 1
+            else:
+                break
+        if removed:
+            _LOG.info("truncated %d wal segment(s) at seq %d", removed, seq)
+            self._instr.metrics.counter(
+                "repro_ingest_wal_segments_truncated_total",
+                "WAL segments deleted by checkpoint truncation",
+            ).inc(removed)
+        return removed
+
+    def close(self) -> None:
+        """Flush, fsync (policy permitting), and release the handle."""
+        self.rotate()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

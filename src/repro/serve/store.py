@@ -26,6 +26,7 @@ import threading
 import time
 from collections import deque
 from collections.abc import Mapping, Sequence
+from pathlib import Path
 
 from repro.core.incremental import CorpusDelta, IncrementalAnalyzer
 from repro.core.parameters import MassParameters
@@ -57,6 +58,13 @@ class SnapshotStore:
     max_staleness:
         Upper bound, in seconds, on how long a submitted delta may wait
         before the refresher folds it into a served snapshot.
+    durable_dir:
+        Optional path enabling durable mode: deltas are write-ahead
+        logged and periodically checkpointed through an
+        :class:`~repro.ingest.IngestPipeline` rooted there, and a
+        store constructed over a directory holding prior state
+        *recovers it* — ``corpus`` is only the bootstrap for an empty
+        directory.  ``ingest_config`` tunes the durability policy.
     instrumentation:
         Observability sinks: swap counters, refresh latency, queue
         depth.
@@ -74,6 +82,8 @@ class SnapshotStore:
         classifier: NaiveBayesClassifier | None = None,
         *,
         max_staleness: float = 0.5,
+        durable_dir: str | Path | None = None,
+        ingest_config=None,
         instrumentation: Instrumentation | None = None,
     ) -> None:
         if max_staleness < 0:
@@ -113,9 +123,29 @@ class SnapshotStore:
             "repro_serve_refresh_seconds",
             "Delta drain + re-solve + snapshot compile latency",
         )
-        with self._instr.tracer.span("serve-initial-fit"):
-            self._analyzer.fit(corpus)
-            self._snapshot = InfluenceSnapshot.compile(self._analyzer.report)
+        self._pipeline = None
+        if durable_dir is not None:
+            from repro.ingest import IngestPipeline
+
+            self._pipeline = IngestPipeline(
+                durable_dir,
+                self._analyzer,
+                config=ingest_config,
+                instrumentation=self._instr,
+            )
+            with self._instr.tracer.span("serve-initial-fit"):
+                self._pipeline.open(corpus)
+                self._snapshot = InfluenceSnapshot.compile(
+                    self._analyzer.report
+                )
+        elif ingest_config is not None:
+            raise ReproError("ingest_config requires durable_dir")
+        else:
+            with self._instr.tracer.span("serve-initial-fit"):
+                self._analyzer.fit(corpus)
+                self._snapshot = InfluenceSnapshot.compile(
+                    self._analyzer.report
+                )
 
         self._queue: deque[CorpusDelta] = deque()
         self._queue_lock = threading.Lock()
@@ -158,6 +188,11 @@ class SnapshotStore:
         with self._queue_lock:
             return len(self._queue)
 
+    @property
+    def pipeline(self):
+        """The durable ingestion pipeline (``None`` outside durable mode)."""
+        return self._pipeline
+
     # ------------------------------------------------------------------
     # Write path
     # ------------------------------------------------------------------
@@ -197,9 +232,15 @@ class SnapshotStore:
                 return self._snapshot
             with self._refresh_seconds.time(), \
                     self._instr.tracer.span("serve-refresh"):
-                for delta in pending:
-                    self._analyzer.apply(delta)
-                    self._delta_counter.inc()
+                # One merged batch per refresh: one warm re-solve, and
+                # in durable mode exactly one WAL record per swap — the
+                # granularity recovery replays at.
+                merged = CorpusDelta.merge(*pending)
+                if self._pipeline is not None:
+                    self._pipeline.apply(merged)
+                else:
+                    self._analyzer.apply(merged)
+                self._delta_counter.inc(len(pending))
                 fresh = InfluenceSnapshot.compile(self._analyzer.report)
                 self._snapshot = fresh  # the atomic copy-on-write swap
             self._swap_counter.inc()
@@ -224,13 +265,15 @@ class SnapshotStore:
         return self
 
     def close(self) -> None:
-        """Stop the refresher and drain anything still queued."""
+        """Stop the refresher, drain the queue, seal durable state."""
         self._stop.set()
         self._pending.set()  # wake the loop so it can exit promptly
         if self._thread is not None:
             self._thread.join(timeout=10.0)
             self._thread = None
         self.refresh_now()
+        if self._pipeline is not None:
+            self._pipeline.close()
 
     def __enter__(self) -> "SnapshotStore":
         return self.start()

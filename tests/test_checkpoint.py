@@ -1,0 +1,121 @@
+"""Tests for atomic checkpointing of the live analysis state."""
+
+import json
+
+import pytest
+
+from repro.core import IncrementalAnalyzer, MassParameters
+from repro.errors import CheckpointError
+from repro.ingest import CheckpointManager
+from repro.nlp import NaiveBayesClassifier
+from repro.synth import DOMAIN_VOCABULARIES
+
+
+@pytest.fixture(scope="module")
+def classifier():
+    return NaiveBayesClassifier.from_seed_vocabulary(DOMAIN_VOCABULARIES)
+
+
+@pytest.fixture(scope="module")
+def fitted(classifier, fig1_corpus):
+    analyzer = IncrementalAnalyzer(classifier)
+    report = analyzer.fit(fig1_corpus)
+    return fig1_corpus, report
+
+
+class TestWriteLoad:
+    def test_roundtrip_is_bit_exact(self, tmp_path, fitted):
+        corpus, report = fitted
+        manager = CheckpointManager(tmp_path)
+        manager.write(corpus, report, seq=7)
+
+        loaded = manager.load(report.params)
+        assert loaded is not None
+        assert loaded.seq == 7
+        assert loaded.report.scores.influence == report.scores.influence
+        assert loaded.report.scores.iterations == report.scores.iterations
+        assert sorted(loaded.corpus.bloggers) == sorted(corpus.bloggers)
+
+    def test_empty_directory_loads_none(self, tmp_path):
+        assert CheckpointManager(tmp_path).load() is None
+        assert CheckpointManager(tmp_path).latest_seq() is None
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path, fitted):
+        corpus, report = fitted
+        manager = CheckpointManager(tmp_path)
+        manager.write(corpus, report, seq=1)
+        other = MassParameters(alpha=0.9)
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            manager.load(other)
+
+    def test_write_is_idempotent_per_seq(self, tmp_path, fitted):
+        corpus, report = fitted
+        manager = CheckpointManager(tmp_path)
+        first = manager.write(corpus, report, seq=3)
+        second = manager.write(corpus, report, seq=3)
+        assert first == second
+        assert manager.latest_seq() == 3
+
+
+class TestCrashWindows:
+    def test_leftover_tmp_swept_on_next_write(self, tmp_path, fitted):
+        corpus, report = fitted
+        manager = CheckpointManager(tmp_path)
+        crashed = tmp_path / ".tmp-ckpt-00000009-999"
+        crashed.mkdir()
+        (crashed / "meta.json").write_text("{}")
+        manager.write(corpus, report, seq=1)
+        assert not crashed.exists()
+        assert manager.load(report.params).seq == 1
+
+    def test_dangling_current_falls_back(self, tmp_path, fitted):
+        corpus, report = fitted
+        manager = CheckpointManager(tmp_path)
+        manager.write(corpus, report, seq=2)
+        (tmp_path / "CURRENT").write_text("ckpt-99999999\n")
+        loaded = CheckpointManager(tmp_path).load(report.params)
+        assert loaded.seq == 2
+
+    def test_missing_current_falls_back(self, tmp_path, fitted):
+        corpus, report = fitted
+        manager = CheckpointManager(tmp_path)
+        manager.write(corpus, report, seq=4)
+        (tmp_path / "CURRENT").unlink()
+        assert CheckpointManager(tmp_path).load(report.params).seq == 4
+
+    def test_incomplete_checkpoint_dir_ignored(self, tmp_path, fitted):
+        corpus, report = fitted
+        manager = CheckpointManager(tmp_path)
+        manager.write(corpus, report, seq=2)
+        # A renamed-but-unfinished dir (no meta.json) must not win.
+        (tmp_path / "ckpt-00000005").mkdir()
+        assert CheckpointManager(tmp_path).load(report.params).seq == 2
+
+    def test_unreadable_meta_is_an_error(self, tmp_path, fitted):
+        corpus, report = fitted
+        manager = CheckpointManager(tmp_path)
+        path = manager.write(corpus, report, seq=1)
+        (path / "meta.json").write_text("not json{")
+        with pytest.raises(CheckpointError, match="unreadable metadata"):
+            CheckpointManager(tmp_path).load()
+
+    def test_future_format_version_rejected(self, tmp_path, fitted):
+        corpus, report = fitted
+        manager = CheckpointManager(tmp_path)
+        path = manager.write(corpus, report, seq=1)
+        meta = json.loads((path / "meta.json").read_text())
+        meta["format_version"] = 99
+        (path / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(CheckpointError, match="format version"):
+            CheckpointManager(tmp_path).load()
+
+
+class TestPruning:
+    def test_only_newest_checkpoint_kept(self, tmp_path, fitted):
+        corpus, report = fitted
+        manager = CheckpointManager(tmp_path)
+        for seq in (1, 2, 3):
+            manager.write(corpus, report, seq=seq)
+        kept = [p.name for p in sorted(tmp_path.glob("ckpt-*"))]
+        assert kept == ["ckpt-00000003"]
+        assert manager.load(report.params).seq == 3

@@ -1,0 +1,232 @@
+"""Crash-recovery property tests: kill the pipeline anywhere, lose nothing.
+
+The contract under test is the tentpole guarantee of the ingestion
+subsystem: a pipeline killed at *any* point — mid-append (torn WAL
+record), mid-checkpoint (stale tmp dir, unpointed CURRENT), mid-truncate
+(covered segments still on disk) — and then reopened recovers to a
+state **byte-identical** to a run that never crashed.  Identity is
+checked with the snapshot content epoch (a SHA-256 over every score,
+domain vector, and corpus id — see ``InfluenceSnapshot.compile``), so
+any float that differs anywhere fails the test.
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+from unittest import mock
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CorpusDelta, IncrementalAnalyzer
+from repro.data import Blogger, Comment, Link, Post
+from repro.ingest import IngestConfig, IngestPipeline
+from repro.ingest.checkpoint import CheckpointManager
+from repro.ingest.wal import WriteAheadLog, encode_record
+from repro.nlp import NaiveBayesClassifier
+from repro.serve import InfluenceSnapshot
+from repro.synth import DOMAIN_VOCABULARIES
+
+STREAM_LENGTH = 5
+DAMAGE_MODES = (
+    "none",            # plain kill between applies
+    "torn_append",     # crash mid-append: partial record at the tail
+    "stale_tmp",       # crash mid-checkpoint: leftover .tmp- build dir
+    "dangling_current",  # crash after prune, CURRENT never rewritten
+    "skip_truncate",   # crash mid-checkpoint: WAL truncation never ran
+)
+
+
+@pytest.fixture(scope="module")
+def classifier():
+    return NaiveBayesClassifier.from_seed_vocabulary(DOMAIN_VOCABULARIES)
+
+
+def stream_delta(seq: int, anchor: str) -> CorpusDelta:
+    """Deterministic delta ``seq`` of the test stream."""
+    blogger_id = f"crash-{seq:03d}"
+    comments = (Comment(
+        f"crash-c-{seq:03d}",
+        f"crash-p-{seq - 1:03d}" if seq > 1 else f"crash-p-{seq:03d}",
+        blogger_id if seq == 1 else anchor,
+        text=f"reaction number {seq} to the game",
+        created_day=100 + seq,
+    ),)
+    return CorpusDelta(
+        bloggers=(Blogger(blogger_id, name=f"C{seq}",
+                          profile_text="sports stadium marathon blogger",
+                          joined_day=seq),),
+        posts=(Post(f"crash-p-{seq:03d}", blogger_id,
+                    title=f"match report {seq}",
+                    body="the stadium game and the marathon " * 2,
+                    created_day=100 + seq),),
+        comments=comments,
+        links=(Link(blogger_id, anchor, 0.5 + 0.25 * seq),),
+    )
+
+
+def epoch_of(report) -> str:
+    return InfluenceSnapshot.compile(report).epoch
+
+
+@pytest.fixture(scope="module")
+def reference(classifier, fig1_corpus):
+    """Epoch after every seq of an uninterrupted run: epochs[k] == seq k."""
+    anchor = fig1_corpus.blogger_ids()[0]
+    with tempfile.TemporaryDirectory() as tmp:
+        analyzer = IncrementalAnalyzer(classifier)
+        pipeline = IngestPipeline(
+            Path(tmp), analyzer, IngestConfig(checkpoint_interval=3)
+        )
+        epochs = [epoch_of(pipeline.open(fig1_corpus))]
+        for seq in range(1, STREAM_LENGTH + 1):
+            epochs.append(epoch_of(
+                pipeline.apply(stream_delta(seq, anchor))
+            ))
+        final_scores = pipeline.report.general_scores()
+        pipeline.close()
+    return anchor, epochs, final_scores
+
+
+def inject_damage(root: Path, mode: str, next_seq: int, anchor: str) -> None:
+    wal_dir = root / "wal"
+    ckpt_dir = root / "checkpoints"
+    if mode == "torn_append":
+        segments = sorted(wal_dir.glob("wal-*.log"))
+        target = (segments[-1] if segments
+                  else wal_dir / f"wal-{next_seq:08d}.log")
+        record = encode_record(next_seq, stream_delta(next_seq, anchor))
+        with target.open("ab") as handle:
+            handle.write(record[: max(12, len(record) // 2)])
+    elif mode == "stale_tmp":
+        crashed = ckpt_dir / ".tmp-ckpt-00000042-1"
+        crashed.mkdir(parents=True, exist_ok=True)
+        (crashed / "meta.json").write_text('{"half": "written')
+    elif mode == "dangling_current":
+        (ckpt_dir / "CURRENT").write_text("ckpt-99999999\n")
+
+
+def run_and_kill(root: Path, classifier, corpus, kill: int, interval: int,
+                 mode: str, anchor: str) -> None:
+    """Apply ``kill`` deltas, then abandon the pipeline without close()."""
+    analyzer = IncrementalAnalyzer(classifier)
+    pipeline = IngestPipeline(
+        root, analyzer, IngestConfig(checkpoint_interval=interval)
+    )
+    if mode == "skip_truncate":
+        with mock.patch.object(WriteAheadLog, "truncate_upto",
+                               return_value=0):
+            pipeline.open(corpus)
+            for seq in range(1, kill + 1):
+                pipeline.apply(stream_delta(seq, anchor))
+    else:
+        pipeline.open(corpus)
+        for seq in range(1, kill + 1):
+            pipeline.apply(stream_delta(seq, anchor))
+    # No close(): the process is "killed" here.
+    inject_damage(root, mode, kill + 1, anchor)
+
+
+def recover_and_finish(root: Path, classifier, interval: int, anchor: str,
+                       reference) -> None:
+    _, epochs, final_scores = reference
+    analyzer = IncrementalAnalyzer(classifier)
+    pipeline = IngestPipeline(
+        root, analyzer, IngestConfig(checkpoint_interval=interval)
+    )
+    pipeline.open()  # no base corpus: recovery only
+    recovered_seq = pipeline.applied_seq
+    assert epoch_of(pipeline.report) == epochs[recovered_seq], \
+        "recovered state diverges from the uninterrupted run"
+    for seq in range(recovered_seq + 1, STREAM_LENGTH + 1):
+        pipeline.apply(stream_delta(seq, anchor))
+    assert pipeline.applied_seq == STREAM_LENGTH
+    assert epoch_of(pipeline.report) == epochs[STREAM_LENGTH]
+    assert pipeline.report.general_scores() == final_scores
+
+    diag = pipeline.diagnostics()
+    audit = diag["seq_audit"]
+    assert audit["contiguous"], diag
+    assert audit["no_double_apply"], diag
+    assert diag["wal_last_seq"] == STREAM_LENGTH  # one record per apply
+    pipeline.close()
+
+    # A second clean reopen lands on the exact same bytes again.
+    reopened = IngestPipeline(
+        root, IncrementalAnalyzer(classifier),
+        IngestConfig(checkpoint_interval=interval),
+    )
+    reopened.open()
+    assert reopened.applied_seq == STREAM_LENGTH
+    assert epoch_of(reopened.report) == epochs[STREAM_LENGTH]
+    reopened.close()
+
+
+class TestKillAnywhere:
+    @pytest.mark.parametrize("mode", DAMAGE_MODES)
+    @pytest.mark.parametrize("kill", [0, 2, STREAM_LENGTH - 1])
+    def test_recovery_is_byte_identical(self, tmp_path, classifier,
+                                        fig1_corpus, reference, kill, mode):
+        anchor = reference[0]
+        run_and_kill(tmp_path, classifier, fig1_corpus, kill,
+                     interval=2, mode=mode, anchor=anchor)
+        recover_and_finish(tmp_path, classifier, 2, anchor, reference)
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        kill=st.integers(min_value=0, max_value=STREAM_LENGTH),
+        mode=st.sampled_from(DAMAGE_MODES),
+        interval=st.sampled_from([1, 2, 3, 100]),
+    )
+    def test_randomized_kill_points(self, classifier, fig1_corpus,
+                                    reference, kill, mode, interval):
+        anchor = reference[0]
+        root = Path(tempfile.mkdtemp(prefix="crash-recovery-"))
+        try:
+            run_and_kill(root, classifier, fig1_corpus, kill,
+                         interval=interval, mode=mode, anchor=anchor)
+            recover_and_finish(root, classifier, interval, anchor, reference)
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    def test_double_crash_during_recovery(self, tmp_path, classifier,
+                                          fig1_corpus, reference):
+        """Crash, recover partway, crash again, recover again."""
+        anchor = reference[0]
+        _, epochs, _ = reference
+        run_and_kill(tmp_path, classifier, fig1_corpus, 2,
+                     interval=1, mode="torn_append", anchor=anchor)
+        # First recovery applies one more delta, then "crashes" too.
+        half = IngestPipeline(
+            tmp_path, IncrementalAnalyzer(classifier),
+            IngestConfig(checkpoint_interval=1),
+        )
+        half.open()
+        half.apply(stream_delta(3, anchor))
+        inject_damage(tmp_path, "torn_append", 4, anchor)
+        recover_and_finish(tmp_path, classifier, 1, anchor, reference)
+
+
+class TestCheckpointUnpointed:
+    def test_current_pointer_lagging_one_checkpoint(self, tmp_path,
+                                                    classifier, fig1_corpus,
+                                                    reference):
+        """Crash between writing ckpt N and repointing CURRENT.
+
+        The pruner keeps only the newest checkpoint, so a lagging
+        CURRENT dangles and recovery must fall back to the scan.
+        """
+        anchor = reference[0]
+        analyzer = IncrementalAnalyzer(classifier)
+        pipeline = IngestPipeline(
+            tmp_path, analyzer, IngestConfig(checkpoint_interval=1)
+        )
+        with mock.patch.object(
+            CheckpointManager, "_point_current", return_value=None
+        ):
+            pipeline.open(fig1_corpus)
+            for seq in (1, 2):
+                pipeline.apply(stream_delta(seq, anchor))
+        assert not (tmp_path / "checkpoints" / "CURRENT").exists()
+        recover_and_finish(tmp_path, classifier, 1, anchor, reference)

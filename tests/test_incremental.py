@@ -219,3 +219,176 @@ class TestDelta:
         delta = CorpusDelta(bloggers=[Blogger("x")])
         assert not delta.is_empty()
         assert delta.size() == 1
+
+
+class TestMerge:
+    def test_merge_preserves_arrival_order(self):
+        first = CorpusDelta(bloggers=[Blogger("a")],
+                            links=[Link("a", "a2", 1.0)])
+        second = CorpusDelta(bloggers=[Blogger("b"), Blogger("a2")])
+        merged = CorpusDelta.merge(first, second)
+        assert [b.blogger_id for b in merged.bloggers] == ["a", "b", "a2"]
+        assert merged.size() == first.size() + second.size()
+
+    def test_merge_of_nothing_is_empty(self):
+        assert CorpusDelta.merge().is_empty()
+        assert CorpusDelta.merge(CorpusDelta(), CorpusDelta()).is_empty()
+
+    @pytest.mark.parametrize("kind,delta", [
+        ("blogger", CorpusDelta(bloggers=[Blogger("dup")])),
+        ("post", CorpusDelta(posts=[Post("dup", "x", created_day=1)])),
+        ("comment", CorpusDelta(
+            comments=[Comment("dup", "p", "x", created_day=1)])),
+    ])
+    def test_merge_rejects_duplicate_ids(self, kind, delta):
+        from repro.errors import CorpusError
+
+        with pytest.raises(CorpusError, match=f"duplicate {kind} id 'dup'"):
+            CorpusDelta.merge(delta, delta)
+
+    def test_parallel_links_merge_without_conflict(self):
+        first = CorpusDelta(links=[Link("a", "b", 1.0)])
+        second = CorpusDelta(links=[Link("a", "b", 2.0)])
+        merged = CorpusDelta.merge(first, second)
+        assert len(merged.links) == 2  # corpus adds weights on apply
+
+    def test_merged_apply_equals_sequential_applies(self, classifier,
+                                                    small_blogosphere):
+        """One merged apply converges to the same fixed point.
+
+        Only to solver precision, not bit-exactly: the warm-start path
+        differs, and the iteration cutoff freezes different final ulps.
+        (This is why the durable pipeline logs one WAL record per
+        *merged* batch — replay must re-walk the same path.)
+        """
+        corpus, _ = small_blogosphere
+        sequential = IncrementalAnalyzer(classifier)
+        sequential.fit(corpus)
+        deltas = [make_delta(corpus, seq) for seq in range(3)]
+        for delta in deltas:
+            sequential.apply(delta)
+
+        merged = IncrementalAnalyzer(classifier)
+        merged.fit(corpus)
+        merged.apply(CorpusDelta.merge(*deltas))
+        expected = sequential.report.general_scores()
+        actual = merged.report.general_scores()
+        assert actual.keys() == expected.keys()
+        for blogger_id, score in expected.items():
+            assert actual[blogger_id] == pytest.approx(score, rel=1e-9)
+
+
+class TestBetween:
+    def test_between_finds_the_difference(self, classifier,
+                                          small_blogosphere):
+        from repro.core.incremental import _copy_corpus
+
+        corpus, _ = small_blogosphere
+        grown = _copy_corpus(corpus)
+        delta = make_delta(corpus)
+        grown.extend(bloggers=delta.bloggers, posts=delta.posts,
+                     comments=delta.comments, links=delta.links)
+        diff = CorpusDelta.between(corpus, grown)
+        assert [b.blogger_id for b in diff.bloggers] == ["newcomer-00"]
+        assert [p.post_id for p in diff.posts] == ["newpost-00"]
+        assert [c.comment_id for c in diff.comments] == ["newcomment-00"]
+        assert len(diff.links) == 1
+
+    def test_between_identical_corpora_is_empty(self, small_blogosphere):
+        corpus, _ = small_blogosphere
+        assert CorpusDelta.between(corpus, corpus).is_empty()
+
+    def test_between_rejects_shrinkage_when_strict(self, tiny_corpus):
+        from repro.core.incremental import _copy_corpus
+        from repro.errors import CorpusError
+
+        grown = _copy_corpus(tiny_corpus)
+        delta = CorpusDelta(bloggers=[Blogger("dave")])
+        grown.extend(bloggers=delta.bloggers)
+        with pytest.raises(CorpusError, match="missing blogger"):
+            CorpusDelta.between(grown, tiny_corpus)
+        # The partial-view mode shrugs instead.
+        assert CorpusDelta.between(grown, tiny_corpus,
+                                   strict=False).is_empty()
+
+    def test_between_carries_link_weight_growth(self, tiny_corpus):
+        from repro.core.incremental import _copy_corpus
+
+        grown = _copy_corpus(tiny_corpus)
+        grown.extend(links=[Link("bob", "alice", 2.5)])  # parallel link
+        diff = CorpusDelta.between(tiny_corpus, grown)
+        assert len(diff.links) == 1
+        link = diff.links[0]
+        assert (link.source_id, link.target_id) == ("bob", "alice")
+        assert link.weight == 2.5
+
+
+class TestValidateDelta:
+    def test_validate_before_fit_rejected(self, classifier):
+        analyzer = IncrementalAnalyzer(classifier)
+        with pytest.raises(ReproError, match="call fit"):
+            analyzer.validate_delta(CorpusDelta())
+
+    def test_valid_delta_passes_without_mutation(self, classifier,
+                                                 small_blogosphere):
+        corpus, _ = small_blogosphere
+        analyzer = IncrementalAnalyzer(classifier)
+        analyzer.fit(corpus)
+        delta = make_delta(corpus)
+        analyzer.validate_delta(delta)
+        assert "newcomer-00" not in analyzer.report.corpus
+
+    @pytest.mark.parametrize("bad,match", [
+        (lambda c: CorpusDelta(bloggers=[Blogger(c.blogger_ids()[0])]),
+         "duplicate blogger"),
+        (lambda c: CorpusDelta(
+            posts=[Post("px", "ghost", created_day=1)]),
+         "unknown blogger"),
+        (lambda c: CorpusDelta(
+            comments=[Comment("cx", "no-post", c.blogger_ids()[0],
+                              created_day=1)]),
+         "unknown post"),
+        (lambda c: CorpusDelta(links=[Link(c.blogger_ids()[0], "ghost")]),
+         "unknown blogger"),
+    ])
+    def test_invalid_delta_rejected_atomically(self, classifier,
+                                               small_blogosphere, bad,
+                                               match):
+        from repro.errors import CorpusError
+
+        corpus, _ = small_blogosphere
+        analyzer = IncrementalAnalyzer(classifier)
+        before = analyzer.fit(corpus)
+        with pytest.raises(CorpusError, match=match):
+            analyzer.apply(bad(corpus))
+        # Atomic apply-or-reject: state is untouched.
+        assert analyzer.report is before
+
+
+class TestRestore:
+    def test_restore_resumes_from_saved_report(self, classifier,
+                                               small_blogosphere, tmp_path):
+        from repro.core.report_io import load_report, save_report
+
+        corpus, _ = small_blogosphere
+        original = IncrementalAnalyzer(classifier)
+        original.fit(corpus)
+        save_report(original.report, tmp_path / "report.xml")
+
+        restored = IncrementalAnalyzer(classifier)
+        restored.restore(corpus, load_report(tmp_path / "report.xml",
+                                             corpus))
+        a = original.apply(make_delta(corpus))
+        b = restored.apply(make_delta(corpus))
+        assert a.general_scores() == b.general_scores()
+        assert a.scores.iterations == b.scores.iterations
+
+    def test_restore_rejects_foreign_params(self, classifier,
+                                            small_blogosphere):
+        corpus, _ = small_blogosphere
+        original = IncrementalAnalyzer(
+            classifier, MassParameters(alpha=0.9))
+        original.fit(corpus)
+        other = IncrementalAnalyzer(classifier, MassParameters(alpha=0.1))
+        with pytest.raises(ReproError, match="different parameters"):
+            other.restore(corpus, original.report)

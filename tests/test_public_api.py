@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.graph",
     "repro.synth",
     "repro.crawler",
+    "repro.ingest",
     "repro.baselines",
     "repro.apps",
     "repro.userstudy",

@@ -154,3 +154,80 @@ class TestBackgroundRefresher:
         store.close()
         assert store.pending_deltas == 0
         assert "newcomer-05" in store.snapshot.blogger_ids
+
+
+class TestDurableMode:
+    def durable_store(self, corpus, directory, **kwargs):
+        from repro.ingest import IngestConfig
+
+        return SnapshotStore(
+            corpus,
+            params=MassParameters(),
+            domain_seed_words=DOMAIN_VOCABULARIES,
+            max_staleness=0.05,
+            durable_dir=directory,
+            ingest_config=IngestConfig(checkpoint_interval=1),
+            **kwargs,
+        )
+
+    def test_ingest_config_requires_durable_dir(self, fig1_corpus):
+        from repro.ingest import IngestConfig
+
+        with pytest.raises(ReproError, match="durable_dir"):
+            SnapshotStore(fig1_corpus, ingest_config=IngestConfig())
+
+    def test_pipeline_exposed_only_in_durable_mode(self, fig1_corpus,
+                                                   tmp_path):
+        plain = SnapshotStore(fig1_corpus,
+                              domain_seed_words=DOMAIN_VOCABULARIES)
+        assert plain.pipeline is None
+        plain.close()
+        durable = self.durable_store(fig1_corpus, tmp_path / "d")
+        assert durable.pipeline is not None
+        durable.close()
+
+    def test_refresh_writes_one_wal_record_per_swap(self, fig1_corpus,
+                                                    tmp_path):
+        store = self.durable_store(fig1_corpus, tmp_path / "d")
+        store.submit(make_delta(fig1_corpus, seq=1))
+        store.submit(make_delta(fig1_corpus, seq=2))
+        store.refresh_now()
+        assert store.pipeline.applied_seq == 1  # both deltas, one record
+        assert "newcomer-01" in store.snapshot.blogger_ids
+        assert "newcomer-02" in store.snapshot.blogger_ids
+        store.close()
+
+    def test_restart_recovers_the_served_snapshot(self, fig1_corpus,
+                                                  tmp_path):
+        store = self.durable_store(fig1_corpus, tmp_path / "d")
+        store.submit(make_delta(fig1_corpus))
+        epoch = store.refresh_now().epoch
+        store.close()
+
+        recovered = self.durable_store(fig1_corpus, tmp_path / "d")
+        assert recovered.snapshot.epoch == epoch
+        assert "newcomer-00" in recovered.snapshot.blogger_ids
+        recovered.close()
+
+    def test_restart_after_crash_replays_the_wal(self, fig1_corpus,
+                                                 tmp_path):
+        from repro.ingest import IngestConfig
+
+        store = SnapshotStore(
+            fig1_corpus,
+            domain_seed_words=DOMAIN_VOCABULARIES,
+            durable_dir=tmp_path / "d",
+            # Interval high enough that the delta lives only in the WAL.
+            ingest_config=IngestConfig(checkpoint_interval=100),
+        )
+        store.submit(make_delta(fig1_corpus))
+        epoch = store.refresh_now().epoch
+        # No close(): simulate a crash; state must come back from WAL.
+        recovered = SnapshotStore(
+            fig1_corpus,
+            domain_seed_words=DOMAIN_VOCABULARIES,
+            durable_dir=tmp_path / "d",
+            ingest_config=IngestConfig(checkpoint_interval=100),
+        )
+        assert recovered.snapshot.epoch == epoch
+        recovered.close()

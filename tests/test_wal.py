@@ -1,0 +1,216 @@
+"""Tests for the write-ahead delta log."""
+
+import pytest
+
+from repro.core import CorpusDelta
+from repro.data import Blogger, Comment, Link, Post
+from repro.errors import IngestError, WalCorruptionError
+from repro.ingest import WriteAheadLog, decode_record, encode_record
+from repro.obs import Instrumentation
+
+
+def delta(seq: int) -> CorpusDelta:
+    comments = ()
+    links = ()
+    if seq > 1:
+        comments = (Comment(f"c-{seq}", f"p-{seq - 1}", f"b-{seq}",
+                            text=f"note {seq} éé", created_day=seq),)
+        links = (Link(f"b-{seq}", f"b-{seq - 1}", 0.1 * seq + 0.3),)
+    return CorpusDelta(
+        bloggers=(Blogger(f"b-{seq}", name=f"B {seq}",
+                          profile_text="writes\nabout things",
+                          joined_day=seq),),
+        posts=(Post(f"p-{seq}", f"b-{seq}", title=f"t {seq}",
+                    body=f"body {seq}", created_day=seq),),
+        comments=comments,
+        links=links,
+    )
+
+
+class TestRecordCodec:
+    def test_roundtrip(self):
+        original = CorpusDelta(
+            bloggers=(Blogger("b", name="N", profile_text="tex t",
+                              joined_day=3),),
+            posts=(Post("p", "b", title="T", body="B", created_day=4),),
+            comments=(Comment("c", "p", "b", text="x", created_day=5),),
+            links=(Link("b", "b2", 0.30000000000000004),),
+        )
+        seq, decoded = decode_record(encode_record(17, original).rstrip(b"\n"))
+        assert seq == 17
+        assert decoded == original
+        # Float link weights survive bit-for-bit.
+        assert decoded.links[0].weight == 0.30000000000000004
+
+    def test_checksum_detects_flip(self):
+        line = encode_record(1, delta(1)).rstrip(b"\n")
+        flipped = line[:-5] + bytes([line[-5] ^ 0x01]) + line[-4:]
+        with pytest.raises(WalCorruptionError, match="checksum"):
+            decode_record(flipped)
+
+    def test_framing_damage(self):
+        with pytest.raises(WalCorruptionError, match="framing"):
+            decode_record(b"xx")
+        with pytest.raises(WalCorruptionError, match="checksum|framing"):
+            decode_record(b"zzzzzzzz {}")
+
+    def test_invalid_seq_rejected(self):
+        import json
+        import zlib
+
+        body = json.dumps({"seq": 0, "delta": {
+            "bloggers": [], "posts": [], "comments": [], "links": []
+        }}, separators=(",", ":")).encode()
+        line = b"%08x " % (zlib.crc32(body) & 0xFFFFFFFF) + body
+        with pytest.raises(WalCorruptionError, match="invalid seq"):
+            decode_record(line)
+
+
+class TestAppendReplay:
+    def test_append_assigns_contiguous_seqs(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            assert [wal.append(delta(i)) for i in range(1, 5)] == [1, 2, 3, 4]
+            assert wal.last_seq == 4
+        replayed = list(WriteAheadLog(tmp_path).replay())
+        assert [seq for seq, _ in replayed] == [1, 2, 3, 4]
+        assert replayed[2][1] == delta(3)
+
+    def test_replay_after_seq_filters(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            for i in range(1, 6):
+                wal.append(delta(i))
+        assert [s for s, _ in WriteAheadLog(tmp_path).replay(after_seq=3)] \
+            == [4, 5]
+
+    def test_fsync_policies(self, tmp_path):
+        instr = Instrumentation.enabled()
+        with WriteAheadLog(tmp_path / "always", fsync="always",
+                           instrumentation=instr) as wal:
+            for i in range(1, 4):
+                wal.append(delta(i))
+        always = instr.metrics.counter(
+            "repro_ingest_wal_fsyncs_total", ""
+        ).value
+        assert always == 3
+
+        instr2 = Instrumentation.enabled()
+        with WriteAheadLog(tmp_path / "never", fsync="never",
+                           instrumentation=instr2) as wal:
+            for i in range(1, 4):
+                wal.append(delta(i))
+        assert instr2.metrics.counter(
+            "repro_ingest_wal_fsyncs_total", ""
+        ).value == 0
+
+        instr3 = Instrumentation.enabled()
+        with WriteAheadLog(tmp_path / "batch", fsync="batch",
+                           fsync_interval=2, instrumentation=instr3) as wal:
+            for i in range(1, 6):
+                wal.append(delta(i))
+        # 5 appends at interval 2 -> fsyncs at 2 and 4, plus one on close.
+        assert instr3.metrics.counter(
+            "repro_ingest_wal_fsyncs_total", ""
+        ).value == 3
+
+    def test_bad_policy_rejected(self, tmp_path):
+        with pytest.raises(IngestError, match="fsync"):
+            WriteAheadLog(tmp_path, fsync="sometimes")
+        with pytest.raises(IngestError, match="fsync_interval"):
+            WriteAheadLog(tmp_path, fsync_interval=0)
+
+
+class TestTornTail:
+    def test_torn_final_record_truncated_on_open(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            for i in range(1, 4):
+                wal.append(delta(i))
+        segment = sorted(tmp_path.glob("wal-*.log"))[-1]
+        torn = encode_record(4, delta(4))[: 20]
+        with segment.open("ab") as handle:
+            handle.write(torn)
+
+        wal = WriteAheadLog(tmp_path)
+        assert wal.last_seq == 3  # the torn 4 was discarded
+        assert wal.append(delta(4)) == 4
+        assert [s for s, _ in wal.replay()] == [1, 2, 3, 4]
+        wal.close()
+
+    def test_unterminated_garbage_tail_truncated(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(delta(1))
+        segment = sorted(tmp_path.glob("wal-*.log"))[-1]
+        with segment.open("ab") as handle:
+            handle.write(b"\xff\xfegarbage with no newline")
+        assert WriteAheadLog(tmp_path).last_seq == 1
+
+    def test_midlog_damage_is_fatal(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            for i in range(1, 4):
+                wal.append(delta(i))
+        segment = sorted(tmp_path.glob("wal-*.log"))[-1]
+        lines = segment.read_bytes().splitlines(keepends=True)
+        lines[1] = b"00000000 {}\n"  # damage the middle record
+        segment.write_bytes(b"".join(lines))
+        with pytest.raises(WalCorruptionError, match="valid records after"):
+            WriteAheadLog(tmp_path)
+
+    def test_seq_gap_is_fatal(self, tmp_path):
+        segment = tmp_path / "wal-00000001.log"
+        segment.write_bytes(
+            encode_record(1, delta(1)) + encode_record(3, delta(3))
+        )
+        with pytest.raises(WalCorruptionError, match="jumps"):
+            WriteAheadLog(tmp_path)
+
+
+class TestSegments:
+    def test_rotate_starts_new_segment(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append(delta(1))
+        wal.append(delta(2))
+        wal.rotate()
+        wal.append(delta(3))
+        names = [p.name for p in wal.segments()]
+        assert names == ["wal-00000001.log", "wal-00000003.log"]
+        assert [s for s, _ in wal.replay()] == [1, 2, 3]
+        wal.close()
+
+    def test_truncate_upto_removes_covered_segments(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        for i in range(1, 7):
+            wal.append(delta(i))
+            if i % 2 == 0:
+                wal.rotate()
+        assert len(wal.segments()) == 3
+        assert wal.truncate_upto(4) == 2
+        assert [p.name for p in wal.segments()] == ["wal-00000005.log"]
+        assert [s for s, _ in wal.replay(after_seq=4)] == [5, 6]
+        # Nothing below the active segment left to remove.
+        assert wal.truncate_upto(6) == 0
+        wal.close()
+
+    def test_resume_after_truncation(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append(delta(1))
+        wal.append(delta(2))
+        wal.rotate()
+        wal.append(delta(3))
+        wal.append(delta(4))
+        wal.truncate_upto(4)
+        wal.close()
+        reopened = WriteAheadLog(tmp_path)
+        assert reopened.last_seq == 4
+        assert reopened.append(delta(5)) == 5
+        reopened.close()
+
+    def test_empty_tail_segment_carries_seq_in_name(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            for i in range(1, 5):
+                wal.append(delta(i))
+        # A rotation that never received an append leaves an empty
+        # segment; its name alone must preserve the sequence floor.
+        (tmp_path / "wal-00000005.log").touch()
+        reopened = WriteAheadLog(tmp_path)
+        assert reopened.last_seq == 4
+        assert reopened.append(delta(5)) == 5
+        reopened.close()

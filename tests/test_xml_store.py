@@ -129,3 +129,81 @@ class TestErrors:
         (tmp_path / "space-amery.xml").write_text("<space broken")
         with pytest.raises(XmlFormatError, match="invalid XML"):
             load_corpus(tmp_path)
+
+
+class TestCorruptionModes:
+    """Every distinct way stored data can rot maps to CorpusFormatError."""
+
+    def test_corpus_format_error_is_typed(self):
+        from repro.errors import CorpusFormatError, ReproError
+
+        assert issubclass(CorpusFormatError, XmlFormatError)
+        assert issubclass(CorpusFormatError, ReproError)
+
+    def test_truncated_space_file(self, fig1_corpus, tmp_path):
+        from repro.errors import CorpusFormatError
+
+        save_corpus(fig1_corpus, tmp_path)
+        target = tmp_path / "space-amery.xml"
+        content = target.read_text()
+        target.write_text(content[: len(content) // 2])
+        with pytest.raises(CorpusFormatError, match="invalid XML"):
+            load_corpus(tmp_path)
+
+    def test_duplicate_ids_across_space_files(self, fig1_corpus, tmp_path):
+        from repro.errors import CorpusFormatError
+
+        save_corpus(fig1_corpus, tmp_path)
+        index = tmp_path / "index.xml"
+        doc = ET.fromstring(index.read_text())
+        first = doc.find("space")
+        ET.SubElement(doc, "space",
+                      {"id": first.get("id"), "file": first.get("file")})
+        index.write_text(ET.tostring(doc, encoding="unicode"))
+        with pytest.raises(CorpusFormatError,
+                           match="stored corpus data is invalid"):
+            load_corpus(tmp_path)
+
+    def test_dangling_reference_inside_store(self, fig1_corpus, tmp_path):
+        from repro.errors import CorpusFormatError
+
+        save_corpus(fig1_corpus, tmp_path)
+        target = tmp_path / "space-amery.xml"
+        space = ET.fromstring(target.read_text())
+        links = space.find("links")
+        ET.SubElement(links, "link", {"to": "nobody-anywhere"})
+        target.write_text(ET.tostring(space, encoding="unicode"))
+        with pytest.raises(CorpusFormatError,
+                           match="stored corpus data is invalid"):
+            load_corpus(tmp_path)
+
+    def test_invalid_entity_data(self, fig1_corpus, tmp_path):
+        from repro.errors import CorpusFormatError
+
+        save_corpus(fig1_corpus, tmp_path)
+        target = tmp_path / "space-amery.xml"
+        space = ET.fromstring(target.read_text())
+        space.find("profile").set("joined-day", "-5")
+        target.write_text(ET.tostring(space, encoding="unicode"))
+        with pytest.raises(CorpusFormatError,
+                           match="stored corpus data is invalid"):
+            load_corpus(tmp_path)
+
+    def test_loads_duplicate_post_across_spaces(self, fig1_corpus):
+        from repro.errors import CorpusFormatError
+
+        doc = ET.fromstring(dumps_corpus(fig1_corpus))
+        spaces = doc.findall("space")
+        dup = spaces[0].find("posts").find("post")
+        spaces[1].find("posts").append(dup)
+        with pytest.raises(CorpusFormatError,
+                           match="stored corpus data is invalid"):
+            loads_corpus(ET.tostring(doc, encoding="unicode"))
+
+    def test_catching_xml_format_error_still_works(self, fig1_corpus,
+                                                   tmp_path):
+        """Pre-hardening callers that catch XmlFormatError keep working."""
+        save_corpus(fig1_corpus, tmp_path)
+        (tmp_path / "space-amery.xml").write_text("<space broken")
+        with pytest.raises(XmlFormatError):
+            load_corpus(tmp_path)
