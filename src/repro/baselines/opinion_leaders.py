@@ -21,6 +21,7 @@ from repro.core.novelty import LexiconNoveltyDetector, NoveltyDetector
 from repro.data.corpus import BlogCorpus
 from repro.errors import ConvergenceError, ParameterError
 from repro.graph.influence_graph import combined_graph
+from repro.graph.pagerank import personalized_pagerank
 
 __all__ = ["OpinionLeaderBaseline"]
 
@@ -71,32 +72,22 @@ class OpinionLeaderBaseline(BloggerRanker):
 
     def score_bloggers(self, corpus: BlogCorpus) -> dict[str, float]:
         graph = combined_graph(corpus)
-        nodes = graph.nodes()
-        if not nodes:
+        if not graph.nodes():
             return {}
         teleport = self._teleport(corpus)
-        scores = dict(teleport)
-        out_weight = {node: graph.out_degree(node, weighted=True) for node in nodes}
-        dangling = [node for node in nodes if out_weight[node] == 0.0]
-
-        for _ in range(self._max_iterations):
-            dangling_mass = sum(scores[node] for node in dangling)
-            next_scores = {
-                node: (1.0 - self._damping) * teleport[node]
-                + self._damping * dangling_mass * teleport[node]
-                for node in nodes
-            }
-            for source in nodes:
-                total = out_weight[source]
-                if total == 0.0:
-                    continue
-                share = self._damping * scores[source] / total
-                for target, weight in graph.successors(source).items():
-                    next_scores[target] += share * weight
-            residual = sum(abs(next_scores[node] - scores[node]) for node in nodes)
-            scores = next_scores
-            if residual < self._tolerance:
-                return scores
-        raise ConvergenceError(
-            f"InfluenceRank did not converge in {self._max_iterations} iterations"
+        # One shared power iteration — including the dangling-node
+        # redistribution — lives in graph.pagerank; only the teleport
+        # distribution and the error message are InfluenceRank's own.
+        result = personalized_pagerank(
+            graph,
+            teleport,
+            damping=self._damping,
+            tolerance=self._tolerance,
+            max_iterations=self._max_iterations,
         )
+        if not result.converged:
+            raise ConvergenceError(
+                f"InfluenceRank did not converge in "
+                f"{self._max_iterations} iterations"
+            )
+        return result.scores

@@ -17,7 +17,9 @@ subcommand over an XML data directory:
 
 ``--alpha`` / ``--beta`` reproduce the demo toolbar on every analysis
 command; ``--solver-backend`` selects the fixed-point implementation
-(``reference`` dict sweeps or the compiled ``sparse`` backend).
+(``reference`` dict sweeps, the compiled ``sparse`` backend, or the
+shard-``parallel`` pipeline tuned with ``--num-workers`` and
+``--shard-count``).
 """
 
 from __future__ import annotations
@@ -48,11 +50,41 @@ def _add_toolbar(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--beta", type=float, default=0.6,
                         help="quality vs comment weight (paper default 0.6)")
     parser.add_argument("--solver-backend",
-                        choices=("reference", "sparse", "auto"),
+                        choices=("reference", "sparse", "parallel", "auto"),
                         default="auto",
                         help="fixed-point implementation: the dict-based "
                              "reference solver, the compiled sparse solver, "
-                             "or auto (default: sparse)")
+                             "the shard-parallel solver, or auto "
+                             "(default: sparse)")
+    parser.add_argument("--num-workers", type=int, default=0,
+                        help="worker processes for --solver-backend "
+                             "parallel; 0 resolves from "
+                             "REPRO_PARALLEL_WORKERS or the CPU count")
+    parser.add_argument("--shard-count", type=_shard_count_arg,
+                        default="auto",
+                        help="row shards for --solver-backend parallel: "
+                             "a positive int or 'auto' (default)")
+
+
+def _shard_count_arg(text: str) -> int | str:
+    if text.strip().lower() == "auto":
+        return "auto"
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {text!r}"
+        ) from None
+
+
+def _toolbar_params(args: argparse.Namespace) -> MassParameters:
+    return MassParameters(
+        alpha=args.alpha,
+        beta=args.beta,
+        solver_backend=args.solver_backend,
+        num_workers=args.num_workers,
+        shard_count=args.shard_count,
+    )
 
 
 def _add_data(parser: argparse.ArgumentParser) -> None:
@@ -85,12 +117,10 @@ def _instrumentation(args: argparse.Namespace) -> Instrumentation | None:
 
 
 def _system(args: argparse.Namespace) -> MassSystem:
-    params = MassParameters(
-        alpha=args.alpha,
-        beta=args.beta,
-        solver_backend=args.solver_backend,
+    system = MassSystem(
+        params=_toolbar_params(args),
+        instrumentation=_instrumentation(args),
     )
-    system = MassSystem(params=params, instrumentation=_instrumentation(args))
     system.load_dataset(args.data)
     return system
 
@@ -467,11 +497,7 @@ def _cmd_discover(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import ServiceConfig, SnapshotStore, create_server
 
-    params = MassParameters(
-        alpha=args.alpha,
-        beta=args.beta,
-        solver_backend=args.solver_backend,
-    )
+    params = _toolbar_params(args)
     corpus = load_corpus(args.data)
     # /metrics is part of the API, so the service always records even
     # without --metrics-out.
@@ -561,11 +587,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     from repro.serve import InfluenceSnapshot
     from repro.synth import DOMAIN_VOCABULARIES
 
-    params = MassParameters(
-        alpha=args.alpha,
-        beta=args.beta,
-        solver_backend=args.solver_backend,
-    )
+    params = _toolbar_params(args)
     classifier = NaiveBayesClassifier.from_seed_vocabulary(
         DOMAIN_VOCABULARIES
     )

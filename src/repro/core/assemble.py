@@ -288,6 +288,11 @@ class AssemblyCache:
         self._stale = False
         self.last_mode: str = ""
         self.last_dirty_rows = 0
+        self.last_dirty_row_ids: set[int] = set()
+        # Opaque slot for the parallel backend's cross-solve shard-plan
+        # cache (a repro.core.parallel.ShardPlanCache); kept untyped so
+        # assemble stays import-light.
+        self.shard_plan = None
 
     # ------------------------------------------------------------------
     def note_delta(
@@ -347,6 +352,7 @@ class AssemblyCache:
                                       quality, gl)
             self.last_mode = "cold"
             self.last_dirty_rows = compiled.num_bloggers
+            self.last_dirty_row_ids = set(range(compiled.num_bloggers))
         self._compiled = compiled
         self._params = params
         self._num_comments = len(corpus.comments)
@@ -451,6 +457,7 @@ class AssemblyCache:
         col_idx = array("q")
         weights = array("d")
         recomputed = 0
+        recomputed_rows: set[int] = set()
         for row, blogger_id in enumerate(blogger_ids):
             if row < old.num_bloggers and row not in dirty_rows:
                 start, end = old.row_ptr[row], old.row_ptr[row + 1]
@@ -458,6 +465,7 @@ class AssemblyCache:
                 weights.extend(old.weights[start:end])
             else:
                 recomputed += 1
+                recomputed_rows.add(row)
                 if use_citation:
                     for post in sorted(
                         corpus.posts_by(blogger_id), key=lambda p: p.post_id
@@ -473,6 +481,7 @@ class AssemblyCache:
             params, blogger_ids, gl, post_author, post_quality, post_sf_sum,
         )
         self.last_dirty_rows = recomputed
+        self.last_dirty_row_ids = recomputed_rows
         _LOG.debug(
             "dirty-row refresh: %d/%d rows re-assembled, %d dirty posts",
             recomputed, len(blogger_ids), len(dirty_posts),

@@ -13,12 +13,14 @@ is a cheap weighted sum.
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter
 from collections.abc import Mapping, MutableMapping
 from dataclasses import dataclass
 
 from repro.core.parameters import MassParameters
 from repro.data.corpus import BlogCorpus
+from repro.errors import DegenerateCitationWarning
 from repro.nlp.sentiment import Sentiment, SentimentClassifier
 
 __all__ = ["CommentTerm", "CommentModel"]
@@ -35,7 +37,15 @@ class CommentTerm:
 
     @property
     def citation_weight(self) -> float:
-        """SF / TC — the multiplier applied to the commenter's influence."""
+        """SF / TC — the multiplier applied to the commenter's influence.
+
+        A degenerate TC ≤ 0 (impossible through the validated corpus
+        path, reachable through external mutation) contributes no
+        citation mass rather than dividing by zero.  Every backend
+        consumes this property, so the drop rule is applied uniformly.
+        """
+        if self.total_comments <= 0:
+            return 0.0
         return self.sf / self.total_comments
 
 
@@ -97,6 +107,14 @@ class CommentModel:
                 else:
                     sf = params.sentiment_factor(sentiment)
                 total = corpus.total_comments_by(comment.commenter_id)
+                if total <= 0:
+                    warnings.warn(
+                        f"commenter {comment.commenter_id!r} of comment "
+                        f"{comment.comment_id!r} has TC={total}; its "
+                        "citation mass is dropped (SF/TC treated as 0)",
+                        DegenerateCitationWarning,
+                        stacklevel=2,
+                    )
                 terms.append(
                     CommentTerm(
                         comment.commenter_id,

@@ -52,7 +52,7 @@ DEFAULT_DOMAINS: tuple[str, ...] = (
 _LENGTH_NORMALIZATIONS = ("max", "log", "raw")
 _GL_METHODS = ("pagerank", "hits", "inlinks")
 _GL_NORMALIZATIONS = ("mean", "sum")
-_SOLVER_BACKENDS = ("reference", "sparse", "auto")
+_SOLVER_BACKENDS = ("reference", "sparse", "parallel", "auto")
 
 
 @dataclass(frozen=True, slots=True)
@@ -94,11 +94,24 @@ class MassParameters:
         ``"reference"`` (dict-of-dicts Jacobi, the paper-shaped code),
         ``"sparse"`` (corpus compiled once into flat CSR index arrays,
         then array sweeps — see :mod:`repro.core.assemble` and
-        :mod:`repro.core.sparse_solver`), or ``"auto"`` (the default:
-        resolves to ``"sparse"``; the sparse kernels pick numpy when it
-        is importable and fall back to pure-python ``array`` sweeps).
-        Both backends agree to 1e-9 — the equivalence suite in
-        ``tests/test_backend_equivalence.py`` enforces it.
+        :mod:`repro.core.sparse_solver`), ``"parallel"`` (the same
+        compiled system solved shard-by-shard with block-Jacobi sweeps
+        across a worker pool — see :mod:`repro.core.parallel`), or
+        ``"auto"`` (the default: resolves to ``"sparse"``; the sparse
+        kernels pick numpy when it is importable and fall back to
+        pure-python ``array`` sweeps).  All backends agree to 1e-9 —
+        the equivalence suites in ``tests/test_backend_equivalence.py``
+        and ``tests/test_parallel.py`` enforce it.
+    num_workers:
+        Worker count for the parallel backend.  ``0`` (the default)
+        resolves at solve time: the ``REPRO_PARALLEL_WORKERS``
+        environment variable if set, else ``os.cpu_count()``.  Ignored
+        by the other backends.
+    shard_count:
+        Row-shard count for the parallel backend: a positive int, or
+        ``"auto"`` (the default) for roughly four shards per worker.
+        Shards are clamped to the blogger count at solve time.  Ignored
+        by the other backends.
     include_self_comments:
         Whether a blogger commenting on their own post contributes to
         that post's CommentScore (default False).
@@ -120,6 +133,8 @@ class MassParameters:
     use_citation: bool = True
     use_novelty: bool = True
     solver_backend: str = "auto"
+    num_workers: int = 0
+    shard_count: int | str = "auto"
     include_self_comments: bool = False
     tolerance: float = 1e-10
     max_iterations: int = 500
@@ -157,6 +172,17 @@ class MassParameters:
             raise ParameterError(
                 f"solver_backend must be one of {_SOLVER_BACKENDS}, "
                 f"got {self.solver_backend!r}"
+            )
+        if not isinstance(self.num_workers, int) or self.num_workers < 0:
+            raise ParameterError(
+                f"num_workers must be an int >= 0, got {self.num_workers!r}"
+            )
+        if self.shard_count != "auto" and (
+            not isinstance(self.shard_count, int) or self.shard_count < 1
+        ):
+            raise ParameterError(
+                "shard_count must be 'auto' or an int >= 1, got "
+                f"{self.shard_count!r}"
             )
         if self.sentiment_mode not in ("discrete", "graded"):
             raise ParameterError(

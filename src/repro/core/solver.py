@@ -44,6 +44,12 @@ from dataclasses import dataclass
 from repro.core.assemble import AssemblyCache, compile_system
 from repro.core.comments import CommentModel
 from repro.core.novelty import NoveltyDetector
+from repro.core.parallel import (
+    ShardPlanCache,
+    parallel_solve,
+    resolve_num_workers,
+    resolve_shard_count,
+)
 from repro.core.parameters import MassParameters
 from repro.core.quality import QualityScorer
 from repro.core.sparse_solver import evaluate_posts, jacobi_solve
@@ -78,7 +84,7 @@ class InfluenceScores:
         Solver diagnostics (residual is the final L1 step size).
     backend:
         Which solver implementation produced the scores
-        (``"reference"`` or ``"sparse"``).
+        (``"reference"``, ``"sparse"``, or ``"parallel"``).
     """
 
     influence: dict[str, float]
@@ -234,9 +240,11 @@ class InfluenceSolver:
                 for post_id in sorted(corpus.posts)
             }
 
-        if backend == "sparse":
+        if backend in ("sparse", "parallel"):
             (influence, comment_scores, post_influence, ap, iterations,
-             converged, residual) = self._solve_sparse(gl, quality, initial)
+             converged, residual) = self._solve_sparse(
+                gl, quality, initial, parallel=(backend == "parallel")
+            )
         else:
             (influence, comment_scores, post_influence, ap, iterations,
              converged, residual) = self._solve_reference(
@@ -370,6 +378,7 @@ class InfluenceSolver:
         gl: dict[str, float],
         quality: dict[str, float],
         initial: dict[str, float] | None,
+        parallel: bool = False,
     ):
         params = self._params
         corpus = self._corpus
@@ -408,13 +417,18 @@ class InfluenceSolver:
             with tracer.span("iterate"), metrics.histogram(
                 "repro_solver_iterate_seconds", "Fixed-point iteration time"
             ).time():
-                solution = jacobi_solve(
-                    compiled,
-                    params.tolerance,
-                    params.max_iterations,
-                    initial=x0,
-                    on_iteration=_on_iteration,
-                )
+                if parallel:
+                    solution = self._run_parallel(
+                        compiled, x0, _on_iteration
+                    )
+                else:
+                    solution = jacobi_solve(
+                        compiled,
+                        params.tolerance,
+                        params.max_iterations,
+                        initial=x0,
+                        on_iteration=_on_iteration,
+                    )
 
             with tracer.span("scatter"), metrics.histogram(
                 "repro_solver_scatter_seconds",
@@ -430,6 +444,71 @@ class InfluenceSolver:
                 ap = dict(zip(compiled.blogger_ids, ap_list))
         return (influence, comment_scores, post_influence, ap,
                 solution.iterations, solution.converged, solution.residual)
+
+    def _run_parallel(self, compiled, x0, on_iteration):
+        """Dispatch to the shard-parallel pipeline and record telemetry.
+
+        The shard plan is cached across warm re-solves on the assembly
+        cache (when one is attached): a dirty-row refresh then reuses
+        the partition, and the ``repro_solver_shard_dirty`` gauge
+        reports how many shards the refresh actually touched.
+        """
+        params = self._params
+        metrics = self._instr.metrics
+        tracer = self._instr.tracer
+        workers = resolve_num_workers(params.num_workers)
+        shard_count = resolve_shard_count(
+            params.shard_count, compiled.num_bloggers, workers
+        )
+        plan = None
+        cache = self._assembly_cache
+        if cache is not None and shard_count:
+            if cache.shard_plan is None:
+                cache.shard_plan = ShardPlanCache()
+            plan, _ = cache.shard_plan.plan_for(compiled, shard_count)
+        solution = parallel_solve(
+            compiled,
+            params.tolerance,
+            params.max_iterations,
+            initial=x0,
+            num_workers=workers,
+            shard_count=shard_count,
+            plan=plan,
+            on_iteration=on_iteration,
+        )
+        plan = solution.plan
+        metrics.gauge(
+            "repro_solver_shard_count",
+            "Row shards of the last parallel solve",
+        ).set(plan.shard_count)
+        metrics.gauge(
+            "repro_solver_shard_workers",
+            "Worker count of the last parallel solve",
+        ).set(solution.num_workers)
+        dirty = plan.shard_count
+        if cache is not None and cache.last_mode == "refresh":
+            dirty = len(plan.dirty_shards(cache.last_dirty_row_ids))
+        metrics.gauge(
+            "repro_solver_shard_dirty",
+            "Shards holding dirty rows at the last (re)assembly",
+        ).set(dirty)
+        sweep_hist = metrics.histogram(
+            "repro_solver_shard_sweep_seconds",
+            "Cumulative sweep time per shard per solve",
+        )
+        for sid, seconds in enumerate(solution.shard_seconds):
+            sweep_hist.observe(seconds)
+            start, end = plan.bounds[sid]
+            with tracer.span("shard") as shard_span:
+                # The sweep itself ran on the pool; this span carries
+                # the per-shard telemetry, not the sweep duration.
+                shard_span.event(
+                    shard=sid,
+                    rows=end - start,
+                    mode=solution.mode,
+                    sweep_seconds=round(seconds, 6),
+                )
+        return solution
 
     # ------------------------------------------------------------------
     # Shared telemetry and convergence handling.

@@ -14,6 +14,21 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
+class ReproWarning(UserWarning):
+    """Base class for all warnings emitted by the repro library."""
+
+
+class DegenerateCitationWarning(ReproWarning):
+    """A counted comment has a commenter with zero total comments.
+
+    A valid corpus cannot produce this (the comment itself counts
+    toward its commenter's TC), but a corpus mutated outside the
+    validated delta path — e.g. a removal that orphans TC counts — can.
+    The model drops the citation mass (``SF/TC ≡ 0``) instead of
+    dividing by zero; this warning flags that the drop happened.
+    """
+
+
 class CorpusError(ReproError):
     """A blog corpus is structurally invalid.
 

@@ -18,11 +18,12 @@ from repro.graph.metrics import (
     reciprocity,
     summarize_network,
 )
-from repro.graph.pagerank import PageRankResult, pagerank
+from repro.graph.pagerank import PageRankResult, pagerank, personalized_pagerank
 
 __all__ = [
     "Digraph",
     "pagerank",
+    "personalized_pagerank",
     "PageRankResult",
     "hits",
     "HitsResult",

@@ -2,20 +2,28 @@
 
 The paper's General Links (GL) authority score "is similar to a webpage
 authority and PageRank"; this is the default GL backend.  The
-implementation is standard power iteration with uniform teleportation,
-weighted out-edge distribution, and dangling-mass redistribution, and
-it reports its own convergence so callers can distinguish "converged"
-from "hit the iteration cap".
+implementation is standard power iteration with weighted out-edge
+distribution and dangling-mass redistribution, and it reports its own
+convergence so callers can distinguish "converged" from "hit the
+iteration cap".
+
+:func:`personalized_pagerank` is the general routine — the teleport
+distribution is caller-supplied, and dangling mass is redistributed
+*by that same distribution*.  :func:`pagerank` is the uniform-teleport
+special case, and the opinion-leader baseline
+(:mod:`repro.baselines.opinion_leaders`) supplies its novelty-weighted
+teleport; both share this one dangling-node code path.
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
 
 from repro.errors import ConvergenceError, ParameterError
 from repro.graph.digraph import Digraph
 
-__all__ = ["PageRankResult", "pagerank"]
+__all__ = ["PageRankResult", "pagerank", "personalized_pagerank"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -51,28 +59,71 @@ def pagerank(
         If True, raise :class:`ConvergenceError` instead of returning a
         non-converged result.
     """
-    if not 0.0 <= damping < 1.0:
-        raise ParameterError(f"damping must be in [0, 1), got {damping}")
-    if tolerance <= 0:
-        raise ParameterError(f"tolerance must be > 0, got {tolerance}")
-    if max_iterations < 1:
-        raise ParameterError(f"max_iterations must be >= 1, got {max_iterations}")
-
+    _validate_controls(damping, tolerance, max_iterations)
     nodes = graph.nodes()
     if not nodes:
         return PageRankResult({}, 0, True, 0.0)
-    count = len(nodes)
-    uniform = 1.0 / count
-    scores = {node: uniform for node in nodes}
+    uniform = 1.0 / len(nodes)
+    result = personalized_pagerank(
+        graph,
+        {node: uniform for node in nodes},
+        damping=damping,
+        tolerance=tolerance,
+        max_iterations=max_iterations,
+    )
+    if strict and not result.converged:
+        raise ConvergenceError(
+            f"pagerank did not converge in {max_iterations} iterations "
+            f"(residual {result.residual:.3e} > tolerance {tolerance:.3e})"
+        )
+    return result
 
+
+def personalized_pagerank(
+    graph: Digraph,
+    teleport: Mapping[str, float],
+    damping: float = 0.85,
+    tolerance: float = 1e-10,
+    max_iterations: int = 200,
+    strict: bool = False,
+) -> PageRankResult:
+    """Power iteration with a caller-supplied teleport distribution.
+
+    ``teleport`` must cover every node with non-negative weight and a
+    positive total; it is used as given (no renormalization), both for
+    the restart term and for redistributing the mass parked on
+    dangling (zero-out-weight) nodes.  The walk starts *from* the
+    teleport distribution.  With a uniform teleport this computes
+    exactly :func:`pagerank` — operation-for-operation, so the two
+    entry points can never drift.
+    """
+    _validate_controls(damping, tolerance, max_iterations)
+    nodes = graph.nodes()
+    if not nodes:
+        return PageRankResult({}, 0, True, 0.0)
+    missing = [node for node in nodes if node not in teleport]
+    if missing:
+        raise ParameterError(
+            f"teleport distribution misses {len(missing)} node(s), "
+            f"e.g. {missing[0]!r}"
+        )
+    if any(teleport[node] < 0.0 for node in nodes):
+        raise ParameterError("teleport weights must be >= 0")
+    if sum(teleport[node] for node in nodes) <= 0.0:
+        raise ParameterError("teleport weights must have a positive sum")
+
+    scores = {node: teleport[node] for node in nodes}
     out_weight = {node: graph.out_degree(node, weighted=True) for node in nodes}
     dangling = [node for node in nodes if out_weight[node] == 0.0]
 
     residual = 0.0
     for iteration in range(1, max_iterations + 1):
         dangling_mass = sum(scores[node] for node in dangling)
-        base = (1.0 - damping) * uniform + damping * dangling_mass * uniform
-        next_scores = {node: base for node in nodes}
+        next_scores = {
+            node: (1.0 - damping) * teleport[node]
+            + damping * dangling_mass * teleport[node]
+            for node in nodes
+        }
         for source in nodes:
             total = out_weight[source]
             if total == 0.0:
@@ -87,7 +138,18 @@ def pagerank(
 
     if strict:
         raise ConvergenceError(
-            f"pagerank did not converge in {max_iterations} iterations "
-            f"(residual {residual:.3e} > tolerance {tolerance:.3e})"
+            f"personalized pagerank did not converge in {max_iterations} "
+            f"iterations (residual {residual:.3e} > tolerance {tolerance:.3e})"
         )
     return PageRankResult(scores, max_iterations, False, residual)
+
+
+def _validate_controls(
+    damping: float, tolerance: float, max_iterations: int
+) -> None:
+    if not 0.0 <= damping < 1.0:
+        raise ParameterError(f"damping must be in [0, 1), got {damping}")
+    if tolerance <= 0:
+        raise ParameterError(f"tolerance must be > 0, got {tolerance}")
+    if max_iterations < 1:
+        raise ParameterError(f"max_iterations must be >= 1, got {max_iterations}")

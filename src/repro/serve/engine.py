@@ -47,6 +47,26 @@ _LOG = get_logger("serve.engine")
 _CacheKey = tuple[str, tuple]
 
 
+def _canonical_weight_items(
+    weights: Mapping[str, float]
+) -> tuple[tuple[str, float], ...]:
+    """Sorted ``(domain, weight)`` pairs with normalized float values.
+
+    ``-0.0`` is folded to ``0.0``: the two compare equal but have
+    distinct reprs, so without the fold two semantically identical
+    queries could round-trip differently (and a negative zero would
+    leak into downstream validation messages).  Weight *validation*
+    stays with the snapshot — this helper only shapes the cache key.
+    """
+    items = []
+    for domain in sorted(weights):
+        weight = float(weights[domain])
+        if weight == 0.0:
+            weight = 0.0  # collapses -0.0 onto +0.0
+        items.append((domain, weight))
+    return tuple(items)
+
+
 class QueryResult:
     """One ranked answer, pinned to the epoch that produced it."""
 
@@ -229,9 +249,7 @@ class QueryEngine:
         """Eq. 5 composite-topic query with user-supplied domain weights."""
         self._check_k(k)
         snapshot = self._source.snapshot
-        canonical = tuple(
-            (domain, float(weights[domain])) for domain in sorted(weights)
-        )
+        canonical = _canonical_weight_items(weights)
         key = (snapshot.epoch, ("query", canonical, int(k), int(offset)))
         cached = self._cache_get(key)
         if cached is not None:

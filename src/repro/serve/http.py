@@ -97,6 +97,10 @@ class MassHttpServer(ThreadingHTTPServer):
             instrumentation=instrumentation,
         )
         self.started_at = time.time()
+        # Ages served by /healthz come from the monotonic clock: a
+        # wall-clock step (NTP) must not produce negative or inflated
+        # uptimes.  started_at stays wall-clock for human display.
+        self.started_monotonic = time.monotonic()
         self._inflight = 0
         self._inflight_lock = threading.Lock()
         metrics = instrumentation.metrics
@@ -263,11 +267,14 @@ class _Handler(BaseHTTPRequestHandler):
     def _handle_healthz(self) -> None:
         server = self.server
         snapshot = server.store.snapshot
+        now = time.monotonic()
         self._send_json(200, {
             "status": "ok",
             "epoch": snapshot.epoch,
-            "uptime_seconds": time.time() - server.started_at,
-            "snapshot_age_seconds": time.time() - snapshot.created_at,
+            "uptime_seconds": max(0.0, now - server.started_monotonic),
+            "snapshot_age_seconds": max(
+                0.0, now - snapshot.created_monotonic
+            ),
             "pending_deltas": server.store.pending_deltas,
             "corpus": snapshot.stats(),
             "domains": list(snapshot.domains),

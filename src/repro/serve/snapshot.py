@@ -50,6 +50,7 @@ class InfluenceSnapshot:
     __slots__ = (
         "_epoch",
         "_created_at",
+        "_created_monotonic",
         "_params_fingerprint",
         "_domains",
         "_domain_index",
@@ -66,6 +67,7 @@ class InfluenceSnapshot:
         *,
         epoch: str,
         created_at: float,
+        created_monotonic: float | None = None,
         params_fingerprint: str,
         domains: tuple[str, ...],
         blogger_ids: tuple[str, ...],
@@ -77,6 +79,10 @@ class InfluenceSnapshot:
     ) -> None:
         self._epoch = epoch
         self._created_at = created_at
+        self._created_monotonic = (
+            time.monotonic() if created_monotonic is None
+            else created_monotonic
+        )
         self._params_fingerprint = params_fingerprint
         self._domains = domains
         self._domain_index = {name: i for i, name in enumerate(domains)}
@@ -135,6 +141,7 @@ class InfluenceSnapshot:
         return cls(
             epoch=epoch,
             created_at=time.time(),
+            created_monotonic=time.monotonic(),
             params_fingerprint=params_fingerprint,
             domains=domains,
             blogger_ids=blogger_ids,
@@ -157,6 +164,17 @@ class InfluenceSnapshot:
     def created_at(self) -> float:
         """Wall-clock time the snapshot was compiled (``time.time()``)."""
         return self._created_at
+
+    @property
+    def created_monotonic(self) -> float:
+        """Monotonic-clock reading paired with :attr:`created_at`.
+
+        Age computations (``/healthz``) must use this, not the
+        wall-clock stamp: ``time.monotonic() - created_monotonic`` is
+        immune to NTP steps, which can drive ``time.time()`` deltas
+        negative.
+        """
+        return self._created_monotonic
 
     @property
     def params_fingerprint(self) -> str:

@@ -169,3 +169,64 @@ class TestGradedSentiment:
         assert all(
             term.sf == 0.5 for term in model.terms_for(post_id)
         )
+
+
+class TestDegenerateCitation:
+    """TC <= 0 is unreachable through validated ingestion (a comment
+    always counts toward its commenter's TC) but reachable through
+    external corpus mutation; the term must drop its citation mass
+    instead of dividing by zero, identically on every backend."""
+
+    def test_tc_zero_term_contributes_nothing(self):
+        from repro.core.comments import CommentTerm
+
+        term = CommentTerm("ghost", Sentiment.NEUTRAL, 0.5, 0)
+        assert term.citation_weight == 0.0
+        assert CommentTerm("ghost", Sentiment.NEUTRAL, 0.5, -3
+                           ).citation_weight == 0.0
+        assert CommentTerm("ghost", Sentiment.NEUTRAL, 0.5, 2
+                           ).citation_weight == 0.25
+
+    def test_tc_zero_emits_typed_warning(self, monkeypatch):
+        from repro.errors import DegenerateCitationWarning
+
+        corpus, post_id, _ = build_corpus()
+        real = corpus.total_comments_by
+        monkeypatch.setattr(
+            corpus, "total_comments_by",
+            lambda blogger_id: 0 if blogger_id == "fan" else real(blogger_id),
+        )
+        with pytest.warns(DegenerateCitationWarning, match="TC=0"):
+            model = CommentModel(corpus, MassParameters())
+        fan = next(
+            term for term in model.terms_for(post_id)
+            if term.commenter_id == "fan"
+        )
+        assert fan.total_comments == 0
+        assert fan.citation_weight == 0.0
+
+    def test_tc_zero_consistent_across_backends(self, monkeypatch):
+        import warnings
+
+        from repro.core import InfluenceSolver
+        from repro.errors import DegenerateCitationWarning
+
+        corpus, _, _ = build_corpus()
+        corpus.freeze()
+        real = corpus.total_comments_by
+        monkeypatch.setattr(
+            corpus, "total_comments_by",
+            lambda blogger_id: 0 if blogger_id == "fan" else real(blogger_id),
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegenerateCitationWarning)
+            reference = InfluenceSolver(
+                corpus, MassParameters(solver_backend="reference")
+            ).solve()
+            sparse = InfluenceSolver(
+                corpus, MassParameters(solver_backend="sparse")
+            ).solve()
+        for blogger_id, value in reference.influence.items():
+            assert sparse.influence[blogger_id] == pytest.approx(
+                value, abs=1e-9
+            )

@@ -210,3 +210,24 @@ class TestLoadShedding:
             server.shutdown()
             server.server_close()
             store.close()
+
+
+class TestHealthzAges:
+    def test_ages_present_and_non_negative(self, service):
+        _, body = get(service, "/healthz")
+        assert body["uptime_seconds"] >= 0.0
+        assert body["snapshot_age_seconds"] >= 0.0
+
+    def test_ages_survive_wall_clock_rewind(self, service, monkeypatch):
+        # The ages are computed from time.monotonic(); an NTP step (or
+        # any wall-clock rewind) must not push them negative or reset
+        # the uptime.  Simulate the rewind by yanking time.time back a
+        # day — the monotonic-based ages must keep increasing.
+        import time
+
+        _, before = get(service, "/healthz")
+        real_time = time.time
+        monkeypatch.setattr(time, "time", lambda: real_time() - 86400.0)
+        _, after = get(service, "/healthz")
+        assert after["uptime_seconds"] >= before["uptime_seconds"] >= 0.0
+        assert after["snapshot_age_seconds"] >= 0.0

@@ -103,3 +103,66 @@ class TestProperties:
         assert result.converged
         assert math.isclose(sum(result.scores.values()), 1.0, abs_tol=1e-6)
         assert all(value > 0 for value in result.scores.values())
+
+
+class TestPersonalizedParity:
+    """pagerank and personalized_pagerank share one power iteration —
+    including the dangling-node redistribution, which used to be
+    duplicated (and could drift) in the opinion-leader baseline."""
+
+    def dangling_graph(self) -> Digraph:
+        graph = Digraph()
+        graph.add_edges([("a", "b"), ("c", "b")])
+        graph.add_node("d")  # isolated and dangling
+        return graph
+
+    def test_uniform_teleport_is_exactly_pagerank(self):
+        from repro.graph import personalized_pagerank
+
+        graph = self.dangling_graph()
+        plain = pagerank(graph)
+        uniform = 1.0 / len(graph.nodes())
+        personalized = personalized_pagerank(
+            graph, {node: uniform for node in graph.nodes()}
+        )
+        # Operation-for-operation the same loop: exact equality, not
+        # approx — any float drift means the paths have diverged.
+        assert personalized.scores == plain.scores
+        assert personalized.iterations == plain.iterations
+        assert personalized.residual == plain.residual
+
+    def test_dangling_mass_follows_teleport(self):
+        from repro.graph import personalized_pagerank
+
+        graph = Digraph()
+        graph.add_edge("a", "b")  # b is dangling
+        result = personalized_pagerank(graph, {"a": 1.0, "b": 0.0})
+        assert result.converged
+        assert math.isclose(sum(result.scores.values()), 1.0)
+        assert result.scores["a"] > result.scores["b"]
+
+    def test_teleport_validation(self):
+        from repro.graph import personalized_pagerank
+
+        graph = chain()
+        nodes = graph.nodes()
+        with pytest.raises(ParameterError, match="misses"):
+            personalized_pagerank(graph, {"a": 1.0})
+        with pytest.raises(ParameterError, match=">= 0"):
+            personalized_pagerank(
+                graph, {node: -1.0 for node in nodes}
+            )
+        with pytest.raises(ParameterError, match="positive sum"):
+            personalized_pagerank(
+                graph, {node: 0.0 for node in nodes}
+            )
+
+    def test_strict_raises_on_nonconvergence(self):
+        from repro.graph import personalized_pagerank
+
+        uniform = 1.0 / 3
+        with pytest.raises(ConvergenceError, match="personalized"):
+            personalized_pagerank(
+                chain(), {node: uniform for node in chain().nodes()},
+                max_iterations=1, tolerance=1e-15, strict=True,
+            )

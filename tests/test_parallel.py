@@ -1,0 +1,420 @@
+"""Shard-parallel solve pipeline: partitioner, executors, equivalence.
+
+The parallel backend must reproduce the serial sparse sweep per row
+bit-for-bit; only the cross-shard residual reduction (ascending shard
+index) may differ in float association, so iteration counts are never
+asserted equal — scores are held to the same 1e-9 bound as the other
+backend pairs, and to exact equality whenever the counts happen to
+agree.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    CorpusDelta,
+    IncrementalAnalyzer,
+    InfluenceSolver,
+    MassModel,
+    MassParameters,
+)
+from repro.core.assemble import compile_system
+from repro.core.parallel import (
+    default_row_weights,
+    parallel_solve,
+    plan_shards,
+    resolve_num_workers,
+    resolve_shard_count,
+)
+from repro.core.solver import compute_gl_scores
+from repro.core.sparse_solver import jacobi_solve
+from repro.data import Comment, CorpusBuilder
+from repro.errors import ParameterError, ReproError
+from repro.nlp import NaiveBayesClassifier
+from repro.synth import DOMAIN_VOCABULARIES
+from tests.test_backend_equivalence import (
+    KERNELS,
+    PARAM_GRID,
+    TOL,
+    assert_scores_match,
+)
+from tests.test_golden import CASES, GOLDEN_DIR, scores_to_dict
+from tests.test_properties import corpora
+
+MODES = ["serial", "thread", "process"]
+
+
+@pytest.fixture(scope="module")
+def classifier():
+    return NaiveBayesClassifier.from_seed_vocabulary(DOMAIN_VOCABULARIES)
+
+
+def compile_for(corpus, params=None):
+    """Compile a corpus into CSR arrays the way the solver does."""
+    params = params or MassParameters()
+    solver = InfluenceSolver(corpus, params)
+    gl = compute_gl_scores(corpus, params)
+    quality = {
+        post_id: solver._quality_scorer.score(corpus.post(post_id))
+        for post_id in sorted(corpus.posts)
+    }
+    return compile_system(corpus, params, solver.comment_model, quality, gl)
+
+
+def solve_parallel(corpus, params, kernel, monkeypatch, initial=None):
+    monkeypatch.setenv("REPRO_SPARSE_KERNEL", kernel)
+    scores = InfluenceSolver(
+        corpus,
+        params.with_overrides(
+            solver_backend="parallel", num_workers=2, shard_count=3
+        ),
+    ).solve(initial=initial)
+    assert scores.backend == "parallel"
+    return scores
+
+
+class TestPartitioner:
+    def test_covers_all_rows_contiguously(self):
+        plan = plan_shards([1.0] * 10, 3)
+        assert plan.num_rows == 10
+        assert plan.bounds[0][0] == 0
+        assert plan.bounds[-1][1] == 10
+        for (_, prev_end), (start, end) in zip(plan.bounds, plan.bounds[1:]):
+            assert start == prev_end
+        assert all(end > start for start, end in plan.bounds)
+
+    def test_deterministic(self):
+        weights = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        assert plan_shards(weights, 3) == plan_shards(weights, 3)
+
+    def test_clamps_shard_count_to_rows(self):
+        assert plan_shards([1.0, 1.0], 8).shard_count == 2
+        assert plan_shards([2.0], 4).bounds == ((0, 1),)
+
+    def test_balances_by_weight(self):
+        # Post-heavy rows up front: the split must land on equal halves
+        # of total weight, not equal row counts.
+        plan = plan_shards([5.0, 1.0, 1.0, 1.0, 5.0, 1.0, 1.0, 1.0], 2)
+        assert plan.bounds == ((0, 4), (4, 8))
+        assert plan.weights == (8.0, 8.0)
+
+    def test_shard_of_and_dirty_shards(self):
+        plan = plan_shards([1.0] * 9, 3)
+        for shard, (start, end) in enumerate(plan.bounds):
+            for row in range(start, end):
+                assert plan.shard_of(row) == shard
+        assert plan.dirty_shards([0, 8]) == {0, plan.shard_count - 1}
+        # Rows outside the plan (relabeled away) are ignored, not errors.
+        assert plan.dirty_shards([-3, 99]) == set()
+
+    def test_default_row_weights_count_posts(self, fig1_corpus):
+        compiled = compile_for(fig1_corpus)
+        weights = default_row_weights(compiled)
+        assert len(weights) == compiled.num_bloggers
+        assert all(weight >= 1.0 for weight in weights)
+        assert sum(weights) == compiled.num_bloggers + len(fig1_corpus.posts)
+
+
+class TestResolution:
+    def test_shard_count_auto_scales_with_workers(self):
+        assert resolve_shard_count("auto", 100, 2) == 8
+        assert resolve_shard_count("auto", 3, 2) == 3
+
+    def test_shard_count_explicit_clamped(self):
+        assert resolve_shard_count(5, 3, 2) == 3
+        assert resolve_shard_count(1, 100, 4) == 1
+
+    def test_workers_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "7")
+        assert resolve_num_workers(3) == 3
+
+    def test_workers_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "2")
+        assert resolve_num_workers(0) == 2
+
+    def test_workers_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "zebra")
+        with pytest.raises(ReproError):
+            resolve_num_workers(0)
+
+    def test_params_validate_new_fields(self):
+        with pytest.raises(ParameterError):
+            MassParameters(num_workers=-1)
+        with pytest.raises(ParameterError):
+            MassParameters(shard_count=0)
+        with pytest.raises(ParameterError):
+            MassParameters(shard_count="many")
+
+
+class TestDirectModes:
+    """parallel_solve against jacobi_solve on the same compiled system."""
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("mode", MODES)
+    def test_mode_matches_serial_sweep(self, fig1_corpus, mode, kernel,
+                                       monkeypatch):
+        monkeypatch.setenv("REPRO_SPARSE_KERNEL", kernel)
+        params = MassParameters()
+        compiled = compile_for(fig1_corpus, params)
+        serial = jacobi_solve(
+            compiled, params.tolerance, params.max_iterations
+        )
+        solution = parallel_solve(
+            compiled, params.tolerance, params.max_iterations,
+            kernel=kernel, num_workers=2, shard_count=3, mode=mode,
+        )
+        assert solution.converged
+        assert solution.mode == mode
+        assert solution.plan.shard_count == 3
+        assert len(solution.shard_seconds) == 3
+        for got, want in zip(solution.influence, serial.influence):
+            assert got == pytest.approx(want, abs=TOL)
+        if solution.iterations == serial.iterations:
+            # Same sweep count -> per-row bit-identical, not just close.
+            assert solution.influence == list(serial.influence)
+
+    def test_on_iteration_reports_merged_residuals(self, fig1_corpus):
+        params = MassParameters()
+        compiled = compile_for(fig1_corpus, params)
+        seen = []
+        solution = parallel_solve(
+            compiled, params.tolerance, params.max_iterations,
+            num_workers=2, shard_count=3, mode="serial",
+            on_iteration=lambda i, r: seen.append((i, r)),
+        )
+        assert [i for i, _ in seen] == list(range(1, solution.iterations + 1))
+        assert seen[-1][1] == solution.residual
+        assert all(r >= 0.0 for _, r in seen)
+
+    def test_plan_row_mismatch_rejected(self, fig1_corpus):
+        params = MassParameters()
+        compiled = compile_for(fig1_corpus, params)
+        wrong = plan_shards([1.0] * (compiled.num_bloggers + 1), 2)
+        with pytest.raises(ReproError, match="shard plan covers"):
+            parallel_solve(
+                compiled, params.tolerance, params.max_iterations,
+                plan=wrong,
+            )
+
+    def test_entry_free_system_closed_form(self):
+        # No cross-blogger comments -> nnz == 0 -> the constant term is
+        # the exact answer and no pool is ever spun up.
+        builder = CorpusBuilder()
+        builder.blogger("solo").blogger("other")
+        builder.post("solo", body="a quiet post about the harbour")
+        corpus = builder.build().freeze()
+        params = MassParameters()
+        compiled = compile_for(corpus, params)
+        assert compiled.nnz == 0
+        solution = parallel_solve(
+            compiled, params.tolerance, params.max_iterations,
+            num_workers=4, shard_count=8, mode="process",
+        )
+        assert solution.iterations == 0
+        assert solution.converged
+        assert solution.mode == "serial"
+        assert solution.num_workers == 0
+        assert solution.influence == list(compiled.constant)
+
+    def test_process_pool_tears_down(self, fig1_corpus):
+        params = MassParameters()
+        compiled = compile_for(fig1_corpus, params)
+        solution = parallel_solve(
+            compiled, params.tolerance, params.max_iterations,
+            num_workers=2, shard_count=4, mode="process",
+        )
+        assert solution.converged
+        assert multiprocessing.active_children() == []
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_tiny_corpus(self, tiny_corpus, kernel, monkeypatch):
+        corpus = tiny_corpus.freeze()
+        reference = InfluenceSolver(
+            corpus, MassParameters(solver_backend="reference")
+        ).solve()
+        assert_scores_match(
+            reference,
+            solve_parallel(corpus, MassParameters(), kernel, monkeypatch),
+        )
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("params", PARAM_GRID, ids=lambda p: "grid")
+    def test_fig1_parameter_grid(self, fig1_corpus, kernel, params,
+                                 monkeypatch):
+        reference = InfluenceSolver(
+            fig1_corpus, params.with_overrides(solver_backend="reference")
+        ).solve()
+        assert_scores_match(
+            reference,
+            solve_parallel(fig1_corpus, params, kernel, monkeypatch),
+        )
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_small_blogosphere_vs_sparse(self, small_blogosphere, kernel,
+                                         monkeypatch):
+        corpus, _ = small_blogosphere
+        monkeypatch.setenv("REPRO_SPARSE_KERNEL", kernel)
+        sparse = InfluenceSolver(
+            corpus, MassParameters(solver_backend="sparse")
+        ).solve()
+        assert_scores_match(
+            sparse,
+            solve_parallel(corpus, MassParameters(), kernel, monkeypatch),
+        )
+
+    def test_shard_count_exceeds_bloggers(self, fig1_corpus, monkeypatch):
+        reference = InfluenceSolver(
+            fig1_corpus, MassParameters(solver_backend="reference")
+        ).solve()
+        scores = InfluenceSolver(
+            fig1_corpus,
+            MassParameters(
+                solver_backend="parallel", num_workers=2, shard_count=64
+            ),
+        ).solve()
+        assert_scores_match(reference, scores)
+
+    def test_single_blogger(self, monkeypatch):
+        builder = CorpusBuilder()
+        builder.blogger("hermit")
+        post = builder.post("hermit", body="notes to myself " * 5)
+        builder.comment(post.post_id, "hermit", text="I agree with myself")
+        corpus = builder.build().freeze()
+        params = MassParameters(include_self_comments=True)
+        reference = InfluenceSolver(
+            corpus, params.with_overrides(solver_backend="reference")
+        ).solve()
+        assert_scores_match(
+            reference,
+            solve_parallel(corpus, params, KERNELS[0], monkeypatch),
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(corpus=corpora())
+    def test_parallel_matches_serial_on_random_corpora(self, corpus):
+        params = MassParameters()
+        compiled = compile_for(corpus, params)
+        serial = jacobi_solve(
+            compiled, params.tolerance, params.max_iterations
+        )
+        solution = parallel_solve(
+            compiled, params.tolerance, params.max_iterations,
+            num_workers=2, shard_count=3, mode="serial",
+        )
+        assert solution.converged == serial.converged
+        for got, want in zip(solution.influence, serial.influence):
+            assert got == pytest.approx(want, abs=TOL)
+
+
+class TestGoldenParallel:
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_parallel_matches_golden(self, name):
+        build_corpus, params = CASES[name]
+        scores = InfluenceSolver(
+            build_corpus(),
+            params.with_overrides(solver_backend="parallel", num_workers=2),
+        ).solve()
+        payload = scores_to_dict(scores)
+        expected = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+        for key, want in expected.items():
+            if key == "iterations":
+                # The cross-shard residual merge may shift the stopping
+                # sweep by one; the scores themselves may not move.
+                continue
+            got = payload[key]
+            if isinstance(want, dict):
+                assert got.keys() == want.keys(), f"{name}.{key} keys"
+                for entry, value in want.items():
+                    assert got[entry] == pytest.approx(value, abs=TOL), (
+                        f"{name}.{key}[{entry}] drifted"
+                    )
+            else:
+                assert got == want, f"{name}.{key} changed"
+
+
+class TestIncrementalParallel:
+    def make_hub_corpus(self):
+        """Four authors, one commenter touching every post.
+
+        Any delta that changes the hub commenter's TC dirties every
+        row that has entries — the all-shards-dirty worst case.
+        """
+        builder = CorpusBuilder()
+        for name in ("a", "b", "c", "d", "z"):
+            builder.blogger(name)
+        posts = [
+            builder.post(name, body=f"a long post about topic {name} " * 4)
+            for name in ("a", "b", "c", "d")
+        ]
+        for post in posts:
+            builder.comment(post.post_id, "z", text="I agree, wonderful")
+        return builder.build().freeze(), posts
+
+    def test_all_dirty_refresh_matches_cold_solve(self, classifier):
+        corpus, posts = self.make_hub_corpus()
+        params = MassParameters(
+            solver_backend="parallel", num_workers=2, shard_count=3
+        )
+        analyzer = IncrementalAnalyzer(classifier, params)
+        analyzer.fit(corpus)
+        cache = analyzer.assembly_cache
+        assert cache.last_mode == "cold"
+        assert cache.shard_plan is not None
+
+        delta = CorpusDelta(comments=[
+            Comment("extra-z", posts[0].post_id, "z",
+                    text="even more praise for this"),
+        ])
+        report = analyzer.apply(delta)
+        assert cache.last_mode == "refresh"
+        # z's TC changed, so every post z commented on was reweighted:
+        # all four author rows are dirty and every shard is touched.
+        assert len(cache.last_dirty_row_ids) >= 4
+
+        from repro.core.incremental import _copy_corpus
+
+        grown = _copy_corpus(corpus)
+        grown.extend(comments=delta.comments)
+        grown.freeze()
+        cold = MassModel(classifier=classifier, params=params).fit(grown)
+        for blogger_id, value in cold.general_scores().items():
+            assert report.general_scores()[blogger_id] == pytest.approx(
+                value, abs=1e-9
+            )
+
+    def test_shard_plan_reused_across_refreshes(self, classifier,
+                                                small_blogosphere):
+        corpus, _ = small_blogosphere
+        params = MassParameters(
+            solver_backend="parallel", num_workers=2, shard_count=4
+        )
+        analyzer = IncrementalAnalyzer(classifier, params)
+        analyzer.fit(corpus)
+        cache = analyzer.assembly_cache
+        first_plan = cache.shard_plan._plan
+
+        existing = corpus.blogger_ids()[0]
+        target = next(iter(sorted(corpus.posts)))
+        delta = CorpusDelta(comments=[
+            Comment("extra-00", target, existing, text="useful note"),
+        ])
+        report = analyzer.apply(delta)
+        assert cache.last_mode == "refresh"
+        # Same row count -> the cached partition is reused verbatim.
+        assert cache.shard_plan._plan is first_plan
+
+        cold = MassModel(
+            classifier=classifier,
+            params=MassParameters(solver_backend="sparse"),
+        ).fit(report.corpus)
+        for blogger_id, value in cold.general_scores().items():
+            assert report.general_scores()[blogger_id] == pytest.approx(
+                value, abs=1e-9
+            )

@@ -53,11 +53,14 @@ class TestErrorHierarchy:
     def test_every_error_derives_from_repro_error(self):
         for name in errors.__dict__:
             obj = getattr(errors, name)
-            if (
-                isinstance(obj, type)
-                and issubclass(obj, Exception)
-                and obj is not errors.ReproError
-            ):
+            if not (isinstance(obj, type) and issubclass(obj, Exception)):
+                continue
+            if issubclass(obj, Warning):
+                # Warnings have their own root so callers can filter
+                # them without also filtering hard errors.
+                if obj is not errors.ReproWarning:
+                    assert issubclass(obj, errors.ReproWarning), name
+            elif obj is not errors.ReproError:
                 assert issubclass(obj, errors.ReproError), name
 
     def test_catching_base_catches_all(self):

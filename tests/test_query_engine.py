@@ -138,3 +138,40 @@ class TestValidation:
     def test_bad_cache_size(self, snapshot):
         with pytest.raises(QueryError, match="cache_size"):
             QueryEngine(snapshot, cache_size=-1)
+
+
+class TestWeightCanonicalization:
+    """-0.0 compares equal to 0.0 but reprs differently; the engine
+    folds it at the cache-key boundary so semantically equal queries
+    share one entry and no negative zero leaks into error messages."""
+
+    def test_negative_zero_folds_to_positive_zero(self):
+        import math
+
+        from repro.serve.engine import _canonical_weight_items
+
+        folded = _canonical_weight_items({"Computer": -0.0})
+        assert folded == (("Computer", 0.0),)
+        assert math.copysign(1.0, folded[0][1]) == 1.0
+        assert repr(folded) == repr(_canonical_weight_items({"Computer": 0.0}))
+
+    def test_negative_zero_error_message_has_no_sign(self, engine):
+        # Zero weights are invalid either way; the message must show
+        # the canonical 0.0, not -0.0.
+        with pytest.raises(QueryError, match="got 0.0"):
+            engine.query({"Computer": -0.0, "Economics": 1.0}, 3)
+
+    def test_equivalent_spellings_share_cache_entry(self, engine):
+        first = engine.query({"Computer": 1, "Economics": 2}, 3)
+        assert not first.cached
+        again = engine.query({"Economics": 2.0, "Computer": 1.0}, 3)
+        assert again.cached
+        assert again.results == first.results
+
+    def test_rejected_query_does_not_poison_cache(self, engine):
+        with pytest.raises(QueryError):
+            engine.query({"Computer": -0.0, "Economics": 1.0}, 3)
+        entries_before = engine.cache_info["entries"]
+        with pytest.raises(QueryError):
+            engine.query({"Computer": 0.0, "Economics": 1.0}, 3)
+        assert engine.cache_info["entries"] == entries_before
