@@ -109,6 +109,13 @@ def _observability_parent() -> argparse.ArgumentParser:
     group.add_argument(
         "--trace-out", default=None, metavar="PATH",
         help="write the pipeline span tree as JSON on exit")
+    group.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="sample the process while the command runs and write "
+             "collapsed stacks (flamegraph input) on exit")
+    group.add_argument(
+        "--profile-interval", type=float, default=0.005, metavar="SECONDS",
+        help="sampling-profiler interval (default 0.005)")
     return parent
 
 
@@ -262,6 +269,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--durable-dir", default=None, metavar="DIR",
                        help="enable durable ingestion: WAL + checkpoints "
                             "under DIR, with crash recovery on startup")
+    serve.add_argument("--slo-config", default=None, metavar="PATH",
+                       help="JSON file of SLO objectives replacing the "
+                            "built-in serving defaults (see "
+                            "docs/observability.md)")
 
     ingest = subcommand(
         "ingest", help="durably ingest corpus deltas (WAL + checkpoints)"
@@ -519,7 +530,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_k=args.max_k,
         cache_size=args.cache_size,
     )
-    server = create_server(store, config, instr)
+    objectives = None
+    if args.slo_config:
+        from repro.obs import load_slo_config
+
+        objectives = load_slo_config(args.slo_config)
+    server = create_server(store, config, instr, slo_objectives=objectives)
     snapshot = store.snapshot
     print(f"serving {snapshot.stats()['bloggers']} bloggers "
           f"({len(snapshot.domains)} domains, epoch {snapshot.epoch[:12]}) "
@@ -697,11 +713,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code.
 
     The shared observability flags work on every subcommand:
-    ``--log-level`` configures the ``repro.*`` logger hierarchy, and
+    ``--log-level`` configures the ``repro.*`` logger hierarchy,
     ``--metrics-out`` / ``--trace-out`` turn on instrumentation and
     write the metrics snapshot / span tree as JSON when the command
     finishes (even if it fails, so a crashed run still leaves
-    telemetry behind).
+    telemetry behind), and ``--profile-out`` samples every thread for
+    the whole run and writes collapsed stacks on exit.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -709,15 +726,41 @@ def main(argv: Sequence[str] | None = None) -> int:
         configure_logging(args.log_level, json=args.log_json)
     instrument = bool(args.metrics_out or args.trace_out)
     args.instrumentation = Instrumentation.enabled() if instrument else None
+    profiler = None
+    if args.profile_out:
+        from repro.obs import SamplingProfiler
+
+        try:
+            profiler = SamplingProfiler(interval=args.profile_interval)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        profiler.start()
     code = 1
     try:
         code = _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
     finally:
+        if profiler is not None and not _write_profile(args, profiler):
+            code = code or 1
         if instrument and not _write_telemetry(args):
             code = code or 1
     return code
+
+
+def _write_profile(args: argparse.Namespace, profiler) -> bool:
+    """Stop the profiler and write collapsed stacks; False on failure."""
+    profiler.stop()
+    try:
+        profiler.write(args.profile_out)
+    except OSError as exc:
+        print(f"error: cannot write profile to {args.profile_out}: {exc}",
+              file=sys.stderr)
+        return False
+    _LOG.info("wrote %d profile samples to %s",
+              profiler.sample_count, args.profile_out)
+    return True
 
 
 def _write_telemetry(args: argparse.Namespace) -> bool:

@@ -455,6 +455,12 @@ class IncrementalAnalyzer:
                 "repro_incremental_dirty_rows",
                 "Rows re-assembled by the last dirty-row refresh",
             ).set(self._cache.last_dirty_rows)
+        self._instr.recorder.note(
+            "incremental-apply",
+            entities=delta.size(),
+            iterations=self._last_iterations,
+            saved=savings,
+        )
         _LOG.info(
             "applied delta of %d entities: %d warm-started iterations "
             "(cold fit took %d; saved %d)",

@@ -59,7 +59,7 @@ except ImportError:  # pragma: no cover - exercised via kernel forcing
 from repro.core.assemble import CompiledSystem
 from repro.core.sparse_solver import _resolve_kernel
 from repro.errors import ReproError
-from repro.obs import get_logger
+from repro.obs import current_trace, get_logger
 
 __all__ = [
     "ShardPlan",
@@ -344,6 +344,9 @@ class _SerialExecutor:
     """The shard schedule run in-process (also the 1-worker fast path)."""
 
     mode = "serial"
+    # In-process executors sweep on the driver's own threads, already
+    # inside the ambient trace — no remote spans to graft back.
+    worker_spans: tuple[dict[str, object], ...] = ()
 
     def __init__(
         self, compiled: CompiledSystem, plan: ShardPlan, kernel: str
@@ -448,6 +451,7 @@ def _process_worker(
     cmd_queue,
     result_queue,
     worker_id: int,
+    trace: dict[str, object] | None = None,
 ) -> None:
     """Worker loop: sweep my shards each time a buffer index arrives.
 
@@ -455,7 +459,17 @@ def _process_worker(
     compiled arrays are shared copy-on-write and the ``x`` double
     buffers are genuinely shared (``RawArray``).  ``None`` on the
     command queue is the shutdown sentinel.
+
+    Result messages are tagged tuples: ``("sweep", worker_id, parts)``
+    per sweep, and — on shutdown — one ``("span", worker_id, record)``
+    summarising this worker's lifetime under ``trace`` (the serialized
+    :class:`~repro.obs.TraceContext` of the originating request), which
+    the driver grafts back into the request's span tree.
     """
+    wall_start = time.time()
+    t_start = time.perf_counter()
+    sweeps = 0
+    busy_seconds = 0.0
     if kernel == "numpy":
         views = tuple(
             _np.frombuffer(raw, dtype=_np.float64) for raw in raw_buffers
@@ -478,13 +492,33 @@ def _process_worker(
     while True:
         src = cmd_queue.get()
         if src is None:
-            return
+            break
         parts = []
         for slot, sid in enumerate(shard_ids):
             t0 = time.perf_counter()
             residual = run(slot, src)
-            parts.append((sid, residual, time.perf_counter() - t0))
-        result_queue.put((worker_id, parts))
+            elapsed = time.perf_counter() - t0
+            busy_seconds += elapsed
+            parts.append((sid, residual, elapsed))
+        sweeps += 1
+        result_queue.put(("sweep", worker_id, parts))
+
+    record: dict[str, object] = {
+        "name": "shard-worker",
+        "duration": time.perf_counter() - t_start,
+        "wall_start": wall_start,
+        "worker_id": worker_id,
+        "shards": len(shard_ids),
+        "sweeps": sweeps,
+        "busy_seconds": round(busy_seconds, 6),
+    }
+    if trace:
+        record["trace_id"] = trace.get("trace_id")
+        record["parent_id"] = trace.get("span_id")
+    try:
+        result_queue.put(("span", worker_id, record))
+    except (OSError, ValueError):  # pragma: no cover - queue torn down
+        pass
 
 
 class _ProcessExecutor:
@@ -507,10 +541,12 @@ class _ProcessExecutor:
         plan: ShardPlan,
         kernel: str,
         num_workers: int,
+        trace: dict[str, object] | None = None,
     ) -> None:
         ctx = multiprocessing.get_context("fork")
         n = compiled.num_bloggers
         self._kernel = kernel
+        self.worker_spans: tuple[dict[str, object], ...] = ()
         self._raw = (
             ctx.RawArray("d", n),
             ctx.RawArray("d", n),
@@ -541,6 +577,7 @@ class _ProcessExecutor:
                     cmd_queue,
                     self._result_queue,
                     worker_id,
+                    trace,
                 ),
                 name=f"mass-shard-{worker_id}",
                 daemon=True,
@@ -560,9 +597,10 @@ class _ProcessExecutor:
         for cmd_queue in self._cmd_queues:
             cmd_queue.put(src)
         out: list[tuple[int, float, float]] = []
-        for _ in self._procs:
+        pending = len(self._procs)
+        while pending:
             try:
-                _, parts = self._result_queue.get(
+                tag, _, payload = self._result_queue.get(
                     timeout=self._SWEEP_TIMEOUT
                 )
             except _queue.Empty:
@@ -571,7 +609,10 @@ class _ProcessExecutor:
                     "parallel solver worker did not report a sweep "
                     f"within {self._SWEEP_TIMEOUT:.0f}s; pool torn down"
                 ) from None
-            out.extend(parts)
+            if tag != "sweep":  # pragma: no cover - shutdown race
+                continue
+            out.extend(payload)
+            pending -= 1
         return out
 
     def read(self, src: int) -> list[float]:
@@ -580,11 +621,26 @@ class _ProcessExecutor:
         return list(self._raw[src])
 
     def close(self) -> None:
+        if not self._procs:
+            return
         for cmd_queue in self._cmd_queues:
             try:
                 cmd_queue.put(None)
             except (OSError, ValueError):  # queue already torn down
                 pass
+        # Collect the per-worker lifetime spans BEFORE joining: each
+        # worker's final message must drain from the queue's feeder
+        # pipe for the process to exit cleanly.  Best effort — a wedged
+        # worker (the timeout path) simply yields no span.
+        spans: list[dict[str, object]] = []
+        for _ in self._procs:
+            try:
+                tag, _, payload = self._result_queue.get(timeout=2.0)
+            except _queue.Empty:  # pragma: no cover - wedged worker
+                break
+            if tag == "span":
+                spans.append(payload)
+        self.worker_spans = tuple(spans)
         for proc in self._procs:
             proc.join(timeout=5.0)
         for proc in self._procs:
@@ -600,11 +656,13 @@ class _ProcessExecutor:
 
 def _build_executor(
     compiled: CompiledSystem, plan: ShardPlan, kernel: str,
-    mode: str, num_workers: int,
+    mode: str, num_workers: int, trace: dict[str, object] | None = None,
 ):
     if mode == "process":
         try:
-            return _ProcessExecutor(compiled, plan, kernel, num_workers)
+            return _ProcessExecutor(
+                compiled, plan, kernel, num_workers, trace=trace
+            )
         except OSError as exc:  # pragma: no cover - fork denied (rare)
             _LOG.warning(
                 "process pool unavailable (%s); falling back to %s",
@@ -632,6 +690,10 @@ class ParallelSolution:
     num_workers: int
     plan: ShardPlan
     shard_seconds: tuple[float, ...]
+    # Lifetime records shipped back from forked workers (process mode
+    # only): plain dicts the caller grafts into its span tree via
+    # ``Tracer.adopt`` so shard work appears under the request's trace.
+    worker_spans: tuple[dict[str, object], ...] = ()
 
 
 def parallel_solve(
@@ -688,8 +750,12 @@ def parallel_solve(
         )
     workers = max(1, min(workers, plan.shard_count))
     resolved_mode = _resolve_mode(mode, kernel, workers)
+    # Serialize the ambient trace context for forked workers: their
+    # shutdown span reports re-enter the originating request's tree.
+    ambient = current_trace()
     executor = _build_executor(
-        compiled, plan, kernel, resolved_mode, workers
+        compiled, plan, kernel, resolved_mode, workers,
+        trace=ambient.to_dict() if ambient is not None else None,
     )
     try:
         x0 = list(compiled.constant) if initial is None else list(initial)
@@ -728,4 +794,5 @@ def parallel_solve(
         num_workers=executor.num_workers,
         plan=plan,
         shard_seconds=tuple(shard_seconds),
+        worker_spans=executor.worker_spans,
     )

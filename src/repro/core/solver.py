@@ -508,6 +508,20 @@ class InfluenceSolver:
                     mode=solution.mode,
                     sweep_seconds=round(seconds, 6),
                 )
+        # Graft the forked workers' lifetime spans (process mode ships
+        # one record per worker at pool shutdown) into this trace, so
+        # the request tree reaches all the way into the child
+        # processes' Jacobi sweeps.
+        for record in solution.worker_spans:
+            fields = dict(record)
+            tracer.adopt(
+                str(fields.pop("name", "shard-worker")),
+                duration=float(fields.pop("duration", 0.0)),
+                wall_start=fields.pop("wall_start", None),
+                trace_id=fields.pop("trace_id", None),
+                parent_id=fields.pop("parent_id", None),
+                **fields,
+            )
         return solution
 
     # ------------------------------------------------------------------

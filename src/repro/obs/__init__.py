@@ -1,26 +1,44 @@
-"""Observability for MASS: metrics, tracing, structured logging.
+"""Observability for MASS: metrics, tracing, logging, correlation.
 
 Stdlib-only instrumentation threaded through every pipeline layer
 (crawler → storage → analyzer → scoring → UI facade):
 
 - :class:`MetricsRegistry` — thread-safe counters / gauges / fixed-
   bucket histograms with Prometheus-text and JSON renderers;
-- :class:`Tracer` / :class:`Span` — wall-time span trees with per-
+- :class:`Tracer` / :class:`Span` — perf-counter span trees with per-
   iteration solver events, exported as JSON;
+- :class:`TraceContext` — the per-request identity (trace id, parent
+  span id, baggage) carried on contextvars across threads, queues and
+  worker processes, echoed over HTTP as ``X-Repro-Trace-Id``;
+- :class:`FlightRecorder` — an always-on bounded ring of recent span /
+  log / annotation events, dumpable via ``/debug/events`` and
+  auto-dumped on incidents;
+- :class:`SloEngine` / :class:`SloObjective` — declarative latency /
+  error-rate / staleness objectives with multi-window burn rates,
+  surfaced in ``/healthz`` and ``/metrics``;
+- :class:`SamplingProfiler` — opt-in collapsed-stack profiler for
+  flamegraphs (the CLI's ``--profile-out``);
 - :func:`configure_logging` / :func:`get_logger` — one structured
-  ``repro.*`` logger hierarchy (text or JSON lines);
+  ``repro.*`` logger hierarchy (text or JSON lines), trace-id stamped;
 - :class:`Instrumentation` — the bundle the pipeline passes around,
   with a shared no-op :data:`NULL_INSTRUMENTATION` so uninstrumented
   runs pay almost nothing.
 
-See ``docs/observability.md`` for metric names, the span tree, and the
-CLI flags.
+See ``docs/observability.md`` for metric names, the span tree, the
+trace-propagation model, and the CLI flags.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.context import (
+    TraceContext,
+    TraceContextFilter,
+    current_trace,
+    new_trace,
+    use_trace,
+)
 from repro.obs.logging import (
     ROOT_LOGGER_NAME,
     JsonFormatter,
@@ -35,6 +53,14 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.profiling import SamplingProfiler
+from repro.obs.recorder import FlightRecorder
+from repro.obs.slo import (
+    SloEngine,
+    SloObjective,
+    default_serve_objectives,
+    load_slo_config,
+)
 from repro.obs.tracing import NULL_SPAN, Span, Tracer
 
 __all__ = [
@@ -47,6 +73,17 @@ __all__ = [
     "Span",
     "Tracer",
     "NULL_SPAN",
+    "TraceContext",
+    "TraceContextFilter",
+    "current_trace",
+    "new_trace",
+    "use_trace",
+    "FlightRecorder",
+    "SloEngine",
+    "SloObjective",
+    "default_serve_objectives",
+    "load_slo_config",
+    "SamplingProfiler",
     "configure_logging",
     "get_logger",
     "JsonFormatter",
@@ -58,7 +95,7 @@ __all__ = [
 
 @dataclass(slots=True)
 class Instrumentation:
-    """A metrics registry and a tracer travelling together.
+    """Metrics, tracer and flight recorder travelling together.
 
     Every instrumented constructor accepts ``instrumentation=``; pass
     one :class:`Instrumentation` through the whole pipeline to get a
@@ -70,23 +107,46 @@ class Instrumentation:
         system.analyze()
         print(instr.metrics.render_text())
         print(instr.tracer.render_json())
+        print(instr.recorder.tail(20))
+
+    On an enabled bundle the tracer's ``on_close`` hook feeds every
+    finished span into the recorder, so the ring always holds the
+    most recent spans without any call-site cooperation.
     """
 
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     tracer: Tracer = field(default_factory=Tracer)
+    recorder: FlightRecorder = field(default_factory=FlightRecorder)
+
+    def __post_init__(self) -> None:
+        if (
+            self.tracer.enabled
+            and self.recorder.enabled
+            and self.tracer.on_close is None
+        ):
+            self.tracer.on_close = self.recorder.record_span
 
     @classmethod
     def enabled(cls) -> "Instrumentation":
         """A fresh, recording instrumentation bundle."""
-        return cls(MetricsRegistry(enabled=True), Tracer(enabled=True))
+        return cls(
+            MetricsRegistry(enabled=True),
+            Tracer(enabled=True),
+            FlightRecorder(enabled=True),
+        )
 
     @classmethod
     def disabled(cls) -> "Instrumentation":
         """A no-op bundle (shared :data:`NULL_INSTRUMENTATION` exists)."""
-        return cls(MetricsRegistry(enabled=False), Tracer(enabled=False))
+        return cls(
+            MetricsRegistry(enabled=False),
+            Tracer(enabled=False),
+            FlightRecorder(enabled=False),
+        )
 
 
 # The shared default for ``instrumentation=None`` call sites.  It holds
 # no state (a disabled registry hands out null metrics; a disabled
-# tracer yields a null span), so sharing one instance is safe.
+# tracer yields a null span; a disabled recorder drops every event), so
+# sharing one instance is safe.
 NULL_INSTRUMENTATION = Instrumentation.disabled()

@@ -32,6 +32,19 @@ _RESERVED = frozenset(
 ) | {"message", "asctime", "taskName"}
 
 
+def _coerce(value: object) -> str:
+    """Last-resort JSON fallback for extras: never raise mid-format.
+
+    ``str(value)`` covers almost everything; an object whose __str__
+    itself explodes degrades to a type-name placeholder, so one bad
+    ``extra=`` can never take a log line (or the handler) down.
+    """
+    try:
+        return str(value)
+    except Exception:
+        return f"<unprintable {type(value).__name__}>"
+
+
 class JsonFormatter(logging.Formatter):
     """One JSON object per record: ts, level, logger, message, extras."""
 
@@ -47,7 +60,7 @@ class JsonFormatter(logging.Formatter):
                 payload[key] = value
         if record.exc_info and record.exc_info[0] is not None:
             payload["exception"] = self.formatException(record.exc_info)
-        return json.dumps(payload, default=str)
+        return json.dumps(payload, default=_coerce)
 
 
 def get_logger(name: str = "") -> logging.Logger:
@@ -96,5 +109,10 @@ def configure_logging(
         JsonFormatter() if json else logging.Formatter(_TEXT_FORMAT)
     )
     handler._repro_managed = True  # type: ignore[attr-defined]
+    # Stamp every record with the active trace id (None outside a
+    # request), so JSON log lines correlate with span trees for free.
+    from repro.obs.context import TraceContextFilter
+
+    handler.addFilter(TraceContextFilter())
     logger.addHandler(handler)
     return logger

@@ -1,0 +1,258 @@
+"""Always-on flight recorder: a bounded ring of recent telemetry.
+
+Metrics aggregate away the last thirty seconds and traces are only
+useful if someone was exporting them; when a load-shed 503, a crash
+recovery, or an unhandled handler error happens, what you want is the
+*recent raw events* — which request ids were in flight, which spans
+just closed, what the last log lines said.  The
+:class:`FlightRecorder` keeps exactly that: a ``deque(maxlen=…)`` of
+small event dicts (span closures, log records, ad-hoc annotations),
+appended under a lock held for nanoseconds, readable at any time via
+``/debug/events`` and auto-dumped to the log on incidents.
+
+Three event kinds share the ring:
+
+- ``span`` — fed by ``Tracer.on_close`` (wired by
+  :class:`repro.obs.Instrumentation`); name, duration, trace/span ids.
+- ``log`` — fed by :class:`RecorderLogHandler`, attached to the
+  ``repro`` root logger by :meth:`FlightRecorder.capture_logs`.
+- ``event`` — anything a component wants on the record
+  (:meth:`FlightRecorder.note`), e.g. "snapshot swapped", "request
+  shed".
+
+Every event is stamped with a wall-clock ``ts``, a monotonically
+increasing sequence number, and the active ``trace_id`` (if any), so a
+dump can be grepped by request.
+
+Dumps (:meth:`dump`) snapshot the ring plus a *reason* and the
+triggering trace id; the most recent dumps are retained in memory
+(``/debug/events?dumps=1`` serves them) and summarised to the log.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import TYPE_CHECKING, Mapping
+
+import logging as _logging
+
+from repro.obs.context import current_trace
+from repro.obs.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracing import Span
+
+__all__ = ["FlightRecorder", "RecorderLogHandler"]
+
+#: Default ring capacity — small enough to dump in one response body.
+DEFAULT_CAPACITY = 512
+
+#: How many incident dumps to retain in memory.
+DEFAULT_DUMP_KEEP = 8
+
+logger = get_logger("obs.recorder")
+
+
+class FlightRecorder:
+    """Lock-cheap bounded ring buffer of recent span/log/metric events.
+
+    Always on when its owning :class:`~repro.obs.Instrumentation` is
+    enabled; a disabled recorder drops everything at the door so the
+    shared ``NULL_INSTRUMENTATION`` stays stateless.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        enabled: bool = True,
+        dump_keep: int = DEFAULT_DUMP_KEEP,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.enabled = enabled
+        self.capacity = capacity
+        self._ring: deque[dict[str, object]] = deque(maxlen=capacity)
+        self._dumps: deque[dict[str, object]] = deque(maxlen=max(1, dump_keep))
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._dropped = 0
+        self._log_handler: RecorderLogHandler | None = None
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def _append(self, event: dict[str, object]) -> None:
+        if not self.enabled:
+            return
+        event.setdefault("ts", time.time())
+        if "trace_id" not in event:
+            ctx = current_trace()
+            if ctx is not None:
+                event["trace_id"] = ctx.trace_id
+        with self._lock:
+            self._seq += 1
+            event["seq"] = self._seq
+            if len(self._ring) == self.capacity:
+                self._dropped += 1
+            self._ring.append(event)
+
+    def record_span(self, span: "Span") -> None:
+        """Ring a closed span (the ``Tracer.on_close`` hook)."""
+        if not self.enabled:
+            return
+        event: dict[str, object] = {
+            "kind": "span",
+            "name": span.name,
+            "duration_ms": round(span.duration * 1000.0, 3),
+            "ts": span.wall_start,
+            "span_id": span.span_id,
+        }
+        if span.trace_id is not None:
+            event["trace_id"] = span.trace_id
+        if span.parent_id is not None:
+            event["parent_id"] = span.parent_id
+        if span.events:
+            event["events"] = len(span.events)
+        self._append(event)
+
+    def record_log(self, record: _logging.LogRecord) -> None:
+        """Ring a log record (fed by :class:`RecorderLogHandler`)."""
+        if not self.enabled:
+            return
+        event: dict[str, object] = {
+            "kind": "log",
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+            "ts": record.created,
+        }
+        trace_id = getattr(record, "trace_id", None)
+        if trace_id is not None:
+            event["trace_id"] = trace_id
+        self._append(event)
+
+    def note(self, name: str, **fields: object) -> None:
+        """Ring an ad-hoc annotation (e.g. ``note("request-shed", ...)``)."""
+        if not self.enabled:
+            return
+        event: dict[str, object] = {"kind": "event", "name": name}
+        event.update(fields)
+        self._append(event)
+
+    # ------------------------------------------------------------------
+    # Log capture
+    # ------------------------------------------------------------------
+
+    def capture_logs(self, level: int = _logging.DEBUG) -> None:
+        """Attach a capture handler to the ``repro`` root logger.
+
+        Idempotent; pair with :meth:`release_logs` on shutdown so
+        short-lived recorders (tests, benchmarks) do not accumulate
+        handlers on the process-wide logger.
+        """
+        if not self.enabled or self._log_handler is not None:
+            return
+        handler = RecorderLogHandler(self, level=level)
+        root = get_logger()
+        root.addHandler(handler)
+        self._log_handler = handler
+
+    def release_logs(self) -> None:
+        """Detach the capture handler installed by :meth:`capture_logs`."""
+        if self._log_handler is None:
+            return
+        get_logger().removeHandler(self._log_handler)
+        self._log_handler = None
+
+    # ------------------------------------------------------------------
+    # Reading & dumping
+    # ------------------------------------------------------------------
+
+    def tail(self, limit: int | None = None) -> list[dict[str, object]]:
+        """The most recent events, oldest first (copies)."""
+        with self._lock:
+            events = list(self._ring)
+        if limit is not None and limit >= 0:
+            events = events[-limit:]
+        return [dict(event) for event in events]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring since construction."""
+        with self._lock:
+            return self._dropped
+
+    def dump(
+        self,
+        reason: str,
+        trace_id: str | None = None,
+        extra: Mapping[str, object] | None = None,
+    ) -> dict[str, object]:
+        """Snapshot the ring for an incident; retain and log a summary.
+
+        Called on load-shed 503s, ingest crash recovery, and unhandled
+        handler errors.  The snapshot (reason, triggering trace id,
+        full tail) is kept in memory for ``/debug/events?dumps=1`` and
+        summarised at WARNING level.
+        """
+        if trace_id is None:
+            ctx = current_trace()
+            trace_id = ctx.trace_id if ctx is not None else None
+        snapshot: dict[str, object] = {
+            "reason": reason,
+            "ts": time.time(),
+            "trace_id": trace_id,
+            "events": self.tail(),
+        }
+        if extra:
+            snapshot.update(dict(extra))
+        if not self.enabled:
+            return snapshot
+        with self._lock:
+            self._dumps.append(snapshot)
+        logger.warning(
+            "flight-recorder dump: reason=%s trace_id=%s events=%d",
+            reason, trace_id, len(snapshot["events"]),  # type: ignore[arg-type]
+            extra={"reason": reason, "dump_trace_id": trace_id},
+        )
+        return snapshot
+
+    def dumps(self) -> list[dict[str, object]]:
+        """Retained incident dumps, oldest first."""
+        with self._lock:
+            return list(self._dumps)
+
+    def as_dict(self, limit: int | None = None) -> dict[str, object]:
+        """JSON-able view for ``/debug/events``."""
+        return {
+            "capacity": self.capacity,
+            "dropped": self.dropped,
+            "events": self.tail(limit),
+        }
+
+
+class RecorderLogHandler(_logging.Handler):
+    """Copy ``repro.*`` log records into a :class:`FlightRecorder`."""
+
+    def __init__(
+        self, recorder: FlightRecorder, level: int = _logging.DEBUG
+    ) -> None:
+        super().__init__(level=level)
+        self._recorder = recorder
+
+    def emit(self, record: _logging.LogRecord) -> None:
+        try:
+            if not hasattr(record, "trace_id"):
+                ctx = current_trace()
+                if ctx is not None:
+                    record.trace_id = ctx.trace_id
+            self._recorder.record_log(record)
+        except Exception:  # pragma: no cover - never break logging
+            self.handleError(record)

@@ -1,0 +1,396 @@
+"""Declarative service-level objectives with burn-rate evaluation.
+
+The serving tier promises bounded query latency and bounded snapshot
+staleness (``max_staleness``), but until now those were best-effort
+flags: nothing *measured* the promise.  An :class:`SloObjective`
+states the promise; the :class:`SloEngine` keeps rolling sample
+windows and answers "are we keeping it, and how fast are we burning
+the error budget?" — surfaced in ``/healthz`` (``ok`` vs ``degraded``),
+``/metrics`` (burn-rate gauges) and the flight recorder.
+
+Objective kinds:
+
+- ``latency`` — samples are durations in seconds; a sample is *bad*
+  when it exceeds ``target``.  The promise is that at least ``goal``
+  (e.g. 0.99 → "p99") of samples are good.
+- ``ratio`` — samples are good/bad events (HTTP error rate); the
+  promise is a good fraction of at least ``goal``.
+- ``bound`` — a *probe* (staleness seconds, WAL-replay lag) whose
+  current value must stay ≤ ``target``.  No windows: the bound either
+  holds right now or it does not, and recovery is equally immediate.
+
+Burn rate follows the classic SRE definition: with an error budget of
+``1 − goal``, ``burn = bad_fraction / (1 − goal)`` — burn 1.0 spends
+the budget exactly at the rate it accrues; burn 10 exhausts a 30-day
+budget in 3 days.  Two windows (default 60 s / 600 s) give the usual
+fast-burn/slow-burn pair; an objective degrades on short-window burn
+> 1 so a single slow query amid thousands does not flip ``/healthz``.
+For ``bound`` objectives the "burn" gauge is ``current / target`` —
+comparable in spirit (1.0 = at the limit) and observable in tests.
+
+Sample timestamps use ``time.monotonic()`` so wall-clock steps cannot
+expire (or resurrect) windows.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Mapping
+
+from repro.errors import ParameterError
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "SloEngine",
+    "SloObjective",
+    "default_serve_objectives",
+    "load_slo_config",
+]
+
+_KINDS = ("latency", "ratio", "bound")
+
+#: Default rolling windows (seconds): fast-burn and slow-burn.
+SHORT_WINDOW = 60.0
+LONG_WINDOW = 600.0
+
+
+@dataclass(frozen=True, slots=True)
+class SloObjective:
+    """One promise: a name, a kind, a goal, and a threshold."""
+
+    name: str
+    kind: str
+    target: float
+    goal: float = 0.99
+    description: str = ""
+    short_window: float = SHORT_WINDOW
+    long_window: float = LONG_WINDOW
+    min_samples: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise ParameterError(
+                f"SLO name must be a non-empty [a-z0-9_] token, "
+                f"got {self.name!r}"
+            )
+        if self.kind not in _KINDS:
+            raise ParameterError(
+                f"SLO {self.name}: kind must be one of {_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.kind != "bound" and not 0.0 < self.goal < 1.0:
+            raise ParameterError(
+                f"SLO {self.name}: goal must be in (0, 1), got {self.goal}"
+            )
+        if self.target < 0:
+            raise ParameterError(
+                f"SLO {self.name}: target must be >= 0, got {self.target}"
+            )
+        if not 0 < self.short_window <= self.long_window:
+            raise ParameterError(
+                f"SLO {self.name}: need 0 < short_window <= long_window"
+            )
+        if self.min_samples < 1:
+            raise ParameterError(
+                f"SLO {self.name}: min_samples must be >= 1"
+            )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "SloObjective":
+        """Build from a config-file entry (unknown keys rejected)."""
+        allowed = {
+            "name", "kind", "target", "goal", "description",
+            "short_window", "long_window", "min_samples",
+        }
+        unknown = set(payload) - allowed
+        if unknown:
+            raise ParameterError(
+                f"SLO config entry has unknown keys: {sorted(unknown)}"
+            )
+        try:
+            return cls(**{str(k): v for k, v in payload.items()})  # type: ignore[arg-type]
+        except TypeError as exc:
+            raise ParameterError(f"bad SLO config entry: {exc}") from exc
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-able form (mirrors the config-file schema)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "target": self.target,
+            "goal": self.goal,
+            "description": self.description,
+            "short_window": self.short_window,
+            "long_window": self.long_window,
+            "min_samples": self.min_samples,
+        }
+
+
+@dataclass(slots=True)
+class _Window:
+    """Rolling samples for one windowed objective."""
+
+    samples: deque = field(default_factory=deque)  # (mono_ts, bad: bool)
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+def default_serve_objectives(
+    max_staleness: float | None = None,
+) -> tuple[SloObjective, ...]:
+    """The serving tier's built-in promises.
+
+    ``max_staleness`` wires the store's flag straight into the
+    staleness bound, making it an enforced, observable contract; when
+    it is 0 (refresh-on-any-pending) the bound degrades the instant
+    anything is pending, which is exactly what that setting asks for.
+    """
+    staleness_target = 60.0 if max_staleness is None else float(max_staleness)
+    return (
+        SloObjective(
+            name="query_latency",
+            kind="latency",
+            target=0.25,
+            goal=0.99,
+            description="99% of queries answer within 250 ms",
+        ),
+        SloObjective(
+            name="error_rate",
+            kind="ratio",
+            goal=0.999,
+            target=0.0,
+            description="99.9% of requests succeed (no 5xx)",
+        ),
+        SloObjective(
+            name="snapshot_staleness",
+            kind="bound",
+            target=staleness_target,
+            description="oldest pending delta age stays <= max_staleness",
+        ),
+        SloObjective(
+            name="wal_replay_lag",
+            kind="bound",
+            target=0.0,
+            description="every durable WAL record is applied (no replay backlog)",
+        ),
+    )
+
+
+def load_slo_config(path: str | Path) -> tuple[SloObjective, ...]:
+    """Parse a JSON objectives file: ``{"objectives": [{...}, ...]}``."""
+    raw = Path(path).read_text(encoding="utf-8")
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ParameterError(f"SLO config {path}: invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "objectives" not in payload:
+        raise ParameterError(
+            f"SLO config {path}: expected an object with an "
+            f"\"objectives\" list"
+        )
+    entries = payload["objectives"]
+    if not isinstance(entries, list):
+        raise ParameterError(f"SLO config {path}: \"objectives\" must be a list")
+    objectives = tuple(SloObjective.from_dict(entry) for entry in entries)
+    names = [objective.name for objective in objectives]
+    if len(set(names)) != len(names):
+        raise ParameterError(f"SLO config {path}: duplicate objective names")
+    return objectives
+
+
+class SloEngine:
+    """Evaluate a set of objectives over rolling windows.
+
+    ``observe`` feeds windowed objectives (latency durations, good/bad
+    events); ``probe`` registers a zero-argument callable for ``bound``
+    objectives, read at evaluation time.  ``status()`` returns the
+    JSON-able verdict and refreshes the per-objective burn gauges in
+    ``metrics`` (``repro_slo_<name>_burn_short`` / ``_burn_long`` and
+    the overall ``repro_slo_degraded`` 0/1 flag).
+    """
+
+    def __init__(
+        self,
+        objectives: Iterable[SloObjective] = (),
+        metrics: MetricsRegistry | None = None,
+        enabled: bool = True,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.enabled = enabled
+        self._clock = clock
+        self._metrics = metrics
+        self._objectives: dict[str, SloObjective] = {}
+        self._windows: dict[str, _Window] = {}
+        self._probes: dict[str, Callable[[], float]] = {}
+        for objective in objectives:
+            self.add(objective)
+
+    def add(self, objective: SloObjective) -> None:
+        """Register one objective (duplicate names rejected)."""
+        if objective.name in self._objectives:
+            raise ParameterError(
+                f"SLO {objective.name!r} registered twice"
+            )
+        self._objectives[objective.name] = objective
+        if objective.kind != "bound":
+            self._windows[objective.name] = _Window()
+
+    @property
+    def objectives(self) -> tuple[SloObjective, ...]:
+        """The registered objectives, in registration order."""
+        return tuple(self._objectives.values())
+
+    def probe(self, name: str, fn: Callable[[], float]) -> None:
+        """Wire the current-value callable for a ``bound`` objective."""
+        objective = self._objectives.get(name)
+        if objective is None:
+            raise ParameterError(f"unknown SLO objective {name!r}")
+        if objective.kind != "bound":
+            raise ParameterError(
+                f"SLO {name} is kind={objective.kind}; only bound "
+                f"objectives take probes"
+            )
+        self._probes[name] = fn
+
+    def observe(
+        self,
+        name: str,
+        value: float | None = None,
+        bad: bool | None = None,
+    ) -> None:
+        """Record one sample.
+
+        ``latency`` objectives take ``value`` (seconds; bad when over
+        target).  ``ratio`` objectives take ``bad`` directly.  Unknown
+        names are ignored — instrumented code must not depend on which
+        objectives an operator configured.
+        """
+        if not self.enabled:
+            return
+        objective = self._objectives.get(name)
+        if objective is None or objective.kind == "bound":
+            return
+        if objective.kind == "latency":
+            if value is None:
+                raise ParameterError(
+                    f"SLO {name}: latency observation needs a value"
+                )
+            is_bad = value > objective.target
+        else:  # ratio
+            if bad is None:
+                raise ParameterError(
+                    f"SLO {name}: ratio observation needs bad=True/False"
+                )
+            is_bad = bool(bad)
+        window = self._windows[name]
+        now = self._clock()
+        horizon = now - objective.long_window
+        with window.lock:
+            window.samples.append((now, is_bad))
+            while window.samples and window.samples[0][0] < horizon:
+                window.samples.popleft()
+
+    def _window_stats(
+        self, objective: SloObjective, now: float
+    ) -> dict[str, object]:
+        window = self._windows[objective.name]
+        horizon = now - objective.long_window
+        with window.lock:
+            while window.samples and window.samples[0][0] < horizon:
+                window.samples.popleft()
+            samples = list(window.samples)
+        budget = 1.0 - objective.goal
+        stats: dict[str, object] = {}
+        degraded = False
+        for label, span in (
+            ("short", objective.short_window),
+            ("long", objective.long_window),
+        ):
+            cutoff = now - span
+            total = bad = 0
+            for ts, is_bad in samples:
+                if ts >= cutoff:
+                    total += 1
+                    bad += is_bad
+            bad_fraction = (bad / total) if total else 0.0
+            burn = bad_fraction / budget if budget > 0 else 0.0
+            stats[f"samples_{label}"] = total
+            stats[f"bad_{label}"] = bad
+            stats[f"burn_{label}"] = round(burn, 4)
+            if (
+                label == "short"
+                and total >= objective.min_samples
+                and burn > 1.0
+            ):
+                degraded = True
+        stats["violating"] = degraded
+        return stats
+
+    def _bound_stats(self, objective: SloObjective) -> dict[str, object]:
+        probe = self._probes.get(objective.name)
+        if probe is None:
+            return {"current": None, "burn_short": 0.0,
+                    "burn_long": 0.0, "violating": False}
+        try:
+            current = float(probe())
+        except Exception:  # probe failure must not take down /healthz
+            return {"current": None, "probe_error": True,
+                    "burn_short": 0.0, "burn_long": 0.0, "violating": True}
+        if objective.target > 0:
+            burn = current / objective.target
+        else:
+            burn = 0.0 if current <= 0 else float("inf")
+        violating = current > objective.target
+        return {
+            "current": round(current, 6),
+            "burn_short": round(burn, 4) if burn != float("inf") else burn,
+            "burn_long": round(burn, 4) if burn != float("inf") else burn,
+            "violating": violating,
+        }
+
+    def status(self) -> dict[str, object]:
+        """Evaluate every objective now; refresh gauges; return verdict."""
+        now = self._clock()
+        per_objective: dict[str, object] = {}
+        any_violating = False
+        for objective in self._objectives.values():
+            if objective.kind == "bound":
+                stats = self._bound_stats(objective)
+            else:
+                stats = self._window_stats(objective, now)
+            entry: dict[str, object] = {
+                "kind": objective.kind,
+                "goal": objective.goal,
+                "target": objective.target,
+            }
+            entry.update(stats)
+            per_objective[objective.name] = entry
+            any_violating = any_violating or bool(stats["violating"])
+            if self._metrics is not None and self.enabled:
+                for label in ("short", "long"):
+                    burn = stats.get(f"burn_{label}", 0.0)
+                    self._metrics.gauge(
+                        f"repro_slo_{objective.name}_burn_{label}",
+                        f"{label}-window burn rate of SLO "
+                        f"{objective.name}",
+                    ).set(0.0 if burn is None else min(float(burn), 1e9))
+        if self._metrics is not None and self.enabled:
+            self._metrics.gauge(
+                "repro_slo_degraded",
+                "1 when any SLO objective is violating, else 0",
+            ).set(1.0 if any_violating else 0.0)
+        return {
+            "status": "degraded" if any_violating else "ok",
+            "objectives": per_objective,
+        }
+
+    def as_dict(self) -> dict[str, object]:
+        """Configuration + current status (for diagnostics dumps)."""
+        return {
+            "objectives": [o.as_dict() for o in self._objectives.values()],
+            "status": self.status(),
+        }

@@ -208,6 +208,21 @@ class QueryEngine:
         """The snapshot the next query will be answered from."""
         return self._source.snapshot
 
+    def _fresh_snapshot(self) -> InfluenceSnapshot:
+        """The current snapshot, after read-path staleness enforcement.
+
+        A :class:`~repro.serve.store.SnapshotStore` source exposes
+        ``ensure_fresh()``; calling it here makes ``max_staleness`` a
+        contract the *read* path enforces too — a query arriving after
+        the budget expired pays for the refresh synchronously (under
+        its own trace) instead of serving over-stale data.  Fixed
+        sources have no refresh and skip straight to ``.snapshot``.
+        """
+        ensure = getattr(self._source, "ensure_fresh", None)
+        if ensure is not None:
+            return ensure()
+        return self._source.snapshot
+
     @property
     def cache_info(self) -> dict[str, int | float]:
         """Hits, misses, resident entries, and the hit rate."""
@@ -229,7 +244,7 @@ class QueryEngine:
     ) -> QueryResult:
         """Top-k bloggers, general (``domain=None``) or domain-specific."""
         self._check_k(k)
-        snapshot = self._source.snapshot
+        snapshot = self._fresh_snapshot()
         key = (snapshot.epoch, ("top", domain, int(k), int(offset)))
         cached = self._cache_get(key)
         if cached is not None:
@@ -248,7 +263,7 @@ class QueryEngine:
     ) -> QueryResult:
         """Eq. 5 composite-topic query with user-supplied domain weights."""
         self._check_k(k)
-        snapshot = self._source.snapshot
+        snapshot = self._fresh_snapshot()
         canonical = _canonical_weight_items(weights)
         key = (snapshot.epoch, ("query", canonical, int(k), int(offset)))
         cached = self._cache_get(key)
@@ -267,7 +282,7 @@ class QueryEngine:
 
     def blogger(self, blogger_id: str) -> ProfileResult:
         """The detail pop-up for one blogger (uncached: a dict copy)."""
-        snapshot = self._source.snapshot
+        snapshot = self._fresh_snapshot()
         return ProfileResult(
             epoch=snapshot.epoch, profile=snapshot.profile(blogger_id)
         )

@@ -12,28 +12,45 @@ Endpoint              Meaning
                       ``POST`` with a JSON body ``{"weights": {...},
                       "k": ..., "offset": ...}``.
 ``GET /blogger/<id>`` The Fig. 4 detail pop-up for one blogger.
-``GET /healthz``      Liveness: status, snapshot epoch, corpus shape.
+``GET /healthz``      Liveness + SLO verdict: ``ok`` or ``degraded``,
+                      snapshot epoch, corpus shape, burn rates.
 ``GET /metrics``      Prometheus text exposition of the shared
-                      :mod:`repro.obs` registry.
+                      :mod:`repro.obs` registry (SLO gauges included).
+``GET /debug/events`` The flight recorder's recent-event tail
+                      (``?limit=N``; ``?dumps=1`` for incident dumps).
+``GET /debug/traces`` Every recorded span tree, as JSON.
+``GET /debug/vars``   Runtime variables: config, cache, staleness.
 ====================  =================================================
 
+Request correlation: each request gets a :class:`TraceContext` —
+adopted from an inbound ``X-Repro-Trace-Id`` header or minted fresh —
+active for the whole handler, echoed back in the ``X-Repro-Trace-Id``
+response header.  Every span the request causes anywhere (engine,
+store refresh, incremental solve, shard workers) carries the same
+trace id, so one id pulled from a response header finds the whole
+story in ``/debug/traces`` and ``/debug/events``.
+
 Observability: every request lands in ``repro_http_requests_total``
-(the qps source), a latency histogram, and a per-route counter; the
-engine keeps the cache hit-rate gauge current.
+(the qps source), a latency histogram, and a per-route counter; query
+routes feed the ``query_latency`` and ``error_rate`` SLOs; the engine
+keeps the cache hit-rate gauge current.  Load-shed 503s and unhandled
+handler errors auto-dump the flight recorder.
 
 Load shedding: at most ``max_inflight`` requests execute at once.
 Excess requests are answered immediately with **503** and a
 ``Retry-After`` header instead of queueing behind the thread pool —
-under overload, fast rejection beats slow service.  ``/healthz`` and
-``/metrics`` are exempt so operators can always see in.
+under overload, fast rejection beats slow service.  ``/healthz``,
+``/metrics`` and ``/debug/*`` are exempt so operators can always see
+in.
 """
 
 from __future__ import annotations
 
 import json
+import sys
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, unquote, urlsplit
 
@@ -42,7 +59,12 @@ from repro.obs import (
     LATENCY_BUCKETS,
     NULL_INSTRUMENTATION,
     Instrumentation,
+    SloEngine,
+    SloObjective,
+    TraceContext,
+    default_serve_objectives,
     get_logger,
+    use_trace,
 )
 from repro.serve.engine import QueryEngine
 from repro.serve.store import SnapshotStore
@@ -85,6 +107,7 @@ class MassHttpServer(ThreadingHTTPServer):
         store: SnapshotStore,
         config: ServiceConfig,
         instrumentation: Instrumentation,
+        slo_objectives: tuple[SloObjective, ...] | None = None,
     ) -> None:
         super().__init__((config.host, config.port), _Handler)
         self.store = store
@@ -120,6 +143,33 @@ class MassHttpServer(ThreadingHTTPServer):
         self.inflight_gauge = metrics.gauge(
             "repro_http_inflight", "Requests currently executing"
         )
+        # SLO engine: explicit objectives (--slo-config) or the serving
+        # defaults, with the staleness bound wired to max_staleness.
+        self.slo = SloEngine(
+            slo_objectives
+            if slo_objectives is not None
+            else default_serve_objectives(store.max_staleness),
+            metrics=metrics,
+            enabled=metrics.enabled,
+        )
+        objective_names = {o.name for o in self.slo.objectives}
+        if "snapshot_staleness" in objective_names:
+            self.slo.probe(
+                "snapshot_staleness", lambda: store.staleness_seconds
+            )
+        if "wal_replay_lag" in objective_names and store.pipeline is not None:
+            self.slo.probe(
+                "wal_replay_lag",
+                lambda: getattr(store.pipeline, "replay_lag", 0.0),
+            )
+        # Always-on recent-event capture: repro.* log lines join the
+        # spans already fed through the tracer's on_close hook.
+        instrumentation.recorder.capture_logs()
+
+    def server_close(self) -> None:
+        """Release sockets and detach the recorder's log capture."""
+        self.instrumentation.recorder.release_logs()
+        super().server_close()
 
     @property
     def url(self) -> str:
@@ -158,11 +208,14 @@ def create_server(
     store: SnapshotStore,
     config: ServiceConfig | None = None,
     instrumentation: Instrumentation | None = None,
+    slo_objectives: tuple[SloObjective, ...] | None = None,
 ) -> MassHttpServer:
     """Build the HTTP server over a snapshot store.
 
     The instrumentation defaults to a fresh *enabled* bundle (not the
     shared null one) because ``/metrics`` is part of the API surface.
+    ``slo_objectives`` overrides the built-in serving objectives (the
+    CLI's ``--slo-config``).
     """
     return MassHttpServer(
         store,
@@ -171,6 +224,7 @@ def create_server(
         if instrumentation is not None
         and instrumentation is not NULL_INSTRUMENTATION
         else Instrumentation.enabled(),
+        slo_objectives=slo_objectives,
     )
 
 
@@ -192,10 +246,14 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        ctx = getattr(self, "_trace_ctx", None)
+        if ctx is not None:
+            self.send_header("X-Repro-Trace-Id", ctx.trace_id)
         for name, value in (extra_headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+        self._last_status = status
 
     def _send_error_json(self, status: int, message: str) -> None:
         self.server.errors_total.inc()
@@ -212,6 +270,22 @@ class _Handler(BaseHTTPRequestHandler):
         server = self.server
         parts = urlsplit(self.path)
         route = parts.path.rstrip("/") or "/"
+        # One trace per request: adopt the caller's id (distributed
+        # callers correlate across services) or mint a fresh one; it is
+        # active for everything this handler causes — including a
+        # synchronous snapshot refresh and its shard workers — and is
+        # echoed in the response header.
+        ctx = TraceContext.from_header(
+            self.headers.get("X-Repro-Trace-Id")
+        ).with_baggage(route=route, method=self.command)
+        self._trace_ctx = ctx
+        self._last_status = 200
+        with use_trace(ctx):
+            self._dispatch_traced(server, route, parts.query)
+
+    def _dispatch_traced(
+        self, server: MassHttpServer, route: str, query_string: str
+    ) -> None:
         server.requests_total.inc()
         server.instrumentation.metrics.counter(
             f"repro_http_requests{_route_suffix(route)}_total",
@@ -219,7 +293,7 @@ class _Handler(BaseHTTPRequestHandler):
         ).inc()
 
         # Operational endpoints bypass shedding: during an overload the
-        # operator still needs /healthz and /metrics.
+        # operator still needs /healthz, /metrics and /debug/*.
         if route == "/healthz":
             with server.request_seconds.time():
                 self._handle_healthz()
@@ -228,16 +302,50 @@ class _Handler(BaseHTTPRequestHandler):
             with server.request_seconds.time():
                 self._handle_metrics()
             return
+        if route == "/debug" or route.startswith("/debug/"):
+            with server.request_seconds.time():
+                self._handle_debug(route, query_string)
+            return
 
         if not server.try_acquire_slot():
             server.shed_total.inc()
+            server.slo.observe("error_rate", bad=True)
+            # The shed moment is exactly when an operator will come
+            # asking "what was going on?" — leave the answer behind,
+            # and do it before the client sees the 503 so the dump is
+            # already queryable when they turn around and ask.
+            server.instrumentation.recorder.dump(
+                "load-shed",
+                trace_id=self._trace_ctx.trace_id,
+                extra={"route": route,
+                       "max_inflight": server.config.max_inflight},
+            )
             self._send_error_json_with_retry()
             return
+        started = time.perf_counter()
         try:
-            with server.request_seconds.time():
-                self._route_query(route, parts.query)
+            with server.request_seconds.time(), \
+                    server.instrumentation.tracer.span("http-request") as span:
+                span.event(route=route, method=self.command)
+                self._route_query(route, query_string)
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            _LOG.exception("unhandled error on %s", route)
+            server.instrumentation.recorder.dump(
+                "handler-error",
+                trace_id=self._trace_ctx.trace_id,
+                extra={"route": route, "error": repr(exc)},
+            )
+            try:
+                self._send_error_json(500, "internal server error")
+            except OSError:  # client already gone
+                pass
         finally:
+            elapsed = time.perf_counter() - started
             server.release_slot()
+            server.slo.observe("query_latency", value=elapsed)
+            server.slo.observe(
+                "error_rate", bad=self._last_status >= 500
+            )
 
     def _send_error_json_with_retry(self) -> None:
         self.server.errors_total.inc()
@@ -268,8 +376,13 @@ class _Handler(BaseHTTPRequestHandler):
         server = self.server
         snapshot = server.store.snapshot
         now = time.monotonic()
+        slo = server.slo.status()
         self._send_json(200, {
-            "status": "ok",
+            # Liveness and objective-keeping are different questions:
+            # a degraded service still answers 200 here (it is alive),
+            # but says so, and /metrics carries the burn rates.
+            "status": slo["status"],
+            "slo": slo["objectives"],
             "epoch": snapshot.epoch,
             "uptime_seconds": max(0.0, now - server.started_monotonic),
             "snapshot_age_seconds": max(
@@ -281,6 +394,9 @@ class _Handler(BaseHTTPRequestHandler):
         })
 
     def _handle_metrics(self) -> None:
+        # Evaluating the SLOs here refreshes their burn gauges, so a
+        # scrape always exports current values.
+        self.server.slo.status()
         body = (
             self.server.instrumentation.metrics.render_text()
             .encode("utf-8")
@@ -288,8 +404,63 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(200)
         self.send_header("Content-Type", "text/plain; version=0.0.4")
         self.send_header("Content-Length", str(len(body)))
+        ctx = getattr(self, "_trace_ctx", None)
+        if ctx is not None:
+            self.send_header("X-Repro-Trace-Id", ctx.trace_id)
         self.end_headers()
         self.wfile.write(body)
+
+    def _handle_debug(self, route: str, query_string: str) -> None:
+        server = self.server
+        recorder = server.instrumentation.recorder
+        try:
+            params = parse_qs(query_string)
+            if route == "/debug/events":
+                if _int_param(params, "dumps", 0):
+                    payload: dict[str, object] = {
+                        "dumps": recorder.dumps()
+                    }
+                else:
+                    limit = _int_param(params, "limit", 100)
+                    payload = recorder.as_dict(limit)
+                self._send_json(200, payload)
+            elif route == "/debug/traces":
+                self._send_json(
+                    200, server.instrumentation.tracer.as_dict()
+                )
+            elif route == "/debug/vars":
+                self._send_json(200, self._debug_vars())
+            else:
+                self._send_error_json(
+                    404, f"unknown debug endpoint {route!r}"
+                )
+        except QueryError as exc:
+            self._send_error_json(400, str(exc))
+
+    def _debug_vars(self) -> dict[str, object]:
+        server = self.server
+        store = server.store
+        now = time.monotonic()
+        return {
+            "config": asdict(server.config),
+            "python": sys.version.split()[0],
+            "uptime_seconds": max(0.0, now - server.started_monotonic),
+            "inflight": server._inflight,
+            "epoch": store.snapshot.epoch,
+            "pending_deltas": store.pending_deltas,
+            "staleness_seconds": store.staleness_seconds,
+            "max_staleness": store.max_staleness,
+            "durable": store.pipeline is not None,
+            "cache": server.engine.cache_info,
+            "recorder": {
+                "events": len(server.instrumentation.recorder),
+                "capacity": server.instrumentation.recorder.capacity,
+                "dropped": server.instrumentation.recorder.dropped,
+            },
+            "slo_objectives": [
+                o.as_dict() for o in server.slo.objectives
+            ],
+        }
 
     def _handle_top(self, query_string: str) -> None:
         params = parse_qs(query_string)
@@ -401,6 +572,8 @@ def _route_suffix(route: str) -> str:
     """A bounded per-route metric suffix (arbitrary 404 paths share one)."""
     if route.startswith("/blogger/"):
         return "_blogger"
+    if route == "/debug" or route.startswith("/debug/"):
+        return "_debug"
     if route in _KNOWN_ROUTES:
         return f"_{route.strip('/')}"
     return "_other"

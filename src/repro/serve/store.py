@@ -34,7 +34,14 @@ from repro.core.report import InfluenceReport
 from repro.data.corpus import BlogCorpus
 from repro.errors import ReproError
 from repro.nlp.naive_bayes import NaiveBayesClassifier
-from repro.obs import NULL_INSTRUMENTATION, Instrumentation, get_logger
+from repro.obs import (
+    NULL_INSTRUMENTATION,
+    Instrumentation,
+    TraceContext,
+    current_trace,
+    get_logger,
+    use_trace,
+)
 from repro.serve.snapshot import InfluenceSnapshot
 
 __all__ = ["SnapshotStore"]
@@ -123,6 +130,10 @@ class SnapshotStore:
             "repro_serve_refresh_seconds",
             "Delta drain + re-solve + snapshot compile latency",
         )
+        self._staleness_gauge = metrics.gauge(
+            "repro_serve_staleness_seconds",
+            "Age of the oldest delta not yet folded into a snapshot",
+        )
         self._pipeline = None
         if durable_dir is not None:
             from repro.ingest import IngestPipeline
@@ -147,7 +158,10 @@ class SnapshotStore:
                     self._analyzer.report
                 )
 
-        self._queue: deque[CorpusDelta] = deque()
+        # Each entry pairs a delta with the trace context active where
+        # it was submitted (threads do not inherit contextvars, so the
+        # hand-off across the queue must be explicit).
+        self._queue: deque[tuple[CorpusDelta, TraceContext | None]] = deque()
         self._queue_lock = threading.Lock()
         self._first_pending: float | None = None
         self._pending = threading.Event()
@@ -189,6 +203,39 @@ class SnapshotStore:
             return len(self._queue)
 
     @property
+    def staleness_seconds(self) -> float:
+        """Age of the oldest pending delta (0.0 with an empty queue).
+
+        This is the quantity the ``snapshot_staleness`` SLO bounds
+        against ``max_staleness``: how long the served snapshot has
+        been missing submitted data.
+        """
+        with self._queue_lock:
+            first = self._first_pending
+        age = 0.0 if first is None else max(0.0, time.monotonic() - first)
+        self._staleness_gauge.set(age)
+        return age
+
+    def ensure_fresh(self) -> InfluenceSnapshot:
+        """Read-path staleness enforcement: refresh if over budget.
+
+        Called by the query engine before answering.  When the oldest
+        pending delta has waited at least ``max_staleness`` seconds
+        (with ``max_staleness=0``: when *anything* is pending), the
+        refresh happens synchronously on the caller's thread — under
+        the caller's trace context, so a request that pays for a
+        refresh owns its spans.  Otherwise the background refresher's
+        schedule stands.
+        """
+        with self._queue_lock:
+            first = self._first_pending
+        if first is None:
+            return self._snapshot
+        if time.monotonic() - first >= self._max_staleness:
+            return self.refresh_now()
+        return self._snapshot
+
+    @property
     def pipeline(self):
         """The durable ingestion pipeline (``None`` outside durable mode)."""
         return self._pipeline
@@ -205,8 +252,9 @@ class SnapshotStore:
         """
         if delta.is_empty():
             return
+        ctx = current_trace()  # captured here, re-activated at refresh
         with self._queue_lock:
-            self._queue.append(delta)
+            self._queue.append((delta, ctx))
             if self._first_pending is None:
                 self._first_pending = time.monotonic()
             depth = len(self._queue)
@@ -228,26 +276,45 @@ class SnapshotStore:
                 self._first_pending = None
                 self._pending.clear()
             self._queue_gauge.set(0)
+            self._staleness_gauge.set(0.0)
             if not pending:
                 return self._snapshot
-            with self._refresh_seconds.time(), \
-                    self._instr.tracer.span("serve-refresh"):
-                # One merged batch per refresh: one warm re-solve, and
-                # in durable mode exactly one WAL record per swap — the
-                # granularity recovery replays at.
-                merged = CorpusDelta.merge(*pending)
-                if self._pipeline is not None:
-                    self._pipeline.apply(merged)
-                else:
-                    self._analyzer.apply(merged)
-                self._delta_counter.inc(len(pending))
-                fresh = InfluenceSnapshot.compile(self._analyzer.report)
-                self._snapshot = fresh  # the atomic copy-on-write swap
-            self._swap_counter.inc()
-            _LOG.info(
-                "snapshot refreshed: %d deltas, epoch %s, %d bloggers",
-                len(pending), fresh.epoch[:12], fresh.num_bloggers,
-            )
+            deltas = [delta for delta, _ in pending]
+            # Trace attribution: a caller already inside a trace (the
+            # ensure_fresh read path) keeps it — the request that pays
+            # for the refresh owns the spans.  The background refresher
+            # has no ambient trace, so it adopts the context captured
+            # at the first traced submit.
+            ctx = current_trace()
+            if ctx is None:
+                ctx = next(
+                    (c for _, c in pending if c is not None), None
+                )
+            with use_trace(ctx):
+                with self._refresh_seconds.time(), \
+                        self._instr.tracer.span("serve-refresh"):
+                    # One merged batch per refresh: one warm re-solve,
+                    # and in durable mode exactly one WAL record per
+                    # swap — the granularity recovery replays at.
+                    merged = CorpusDelta.merge(*deltas)
+                    if self._pipeline is not None:
+                        self._pipeline.apply(merged)
+                    else:
+                        self._analyzer.apply(merged)
+                    self._delta_counter.inc(len(deltas))
+                    fresh = InfluenceSnapshot.compile(self._analyzer.report)
+                    self._snapshot = fresh  # atomic copy-on-write swap
+                self._swap_counter.inc()
+                self._instr.recorder.note(
+                    "snapshot-swap",
+                    epoch=fresh.epoch[:12],
+                    deltas=len(deltas),
+                    bloggers=fresh.num_bloggers,
+                )
+                _LOG.info(
+                    "snapshot refreshed: %d deltas, epoch %s, %d bloggers",
+                    len(deltas), fresh.epoch[:12], fresh.num_bloggers,
+                )
             return fresh
 
     # ------------------------------------------------------------------

@@ -1,0 +1,170 @@
+"""Flight-recorder ring buffer: recording, capping, capture, dumps."""
+
+import logging
+import threading
+
+import pytest
+
+from repro.obs import FlightRecorder, Instrumentation, Tracer, get_logger
+from repro.obs.context import new_trace, use_trace
+
+
+class TestRing:
+    def test_note_events_land_in_order(self):
+        recorder = FlightRecorder()
+        recorder.note("first", n=1)
+        recorder.note("second", n=2)
+        first, second = recorder.tail()
+        assert (first["name"], second["name"]) == ("first", "second")
+        assert first["seq"] < second["seq"]
+        assert first["ts"] <= second["ts"]
+
+    def test_capacity_evicts_oldest_and_counts_drops(self):
+        recorder = FlightRecorder(capacity=3)
+        for n in range(5):
+            recorder.note("e", n=n)
+        events = recorder.tail()
+        assert [event["n"] for event in events] == [2, 3, 4]
+        assert recorder.dropped == 2
+        assert len(recorder) == 3
+
+    def test_tail_limit(self):
+        recorder = FlightRecorder()
+        for n in range(10):
+            recorder.note("e", n=n)
+        assert [e["n"] for e in recorder.tail(2)] == [8, 9]
+
+    def test_tail_returns_copies(self):
+        recorder = FlightRecorder()
+        recorder.note("e")
+        recorder.tail()[0]["mutated"] = True
+        assert "mutated" not in recorder.tail()[0]
+
+    def test_active_trace_id_stamped(self):
+        recorder = FlightRecorder()
+        ctx = new_trace()
+        with use_trace(ctx):
+            recorder.note("traced")
+        recorder.note("untraced")
+        traced, untraced = recorder.tail()
+        assert traced["trace_id"] == ctx.trace_id
+        assert "trace_id" not in untraced
+
+    def test_disabled_recorder_records_nothing(self):
+        recorder = FlightRecorder(enabled=False)
+        recorder.note("e")
+        recorder.dump("incident")
+        assert recorder.tail() == []
+        assert recorder.dumps() == []
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_concurrent_notes_keep_unique_seqs(self):
+        recorder = FlightRecorder(capacity=4096)
+        threads = [
+            threading.Thread(
+                target=lambda: [recorder.note("e") for _ in range(200)]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        seqs = [event["seq"] for event in recorder.tail()]
+        assert len(seqs) == 1600
+        assert len(set(seqs)) == 1600
+
+
+class TestSpanFeed:
+    def test_instrumentation_wires_tracer_on_close(self):
+        instr = Instrumentation.enabled()
+        assert instr.tracer.on_close == instr.recorder.record_span
+
+    def test_closed_spans_ring(self):
+        recorder = FlightRecorder()
+        tracer = Tracer(on_close=recorder.record_span)
+        ctx = new_trace()
+        with use_trace(ctx):
+            with tracer.span("outer"):
+                with tracer.span("inner") as span:
+                    span.event(step=1)
+        inner, outer = recorder.tail()  # children close first
+        assert inner["kind"] == "span"
+        assert inner["name"] == "inner"
+        assert inner["trace_id"] == ctx.trace_id
+        assert inner["parent_id"] == outer["span_id"]
+        assert inner["events"] == 1
+        assert inner["duration_ms"] >= 0.0
+
+
+class TestLogCapture:
+    @pytest.fixture(autouse=True)
+    def _clean_logger(self):
+        logger = logging.getLogger("repro")
+        saved = list(logger.handlers)
+        yield
+        for handler in list(logger.handlers):
+            if handler not in saved:
+                logger.removeHandler(handler)
+
+    def test_capture_rings_repro_logs_with_trace_id(self):
+        recorder = FlightRecorder()
+        recorder.capture_logs()
+        try:
+            ctx = new_trace()
+            with use_trace(ctx):
+                get_logger("test.capture").warning("ring %s", "me")
+        finally:
+            recorder.release_logs()
+        (event,) = [e for e in recorder.tail() if e["kind"] == "log"]
+        assert event["message"] == "ring me"
+        assert event["level"] == "WARNING"
+        assert event["logger"] == "repro.test.capture"
+        assert event["trace_id"] == ctx.trace_id
+
+    def test_capture_is_idempotent_and_released_once(self):
+        recorder = FlightRecorder()
+        logger = logging.getLogger("repro")
+        before = len(logger.handlers)
+        recorder.capture_logs()
+        recorder.capture_logs()
+        assert len(logger.handlers) == before + 1
+        recorder.release_logs()
+        recorder.release_logs()
+        assert len(logger.handlers) == before
+
+
+class TestDumps:
+    def test_dump_snapshots_reason_trace_and_events(self):
+        recorder = FlightRecorder()
+        recorder.note("before-incident")
+        ctx = new_trace()
+        with use_trace(ctx):
+            snapshot = recorder.dump("load-shed", extra={"route": "/top"})
+        assert snapshot["reason"] == "load-shed"
+        assert snapshot["trace_id"] == ctx.trace_id
+        assert snapshot["route"] == "/top"
+        assert any(
+            e["name"] == "before-incident"
+            for e in snapshot["events"]
+            if e["kind"] == "event"
+        )
+        assert recorder.dumps()[-1]["reason"] == "load-shed"
+
+    def test_dump_retention_is_bounded(self):
+        recorder = FlightRecorder(dump_keep=2)
+        for n in range(4):
+            recorder.dump(f"reason-{n}")
+        reasons = [d["reason"] for d in recorder.dumps()]
+        assert reasons == ["reason-2", "reason-3"]
+
+    def test_as_dict_shape(self):
+        recorder = FlightRecorder(capacity=7)
+        recorder.note("e")
+        view = recorder.as_dict()
+        assert view["capacity"] == 7
+        assert view["dropped"] == 0
+        assert view["events"][0]["name"] == "e"

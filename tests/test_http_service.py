@@ -166,6 +166,33 @@ class TestOperational:
         assert body["corpus"]["bloggers"] == 120
         assert body["pending_deltas"] == 0
 
+    def test_healthz_reports_slo_objectives(self, service):
+        get(service, "/top?k=2")  # at least one latency sample
+        _, body = get(service, "/healthz")
+        slo = body["slo"]
+        assert set(slo) == {
+            "query_latency", "error_rate",
+            "snapshot_staleness", "wal_replay_lag",
+        }
+        latency = slo["query_latency"]
+        assert latency["kind"] == "latency"
+        assert latency["samples_short"] >= 1
+        assert latency["violating"] is False
+        staleness = slo["snapshot_staleness"]
+        assert staleness["kind"] == "bound"
+        assert staleness["current"] == 0.0
+        # Non-durable store: the WAL probe is unwired, never degrading.
+        assert body["slo"]["wal_replay_lag"]["current"] is None
+
+    def test_slo_burn_gauges_in_metrics(self, service):
+        get(service, "/healthz")  # evaluation refreshes the gauges
+        with urllib.request.urlopen(
+            service.url + "/metrics", timeout=10
+        ) as resp:
+            text = resp.read().decode()
+        assert "repro_slo_query_latency_burn_short" in text
+        assert "repro_slo_degraded 0" in text
+
     def test_metrics_expose_qps_and_latency(self, service):
         get(service, "/top?k=2")
         with urllib.request.urlopen(
@@ -231,3 +258,160 @@ class TestHealthzAges:
         _, after = get(service, "/healthz")
         assert after["uptime_seconds"] >= before["uptime_seconds"] >= 0.0
         assert after["snapshot_age_seconds"] >= 0.0
+
+
+class TestTraceHeader:
+    def test_every_response_carries_a_trace_id(self, service):
+        with urllib.request.urlopen(
+            service.url + "/top?k=2", timeout=10
+        ) as resp:
+            trace_id = resp.headers.get("X-Repro-Trace-Id")
+        assert trace_id
+        assert len(trace_id) == 32
+
+    def test_error_responses_echo_the_inbound_id(self, service):
+        request = urllib.request.Request(
+            service.url + "/top?k=0",
+            headers={"X-Repro-Trace-Id": "abcd" * 8},
+        )
+        try:
+            urllib.request.urlopen(request, timeout=10)
+            raise AssertionError("expected a 400")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 400
+            assert exc.headers.get("X-Repro-Trace-Id") == "abcd" * 8
+
+
+class TestDebugEndpoints:
+    def test_debug_events_returns_the_recorder_tail(self, service):
+        get(service, "/top?k=2")
+        status, body = get(service, "/debug/events")
+        assert status == 200
+        assert body["capacity"] >= 1
+        assert body["events"]
+        kinds = {event["kind"] for event in body["events"]}
+        assert "span" in kinds  # closed handler spans ring automatically
+
+    def test_debug_events_limit(self, service):
+        get(service, "/top?k=2")
+        _, body = get(service, "/debug/events?limit=1")
+        assert len(body["events"]) == 1
+
+    def test_debug_events_dumps_view(self, service):
+        _, body = get(service, "/debug/events?dumps=1")
+        assert "dumps" in body
+        assert isinstance(body["dumps"], list)
+
+    def test_debug_traces_exports_span_trees(self, service):
+        get(service, "/top?k=2")
+        _, body = get(service, "/debug/traces")
+        names = {span["name"] for span in body["spans"]}
+        assert "http-request" in names
+
+    def test_debug_vars_snapshot(self, service):
+        _, body = get(service, "/debug/vars")
+        assert body["config"]["max_inflight"] == 8
+        assert body["epoch"] == service.store.snapshot.epoch
+        assert body["inflight"] == 0  # debug routes never take a slot
+        assert body["staleness_seconds"] == 0.0
+        assert body["durable"] is False
+        assert body["recorder"]["capacity"] >= 1
+        assert [o["name"] for o in body["slo_objectives"]] == [
+            "query_latency", "error_rate",
+            "snapshot_staleness", "wal_replay_lag",
+        ]
+
+    def test_unknown_debug_route_is_404(self, service):
+        code, _, _ = get_error(service, "/debug/nope")
+        assert code == 404
+
+
+class TestShedDump:
+    def test_load_shed_dumps_with_the_shed_requests_trace(
+        self, small_blogosphere
+    ):
+        corpus, _ = small_blogosphere
+        instr = Instrumentation.enabled()
+        store = SnapshotStore(corpus, instrumentation=instr)
+        server = create_server(
+            store, ServiceConfig(port=0, max_inflight=0), instr
+        )
+        server.serve_in_thread()
+        try:
+            request = urllib.request.Request(
+                server.url + "/top?k=2",
+                headers={"X-Repro-Trace-Id": "feed" * 8},
+            )
+            try:
+                urllib.request.urlopen(request, timeout=10)
+                raise AssertionError("expected a 503")
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 503
+            dumps = instr.recorder.dumps()
+            assert dumps, "load shed must leave a flight-recorder dump"
+            dump = dumps[-1]
+            assert dump["reason"] == "load-shed"
+            assert dump["trace_id"] == "feed" * 8
+            assert dump["route"] == "/top"
+            # The shed endpoints stay debuggable: the dump is served.
+            status, body = get(server, "/debug/events?dumps=1")
+            assert status == 200
+            assert body["dumps"][-1]["reason"] == "load-shed"
+        finally:
+            server.shutdown()
+            server.server_close()
+            store.close()
+
+
+class TestSloDegradation:
+    def test_staleness_violation_degrades_and_recovers(
+        self, small_blogosphere
+    ):
+        """Drive the snapshot_staleness SLO through a full incident.
+
+        A pending delta older than max_staleness must flip /healthz to
+        degraded with a positive burn rate and raise the degraded
+        gauge; folding the delta in recovers immediately (bound
+        objectives have no window hysteresis).
+        """
+        import time as _time
+
+        from repro.core import CorpusDelta
+        from repro.data import Blogger
+
+        corpus, _ = small_blogosphere
+        instr = Instrumentation.enabled()
+        # No background refresher and a tiny bound: a submitted delta
+        # becomes an SLO violation after 10 ms.  /healthz must NOT
+        # trigger the read-path refresh itself (only query routes do),
+        # so the violation is observable.
+        store = SnapshotStore(
+            corpus, max_staleness=0.01, instrumentation=instr
+        )
+        server = create_server(store, ServiceConfig(port=0), instr)
+        server.serve_in_thread()
+        try:
+            store.submit(CorpusDelta(bloggers=[Blogger("late-comer")]))
+            _time.sleep(0.05)
+            status, body = get(server, "/healthz")
+            assert status == 200  # alive, but degraded
+            assert body["status"] == "degraded"
+            entry = body["slo"]["snapshot_staleness"]
+            assert entry["violating"] is True
+            assert entry["current"] > 0.01
+            assert entry["burn_short"] > 1.0
+            assert instr.metrics.get("repro_slo_degraded").value == 1.0
+            burn = instr.metrics.get(
+                "repro_slo_snapshot_staleness_burn_short"
+            )
+            assert burn.value > 1.0
+
+            store.refresh_now()
+            _, body = get(server, "/healthz")
+            assert body["status"] == "ok"
+            assert body["slo"]["snapshot_staleness"]["current"] == 0.0
+            assert instr.metrics.get("repro_slo_degraded").value == 0.0
+        finally:
+            server.shutdown()
+            server.server_close()
+            store.close()

@@ -1,0 +1,147 @@
+"""Trace-context minting, propagation, and serialization."""
+
+import logging
+import threading
+
+from repro.obs import TraceContext, TraceContextFilter, current_trace, use_trace
+from repro.obs.context import new_span_id, new_trace
+
+
+class TestMinting:
+    def test_new_mints_128_bit_hex_ids(self):
+        ctx = TraceContext.new()
+        assert len(ctx.trace_id) == 32
+        assert set(ctx.trace_id) <= set("0123456789abcdef")
+        assert len(ctx.span_id) == 16
+
+    def test_new_ids_are_unique(self):
+        ids = {TraceContext.new().trace_id for _ in range(64)}
+        assert len(ids) == 64
+
+    def test_new_span_id_shape(self):
+        span_id = new_span_id()
+        assert len(span_id) == 16
+        assert set(span_id) <= set("0123456789abcdef")
+
+
+class TestFromHeader:
+    def test_valid_header_is_adopted(self):
+        ctx = TraceContext.from_header("deadbeefcafe1234")
+        assert ctx.trace_id == "deadbeefcafe1234"
+
+    def test_header_is_case_folded(self):
+        ctx = TraceContext.from_header("DEADBEEFCAFE1234")
+        assert ctx.trace_id == "deadbeefcafe1234"
+
+    def test_malformed_headers_mint_fresh_never_fail(self):
+        for bad in (None, "", "short", "g" * 16, "a" * 65, "spaces here"):
+            ctx = TraceContext.from_header(bad)
+            assert len(ctx.trace_id) == 32
+
+    def test_adopted_header_still_gets_fresh_span_id(self):
+        first = TraceContext.from_header("deadbeefcafe1234")
+        second = TraceContext.from_header("deadbeefcafe1234")
+        assert first.span_id != second.span_id
+
+
+class TestImmutability:
+    def test_child_changes_only_the_span_id(self):
+        ctx = TraceContext.new(baggage={"route": "/top"})
+        child = ctx.child("abcd1234abcd1234")
+        assert child.trace_id == ctx.trace_id
+        assert child.span_id == "abcd1234abcd1234"
+        assert child.baggage == ctx.baggage
+        assert ctx.span_id != "abcd1234abcd1234"  # original untouched
+
+    def test_with_baggage_merges(self):
+        ctx = TraceContext.new(baggage={"a": "1"})
+        more = ctx.with_baggage(b="2", a="overridden")
+        assert more.baggage_dict() == {"a": "overridden", "b": "2"}
+        assert ctx.baggage_dict() == {"a": "1"}
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        ctx = TraceContext.new(baggage={"route": "/query"})
+        rebuilt = TraceContext.from_dict(ctx.to_dict())
+        assert rebuilt == ctx
+
+    def test_empty_baggage_omitted_from_payload(self):
+        assert "baggage" not in TraceContext.new().to_dict()
+
+    def test_from_dict_tolerates_missing_span_id(self):
+        rebuilt = TraceContext.from_dict({"trace_id": "a" * 32})
+        assert rebuilt.trace_id == "a" * 32
+        assert len(rebuilt.span_id) == 16
+
+
+class TestActivation:
+    def test_use_trace_scopes_the_context(self):
+        assert current_trace() is None
+        ctx = new_trace()
+        with use_trace(ctx):
+            assert current_trace() is ctx
+        assert current_trace() is None
+
+    def test_use_trace_none_fences_off_ambient_context(self):
+        with use_trace(new_trace()):
+            with use_trace(None):
+                assert current_trace() is None
+            assert current_trace() is not None
+
+    def test_restored_even_when_body_raises(self):
+        try:
+            with use_trace(new_trace()):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current_trace() is None
+
+    def test_new_threads_start_without_context(self):
+        seen = {}
+        with use_trace(new_trace()):
+            thread = threading.Thread(
+                target=lambda: seen.update(ctx=current_trace())
+            )
+            thread.start()
+            thread.join()
+        assert seen["ctx"] is None
+
+    def test_explicit_handoff_across_threads(self):
+        ctx = new_trace()
+        seen = {}
+
+        def work():
+            with use_trace(ctx):
+                seen["trace_id"] = current_trace().trace_id
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join()
+        assert seen["trace_id"] == ctx.trace_id
+
+
+class TestLogFilter:
+    def _record(self):
+        return logging.LogRecord(
+            "repro.test", logging.INFO, __file__, 1, "hello", (), None
+        )
+
+    def test_stamps_active_trace_id(self):
+        record = self._record()
+        ctx = new_trace()
+        with use_trace(ctx):
+            assert TraceContextFilter().filter(record) is True
+        assert record.trace_id == ctx.trace_id
+
+    def test_no_context_stamps_none(self):
+        record = self._record()
+        TraceContextFilter().filter(record)
+        assert record.trace_id is None
+
+    def test_explicit_extra_wins(self):
+        record = self._record()
+        record.trace_id = "explicit"
+        with use_trace(new_trace()):
+            TraceContextFilter().filter(record)
+        assert record.trace_id == "explicit"

@@ -78,3 +78,45 @@ class TestConfigureLogging:
         assert record["message"] == "wave done"
         assert record["wave"] == 3
         assert record["fetched"] == 12
+
+    def test_json_output_survives_non_serializable_extras(self):
+        # A handler that raises on a weird extra would silently eat the
+        # log line (logging swallows handler errors); the formatter
+        # must stringify anything JSON cannot encode.
+        class Opaque:
+            def __repr__(self):
+                return "<opaque thing>"
+
+        class Unprintable:
+            def __repr__(self):
+                raise RuntimeError("repr exploded")
+
+        stream = io.StringIO()
+        configure_logging("INFO", json=True, stream=stream)
+        get_logger("solver").info(
+            "state", extra={
+                "obj": Opaque(),
+                "bad": Unprintable(),
+                "path": {1, 2},
+            },
+        )
+        record = json.loads(stream.getvalue())
+        assert record["message"] == "state"
+        assert record["obj"] == "<opaque thing>"
+        assert record["bad"] == "<unprintable Unprintable>"
+        assert "1" in record["path"] and "2" in record["path"]
+
+    def test_json_output_stamps_trace_ids(self):
+        from repro.obs.context import new_trace, use_trace
+
+        stream = io.StringIO()
+        configure_logging("INFO", json=True, stream=stream)
+        ctx = new_trace()
+        with use_trace(ctx):
+            get_logger("serve").info("handled")
+        get_logger("serve").info("background")
+        traced, untraced = [
+            json.loads(line) for line in stream.getvalue().splitlines()
+        ]
+        assert traced["trace_id"] == ctx.trace_id
+        assert untraced.get("trace_id") is None

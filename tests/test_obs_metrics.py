@@ -71,6 +71,43 @@ class TestHistogram:
         with pytest.raises(ParameterError, match="at least one bucket"):
             registry.histogram("h", buckets=())
 
+    def test_concurrent_observe_keeps_buckets_consistent(self, registry):
+        # Many threads hammering observe() across every bucket: count,
+        # sum, and the cumulative bucket ladder must all agree at the
+        # end — a racy bucket-index update would break monotonicity.
+        histogram = registry.histogram("h", buckets=(0.1, 1.0, 10.0))
+        values = (0.05, 0.5, 5.0, 50.0)
+        per_thread = 500
+        threads = [
+            threading.Thread(
+                target=lambda: [
+                    histogram.observe(value)
+                    for _ in range(per_thread)
+                    for value in values
+                ]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = 8 * per_thread * len(values)
+        snapshot = histogram.as_dict()
+        assert snapshot["count"] == total
+        assert snapshot["sum"] == pytest.approx(
+            8 * per_thread * sum(values)
+        )
+        expected_quarter = total // 4
+        assert snapshot["buckets"] == {
+            "0.1": expected_quarter,
+            "1": 2 * expected_quarter,
+            "10": 3 * expected_quarter,
+            "+Inf": total,
+        }
+        ladder = list(snapshot["buckets"].values())
+        assert ladder == sorted(ladder)
+
 
 class TestRegistry:
     def test_as_dict_snapshot(self, registry):

@@ -1,10 +1,13 @@
 """Tests for the span-tree tracer."""
 
 import json
+import threading
+import time
 
 import pytest
 
 from repro.obs import NULL_SPAN, Tracer
+from repro.obs.context import current_trace, new_trace, use_trace
 
 
 class TestSpans:
@@ -98,6 +101,107 @@ class TestExport:
             pass
         tracer.clear()
         assert tracer.roots == []
+
+
+class TestClocks:
+    def test_wall_clock_step_cannot_skew_durations(self, monkeypatch):
+        # Durations come from perf_counter; rewind time.time() a day
+        # mid-span and the duration must stay sane while wall_start
+        # keeps the (pre-step) wall timestamp for rendering.
+        tracer = Tracer()
+        real_time = time.time
+        with tracer.span("steady") as span:
+            monkeypatch.setattr(time, "time",
+                                lambda: real_time() - 86400.0)
+        assert 0.0 <= span.duration < 60.0
+        assert span.wall_start >= real_time() - 5.0  # captured pre-step
+
+    def test_wall_clock_jump_forward_harmless_too(self, monkeypatch):
+        tracer = Tracer()
+        real_time = time.time
+        monkeypatch.setattr(time, "time", lambda: real_time() + 86400.0)
+        with tracer.span("jumped") as span:
+            pass
+        assert 0.0 <= span.duration < 60.0
+
+    def test_span_dict_carries_wall_start(self):
+        tracer = Tracer()
+        before = time.time()
+        with tracer.span("root"):
+            pass
+        node = tracer.as_dict()["spans"][0]
+        assert before <= node["wall_start"] <= time.time()
+
+
+class TestTraceStamping:
+    def test_spans_carry_the_active_trace(self):
+        tracer = Tracer()
+        ctx = new_trace()
+        with use_trace(ctx):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    pass
+        outer = tracer.roots[0]
+        inner = outer.children[0]
+        assert outer.trace_id == inner.trace_id == ctx.trace_id
+        assert outer.parent_id == ctx.span_id
+        assert inner.parent_id == outer.span_id
+
+    def test_span_narrows_the_context_to_itself(self):
+        tracer = Tracer()
+        with use_trace(new_trace()):
+            with tracer.span("outer") as outer:
+                assert current_trace().span_id == outer.span_id
+            assert current_trace().span_id != outer.span_id
+
+    def test_adopt_grafts_remote_spans(self):
+        tracer = Tracer()
+        with tracer.span("local") as local:
+            adopted = tracer.adopt(
+                "remote", duration=0.25,
+                trace_id="a" * 32, span_id="b" * 16,
+                worker_id=3,
+            )
+        assert adopted in local.children
+        assert adopted.trace_id == "a" * 32
+        assert adopted.span_id == "b" * 16
+        assert adopted.parent_id == local.span_id
+        assert adopted.duration == pytest.approx(0.25, abs=0.01)
+        assert adopted.events == [{"worker_id": 3}]
+
+    def test_adopt_without_open_span_becomes_root(self):
+        tracer = Tracer()
+        tracer.adopt("orphan", duration=0.1)
+        assert tracer.roots[0].name == "orphan"
+
+    def test_on_close_fires_for_every_span(self):
+        closed = []
+        tracer = Tracer(on_close=closed.append)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        tracer.adopt("remote")
+        assert [span.name for span in closed] == [
+            "inner", "outer", "remote",
+        ]
+
+    def test_threads_do_not_co_nest(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def work(label):
+            with tracer.span(label):
+                barrier.wait(timeout=5)
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{n}",)) for n in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(root.name for root in tracer.roots) == ["t0", "t1"]
+        assert all(not root.children for root in tracer.roots)
 
 
 class TestDisabled:

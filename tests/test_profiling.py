@@ -1,0 +1,100 @@
+"""The stdlib sampling profiler: lifecycle, output format, accounting."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs import SamplingProfiler
+
+
+def spin(seconds):
+    """Burn CPU in a recognizably-named frame."""
+    deadline = time.perf_counter() + seconds
+    total = 0
+    while time.perf_counter() < deadline:
+        total += 1
+    return total
+
+
+class TestLifecycle:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ParameterError, match="interval"):
+            SamplingProfiler(interval=0.0)
+
+    def test_start_stop_idempotent(self):
+        profiler = SamplingProfiler(interval=0.001)
+        profiler.start()
+        profiler.start()
+        profiler.stop()
+        profiler.stop()
+        assert profiler.active_seconds >= 0.0
+
+    def test_context_manager_samples_the_body(self):
+        profiler = SamplingProfiler(interval=0.001)
+        with profiler:
+            spin(0.05)
+        assert profiler.sample_count > 0
+        assert profiler.active_seconds >= 0.05
+
+    def test_counts_survive_stop_and_clear_resets(self):
+        profiler = SamplingProfiler(interval=0.001)
+        with profiler:
+            spin(0.05)
+        count = profiler.sample_count
+        assert count > 0
+        assert profiler.sample_count == count  # stopped, counts kept
+        profiler.clear()
+        assert profiler.sample_count == 0
+        assert profiler.render_collapsed() == ""
+
+    def test_sampler_thread_is_daemon_and_named(self):
+        profiler = SamplingProfiler(interval=0.01)
+        profiler.start()
+        try:
+            names = [t.name for t in threading.enumerate()]
+            assert "repro-profiler" in names
+            sampler = next(
+                t for t in threading.enumerate()
+                if t.name == "repro-profiler"
+            )
+            assert sampler.daemon
+        finally:
+            profiler.stop()
+
+
+class TestOutput:
+    def test_collapsed_stack_format(self):
+        profiler = SamplingProfiler(interval=0.001)
+        with profiler:
+            spin(0.1)
+        lines = profiler.render_collapsed().strip().splitlines()
+        assert lines
+        for line in lines:
+            stack, _, count = line.rpartition(" ")
+            assert stack
+            assert int(count) >= 1
+        assert any("spin" in line for line in lines)
+
+    def test_hottest_stack_first(self):
+        profiler = SamplingProfiler(interval=0.001)
+        with profiler:
+            spin(0.05)
+        lines = profiler.render_collapsed().strip().splitlines()
+        counts = [int(line.rpartition(" ")[2]) for line in lines]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_own_sampler_thread_not_profiled(self):
+        profiler = SamplingProfiler(interval=0.001)
+        with profiler:
+            spin(0.05)
+        assert "SamplingProfiler._sample" not in profiler.render_collapsed()
+
+    def test_write_creates_parent_dirs(self, tmp_path):
+        profiler = SamplingProfiler(interval=0.001)
+        with profiler:
+            spin(0.02)
+        target = profiler.write(tmp_path / "deep" / "profile.folded")
+        assert target.exists()
+        assert target.read_text() == profiler.render_collapsed()

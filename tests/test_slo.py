@@ -1,0 +1,257 @@
+"""SLO objectives, burn rates, and the degraded verdict."""
+
+import json
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs import (
+    MetricsRegistry,
+    SloEngine,
+    SloObjective,
+    default_serve_objectives,
+    load_slo_config,
+)
+
+
+class FakeClock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def latency_objective(**overrides):
+    defaults = dict(
+        name="query_latency", kind="latency", target=0.1,
+        goal=0.9, min_samples=1,
+    )
+    defaults.update(overrides)
+    return SloObjective(**defaults)
+
+
+class TestObjectiveValidation:
+    def test_rejects_bad_name(self):
+        with pytest.raises(ParameterError, match="name"):
+            SloObjective(name="bad name!", kind="latency", target=1.0)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ParameterError, match="kind"):
+            SloObjective(name="x", kind="percentile", target=1.0)
+
+    def test_rejects_goal_out_of_range(self):
+        with pytest.raises(ParameterError, match="goal"):
+            SloObjective(name="x", kind="latency", target=1.0, goal=1.0)
+
+    def test_bound_kind_ignores_goal(self):
+        SloObjective(name="x", kind="bound", target=1.0, goal=0.99)
+
+    def test_rejects_negative_target(self):
+        with pytest.raises(ParameterError, match="target"):
+            SloObjective(name="x", kind="latency", target=-1.0)
+
+    def test_rejects_inverted_windows(self):
+        with pytest.raises(ParameterError, match="window"):
+            SloObjective(name="x", kind="latency", target=1.0,
+                         short_window=600.0, long_window=60.0)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ParameterError, match="unknown keys"):
+            SloObjective.from_dict(
+                {"name": "x", "kind": "latency", "target": 1.0, "p99": True}
+            )
+
+    def test_as_dict_round_trips(self):
+        objective = latency_objective(description="d")
+        assert SloObjective.from_dict(objective.as_dict()) == objective
+
+
+class TestLatencyObjective:
+    def test_fast_samples_keep_status_ok(self):
+        engine = SloEngine([latency_objective()], clock=FakeClock())
+        for _ in range(20):
+            engine.observe("query_latency", value=0.01)
+        status = engine.status()
+        assert status["status"] == "ok"
+        entry = status["objectives"]["query_latency"]
+        assert entry["samples_short"] == 20
+        assert entry["burn_short"] == 0.0
+
+    def test_slow_samples_burn_and_degrade(self):
+        engine = SloEngine([latency_objective()], clock=FakeClock())
+        for _ in range(10):
+            engine.observe("query_latency", value=0.5)  # all bad
+        status = engine.status()
+        entry = status["objectives"]["query_latency"]
+        # budget is 1 - 0.9 = 0.1; all-bad → burn 10x
+        assert entry["burn_short"] == pytest.approx(10.0)
+        assert entry["violating"] is True
+        assert status["status"] == "degraded"
+
+    def test_min_samples_suppresses_single_outlier(self):
+        engine = SloEngine(
+            [latency_objective(min_samples=5)], clock=FakeClock()
+        )
+        engine.observe("query_latency", value=9.9)
+        assert engine.status()["status"] == "ok"
+
+    def test_samples_age_out_of_the_windows(self):
+        clock = FakeClock()
+        engine = SloEngine([latency_objective()], clock=clock)
+        engine.observe("query_latency", value=0.5)
+        assert engine.status()["status"] == "degraded"
+        clock.advance(61.0)  # past the short window, inside the long
+        status = engine.status()
+        entry = status["objectives"]["query_latency"]
+        assert status["status"] == "ok"
+        assert entry["samples_short"] == 0
+        assert entry["samples_long"] == 1
+        clock.advance(600.0)  # past the long window: pruned entirely
+        assert engine.status()["objectives"]["query_latency"][
+            "samples_long"] == 0
+
+    def test_latency_observation_requires_value(self):
+        engine = SloEngine([latency_objective()])
+        with pytest.raises(ParameterError, match="needs a value"):
+            engine.observe("query_latency")
+
+
+class TestRatioObjective:
+    def test_error_rate_burn(self):
+        objective = SloObjective(
+            name="error_rate", kind="ratio", target=0.0, goal=0.9
+        )
+        engine = SloEngine([objective], clock=FakeClock())
+        for bad in (False, False, False, True):
+            engine.observe("error_rate", bad=bad)
+        entry = engine.status()["objectives"]["error_rate"]
+        # bad fraction 0.25 against a 0.1 budget → burn 2.5
+        assert entry["burn_short"] == pytest.approx(2.5)
+        assert entry["violating"] is True
+
+    def test_ratio_observation_requires_bad_flag(self):
+        engine = SloEngine([SloObjective(
+            name="error_rate", kind="ratio", target=0.0, goal=0.9
+        )])
+        with pytest.raises(ParameterError, match="bad=True/False"):
+            engine.observe("error_rate")
+
+
+class TestBoundObjective:
+    def bound(self, target=1.0):
+        return SloObjective(name="staleness", kind="bound", target=target)
+
+    def test_probe_within_bound_is_ok(self):
+        engine = SloEngine([self.bound(target=2.0)])
+        engine.probe("staleness", lambda: 1.0)
+        entry = engine.status()["objectives"]["staleness"]
+        assert entry["current"] == 1.0
+        assert entry["burn_short"] == pytest.approx(0.5)
+        assert entry["violating"] is False
+
+    def test_probe_over_bound_degrades_and_recovers_immediately(self):
+        value = {"v": 5.0}
+        engine = SloEngine([self.bound(target=2.0)])
+        engine.probe("staleness", lambda: value["v"])
+        assert engine.status()["status"] == "degraded"
+        value["v"] = 0.0  # bound objectives have no window: instant recovery
+        assert engine.status()["status"] == "ok"
+
+    def test_zero_target_means_any_positive_value_violates(self):
+        engine = SloEngine([self.bound(target=0.0)])
+        engine.probe("staleness", lambda: 0.0)
+        assert engine.status()["status"] == "ok"
+        engine.probe("staleness", lambda: 1.0)  # rewire
+        entry = engine.status()["objectives"]["staleness"]
+        assert entry["violating"] is True
+
+    def test_unwired_probe_reports_none_not_degraded(self):
+        engine = SloEngine([self.bound()])
+        entry = engine.status()["objectives"]["staleness"]
+        assert entry["current"] is None
+        assert entry["violating"] is False
+
+    def test_probe_failure_degrades_but_does_not_raise(self):
+        engine = SloEngine([self.bound()])
+        engine.probe("staleness", lambda: 1 / 0)
+        entry = engine.status()["objectives"]["staleness"]
+        assert entry["probe_error"] is True
+        assert entry["violating"] is True
+
+    def test_probe_on_windowed_objective_rejected(self):
+        engine = SloEngine([latency_objective()])
+        with pytest.raises(ParameterError, match="only bound"):
+            engine.probe("query_latency", lambda: 0.0)
+
+
+class TestEngine:
+    def test_duplicate_objective_rejected(self):
+        with pytest.raises(ParameterError, match="twice"):
+            SloEngine([latency_objective(), latency_objective()])
+
+    def test_unknown_observation_ignored(self):
+        SloEngine([]).observe("not_registered", value=1.0)
+
+    def test_disabled_engine_records_nothing(self):
+        engine = SloEngine([latency_objective()], enabled=False)
+        engine.observe("query_latency", value=9.0)
+        assert engine.status()["objectives"]["query_latency"][
+            "samples_short"] == 0
+
+    def test_status_refreshes_burn_gauges(self):
+        metrics = MetricsRegistry()
+        engine = SloEngine(
+            [latency_objective()], metrics=metrics, clock=FakeClock()
+        )
+        engine.observe("query_latency", value=0.5)
+        engine.status()
+        assert metrics.get(
+            "repro_slo_query_latency_burn_short").value == pytest.approx(10.0)
+        assert metrics.get("repro_slo_degraded").value == 1.0
+
+    def test_as_dict_carries_config_and_status(self):
+        engine = SloEngine([latency_objective()])
+        view = engine.as_dict()
+        assert view["objectives"][0]["name"] == "query_latency"
+        assert view["status"]["status"] == "ok"
+
+
+class TestDefaultsAndConfig:
+    def test_default_serve_objectives_names(self):
+        names = [o.name for o in default_serve_objectives()]
+        assert names == [
+            "query_latency", "error_rate",
+            "snapshot_staleness", "wal_replay_lag",
+        ]
+
+    def test_max_staleness_wires_the_bound(self):
+        objectives = {o.name: o for o in default_serve_objectives(0.25)}
+        assert objectives["snapshot_staleness"].target == 0.25
+
+    def test_load_slo_config_round_trip(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({"objectives": [
+            {"name": "query_latency", "kind": "latency",
+             "target": 0.5, "goal": 0.95},
+            {"name": "staleness", "kind": "bound", "target": 10.0},
+        ]}))
+        loaded = load_slo_config(path)
+        assert [o.name for o in loaded] == ["query_latency", "staleness"]
+        assert loaded[0].goal == 0.95
+
+    @pytest.mark.parametrize("payload,fragment", [
+        ("not json", "invalid JSON"),
+        ("[]", "objectives"),
+        ('{"objectives": {}}', "must be a list"),
+        ('{"objectives": [{"name": "a", "kind": "latency", "target": 1.0},'
+         ' {"name": "a", "kind": "latency", "target": 1.0}]}', "duplicate"),
+    ])
+    def test_load_slo_config_errors(self, tmp_path, payload, fragment):
+        path = tmp_path / "slo.json"
+        path.write_text(payload)
+        with pytest.raises(ParameterError, match=fragment):
+            load_slo_config(path)
