@@ -6,12 +6,19 @@ subprocess, issues requests against every query endpoint with plain
 Run from the repo root::
 
     PYTHONPATH=src python scripts/serve_smoke.py
+    PYTHONPATH=src python scripts/serve_smoke.py --workers 2  # pre-fork
+
+With ``--workers N > 1`` the same checks run against the pre-fork
+tier, plus: ``/healthz`` must report the cluster supervision block and
+``/metrics`` (served by whichever worker the kernel picks) must carry
+cluster-wide aggregates with one ``worker=`` lane per process.
 
 Exits nonzero (with the server log on stderr) on any failure.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import socket
 import subprocess
@@ -55,7 +62,12 @@ def wait_until_healthy(base: str, process: subprocess.Popen) -> None:
     raise RuntimeError(f"server not healthy within {STARTUP_TIMEOUT}s")
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="serve with a pre-fork cluster of N workers")
+    args = parser.parse_args(argv)
+
     with tempfile.TemporaryDirectory(prefix="mass-smoke-") as tmp:
         data_dir = Path(tmp) / "corpus"
         generate = subprocess.run(
@@ -70,9 +82,12 @@ def main() -> int:
 
         port = free_port()
         base = f"http://127.0.0.1:{port}"
+        command = [sys.executable, "-m", "repro", "serve",
+                   "--data", str(data_dir), "--port", str(port)]
+        if args.workers > 1:
+            command += ["--workers", str(args.workers)]
         server = subprocess.Popen(
-            [sys.executable, "-m", "repro", "serve",
-             "--data", str(data_dir), "--port", str(port)],
+            command,
             stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
         )
         try:
@@ -111,8 +126,30 @@ def main() -> int:
             qps = counters.get("repro_http_requests_total", 0.0)
             assert qps > 0, "qps counter is zero"
             assert counters.get("repro_http_requests_top_total", 0.0) > 0
-            assert counters.get("repro_query_cache_hits_total", 0.0) > 0, \
-                "expected at least one cache hit"
+            if args.workers > 1:
+                # The kernel balances each connection to any worker, so
+                # per-worker cache hits aren't deterministic — but the
+                # shared-memory aggregate must count every request we
+                # made, whichever worker answers the scrape, and the
+                # exposition must carry one lane per worker.
+                lanes = [
+                    counters[name] for name in counters
+                    if name.startswith(
+                        'repro_http_worker_requests_total{worker="'
+                    )
+                ]
+                assert len(lanes) == args.workers, sorted(counters)
+                assert sum(lanes) == qps, (lanes, qps)
+                status, body = get(base, "/healthz")
+                health = json.loads(body)
+                assert health["cluster"]["workers"] == args.workers, health
+                assert "worker_id" in health, health
+                print(f"cluster ok: {args.workers} workers, "
+                      f"lanes {lanes}")
+            else:
+                assert counters.get(
+                    "repro_query_cache_hits_total", 0.0
+                ) > 0, "expected at least one cache hit"
             print(f"/metrics ok: {qps:.0f} requests counted")
             print("smoke test passed")
             return 0
@@ -123,7 +160,12 @@ def main() -> int:
                 output = server.communicate(timeout=10)[0]
             except subprocess.TimeoutExpired:
                 server.kill()
-                output = server.communicate()[0]
+                try:
+                    output = server.communicate(timeout=10)[0]
+                except subprocess.TimeoutExpired:
+                    # A forked worker still holds the pipe: report what
+                    # we have rather than blocking the job forever.
+                    output = "<server output unavailable: pipe held open>"
             print("---- server output ----", file=sys.stderr)
             print(output or "", file=sys.stderr)
             raise

@@ -266,6 +266,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="largest k a single query may ask for")
     serve.add_argument("--cache-size", type=int, default=1024,
                        help="bounded LRU result-cache entries (0 disables)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="serving worker processes; >1 runs the "
+                            "pre-fork shared-memory tier (default 1: "
+                            "single-process, in the foreground)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="max queries a single POST /query/batch "
+                            "may carry")
+    serve.add_argument("--rate-limit", type=float, default=0.0,
+                       metavar="QPS",
+                       help="per-tenant token-bucket rate limit in "
+                            "queries/second per worker, keyed on the "
+                            "X-Repro-Tenant header (0 disables)")
+    serve.add_argument("--rate-limit-burst", type=float, default=0.0,
+                       help="token-bucket burst capacity (0 derives it "
+                            "from --rate-limit and --max-batch)")
     serve.add_argument("--durable-dir", default=None, metavar="DIR",
                        help="enable durable ingestion: WAL + checkpoints "
                             "under DIR, with crash recovery on startup")
@@ -529,19 +544,56 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_inflight=args.max_inflight,
         max_k=args.max_k,
         cache_size=args.cache_size,
+        max_batch=args.max_batch,
+        rate_limit_qps=args.rate_limit,
+        rate_limit_burst=args.rate_limit_burst,
     )
     objectives = None
     if args.slo_config:
         from repro.obs import load_slo_config
 
         objectives = load_slo_config(args.slo_config)
-    server = create_server(store, config, instr, slo_objectives=objectives)
     snapshot = store.snapshot
-    print(f"serving {snapshot.stats()['bloggers']} bloggers "
-          f"({len(snapshot.domains)} domains, epoch {snapshot.epoch[:12]}) "
-          f"on {server.url}", flush=True)
-    print("endpoints: /top /query /blogger/<id> /healthz /metrics",
-          flush=True)
+    banner = (f"serving {snapshot.stats()['bloggers']} bloggers "
+              f"({len(snapshot.domains)} domains, "
+              f"epoch {snapshot.epoch[:12]})")
+    endpoints = ("endpoints: /top /query /query/batch /blogger/<id> "
+                 "/healthz /metrics")
+    if args.workers > 1:
+        import signal as _signal
+        import time as _time
+
+        from repro.serve import ClusterConfig, ServingCluster
+
+        cluster = ServingCluster(
+            store, config, ClusterConfig(workers=args.workers),
+            instrumentation=instr, slo_objectives=objectives,
+        )
+        # SIGTERM (the supervisor's polite kill) must tear the workers
+        # down too, or they outlive the master holding its stdio pipes.
+        def _terminated(signum, frame):  # noqa: ARG001 - signal API
+            raise KeyboardInterrupt
+
+        previous = _signal.signal(_signal.SIGTERM, _terminated)
+        try:
+            with store, cluster:
+                cluster.wait_ready()
+                print(f"{banner} on {cluster.url} "
+                      f"({args.workers} workers, "
+                      f"pids {cluster.worker_pids})",
+                      flush=True)
+                print(endpoints, flush=True)
+                try:
+                    while True:
+                        _time.sleep(3600)
+                except KeyboardInterrupt:
+                    print("shutting down")
+        finally:
+            _signal.signal(_signal.SIGTERM, previous)
+        return 0
+    server = create_server(store, config, instr, slo_objectives=objectives)
+    print(f"{banner} on {server.url}", flush=True)
+    print(endpoints, flush=True)
     with store:
         try:
             server.serve_forever()

@@ -40,9 +40,12 @@ the last resort.  Worker count resolution honours the
 
 from __future__ import annotations
 
+import mmap
 import multiprocessing
 import os
 import queue as _queue
+import struct
+import threading
 import time
 from array import array
 from bisect import bisect_left, bisect_right
@@ -65,6 +68,8 @@ __all__ = [
     "ShardPlan",
     "ShardPlanCache",
     "ParallelSolution",
+    "SeqlockArena",
+    "SharedF64Array",
     "default_row_weights",
     "plan_shards",
     "resolve_num_workers",
@@ -796,3 +801,164 @@ def parallel_solve(
         shard_seconds=tuple(shard_seconds),
         worker_spans=executor.worker_spans,
     )
+
+
+# ----------------------------------------------------------------------
+# Shared-memory primitives (fork-inherited, single-writer)
+# ----------------------------------------------------------------------
+# The solver above shares its ``x`` double-buffers through RawArray;
+# the serving tier needs two more generic shapes over the same
+# anonymous-``mmap`` mechanism (``mmap.mmap(-1, n)`` maps MAP_SHARED
+# pages, so children forked *after* construction see the same memory):
+#
+# - :class:`SeqlockArena` — a variable-length payload one writer
+#   republishes and many reader processes poll, with a seqlock version
+#   word so a reader can never observe a torn (half-swapped) payload;
+# - :class:`SharedF64Array` — a flat float64 slot array for counters
+#   that must aggregate across processes, on the discipline that each
+#   slot has exactly one writer.
+
+_SEQLOCK_HEADER = struct.Struct("<QQ")  # (version, payload length)
+_SEQLOCK_TAG_BYTES = 128
+
+
+class SeqlockArena:
+    """A single-writer, multi-reader shared-memory publication slot.
+
+    Layout: an 8-byte version word, an 8-byte payload length, a
+    fixed-width UTF-8 tag (truncated to :data:`_SEQLOCK_TAG_BYTES`),
+    then the payload bytes.  The writer bumps the version to an *odd*
+    value, rewrites tag + payload, then bumps it to the next *even*
+    value; readers retry while the version is odd or changes across
+    their copy.  Version 0 means "never published".
+
+    One process writes (:meth:`publish`), any number of processes that
+    inherited the arena over ``fork`` read (:meth:`read`); there is no
+    cross-process locking, only the version protocol, so readers never
+    block the writer and vice versa.
+    """
+
+    __slots__ = ("_mmap", "_capacity", "_lock")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ReproError(
+                f"arena capacity must be >= 1 byte, got {capacity}"
+            )
+        self._capacity = int(capacity)
+        total = _SEQLOCK_HEADER.size + _SEQLOCK_TAG_BYTES + self._capacity
+        self._mmap = mmap.mmap(-1, total)
+        # Serializes *threads* of the single writer process; the
+        # cross-process story is the seqlock itself.
+        self._lock = threading.Lock()
+
+    @property
+    def capacity(self) -> int:
+        """Largest payload this arena can hold, in bytes."""
+        return self._capacity
+
+    @property
+    def version(self) -> int:
+        """The current version word (even = stable, odd = mid-swap)."""
+        return _SEQLOCK_HEADER.unpack_from(self._mmap, 0)[0]
+
+    def publish(self, payload: bytes, tag: str = "") -> int:
+        """Swap in a new payload; returns the new (even) version."""
+        if len(payload) > self._capacity:
+            raise ReproError(
+                f"payload of {len(payload)} bytes exceeds arena "
+                f"capacity {self._capacity}"
+            )
+        raw_tag = tag.encode("utf-8")[:_SEQLOCK_TAG_BYTES]
+        raw_tag = raw_tag.ljust(_SEQLOCK_TAG_BYTES, b"\x00")
+        with self._lock:
+            version = self.version
+            odd = version + 1 if version % 2 == 0 else version
+            _SEQLOCK_HEADER.pack_into(self._mmap, 0, odd, len(payload))
+            start = _SEQLOCK_HEADER.size
+            self._mmap[start:start + _SEQLOCK_TAG_BYTES] = raw_tag
+            body = start + _SEQLOCK_TAG_BYTES
+            self._mmap[body:body + len(payload)] = payload
+            final = odd + 1
+            _SEQLOCK_HEADER.pack_into(self._mmap, 0, final, len(payload))
+            return final
+
+    def read(self) -> tuple[int, str, bytes] | None:
+        """A consistent ``(version, tag, payload)``; None if unpublished.
+
+        Retries until a stable even version brackets the copy — a
+        reader overlapping a swap gets either the old or the new
+        payload, never a mix.
+        """
+        spins = 0
+        while True:
+            before, length = _SEQLOCK_HEADER.unpack_from(self._mmap, 0)
+            if before == 0:
+                return None
+            if before % 2 == 0:
+                start = _SEQLOCK_HEADER.size
+                raw_tag = bytes(
+                    self._mmap[start:start + _SEQLOCK_TAG_BYTES]
+                )
+                body = start + _SEQLOCK_TAG_BYTES
+                payload = bytes(self._mmap[body:body + length])
+                after = _SEQLOCK_HEADER.unpack_from(self._mmap, 0)[0]
+                if after == before:
+                    tag = raw_tag.rstrip(b"\x00").decode("utf-8")
+                    return before, tag, payload
+            spins += 1
+            if spins >= 64:  # writer mid-swap for a while: yield the CPU
+                time.sleep(0.0005)
+
+    def close(self) -> None:
+        """Unmap the arena (call only after every reader is gone)."""
+        try:
+            self._mmap.close()
+        except BufferError:  # pragma: no cover - exported views linger
+            pass
+
+
+class SharedF64Array:
+    """A flat float64 slot array in fork-shared anonymous memory.
+
+    No locking: correctness relies on the *single-writer-per-slot*
+    discipline (each worker process updates only its own slots) plus
+    aligned 8-byte stores, which do not interleave with concurrent
+    8-byte loads on the platforms fork exists on.  Readers aggregating
+    across slots may observe different slots at slightly different
+    instants — fine for monitoring counters, which is the use case.
+    """
+
+    __slots__ = ("_mmap", "_view", "_slots")
+
+    def __init__(self, slots: int) -> None:
+        if slots < 1:
+            raise ReproError(f"need at least one slot, got {slots}")
+        self._slots = int(slots)
+        self._mmap = mmap.mmap(-1, self._slots * 8)
+        self._view = memoryview(self._mmap).cast("d")
+
+    def __len__(self) -> int:
+        return self._slots
+
+    def __getitem__(self, index: int) -> float:
+        return self._view[index]
+
+    def __setitem__(self, index: int, value: float) -> None:
+        self._view[index] = value
+
+    def add(self, index: int, amount: float) -> None:
+        """Read-modify-write one slot (single writer per slot only)."""
+        self._view[index] += amount
+
+    def snapshot(self) -> list[float]:
+        """Copy out every slot (one float read each, not atomic as a set)."""
+        return self._view.tolist()
+
+    def close(self) -> None:
+        """Release the view and unmap (after every reader is gone)."""
+        self._view.release()
+        try:
+            self._mmap.close()
+        except BufferError:  # pragma: no cover - exported views linger
+            pass

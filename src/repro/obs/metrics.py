@@ -281,7 +281,23 @@ class MetricsRegistry:
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._external: list = []
         self._lock = threading.Lock()
+
+    def add_external_renderer(self, renderer) -> None:
+        """Append ``renderer()`` output to every text exposition.
+
+        The renderer is a zero-argument callable returning Prometheus
+        text lines (one string).  This is how state that does not live
+        in this registry — e.g. shared-memory counters aggregated
+        across forked serving workers — joins the ``/metrics`` scrape
+        of the process that renders.  No-op on a disabled registry; a
+        renderer that raises is skipped for that scrape.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            self._external.append(renderer)
 
     def counter(self, name: str, help: str = "") -> Counter:
         """Get or create the counter ``name``."""
@@ -340,7 +356,15 @@ class MetricsRegistry:
         """Prometheus text exposition of every metric."""
         with self._lock:
             metrics = sorted(self._metrics.items())
+            external = list(self._external)
         lines: list[str] = []
         for _, metric in metrics:
             lines.extend(metric.render_text())
+        for renderer in external:
+            try:
+                text = renderer()
+            except Exception:  # noqa: BLE001 - scrape must not 500
+                continue
+            if text:
+                lines.extend(text.rstrip("\n").split("\n"))
         return "\n".join(lines) + ("\n" if lines else "")

@@ -16,14 +16,33 @@ influential bloggers back interactively:
   :class:`~repro.core.incremental.CorpusDelta` queues through warm
   incremental re-solves under a staleness bound;
 - :class:`MassHttpServer` / :func:`create_server` — the stdlib JSON API
-  (``/top``, ``/query``, ``/blogger/<id>``, ``/healthz``,
-  ``/metrics``) with load shedding, served by ``repro serve``.
+  (``/top``, ``/query``, ``/query/batch``, ``/blogger/<id>``,
+  ``/healthz``, ``/metrics``) with load shedding and per-tenant
+  token-bucket rate limiting, served by ``repro serve``;
+- :class:`ServingCluster` / :class:`ClusterConfig` — the pre-fork
+  multi-process tier (``repro serve --workers N``): per-worker
+  ``SO_REUSEPORT`` listeners, snapshots replicated through a seqlock
+  shared-memory :class:`SnapshotArena`, worker supervision/respawn,
+  and cluster-truthful ``/metrics`` via :class:`SharedHttpStats`.
 
 See ``docs/serving.md`` for the architecture and endpoint reference.
 """
 
+from repro.serve.cluster import ClusterConfig, ServingCluster, cluster_supported
 from repro.serve.engine import ProfileResult, QueryEngine, QueryResult
-from repro.serve.http import MassHttpServer, ServiceConfig, create_server
+from repro.serve.http import (
+    TENANT_HEADER,
+    MassHttpServer,
+    ServiceConfig,
+    create_server,
+)
+from repro.serve.ratelimit import RateDecision, TenantRateLimiter, TokenBucket
+from repro.serve.shm import (
+    ArenaSnapshotSource,
+    ClusterStatusBoard,
+    SharedHttpStats,
+    SnapshotArena,
+)
 from repro.serve.snapshot import InfluenceSnapshot, compile_snapshot
 from repro.serve.store import SnapshotStore
 
@@ -37,4 +56,15 @@ __all__ = [
     "ServiceConfig",
     "MassHttpServer",
     "create_server",
+    "TENANT_HEADER",
+    "ServingCluster",
+    "ClusterConfig",
+    "cluster_supported",
+    "SnapshotArena",
+    "ArenaSnapshotSource",
+    "SharedHttpStats",
+    "ClusterStatusBoard",
+    "TokenBucket",
+    "TenantRateLimiter",
+    "RateDecision",
 ]

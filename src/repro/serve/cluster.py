@@ -1,0 +1,459 @@
+"""The pre-fork multi-process serving tier.
+
+One master process owns the mutable world — the
+:class:`~repro.serve.store.SnapshotStore`, its refresher, durable
+ingestion — and N forked worker processes own the read path: each runs
+a full :class:`~repro.serve.http.MassHttpServer` over an
+:class:`~repro.serve.shm.ArenaSnapshotSource` replica.  The pieces:
+
+**Connection distribution** — every worker binds its *own*
+``SO_REUSEPORT`` listening socket on the shared address; the kernel
+load-balances incoming connections across the listeners.  No shared
+accept queue, no thundering herd, and a crashing worker only drops the
+connections it already owned.  The master binds (but never listens on)
+the same address first, which both reserves the port and resolves
+``port=0`` to a concrete ephemeral port before any worker starts.
+
+**Snapshot replication** — the master publishes every snapshot into a
+:class:`~repro.serve.shm.SnapshotArena` (initially at startup, then
+from a store swap listener on every refresh).  Workers notice the
+seqlock version bump on their next request and deserialize the new
+epoch exactly once; the epoch-swap protocol guarantees no worker ever
+observes a torn payload.  Workers are read-only — writes (deltas,
+durable WAL) stay single-process in the master.
+
+**Supervision** — a supervisor thread respawns dead workers, counts
+respawns on the shared :class:`~repro.serve.shm.ClusterStatusBoard`,
+and every worker's ``/healthz`` reports the cluster's degraded window.
+
+**Metrics** — workers write the canonical HTTP counters into per-worker
+:class:`~repro.serve.shm.SharedHttpStats` lanes, so ``/metrics``
+scraped from *any* worker reports truthful cluster-wide qps/latency.
+
+Requires ``fork`` and ``SO_REUSEPORT`` (Linux, BSDs);
+:func:`cluster_supported` reports availability so callers can fall
+back to the single-process server.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import socket
+import threading
+import time
+from dataclasses import dataclass, replace
+
+from repro.errors import ReproError
+from repro.obs import (
+    Instrumentation,
+    SloObjective,
+    current_trace,
+    get_logger,
+)
+from repro.serve.http import MassHttpServer, ServiceConfig
+from repro.serve.shm import (
+    DEFAULT_ARENA_BYTES,
+    ArenaSnapshotSource,
+    ClusterStatusBoard,
+    SharedHttpStats,
+    SnapshotArena,
+)
+from repro.serve.snapshot import InfluenceSnapshot
+from repro.serve.store import SnapshotStore
+
+__all__ = ["ClusterConfig", "ServingCluster", "cluster_supported"]
+
+_LOG = get_logger("serve.cluster")
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterConfig:
+    """Knobs of the pre-fork tier."""
+
+    workers: int = 2
+    arena_bytes: int = DEFAULT_ARENA_BYTES
+    respawn: bool = True
+    # How long after a worker respawn /healthz keeps reporting the
+    # cluster as degraded (lost connections, briefly reduced capacity).
+    degraded_window: float = 10.0
+    supervisor_interval: float = 0.1
+    shutdown_timeout: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ReproError(f"workers must be >= 1, got {self.workers}")
+        if self.arena_bytes < 1:
+            raise ReproError(
+                f"arena_bytes must be >= 1, got {self.arena_bytes}"
+            )
+        if self.degraded_window < 0:
+            raise ReproError(
+                f"degraded_window must be >= 0, got {self.degraded_window}"
+            )
+        if self.supervisor_interval <= 0:
+            raise ReproError(
+                "supervisor_interval must be > 0, got "
+                f"{self.supervisor_interval}"
+            )
+
+
+def cluster_supported() -> bool:
+    """Whether this platform can run the pre-fork tier."""
+    return (
+        hasattr(socket, "SO_REUSEPORT")
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+
+
+def _reuseport_socket(host: str, port: int, *, listen: bool) -> socket.socket:
+    """A ``SO_REUSEPORT`` TCP socket bound to ``(host, port)``.
+
+    With ``listen=False`` the socket only *reserves* the address (a
+    bound, non-listening socket joins no accept balancing); workers
+    call with ``listen=True`` to join the kernel's reuseport group.
+    """
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((host, port))
+        if listen:
+            sock.listen(128)
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
+
+def _worker_main(
+    worker_id: int,
+    config: ServiceConfig,
+    arena: SnapshotArena,
+    stats: SharedHttpStats,
+    board: ClusterStatusBoard,
+    slo_objectives: tuple[SloObjective, ...] | None,
+    max_staleness: float,
+) -> None:
+    """One serving worker: runs in a forked child until SIGTERM.
+
+    Every argument is fork-inherited memory (nothing is pickled).  The
+    worker builds *fresh* instrumentation — metrics locks, tracer, and
+    recorder state inherited mid-operation from the master must not be
+    shared — then its own ``SO_REUSEPORT`` listener, then a full
+    :class:`MassHttpServer` over the arena replica.
+    """
+    instr = Instrumentation.enabled()
+    source = ArenaSnapshotSource(
+        arena, max_staleness=max_staleness, instrumentation=instr
+    )
+    sock = _reuseport_socket(config.host, config.port, listen=True)
+    server = MassHttpServer(
+        source,
+        config,
+        instr,
+        slo_objectives,
+        listen_socket=sock,
+        worker_id=worker_id,
+        shared_stats=stats,
+        status_board=board,
+    )
+
+    def _terminate(signum: int, frame: object) -> None:  # noqa: ARG001
+        # shutdown() blocks until serve_forever exits, so it must not
+        # run on the thread executing serve_forever (the handler's).
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _terminate)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # master coordinates ^C
+    _LOG.info(
+        "serving worker %d up: pid %d on %s", worker_id, os.getpid(),
+        server.url,
+    )
+    try:
+        server.serve_forever(poll_interval=0.05)
+    finally:
+        try:
+            server.server_close()
+        finally:
+            # Skip interpreter teardown: inherited atexit hooks belong
+            # to the master and must not run again here.
+            os._exit(0)
+
+
+class ServingCluster:
+    """Master-side owner of the pre-fork serving tier.
+
+    Wraps an already-constructed store::
+
+        store = SnapshotStore(corpus, ...)
+        cluster = ServingCluster(store, ServiceConfig(port=0),
+                                 ClusterConfig(workers=4))
+        with store, cluster:          # cluster.start() forks workers
+            cluster.wait_ready()
+            ... serve ...
+
+    The cluster does **not** own the store's lifecycle (start/close it
+    separately, as with the single-process server); it registers a swap
+    listener so every refresh the store performs is republished to the
+    workers within one request of the swap.
+    """
+
+    def __init__(
+        self,
+        store: SnapshotStore,
+        config: ServiceConfig | None = None,
+        cluster_config: ClusterConfig | None = None,
+        instrumentation: Instrumentation | None = None,
+        slo_objectives: tuple[SloObjective, ...] | None = None,
+    ) -> None:
+        if not cluster_supported():
+            raise ReproError(
+                "the multi-process serving tier needs SO_REUSEPORT and "
+                "fork; use the single-process create_server() here"
+            )
+        self._store = store
+        self._config = config or ServiceConfig()
+        self._cluster = cluster_config or ClusterConfig()
+        self._instr = instrumentation or Instrumentation.enabled()
+        self._slo_objectives = slo_objectives
+        metrics = self._instr.metrics
+        self._publish_counter = metrics.counter(
+            "repro_cluster_snapshot_publishes_total",
+            "Snapshots published into the shared arena",
+        )
+        self._respawn_counter = metrics.counter(
+            "repro_cluster_respawns_total", "Serving workers respawned"
+        )
+        self._workers_gauge = metrics.gauge(
+            "repro_cluster_workers", "Serving worker processes alive"
+        )
+        self._ctx = multiprocessing.get_context("fork")
+        self._port_sock: socket.socket | None = None
+        self._arena: SnapshotArena | None = None
+        self._stats: SharedHttpStats | None = None
+        self._board: ClusterStatusBoard | None = None
+        self._procs: list = []
+        self._supervisor: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._respawns = 0
+        self._last_respawn: float | None = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        """The cluster base URL (valid after :meth:`start`)."""
+        if self._port_sock is None:
+            raise ReproError("cluster not started")
+        host, port = self._port_sock.getsockname()[:2]
+        return f"http://{host}:{port}"
+
+    @property
+    def worker_pids(self) -> list[int]:
+        """Pids of the current worker processes."""
+        with self._lock:
+            return [proc.pid for proc in self._procs if proc.pid]
+
+    @property
+    def respawns(self) -> int:
+        """Workers respawned since start."""
+        with self._lock:
+            return self._respawns
+
+    @property
+    def stats(self) -> SharedHttpStats | None:
+        """The shared metrics lanes (None before start)."""
+        return self._stats
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ServingCluster":
+        """Reserve the port, publish the snapshot, fork the workers."""
+        if self._started:
+            return self
+        self._started = True
+        self._stop.clear()
+        # Bind first: resolves port=0 to a real port every worker (and
+        # self.url) agrees on, and holds the address for the cluster's
+        # lifetime even while zero workers are listening.
+        self._port_sock = _reuseport_socket(
+            self._config.host, self._config.port, listen=False
+        )
+        actual_port = self._port_sock.getsockname()[1]
+        if self._config.port != actual_port:
+            self._config = replace(self._config, port=actual_port)
+        self._arena = SnapshotArena(self._cluster.arena_bytes)
+        self._stats = SharedHttpStats(self._cluster.workers)
+        self._board = ClusterStatusBoard()
+        # The initial snapshot must be in the arena BEFORE the first
+        # fork: a worker's first request may not find it otherwise.
+        self._arena.publish(self._store.snapshot)
+        self._publish_counter.inc()
+        self._store.add_swap_listener(self._on_swap)
+        with self._lock:
+            self._procs = [
+                self._spawn(worker_id)
+                for worker_id in range(self._cluster.workers)
+            ]
+        self._publish_status()
+        self._workers_gauge.set(self._cluster.workers)
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="mass-cluster-supervisor",
+            daemon=True,
+        )
+        self._supervisor.start()
+        _LOG.info(
+            "serving cluster up: %d workers on %s (pids %s)",
+            self._cluster.workers, self.url, self.worker_pids,
+        )
+        return self
+
+    def wait_ready(self, timeout: float = 30.0) -> None:
+        """Block until a worker answers ``/healthz`` (or raise)."""
+        import http.client
+
+        host, port = self._port_sock.getsockname()[:2]
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                conn = http.client.HTTPConnection(host, port, timeout=2.0)
+                try:
+                    conn.request("GET", "/healthz")
+                    if conn.getresponse().status == 200:
+                        return
+                finally:
+                    conn.close()
+            except OSError:
+                pass
+            time.sleep(0.05)
+        raise ReproError(
+            f"no serving worker answered /healthz within {timeout}s"
+        )
+
+    def stop(self) -> None:
+        """Terminate workers, stop supervision, release shared memory."""
+        if not self._started:
+            return
+        self._stop.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=10.0)
+            self._supervisor = None
+        with self._lock:
+            procs, self._procs = self._procs, []
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()  # SIGTERM: workers drain + exit
+        deadline = time.monotonic() + self._cluster.shutdown_timeout
+        for proc in procs:
+            proc.join(timeout=max(0.1, deadline - time.monotonic()))
+        for proc in procs:
+            if proc.is_alive():  # pragma: no cover - wedged worker
+                proc.kill()
+                proc.join(timeout=5.0)
+        if self._port_sock is not None:
+            self._port_sock.close()
+            self._port_sock = None
+        for shared in (self._arena, self._stats, self._board):
+            if shared is not None:
+                shared.close()
+        self._arena = None
+        self._stats = None
+        self._board = None
+        self._workers_gauge.set(0)
+        self._started = False
+        _LOG.info("serving cluster stopped")
+
+    def __enter__(self) -> "ServingCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _spawn(self, worker_id: int):
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                worker_id,
+                self._config,
+                self._arena,
+                self._stats,
+                self._board,
+                self._slo_objectives,
+                getattr(self._store, "max_staleness", 0.5),
+            ),
+            name=f"mass-serve-{worker_id}",
+            daemon=True,
+        )
+        proc.start()
+        return proc
+
+    def _on_swap(self, snapshot: InfluenceSnapshot) -> None:
+        """Store swap listener: republish the fresh epoch to workers.
+
+        Runs under the refresh's trace context; shipping it in the
+        envelope lets every worker graft its attach span back onto the
+        trace of the request (or refresher tick) that paid for the
+        refresh.
+        """
+        if self._stop.is_set() or self._arena is None:
+            return
+        ctx = current_trace()
+        self._arena.publish(
+            snapshot, trace=ctx.to_dict() if ctx is not None else None
+        )
+        self._publish_counter.inc()
+
+    def _publish_status(self) -> None:
+        if self._board is None:
+            return
+        with self._lock:
+            pids = [proc.pid for proc in self._procs if proc.pid]
+            respawns = self._respawns
+            last = self._last_respawn
+        self._board.publish({
+            "workers": self._cluster.workers,
+            "pids": pids,
+            "respawns": respawns,
+            "last_respawn_monotonic": last,
+            "degraded_window": self._cluster.degraded_window,
+            "started_monotonic": time.monotonic(),
+        })
+
+    def _supervise(self) -> None:
+        """Respawn dead workers until stop; keep the board current."""
+        while not self._stop.wait(self._cluster.supervisor_interval):
+            with self._lock:
+                dead = [
+                    (slot, proc)
+                    for slot, proc in enumerate(self._procs)
+                    if not proc.is_alive()
+                ]
+            if not dead:
+                continue
+            for slot, proc in dead:
+                proc.join(timeout=1.0)  # reap the zombie
+                if not self._cluster.respawn:
+                    continue
+                _LOG.warning(
+                    "serving worker %d (pid %s) died with exit code %s; "
+                    "respawning", slot, proc.pid, proc.exitcode,
+                )
+                self._instr.recorder.note(
+                    "worker-respawn",
+                    worker_id=slot,
+                    pid=proc.pid,
+                    exitcode=proc.exitcode,
+                )
+                fresh = self._spawn(slot)
+                with self._lock:
+                    if self._stop.is_set():
+                        fresh.terminate()
+                        return
+                    self._procs[slot] = fresh
+                    self._respawns += 1
+                    self._last_respawn = time.monotonic()
+                self._respawn_counter.inc()
+            self._publish_status()

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 
 from repro.errors import QueryError
 from repro.obs import (
@@ -65,6 +65,14 @@ def _canonical_weight_items(
             weight = 0.0  # collapses -0.0 onto +0.0
         items.append((domain, weight))
     return tuple(items)
+
+
+def _spec_int(spec: Mapping[str, object], name: str, default: int) -> int:
+    """An integer field of a batch spec (bools are not integers here)."""
+    value = spec.get(name, default)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise QueryError(f"{name} must be an integer, got {value!r}")
+    return value
 
 
 class QueryResult:
@@ -243,8 +251,16 @@ class QueryEngine:
         self, k: int, domain: str | None = None, offset: int = 0
     ) -> QueryResult:
         """Top-k bloggers, general (``domain=None``) or domain-specific."""
+        return self._top_on(self._fresh_snapshot(), k, domain, offset)
+
+    def _top_on(
+        self,
+        snapshot: InfluenceSnapshot,
+        k: int,
+        domain: str | None,
+        offset: int,
+    ) -> QueryResult:
         self._check_k(k)
-        snapshot = self._fresh_snapshot()
         key = (snapshot.epoch, ("top", domain, int(k), int(offset)))
         cached = self._cache_get(key)
         if cached is not None:
@@ -262,8 +278,16 @@ class QueryEngine:
         self, weights: Mapping[str, float], k: int, offset: int = 0
     ) -> QueryResult:
         """Eq. 5 composite-topic query with user-supplied domain weights."""
+        return self._query_on(self._fresh_snapshot(), weights, k, offset)
+
+    def _query_on(
+        self,
+        snapshot: InfluenceSnapshot,
+        weights: Mapping[str, float],
+        k: int,
+        offset: int,
+    ) -> QueryResult:
         self._check_k(k)
-        snapshot = self._fresh_snapshot()
         canonical = _canonical_weight_items(weights)
         key = (snapshot.epoch, ("query", canonical, int(k), int(offset)))
         cached = self._cache_get(key)
@@ -285,6 +309,62 @@ class QueryEngine:
         snapshot = self._fresh_snapshot()
         return ProfileResult(
             epoch=snapshot.epoch, profile=snapshot.profile(blogger_id)
+        )
+
+    def batch(
+        self, specs: Sequence[Mapping[str, object]]
+    ) -> tuple[str, list[dict[str, object]]]:
+        """Answer many queries against **one** snapshot read.
+
+        Each spec is a mapping shaped like the HTTP batch items:
+        ``{"kind": "top", "k": ..., "domain": ..., "offset": ...}`` or
+        ``{"kind": "query", "weights": {...}, "k": ..., "offset": ...}``
+        (``kind`` may be omitted — a spec carrying ``weights`` is a
+        composite query, anything else is a top-k).  Returns
+        ``(epoch, items)`` where every item is either a
+        :meth:`QueryResult.as_dict` payload or ``{"error": ...}`` for a
+        spec that failed validation; one bad item never fails its
+        batch.  Because the snapshot is read once up front, every item
+        in the answer is stamped with the same epoch — a concurrent
+        swap cannot tear a batch across two analyses — and each item
+        is byte-identical to the equivalent single-query call.
+        """
+        snapshot = self._fresh_snapshot()
+        items: list[dict[str, object]] = []
+        for spec in specs:
+            try:
+                items.append(self._batch_item(snapshot, spec))
+            except QueryError as exc:
+                items.append({"error": str(exc)})
+        return snapshot.epoch, items
+
+    def _batch_item(
+        self, snapshot: InfluenceSnapshot, spec: Mapping[str, object]
+    ) -> dict[str, object]:
+        if not isinstance(spec, Mapping):
+            raise QueryError(
+                f"batch item must be an object, got {type(spec).__name__}"
+            )
+        weights = spec.get("weights")
+        kind = spec.get("kind") or ("query" if weights is not None else "top")
+        k = _spec_int(spec, "k", 3)
+        offset = _spec_int(spec, "offset", 0)
+        if kind == "top":
+            domain = spec.get("domain")
+            if domain is not None and not isinstance(domain, str):
+                raise QueryError(
+                    f"batch item domain must be a string, got {domain!r}"
+                )
+            return self._top_on(snapshot, k, domain, offset).as_dict()
+        if kind == "query":
+            if not isinstance(weights, Mapping):
+                raise QueryError(
+                    'batch "query" item needs a "weights" object'
+                )
+            clean = {str(domain): value for domain, value in weights.items()}
+            return self._query_on(snapshot, clean, k, offset).as_dict()
+        raise QueryError(
+            f"batch item kind must be 'top' or 'query', got {kind!r}"
         )
 
     # ------------------------------------------------------------------

@@ -11,6 +11,9 @@ Endpoint              Meaning
                       Art:0.3`` plus ``k`` / ``offset``.  Also accepts
                       ``POST`` with a JSON body ``{"weights": {...},
                       "k": ..., "offset": ...}``.
+``POST /query/batch`` Many ``/top`` / ``/query`` specs answered from
+                      one snapshot read — one epoch per batch, HTTP
+                      overhead amortized across items.
 ``GET /blogger/<id>`` The Fig. 4 detail pop-up for one blogger.
 ``GET /healthz``      Liveness + SLO verdict: ``ok`` or ``degraded``,
                       snapshot epoch, corpus shape, burn rates.
@@ -42,11 +45,25 @@ Excess requests are answered immediately with **503** and a
 under overload, fast rejection beats slow service.  ``/healthz``,
 ``/metrics`` and ``/debug/*`` are exempt so operators can always see
 in.
+
+Rate limiting (``rate_limit_qps > 0``): in *front* of the global
+inflight gate sits a per-tenant token bucket keyed on the
+``X-Repro-Tenant`` header.  A tenant over budget gets **429** +
+``Retry-After`` while other tenants keep being served — overload
+control becomes fair instead of global.  Operational endpoints are
+exempt, batch requests cost one token per item.
+
+The same server class powers both deployment shapes: the standalone
+single-process service (``create_server``) and the pre-fork worker
+processes of :class:`~repro.serve.cluster.ServingCluster`, which hand
+in a pre-bound ``SO_REUSEPORT`` socket, a shared-memory snapshot
+replica, and shared metrics lanes.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import sys
 import threading
 import time
@@ -67,11 +84,17 @@ from repro.obs import (
     use_trace,
 )
 from repro.serve.engine import QueryEngine
+from repro.serve.ratelimit import RateDecision, TenantRateLimiter
 from repro.serve.store import SnapshotStore
 
-__all__ = ["ServiceConfig", "MassHttpServer", "create_server"]
+__all__ = ["ServiceConfig", "MassHttpServer", "create_server",
+           "TENANT_HEADER"]
 
 _LOG = get_logger("serve.http")
+
+#: Request header naming the tenant a request is billed to (rate
+#: limiting); absent means the shared ``"default"`` tenant.
+TENANT_HEADER = "X-Repro-Tenant"
 
 
 @dataclass(frozen=True, slots=True)
@@ -85,6 +108,14 @@ class ServiceConfig:
     max_k: int = 100
     cache_size: int = 1024
     default_k: int = 3
+    max_batch: int = 64
+    # Per-tenant token-bucket rate limiting; 0.0 disables it.  A burst
+    # of 0.0 auto-sizes to max(ceil(qps), max_batch) so a full batch is
+    # always grantable.  In the multi-process tier these are enforced
+    # *per worker* (shared-nothing), so the effective cluster budget is
+    # workers x rate.
+    rate_limit_qps: float = 0.0
+    rate_limit_burst: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_inflight < 0:
@@ -95,6 +126,24 @@ class ServiceConfig:
             raise ReproError(f"max_k must be >= 1, got {self.max_k}")
         if self.default_k < 1:
             raise ReproError(f"default_k must be >= 1, got {self.default_k}")
+        if self.max_batch < 1:
+            raise ReproError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.rate_limit_qps < 0:
+            raise ReproError(
+                f"rate_limit_qps must be >= 0, got {self.rate_limit_qps}"
+            )
+        if self.rate_limit_burst < 0:
+            raise ReproError(
+                f"rate_limit_burst must be >= 0, got {self.rate_limit_burst}"
+            )
+
+    def resolved_burst(self) -> float:
+        """The burst the limiter will actually use (0 = auto-size)."""
+        if self.rate_limit_burst > 0:
+            return self.rate_limit_burst
+        return float(max(
+            math.ceil(self.rate_limit_qps), self.max_batch, 1
+        ))
 
 
 class MassHttpServer(ThreadingHTTPServer):
@@ -108,16 +157,57 @@ class MassHttpServer(ThreadingHTTPServer):
         config: ServiceConfig,
         instrumentation: Instrumentation,
         slo_objectives: tuple[SloObjective, ...] | None = None,
+        *,
+        listen_socket=None,
+        worker_id: int | None = None,
+        shared_stats=None,
+        status_board=None,
     ) -> None:
-        super().__init__((config.host, config.port), _Handler)
+        """Build the server over a snapshot source.
+
+        ``store`` is anything exposing the read-side store protocol
+        (``.snapshot``, ``pending_deltas``, ``staleness_seconds``) — a
+        :class:`~repro.serve.store.SnapshotStore` in single-process
+        mode, an :class:`~repro.serve.shm.ArenaSnapshotSource` replica
+        inside a cluster worker.  The keyword-only extras are the
+        cluster wiring: ``listen_socket`` adopts a pre-bound
+        ``SO_REUSEPORT`` socket instead of binding a new one;
+        ``worker_id`` + ``shared_stats`` route the canonical HTTP
+        metrics into this worker's shared-memory lane (and register the
+        cross-worker aggregate with ``/metrics``); ``status_board``
+        lets ``/healthz`` report cluster supervision state.
+        """
+        if listen_socket is None:
+            super().__init__((config.host, config.port), _Handler)
+        else:
+            # Adopt the worker's already-bound, already-listening
+            # SO_REUSEPORT socket: construct without binding, then swap
+            # the placeholder socket out.
+            super().__init__(
+                (config.host, config.port), _Handler,
+                bind_and_activate=False,
+            )
+            self.socket.close()
+            self.socket = listen_socket
+            self.server_address = listen_socket.getsockname()
+            host, port = self.server_address[:2]
+            self.server_name = host
+            self.server_port = port
         self.store = store
         self.config = config
         self.instrumentation = instrumentation
+        self.worker_id = worker_id
+        self.shared_stats = shared_stats
+        self.status_board = status_board
         self.engine = QueryEngine(
             store,
             cache_size=config.cache_size,
             max_k=config.max_k,
             instrumentation=instrumentation,
+        )
+        self.limiter = (
+            TenantRateLimiter(config.rate_limit_qps, config.resolved_burst())
+            if config.rate_limit_qps > 0 else None
         )
         self.started_at = time.time()
         # Ages served by /healthz come from the monotonic clock: a
@@ -127,19 +217,45 @@ class MassHttpServer(ThreadingHTTPServer):
         self._inflight = 0
         self._inflight_lock = threading.Lock()
         metrics = instrumentation.metrics
-        self.requests_total = metrics.counter(
-            "repro_http_requests_total", "HTTP requests handled"
-        )
-        self.shed_total = metrics.counter(
-            "repro_http_shed_total", "Requests rejected by load shedding"
-        )
-        self.errors_total = metrics.counter(
-            "repro_http_errors_total", "Requests answered with 4xx/5xx"
-        )
-        self.request_seconds = metrics.histogram(
-            "repro_http_request_seconds", "HTTP request handling latency",
-            buckets=LATENCY_BUCKETS,
-        )
+        if shared_stats is not None and worker_id is not None:
+            # Cluster mode: the canonical HTTP metrics live in this
+            # worker's shared-memory lane, so any worker's /metrics
+            # renders truthful cluster-wide totals.  The local registry
+            # keeps everything else (engine, SLO, per-route counters,
+            # which stay per-worker) and appends the shared aggregate.
+            self.requests_total = shared_stats.counter(worker_id, "requests")
+            self.shed_total = shared_stats.counter(worker_id, "shed")
+            self.errors_total = shared_stats.counter(worker_id, "errors")
+            self.rate_limited_total = shared_stats.counter(
+                worker_id, "rate_limited"
+            )
+            self.batch_queries_total = shared_stats.counter(
+                worker_id, "batch_queries"
+            )
+            self.request_seconds = shared_stats.histogram(worker_id)
+            metrics.add_external_renderer(shared_stats.render_text)
+        else:
+            self.requests_total = metrics.counter(
+                "repro_http_requests_total", "HTTP requests handled"
+            )
+            self.shed_total = metrics.counter(
+                "repro_http_shed_total", "Requests rejected by load shedding"
+            )
+            self.errors_total = metrics.counter(
+                "repro_http_errors_total", "Requests answered with 4xx/5xx"
+            )
+            self.rate_limited_total = metrics.counter(
+                "repro_http_rate_limited_total",
+                "Requests rejected by per-tenant rate limiting",
+            )
+            self.batch_queries_total = metrics.counter(
+                "repro_http_batch_queries_total",
+                "Individual queries answered through /query/batch",
+            )
+            self.request_seconds = metrics.histogram(
+                "repro_http_request_seconds", "HTTP request handling latency",
+                buckets=LATENCY_BUCKETS,
+            )
         self.inflight_gauge = metrics.gauge(
             "repro_http_inflight", "Requests currently executing"
         )
@@ -148,19 +264,23 @@ class MassHttpServer(ThreadingHTTPServer):
         self.slo = SloEngine(
             slo_objectives
             if slo_objectives is not None
-            else default_serve_objectives(store.max_staleness),
+            else default_serve_objectives(
+                getattr(store, "max_staleness", 0.5)
+            ),
             metrics=metrics,
             enabled=metrics.enabled,
         )
         objective_names = {o.name for o in self.slo.objectives}
         if "snapshot_staleness" in objective_names:
             self.slo.probe(
-                "snapshot_staleness", lambda: store.staleness_seconds
+                "snapshot_staleness",
+                lambda: getattr(store, "staleness_seconds", 0.0),
             )
-        if "wal_replay_lag" in objective_names and store.pipeline is not None:
+        pipeline = getattr(store, "pipeline", None)
+        if "wal_replay_lag" in objective_names and pipeline is not None:
             self.slo.probe(
                 "wal_replay_lag",
-                lambda: getattr(store.pipeline, "replay_lag", 0.0),
+                lambda: getattr(pipeline, "replay_lag", 0.0),
             )
         # Always-on recent-event capture: repro.* log lines join the
         # spans already fed through the tracer's on_close hook.
@@ -233,6 +353,13 @@ class _Handler(BaseHTTPRequestHandler):
 
     server: MassHttpServer  # narrowed for type checkers
     protocol_version = "HTTP/1.1"
+    # One TCP segment per response: the buffered wfile (flushed once
+    # per request by handle_one_request) coalesces headers + body, and
+    # TCP_NODELAY stops Nagle from holding the second segment against
+    # the client's delayed ACK — without these, every keep-alive
+    # round-trip stalls ~40 ms.
+    disable_nagle_algorithm = True
+    wbufsize = 64 * 1024
 
     # -- plumbing ------------------------------------------------------
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
@@ -242,7 +369,9 @@ class _Handler(BaseHTTPRequestHandler):
         self, status: int, payload: dict[str, object],
         extra_headers: dict[str, str] | None = None,
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        # Compact separators: on a 64-query batch response the default
+        # ", "/": " padding is ~15% of the body — pure wire+CPU waste.
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
@@ -307,6 +436,16 @@ class _Handler(BaseHTTPRequestHandler):
                 self._handle_debug(route, query_string)
             return
 
+        # Per-tenant rate limiting sits in front of the global inflight
+        # gate: a tenant over budget is *that tenant's* problem (429),
+        # not a capacity signal, and must not consume an inflight slot.
+        self._tenant = self.headers.get(TENANT_HEADER) or "default"
+        if server.limiter is not None:
+            decision = server.limiter.check(self._tenant)
+            if not decision.allowed:
+                self._send_rate_limited(decision)
+                return
+
         if not server.try_acquire_slot():
             server.shed_total.inc()
             server.slo.observe("error_rate", bad=True)
@@ -355,9 +494,27 @@ class _Handler(BaseHTTPRequestHandler):
             {"Retry-After": str(self.server.config.retry_after_seconds)},
         )
 
+    def _send_rate_limited(self, decision: RateDecision) -> None:
+        """429 + Retry-After: this tenant is over budget, others are not."""
+        server = self.server
+        server.rate_limited_total.inc()
+        server.errors_total.inc()
+        retry_after = max(1, math.ceil(decision.retry_after))
+        self._send_json(
+            429,
+            {
+                "error": "rate limit exceeded; retry later",
+                "tenant": decision.tenant,
+                "retry_after_seconds": retry_after,
+            },
+            {"Retry-After": str(retry_after)},
+        )
+
     def _route_query(self, route: str, query_string: str) -> None:
         try:
-            if route == "/top":
+            if route == "/query/batch":
+                self._handle_batch()
+            elif route == "/top":
                 self._handle_top(query_string)
             elif route == "/query":
                 self._handle_query(query_string)
@@ -377,7 +534,7 @@ class _Handler(BaseHTTPRequestHandler):
         snapshot = server.store.snapshot
         now = time.monotonic()
         slo = server.slo.status()
-        self._send_json(200, {
+        payload: dict[str, object] = {
             # Liveness and objective-keeping are different questions:
             # a degraded service still answers 200 here (it is alive),
             # but says so, and /metrics carries the burn rates.
@@ -391,7 +548,46 @@ class _Handler(BaseHTTPRequestHandler):
             "pending_deltas": server.store.pending_deltas,
             "corpus": snapshot.stats(),
             "domains": list(snapshot.domains),
-        })
+        }
+        if server.worker_id is not None:
+            payload["worker_id"] = server.worker_id
+        cluster = self._cluster_health(now)
+        if cluster is not None:
+            payload["cluster"] = cluster
+            # A respawn inside the degraded window means capacity
+            # briefly dipped and some connections died; report it the
+            # same way an SLO breach is reported — alive, but say so.
+            if cluster["degraded"] and payload["status"] == "ok":
+                payload["status"] = "degraded"
+        self._send_json(200, payload)
+
+    def _cluster_health(self, now: float) -> dict[str, object] | None:
+        """Supervision facts from the cluster status board, if any.
+
+        ``last_respawn_monotonic`` compares against this process's
+        monotonic clock — valid because CLOCK_MONOTONIC is system-wide
+        on the platforms fork exists on, and master and workers share a
+        boot.
+        """
+        board = self.server.status_board
+        if board is None:
+            return None
+        status = board.read()
+        if not status:
+            return None
+        last = status.get("last_respawn_monotonic")
+        window = float(status.get("degraded_window", 0.0))
+        since = None if last is None else max(0.0, now - float(last))
+        cluster: dict[str, object] = {
+            "workers": status.get("workers"),
+            "pids": status.get("pids"),
+            "respawns": status.get("respawns", 0),
+            "degraded": since is not None and since < window,
+            "degraded_window_seconds": window,
+        }
+        if since is not None:
+            cluster["seconds_since_last_respawn"] = since
+        return cluster
 
     def _handle_metrics(self) -> None:
         # Evaluating the SLOs here refreshes their burn gauges, so a
@@ -441,16 +637,16 @@ class _Handler(BaseHTTPRequestHandler):
         server = self.server
         store = server.store
         now = time.monotonic()
-        return {
+        payload: dict[str, object] = {
             "config": asdict(server.config),
             "python": sys.version.split()[0],
             "uptime_seconds": max(0.0, now - server.started_monotonic),
             "inflight": server._inflight,
             "epoch": store.snapshot.epoch,
             "pending_deltas": store.pending_deltas,
-            "staleness_seconds": store.staleness_seconds,
-            "max_staleness": store.max_staleness,
-            "durable": store.pipeline is not None,
+            "staleness_seconds": getattr(store, "staleness_seconds", 0.0),
+            "max_staleness": getattr(store, "max_staleness", None),
+            "durable": getattr(store, "pipeline", None) is not None,
             "cache": server.engine.cache_info,
             "recorder": {
                 "events": len(server.instrumentation.recorder),
@@ -461,6 +657,15 @@ class _Handler(BaseHTTPRequestHandler):
                 o.as_dict() for o in server.slo.objectives
             ],
         }
+        if server.worker_id is not None:
+            payload["worker_id"] = server.worker_id
+        if server.limiter is not None:
+            payload["rate_limit"] = {
+                "qps": server.limiter.rate,
+                "burst": server.limiter.burst,
+                "tenants": server.limiter.tenant_count,
+            }
+        return payload
 
     def _handle_top(self, query_string: str) -> None:
         params = parse_qs(query_string)
@@ -481,7 +686,56 @@ class _Handler(BaseHTTPRequestHandler):
         result = self.server.engine.query(weights, k, offset=offset)
         self._send_json(200, result.as_dict())
 
-    def _parse_query_body(self) -> tuple[dict[str, float], int, int]:
+    def _handle_batch(self) -> None:
+        """``POST /query/batch`` — many queries, one request, one epoch.
+
+        The body is ``{"queries": [{...}, ...]}`` where each item is a
+        ``/top``-shaped or ``/query``-shaped spec.  All items are
+        answered from a single snapshot read, so the whole batch is
+        stamped with one epoch; per-item validation errors come back
+        inline (``{"error": ...}``) without failing the batch.  With
+        rate limiting on, a batch of N items costs N tokens — the one
+        the request already paid plus N-1 charged here — so batching
+        amortizes HTTP overhead, not the tenant budget.
+        """
+        server = self.server
+        if self.command != "POST":
+            raise QueryError("/query/batch accepts POST only")
+        body = self._read_json_body()
+        queries = body.get("queries")
+        if not isinstance(queries, list) or not queries:
+            raise QueryError(
+                'request body needs a non-empty "queries" array'
+            )
+        if len(queries) > server.config.max_batch:
+            raise QueryError(
+                f"batch of {len(queries)} queries exceeds this service's "
+                f"maximum of {server.config.max_batch}"
+            )
+        if server.limiter is not None and len(queries) > 1:
+            if not server.limiter.grantable(float(len(queries))):
+                raise QueryError(
+                    f"batch of {len(queries)} queries can never fit the "
+                    f"rate-limit burst of {server.limiter.burst:g}"
+                )
+            decision = server.limiter.check(
+                self._tenant, cost=float(len(queries) - 1)
+            )
+            if not decision.allowed:
+                self._send_rate_limited(decision)
+                return
+        specs = []
+        for item in queries:
+            if isinstance(item, dict) and "k" not in item:
+                item = {**item, "k": server.config.default_k}
+            specs.append(item)
+        epoch, items = server.engine.batch(specs)
+        server.batch_queries_total.inc(len(items))
+        self._send_json(
+            200, {"epoch": epoch, "count": len(items), "results": items}
+        )
+
+    def _read_json_body(self) -> dict[str, object]:
         try:
             length = int(self.headers.get("Content-Length", "0"))
         except ValueError:
@@ -492,6 +746,10 @@ class _Handler(BaseHTTPRequestHandler):
             raise QueryError(f"request body is not valid JSON: {exc}") from None
         if not isinstance(body, dict):
             raise QueryError("request body must be a JSON object")
+        return body
+
+    def _parse_query_body(self) -> tuple[dict[str, float], int, int]:
+        body = self._read_json_body()
         weights = body.get("weights")
         if not isinstance(weights, dict):
             raise QueryError('request body needs a "weights" object')
@@ -570,6 +828,8 @@ _KNOWN_ROUTES = {"/top", "/query", "/healthz", "/metrics"}
 
 def _route_suffix(route: str) -> str:
     """A bounded per-route metric suffix (arbitrary 404 paths share one)."""
+    if route == "/query/batch":
+        return "_query_batch"
     if route.startswith("/blogger/"):
         return "_blogger"
     if route == "/debug" or route.startswith("/debug/"):

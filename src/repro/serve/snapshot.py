@@ -28,14 +28,20 @@ together.
 from __future__ import annotations
 
 import hashlib
+import pickle
 import time
 from collections.abc import Mapping
 
 from repro.core.report import InfluenceReport
 from repro.core.topk import full_ranking, top_k
-from repro.errors import QueryError
+from repro.errors import QueryError, ReproError
 
-__all__ = ["InfluenceSnapshot", "compile_snapshot"]
+#: Version stamp of the :meth:`InfluenceSnapshot.to_payload` wire
+#: format.  Bump on any layout change; ``from_payload`` refuses
+#: mismatches instead of guessing.
+PAYLOAD_FORMAT = 1
+
+__all__ = ["InfluenceSnapshot", "compile_snapshot", "PAYLOAD_FORMAT"]
 
 
 class InfluenceSnapshot:
@@ -263,6 +269,65 @@ class InfluenceSnapshot:
         copy["domain_scores"] = dict(profile["domain_scores"])
         copy["top_posts"] = [list(pair) for pair in profile["top_posts"]]
         return copy
+
+    # ------------------------------------------------------------------
+    # Cross-process replication
+    # ------------------------------------------------------------------
+    def to_payload(self) -> bytes:
+        """Serialize into a versioned byte payload for replication.
+
+        The payload captures the *compiled* tables — rankings, dense
+        rows, profiles, epoch — not the report, so a replica process
+        (:class:`~repro.serve.shm.ArenaSnapshotSource`) reconstructs
+        this exact snapshot without re-running any analysis, and
+        :meth:`from_payload` round-trips every float bit-for-bit: the
+        replica's answers stay byte-identical to the publisher's.
+        """
+        state = {
+            "format": PAYLOAD_FORMAT,
+            "epoch": self._epoch,
+            "created_at": self._created_at,
+            "created_monotonic": self._created_monotonic,
+            "params_fingerprint": self._params_fingerprint,
+            "domains": self._domains,
+            "blogger_ids": self._blogger_ids,
+            "rows": self._rows,
+            "general_ranking": self._general_ranking,
+            "domain_rankings": self._domain_rankings,
+            "profiles": self._profiles,
+            "stats": self._stats,
+        }
+        return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "InfluenceSnapshot":
+        """Reconstruct a snapshot serialized by :meth:`to_payload`."""
+        try:
+            state = pickle.loads(payload)
+        except Exception as exc:
+            raise ReproError(
+                f"snapshot payload is not deserializable: {exc}"
+            ) from exc
+        if not isinstance(state, dict) or "format" not in state:
+            raise ReproError("snapshot payload missing format stamp")
+        if state["format"] != PAYLOAD_FORMAT:
+            raise ReproError(
+                f"snapshot payload format {state['format']!r} does not "
+                f"match this build's format {PAYLOAD_FORMAT}"
+            )
+        return cls(
+            epoch=state["epoch"],
+            created_at=state["created_at"],
+            created_monotonic=state["created_monotonic"],
+            params_fingerprint=state["params_fingerprint"],
+            domains=state["domains"],
+            blogger_ids=state["blogger_ids"],
+            rows=state["rows"],
+            general_ranking=state["general_ranking"],
+            domain_rankings=state["domain_rankings"],
+            profiles=state["profiles"],
+            stats=state["stats"],
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -162,6 +162,9 @@ class SnapshotStore:
         # it was submitted (threads do not inherit contextvars, so the
         # hand-off across the queue must be explicit).
         self._queue: deque[tuple[CorpusDelta, TraceContext | None]] = deque()
+        # Swap listeners: called with each freshly published snapshot
+        # (the multi-process tier republishes it into shared memory).
+        self._swap_listeners: list = []
         self._queue_lock = threading.Lock()
         self._first_pending: float | None = None
         self._pending = threading.Event()
@@ -240,6 +243,24 @@ class SnapshotStore:
         """The durable ingestion pipeline (``None`` outside durable mode)."""
         return self._pipeline
 
+    def add_swap_listener(self, listener) -> None:
+        """Register ``listener(snapshot)`` to run after every swap.
+
+        Called synchronously inside :meth:`refresh_now`, *after* the
+        reference swap, still under the refresh trace — this is how the
+        serving cluster learns a new epoch exists and republishes it
+        into the shared-memory arena.  A listener that raises is logged
+        and skipped; it can never wedge the refresh loop.
+        """
+        self._swap_listeners.append(listener)
+
+    def _notify_swap(self, snapshot: InfluenceSnapshot) -> None:
+        for listener in list(self._swap_listeners):
+            try:
+                listener(snapshot)
+            except Exception:  # noqa: BLE001 - listeners are best effort
+                _LOG.exception("snapshot swap listener failed")
+
     # ------------------------------------------------------------------
     # Write path
     # ------------------------------------------------------------------
@@ -304,6 +325,7 @@ class SnapshotStore:
                     self._delta_counter.inc(len(deltas))
                     fresh = InfluenceSnapshot.compile(self._analyzer.report)
                     self._snapshot = fresh  # atomic copy-on-write swap
+                self._notify_swap(fresh)
                 self._swap_counter.inc()
                 self._instr.recorder.note(
                     "snapshot-swap",

@@ -1,0 +1,237 @@
+"""Reusable in-process HTTP load generator for the serving tier.
+
+Used by ``tests/test_serve_loadgen.py``, ``scripts/serve_load_smoke.py``
+and ``benchmarks/bench_service2.py`` — one implementation so the smoke
+job, the concurrency tests, and the throughput benchmark all measure
+the same way.
+
+Shape: N threads, each owning one keep-alive HTTP/1.1 connection,
+round-robin through a configurable query mix until a duration elapses
+(or a request budget runs out).  Per-request wall latency, status
+counts, transport errors, and (optionally) every decoded JSON body are
+recorded, so callers can assert on p99, error budgets, and — by
+replaying the recorded ``(epoch, results)`` pairs against ground truth
+— on torn reads during concurrent snapshot refresh.
+
+Latency numbers are *client-observed* (connect amortized away by
+keep-alive, but scheduling noise from the GIL included), which is the
+number an operator's SLO cares about.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from urllib.parse import urlsplit
+
+__all__ = ["RequestSpec", "LoadReport", "LoadGenerator", "run_load"]
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """One element of the query mix.
+
+    ``queries`` is the *logical* query count the request carries — 1
+    for ``GET /top``, ``len(queries)`` for a ``POST /query/batch`` —
+    so throughput can be reported in queries/second, the unit the
+    single-process baseline benchmark uses.
+    """
+
+    path: str
+    method: str = "GET"
+    body: dict | None = None
+    queries: int = 1
+    headers: dict = field(default_factory=dict)
+
+    def encoded_body(self) -> bytes | None:
+        # Encoded once: a batch body is kilobytes, and re-dumping it on
+        # every request would bill server-side throughput for client-
+        # side JSON (both sides share the CPU in-process).
+        if self.body is None:
+            return None
+        cached = getattr(self, "_encoded", None)
+        if cached is None:
+            cached = json.dumps(self.body).encode("utf-8")
+            object.__setattr__(self, "_encoded", cached)
+        return cached
+
+
+@dataclass
+class LoadReport:
+    """What a load run observed."""
+
+    duration: float = 0.0
+    requests: int = 0                 # completed request/response cycles
+    queries: int = 0                  # logical queries inside 2xx responses
+    statuses: dict = field(default_factory=dict)  # status code -> count
+    latencies: list = field(default_factory=list)  # seconds, per request
+    errors: list = field(default_factory=list)     # transport-level failures
+    bodies: list = field(default_factory=list)     # (spec_index, status, json)
+
+    @property
+    def rps(self) -> float:
+        """Completed requests per second."""
+        return self.requests / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def qps(self) -> float:
+        """Successfully answered logical queries per second."""
+        return self.queries / self.duration if self.duration > 0 else 0.0
+
+    def count(self, status: int) -> int:
+        """Responses with ``status``."""
+        return self.statuses.get(status, 0)
+
+    @property
+    def non_2xx(self) -> int:
+        """Responses outside the 2xx class (429s included)."""
+        return sum(count for status, count in self.statuses.items()
+                   if not 200 <= status < 300)
+
+    def percentile(self, pct: float) -> float:
+        """Latency percentile in seconds (0 < pct <= 100)."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        rank = max(0, min(len(ordered) - 1,
+                          int(round(pct / 100.0 * len(ordered))) - 1))
+        return ordered[rank]
+
+    def merge(self, other: "LoadReport") -> None:
+        """Fold a per-thread report into this one (duration kept)."""
+        self.requests += other.requests
+        self.queries += other.queries
+        for status, count in other.statuses.items():
+            self.statuses[status] = self.statuses.get(status, 0) + count
+        self.latencies.extend(other.latencies)
+        self.errors.extend(other.errors)
+        self.bodies.extend(other.bodies)
+
+    def summary(self) -> dict:
+        """JSON-able digest for bench output files."""
+        return {
+            "duration_seconds": round(self.duration, 4),
+            "requests": self.requests,
+            "queries": self.queries,
+            "rps": round(self.rps, 1),
+            "qps": round(self.qps, 1),
+            "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
+            "transport_errors": len(self.errors),
+            "p50_ms": round(self.percentile(50) * 1e3, 3),
+            "p99_ms": round(self.percentile(99) * 1e3, 3),
+        }
+
+
+class LoadGenerator:
+    """Drives a fixed query mix against one base URL."""
+
+    def __init__(
+        self,
+        url: str,
+        mix: list,
+        *,
+        concurrency: int = 4,
+        duration: float = 2.0,
+        max_requests: int | None = None,
+        keep_alive: bool = True,
+        record_bodies: bool = False,
+        timeout: float = 10.0,
+    ) -> None:
+        if not mix:
+            raise ValueError("query mix must not be empty")
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        parts = urlsplit(url)
+        self._host = parts.hostname or "127.0.0.1"
+        self._port = parts.port or 80
+        self._mix = list(mix)
+        self._concurrency = concurrency
+        self._duration = duration
+        self._keep_alive = keep_alive
+        self._record_bodies = record_bodies
+        self._timeout = timeout
+        self._budget = max_requests
+        self._budget_lock = threading.Lock()
+
+    def _take_budget(self) -> bool:
+        if self._budget is None:
+            return True
+        with self._budget_lock:
+            if self._budget <= 0:
+                return False
+            self._budget -= 1
+            return True
+
+    def run(self) -> LoadReport:
+        """Run the load to completion and return the merged report."""
+        deadline = time.monotonic() + self._duration
+        reports = [LoadReport() for _ in range(self._concurrency)]
+        threads = [
+            threading.Thread(
+                target=self._worker, args=(offset, deadline, reports[offset]),
+                name=f"loadgen-{offset}", daemon=True,
+            )
+            for offset in range(self._concurrency)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=self._duration + 60.0)
+        merged = LoadReport(duration=time.perf_counter() - started)
+        for report in reports:
+            merged.merge(report)
+        return merged
+
+    def _worker(self, offset: int, deadline: float, report: LoadReport) -> None:
+        conn: http.client.HTTPConnection | None = None
+        # Staggered starting offsets keep the workers from hammering
+        # the same mix element in lockstep.
+        index = offset
+        while time.monotonic() < deadline and self._take_budget():
+            spec = self._mix[index % len(self._mix)]
+            index += 1
+            try:
+                if conn is None:
+                    conn = http.client.HTTPConnection(
+                        self._host, self._port, timeout=self._timeout
+                    )
+                started = time.perf_counter()
+                conn.request(
+                    spec.method, spec.path, body=spec.encoded_body(),
+                    headers=spec.headers,
+                )
+                response = conn.getresponse()
+                payload = response.read()  # drain: keep-alive needs it
+                report.latencies.append(time.perf_counter() - started)
+                report.requests += 1
+                status = response.status
+                report.statuses[status] = report.statuses.get(status, 0) + 1
+                if 200 <= status < 300:
+                    report.queries += spec.queries
+                if self._record_bodies:
+                    report.bodies.append((
+                        index - 1, status,
+                        json.loads(payload.decode("utf-8")),
+                    ))
+                if not self._keep_alive or response.will_close:
+                    conn.close()
+                    conn = None
+            except (OSError, http.client.HTTPException) as exc:
+                # Transport failure (connection reset by a killed
+                # worker, refused during respawn, ...): note it,
+                # reconnect, keep going.
+                report.errors.append(f"{type(exc).__name__}: {exc}")
+                if conn is not None:
+                    conn.close()
+                    conn = None
+        if conn is not None:
+            conn.close()
+
+
+def run_load(url: str, mix: list, **kwargs: object) -> LoadReport:
+    """One-call façade over :class:`LoadGenerator`."""
+    return LoadGenerator(url, mix, **kwargs).run()

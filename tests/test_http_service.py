@@ -415,3 +415,213 @@ class TestSloDegradation:
             server.shutdown()
             server.server_close()
             store.close()
+
+
+def post(server, path, payload, headers=None):
+    request = urllib.request.Request(
+        server.url + path, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    with urllib.request.urlopen(request, timeout=10) as resp:
+        return resp.status, json.loads(resp.read().decode("utf-8"))
+
+
+def post_error(server, path, payload, headers=None):
+    try:
+        post(server, path, payload, headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.headers, json.loads(exc.read().decode("utf-8"))
+    raise AssertionError(f"POST {path} unexpectedly succeeded")
+
+
+class TestBatch:
+    """POST /query/batch against the single-process server."""
+
+    def test_batch_items_match_individual_endpoints(self, service):
+        status, body = post(service, "/query/batch", {"queries": [
+            {"kind": "top", "k": 5},
+            {"kind": "top", "k": 3, "domain": "Sports"},
+            {"kind": "query", "weights": {"Sports": 0.7, "Art": 0.3},
+             "k": 4},
+        ]})
+        assert status == 200
+        assert body["count"] == 3
+        _, top_body = get(service, "/top?k=5")
+        assert body["results"][0] == top_body
+        _, sports_body = get(service, "/top?k=3&domain=Sports")
+        assert body["results"][1] == sports_body
+        _, query_body = get(
+            service, "/query?weights=Sports:0.7,Art:0.3&k=4"
+        )
+        # The batch pins one snapshot; "cached" may differ from the
+        # GET (which primed the cache), so compare the payload proper.
+        for key in ("epoch", "results", "total", "weights"):
+            if key in query_body:
+                assert body["results"][2][key] == query_body[key]
+        assert body["epoch"] == service.store.snapshot.epoch
+
+    def test_default_kind_and_default_k(self, service):
+        status, body = post(service, "/query/batch", {"queries": [
+            {},  # no kind, no k: a default-k general top
+            {"weights": {"Travel": 1.0}},  # weights present: a query
+        ]})
+        assert status == 200
+        assert len(body["results"][0]["results"]) \
+            == service.config.default_k
+        assert len(body["results"][1]["results"]) \
+            == service.config.default_k
+
+    def test_item_errors_are_inline_not_fatal(self, service):
+        status, body = post(service, "/query/batch", {"queries": [
+            {"kind": "top", "k": 0},
+            {"kind": "top", "k": 2},
+            {"kind": "nonsense"},
+            {"kind": "query"},
+        ]})
+        assert status == 200  # the batch succeeds, items carry errors
+        assert "k must be >= 1" in body["results"][0]["error"]
+        assert "error" not in body["results"][1]
+        assert "kind must be 'top' or 'query'" in body["results"][2]["error"]
+        assert "weights" in body["results"][3]["error"]
+
+    @pytest.mark.parametrize("payload,fragment", [
+        ({}, "queries"),
+        ({"queries": []}, "queries"),
+        ({"queries": "nope"}, "queries"),
+        ({"queries": ["not-a-mapping"]}, None),
+    ])
+    def test_request_shape_validation(self, service, payload, fragment):
+        if fragment is None:
+            status, body = post(service, "/query/batch", payload)
+            assert status == 200
+            assert "error" in body["results"][0]
+        else:
+            code, _, body = post_error(service, "/query/batch", payload)
+            assert code == 400
+            assert fragment in body["error"]
+
+    def test_batch_larger_than_max_batch_rejected(self, service):
+        code, _, body = post_error(service, "/query/batch", {
+            "queries": [{"kind": "top"}] * (service.config.max_batch + 1)
+        })
+        assert code == 400
+        assert "maximum" in body["error"]
+
+    def test_get_method_rejected(self, service):
+        code, _, body = get_error(service, "/query/batch")
+        assert code == 400
+        assert "POST" in body["error"]
+
+    def test_batch_queries_counter_advances(self, service):
+        metric = service.instrumentation.metrics.get(
+            "repro_http_batch_queries_total"
+        )
+        before = metric.value
+        post(service, "/query/batch",
+             {"queries": [{"kind": "top", "k": 2}] * 3})
+        assert metric.value == before + 3
+
+
+@pytest.fixture()
+def limited_service(small_blogosphere):
+    """A server with a tiny deterministic budget: 0.5 qps, burst 2."""
+    corpus, _ = small_blogosphere
+    instr = Instrumentation.enabled()
+    store = SnapshotStore(
+        corpus, params=MassParameters(), instrumentation=instr
+    )
+    server = create_server(
+        store,
+        ServiceConfig(port=0, max_inflight=8,
+                      rate_limit_qps=0.5, rate_limit_burst=2.0),
+        instr,
+    )
+    server.serve_in_thread()
+    yield server
+    server.shutdown()
+    server.server_close()
+    store.close()
+
+
+class TestRateLimiting:
+    def test_burst_then_429_with_retry_after(self, limited_service):
+        # Burst of 2 is granted...
+        for _ in range(2):
+            status, _ = get(limited_service, "/top?k=2")
+            assert status == 200
+        # ...the third is refused with an honest Retry-After.
+        code, headers, body = get_error(limited_service, "/top?k=2")
+        assert code == 429
+        assert "rate limit" in body["error"]
+        assert body["tenant"] == "default"
+        retry_after = int(headers["Retry-After"])
+        assert retry_after >= 1  # 1 token at 0.5/s needs ~2s
+        assert body["retry_after_seconds"] == retry_after
+
+    def test_tenants_are_isolated(self, limited_service):
+        def get_as(tenant, path):
+            request = urllib.request.Request(
+                limited_service.url + path,
+                headers={"X-Repro-Tenant": tenant},
+            )
+            with urllib.request.urlopen(request, timeout=10) as resp:
+                return resp.status
+
+        assert get_as("starver", "/top?k=2") == 200
+        assert get_as("starver", "/top?k=2") == 200
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_as("starver", "/top?k=2")
+        assert excinfo.value.code == 429
+        # A different tenant still has its full burst.
+        assert get_as("bystander", "/top?k=2") == 200
+
+    def test_operational_endpoints_are_exempt(self, limited_service):
+        for _ in range(3):  # exhaust the default tenant's burst
+            try:
+                get(limited_service, "/top?k=2")
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 429
+        for _ in range(5):
+            status, _ = get(limited_service, "/healthz")
+            assert status == 200
+        with urllib.request.urlopen(
+            limited_service.url + "/metrics", timeout=10
+        ) as resp:
+            assert resp.status == 200
+
+    def test_rate_limited_counter_and_batch_cost(self, limited_service):
+        metric = limited_service.instrumentation.metrics.get(
+            "repro_http_rate_limited_total"
+        )
+        before = metric.value
+        # A batch of 3 can never fit burst 2: rejected outright (400),
+        # telling the caller to shrink, not to retry.  (Uses its own
+        # tenant: the request itself still costs the dispatch token.)
+        code, _, body = post_error(
+            limited_service, "/query/batch",
+            {"queries": [{"kind": "top", "k": 2}] * 3},
+            headers={"X-Repro-Tenant": "too-large"},
+        )
+        assert code == 400
+        assert "burst" in body["error"]
+        # A batch of 2 costs exactly 2 tokens (1 at dispatch + 1 for
+        # the extra item): a fresh tenant's burst of 2 fits once.
+        status, _ = post(
+            limited_service, "/query/batch",
+            {"queries": [{"kind": "top", "k": 2}] * 2},
+            headers={"X-Repro-Tenant": "exact-fit"},
+        )
+        assert status == 200
+        code, _, _ = post_error(
+            limited_service, "/query/batch",
+            {"queries": [{"kind": "top", "k": 2}] * 2},
+            headers={"X-Repro-Tenant": "exact-fit"},
+        )
+        assert code == 429
+        assert metric.value > before
+
+    def test_debug_vars_reports_limiter(self, limited_service):
+        status, body = get(limited_service, "/debug/vars")
+        assert status == 200
+        assert body["rate_limit"]["qps"] == 0.5
+        assert body["rate_limit"]["burst"] == 2.0

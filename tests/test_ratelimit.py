@@ -1,0 +1,197 @@
+"""Token-bucket rate limiter: the properties the 429 path relies on.
+
+The serving tier answers 429 + ``Retry-After`` from these buckets, so
+their invariants are load-bearing:
+
+- grants in any window never exceed ``burst + rate * elapsed``;
+- refill is monotonic — a stalled or rewinding clock mints nothing;
+- tenants are isolated, and the LRU never evicts an active tenant;
+- under thread contention a full bucket grants *exactly* ``burst``.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.serve import RateDecision, TenantRateLimiter, TokenBucket
+
+
+class TestTokenBucket:
+    def test_starts_full_and_spends_down(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0)
+        grants = [bucket.try_acquire(now=0.0)[0] for _ in range(4)]
+        assert grants == [True, True, True, False]
+
+    def test_retry_after_names_the_exact_deficit(self):
+        bucket = TokenBucket(rate=2.0, burst=1.0)
+        assert bucket.try_acquire(now=0.0) == (True, 0.0)
+        granted, retry_after = bucket.try_acquire(now=0.0)
+        assert not granted
+        assert retry_after == pytest.approx(0.5)  # 1 token at 2/s
+        # ...and waiting exactly that long makes the charge succeed.
+        granted, _ = bucket.try_acquire(now=retry_after)
+        assert granted
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2.0)
+        assert bucket.try_acquire(cost=2.0, now=0.0)[0]
+        # A long idle stretch refills to burst, not beyond it.
+        assert bucket.try_acquire(cost=2.0, now=1000.0)[0]
+        assert not bucket.try_acquire(cost=1.0, now=1000.0)[0]
+
+    def test_stalled_clock_mints_nothing(self):
+        bucket = TokenBucket(rate=1000.0, burst=1.0)
+        assert bucket.try_acquire(now=5.0)[0]
+        for _ in range(100):
+            assert not bucket.try_acquire(now=5.0)[0]
+
+    def test_rewinding_clock_mints_nothing(self):
+        bucket = TokenBucket(rate=1000.0, burst=1.0)
+        assert bucket.try_acquire(now=5.0)[0]
+        assert not bucket.try_acquire(now=4.0)[0]
+        assert not bucket.try_acquire(now=0.0)[0]
+
+    def test_cost_above_burst_is_never_grantable(self):
+        bucket = TokenBucket(rate=10.0, burst=4.0)
+        assert bucket.grantable(4.0)
+        assert not bucket.grantable(4.5)
+
+    @pytest.mark.parametrize("rate,burst", [
+        (0.0, 1.0), (-1.0, 1.0), (float("inf"), 1.0),
+        (1.0, 0.5), (1.0, float("nan")),
+    ])
+    def test_config_validation(self, rate, burst):
+        with pytest.raises(ReproError):
+            TokenBucket(rate, burst)
+
+    def test_cost_validation(self):
+        bucket = TokenBucket(1.0, 1.0)
+        with pytest.raises(ReproError):
+            bucket.try_acquire(cost=0.0)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        rate=st.floats(min_value=0.1, max_value=1000.0,
+                       allow_nan=False, allow_infinity=False),
+        burst=st.floats(min_value=1.0, max_value=50.0,
+                        allow_nan=False, allow_infinity=False),
+        steps=st.lists(
+            st.floats(min_value=0.0, max_value=2.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=60,
+        ),
+    )
+    def test_grants_never_exceed_burst_plus_refill(self, rate, burst, steps):
+        """In any window, grants <= burst + rate * window (+ float slack)."""
+        bucket = TokenBucket(rate, burst)
+        now = 0.0
+        granted = 0
+        for gap in steps:
+            now += gap
+            if bucket.try_acquire(cost=1.0, now=now)[0]:
+                granted += 1
+        ceiling = burst + rate * now
+        assert granted <= ceiling * (1 + 1e-9) + 1e-6
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        rate=st.floats(min_value=0.1, max_value=100.0,
+                       allow_nan=False, allow_infinity=False),
+        burst=st.integers(min_value=1, max_value=16),
+        threads=st.integers(min_value=2, max_value=6),
+    )
+    def test_frozen_clock_race_grants_exactly_burst(self, rate, burst, threads):
+        """Concurrent chargers of a full, frozen bucket win exactly burst."""
+        bucket = TokenBucket(rate, float(burst))
+        outcomes = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(threads)
+
+        def charge():
+            barrier.wait()
+            local = [bucket.try_acquire(now=0.0)[0]
+                     for _ in range(burst)]
+            with lock:
+                outcomes.extend(local)
+
+        pool = [threading.Thread(target=charge) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(timeout=30)
+        assert sum(outcomes) == burst
+
+
+class TestTenantRateLimiter:
+    def _frozen(self, rate, burst=None, **kwargs):
+        return TenantRateLimiter(rate, burst, clock=lambda: 0.0, **kwargs)
+
+    def test_tenants_are_isolated(self):
+        limiter = self._frozen(rate=1.0, burst=2.0)
+        assert limiter.check("alice").allowed
+        assert limiter.check("alice").allowed
+        refused = limiter.check("alice")
+        assert not refused.allowed
+        assert refused.retry_after > 0
+        # alice's exhaustion does not touch bob's budget
+        assert limiter.check("bob").allowed
+
+    def test_decision_carries_tenant_and_remaining(self):
+        limiter = self._frozen(rate=1.0, burst=3.0)
+        decision = limiter.check("carol")
+        assert isinstance(decision, RateDecision)
+        assert decision.tenant == "carol"
+        assert decision.remaining == pytest.approx(2.0)
+
+    def test_default_burst_is_one_second_of_rate(self):
+        assert TenantRateLimiter(7.5).burst == 8.0
+        assert TenantRateLimiter(0.25).burst == 1.0  # floor: 1 token
+
+    def test_lru_evicts_idle_not_active_tenants(self):
+        limiter = self._frozen(rate=1.0, burst=1.0, max_tenants=2)
+        assert limiter.check("hot").allowed       # hot spends its token
+        limiter.check("idle-1")
+        assert limiter.check("hot").allowed is False  # still charged
+        limiter.check("idle-2")                   # evicts idle-1, not hot
+        assert limiter.tenant_count == 2
+        assert not limiter.check("hot").allowed   # budget survived eviction
+        # idle-1 was evicted: it comes back with a fresh (full) bucket
+        assert limiter.check("idle-1").allowed
+
+    def test_spraying_tenants_is_memory_bounded(self):
+        limiter = self._frozen(rate=1.0, max_tenants=64)
+        for index in range(1000):
+            limiter.check(f"spray-{index}")
+        assert limiter.tenant_count == 64
+
+    def test_grantable_mirrors_burst(self):
+        limiter = self._frozen(rate=10.0, burst=5.0)
+        assert limiter.grantable(5.0)
+        assert not limiter.grantable(6.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        charges=st.lists(
+            st.tuples(st.sampled_from(["a", "b", "c"]),
+                      st.floats(min_value=0.0, max_value=1.0,
+                                allow_nan=False, allow_infinity=False)),
+            min_size=1, max_size=40,
+        )
+    )
+    def test_per_tenant_ceiling_holds_under_interleaving(self, charges):
+        """Interleaved tenants each obey their own grant ceiling."""
+        clock_now = [0.0]
+        limiter = TenantRateLimiter(
+            rate=2.0, burst=3.0, clock=lambda: clock_now[0]
+        )
+        granted: dict[str, int] = {}
+        for tenant, gap in charges:
+            clock_now[0] += gap
+            if limiter.check(tenant).allowed:
+                granted[tenant] = granted.get(tenant, 0) + 1
+        ceiling = 3.0 + 2.0 * clock_now[0]
+        for tenant, count in granted.items():
+            assert count <= ceiling * (1 + 1e-9) + 1e-6

@@ -1,0 +1,325 @@
+"""The pre-fork serving tier: equivalence, replication, supervision.
+
+What the cluster must guarantee over the single-process server:
+
+1. **Byte-identical answers** — every endpoint, single or batch, must
+   return exactly what a single-process :class:`QueryEngine` over the
+   same store returns.
+2. **Replication** — a snapshot refresh in the master shows up in
+   worker answers (new epoch, new results) without a restart.
+3. **Truthful /metrics** — counters scraped from any one worker report
+   cluster-wide totals (the pre-fork regression this PR fixes).
+4. **Supervision** — SIGKILLing a worker respawns it, leaves in-flight
+   connections on other workers untouched, and surfaces a degraded
+   window on ``/healthz``.
+"""
+
+import http.client
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core import CorpusDelta, MassParameters
+from repro.data import Blogger, Comment, Link, Post
+from repro.obs import Instrumentation
+from repro.serve import (
+    ClusterConfig,
+    QueryEngine,
+    ServiceConfig,
+    ServingCluster,
+    SnapshotStore,
+    cluster_supported,
+)
+
+pytestmark = pytest.mark.skipif(
+    not cluster_supported(),
+    reason="pre-fork tier needs fork and SO_REUSEPORT",
+)
+
+WEIGHTS = {"Sports": 0.6, "Art": 0.4}
+
+
+@pytest.fixture(scope="module")
+def cluster_rig(small_blogosphere):
+    """A 2-worker cluster plus its master-side store (module-scoped)."""
+    corpus, _ = small_blogosphere
+    instr = Instrumentation.enabled()
+    store = SnapshotStore(
+        corpus, params=MassParameters(), instrumentation=instr
+    )
+    cluster = ServingCluster(
+        store,
+        ServiceConfig(port=0, max_inflight=16),
+        ClusterConfig(workers=2),
+        instrumentation=instr,
+    )
+    with store, cluster:
+        cluster.wait_ready()
+        yield store, cluster
+
+
+def _get(cluster, path, headers=None):
+    host, port = cluster.url.removeprefix("http://").split(":")
+    conn = http.client.HTTPConnection(host, int(port), timeout=10)
+    try:
+        conn.request("GET", path, headers=headers or {})
+        response = conn.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        conn.close()
+
+
+def _post(cluster, path, payload):
+    host, port = cluster.url.removeprefix("http://").split(":")
+    conn = http.client.HTTPConnection(host, int(port), timeout=10)
+    try:
+        conn.request(
+            "POST", path, body=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        conn.close()
+
+
+def _make_delta(seq):
+    anchor = "blogger-0000"
+    new_id = f"cluster-{seq:02d}"
+    post = Post(f"clusterpost-{seq:02d}", new_id,
+                body="fresh thoughts on the stadium marathon game " * 3,
+                created_day=220 + seq)
+    comment = Comment(f"clustercomment-{seq:02d}", post.post_id, anchor,
+                      text="what a wonderful insightful read",
+                      created_day=221 + seq)
+    return CorpusDelta(
+        bloggers=[Blogger(new_id)],
+        posts=[post],
+        comments=[comment],
+        links=[Link(anchor, new_id)],
+    )
+
+
+class TestEquivalence:
+    """Cluster answers == single-process engine answers, byte for byte."""
+
+    def test_top_matches_single_process_engine(self, cluster_rig):
+        store, cluster = cluster_rig
+        engine = QueryEngine(store, cache_size=0)
+        status, body = _get(cluster, "/top?k=7")
+        assert status == 200
+        reference = engine.top(7).as_dict()
+        assert body == reference
+
+    def test_domain_top_and_pagination_match(self, cluster_rig):
+        store, cluster = cluster_rig
+        engine = QueryEngine(store, cache_size=0)
+        status, body = _get(cluster, "/top?k=4&domain=Sports&offset=1")
+        assert status == 200
+        assert body == engine.top(4, domain="Sports", offset=1).as_dict()
+
+    def test_weighted_query_matches(self, cluster_rig):
+        store, cluster = cluster_rig
+        engine = QueryEngine(store, cache_size=0)
+        status, body = _post(
+            cluster, "/query", {"weights": WEIGHTS, "k": 5}
+        )
+        assert status == 200
+        assert body == engine.query(WEIGHTS, 5).as_dict()
+
+    def test_blogger_profile_matches(self, cluster_rig):
+        store, cluster = cluster_rig
+        engine = QueryEngine(store, cache_size=0)
+        blogger_id = store.snapshot.blogger_ids[0]
+        status, body = _get(cluster, f"/blogger/{blogger_id}")
+        assert status == 200
+        assert body == engine.blogger(blogger_id).as_dict()
+
+    def test_batch_matches_individual_endpoints(self, cluster_rig):
+        store, cluster = cluster_rig
+        engine = QueryEngine(store, cache_size=0)
+        status, body = _post(cluster, "/query/batch", {"queries": [
+            {"kind": "top", "k": 3},
+            {"kind": "top", "k": 2, "domain": "Sports", "offset": 1},
+            {"kind": "query", "weights": WEIGHTS, "k": 4},
+            {"kind": "top", "k": 0},  # invalid: error inline, not 4xx
+        ]})
+        assert status == 200
+        assert body["count"] == 4
+        assert body["results"][0] == engine.top(3).as_dict()
+        assert body["results"][1] \
+            == engine.top(2, domain="Sports", offset=1).as_dict()
+        assert body["results"][2] == engine.query(WEIGHTS, 4).as_dict()
+        assert "k must be >= 1" in body["results"][3]["error"]
+        assert body["epoch"] == store.snapshot.epoch
+
+    def test_batch_validation(self, cluster_rig):
+        _, cluster = cluster_rig
+        status, body = _post(cluster, "/query/batch", {"queries": []})
+        assert status == 400
+        oversized = {"queries": [{"kind": "top"}] * 1000}
+        status, body = _post(cluster, "/query/batch", oversized)
+        assert status == 400
+        assert "maximum" in body["error"]
+
+
+class TestReplication:
+    def test_refresh_reaches_workers(self, cluster_rig):
+        store, cluster = cluster_rig
+        old_epoch = store.snapshot.epoch
+        store.submit(_make_delta(0))
+        fresh = store.refresh_now()
+        assert fresh.epoch != old_epoch
+        engine = QueryEngine(store, cache_size=0)
+        reference = engine.top(5).as_dict()
+        # The swap listener published synchronously inside refresh_now;
+        # the very next request must already serve the new epoch.
+        status, body = _get(cluster, "/top?k=5")
+        assert status == 200
+        assert body["epoch"] == fresh.epoch
+        assert body == reference
+
+    def test_healthz_reports_cluster_shape(self, cluster_rig):
+        _, cluster = cluster_rig
+        status, body = _get(cluster, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["worker_id"] in (0, 1)
+        assert body["cluster"]["workers"] == 2
+        assert sorted(body["cluster"]["pids"]) == sorted(cluster.worker_pids)
+        assert body["cluster"]["degraded"] is False
+
+
+class TestMetricsAggregation:
+    """/metrics under pre-fork: totals must span every worker."""
+
+    def test_requests_total_counts_all_workers(self, cluster_rig):
+        _, cluster = cluster_rig
+        before = cluster.stats.totals()["requests"]
+        rounds = 10
+        for _ in range(rounds):
+            status, _ = _get(cluster, "/top?k=3")
+            assert status == 200
+        after = cluster.stats.totals()["requests"]
+        # Exact: nothing else is driving traffic, and reading totals()
+        # from the master does not go through HTTP.
+        assert after - before == rounds
+        assert sum(cluster.stats.per_worker("requests")) == after
+
+    def test_scrape_from_any_worker_is_cluster_wide(self, cluster_rig):
+        _, cluster = cluster_rig
+        status, _ = _get(cluster, "/top?k=2")
+        assert status == 200
+        expected = cluster.stats.totals()["requests"]
+        host, port = cluster.url.removeprefix("http://").split(":")
+        conn = http.client.HTTPConnection(host, int(port), timeout=10)
+        try:
+            conn.request("GET", "/metrics")
+            text = conn.getresponse().read().decode("utf-8")
+        finally:
+            conn.close()
+        values = {}
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            name, _, value = line.partition(" ")
+            values[name] = value
+        # The shared aggregate joins the scrape with cluster-wide truth
+        # (>= expected: the /metrics request itself may already count).
+        assert float(values["repro_http_requests_total"]) >= expected
+        assert 'repro_http_worker_requests_total{worker="0"}' in values
+        assert 'repro_http_worker_requests_total{worker="1"}' in values
+        per_worker = [
+            float(values[f'repro_http_worker_requests_total{{worker="{w}"}}'])
+            for w in (0, 1)
+        ]
+        assert sum(per_worker) \
+            == float(values["repro_http_requests_total"])
+        assert "repro_http_request_seconds_count" in values
+
+
+class TestSupervision:
+    """SIGKILL a worker: respawn, isolation, degraded /healthz window."""
+
+    @pytest.fixture()
+    def rig(self, small_blogosphere):
+        corpus, _ = small_blogosphere
+        store = SnapshotStore(corpus, params=MassParameters())
+        cluster = ServingCluster(
+            store,
+            ServiceConfig(port=0, max_inflight=16),
+            ClusterConfig(workers=2, degraded_window=1.5,
+                          supervisor_interval=0.05),
+        )
+        with store, cluster:
+            cluster.wait_ready()
+            yield store, cluster
+
+    def test_kill_respawn_isolation_degraded_window(self, rig):
+        _, cluster = rig
+        host, port = cluster.url.removeprefix("http://").split(":")
+        # Pin a keep-alive connection to whichever worker accepts it.
+        conn = http.client.HTTPConnection(host, int(port), timeout=10)
+        try:
+            conn.request("GET", "/healthz")
+            body = json.loads(conn.getresponse().read().decode("utf-8"))
+            my_worker = body["worker_id"]
+            pids_before = list(cluster.worker_pids)
+            victim = pids_before[1 - my_worker]
+
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 15
+            while cluster.respawns == 0 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert cluster.respawns == 1
+
+            # Isolation: the pinned connection never noticed the kill.
+            for _ in range(5):
+                conn.request("GET", "/top?k=2")
+                response = conn.getresponse()
+                response.read()  # drain: keeps the connection reusable
+                assert response.status == 200
+            conn.request("GET", "/healthz")
+            degraded = json.loads(
+                conn.getresponse().read().decode("utf-8")
+            )
+            assert degraded["status"] == "degraded"
+            assert degraded["cluster"]["degraded"] is True
+            assert degraded["cluster"]["respawns"] == 1
+
+            # The replacement worker serves traffic.
+            pids_after = cluster.worker_pids
+            assert victim not in pids_after
+            assert len(pids_after) == 2
+            status, _ = _get(cluster, "/top?k=3")
+            assert status == 200
+
+            # The degraded window closes.
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                conn.request("GET", "/healthz")
+                recovered = json.loads(
+                    conn.getresponse().read().decode("utf-8")
+                )
+                if recovered["status"] == "ok":
+                    break
+                time.sleep(0.1)
+            assert recovered["status"] == "ok"
+            assert recovered["cluster"]["degraded"] is False
+        finally:
+            conn.close()
+
+
+class TestConfigValidation:
+    def test_cluster_config_bounds(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            ClusterConfig(workers=0)
+        with pytest.raises(ReproError):
+            ClusterConfig(degraded_window=-1.0)
+        with pytest.raises(ReproError):
+            ClusterConfig(supervisor_interval=0.0)
