@@ -53,6 +53,7 @@ from repro.ingest.wal import encode_record
 from repro.nlp import NaiveBayesClassifier
 from repro.obs import Instrumentation
 from repro.serve import InfluenceSnapshot
+from repro.store import ColumnarCorpus
 from repro.synth import DOMAIN_VOCABULARIES
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_ingest.json"
@@ -281,10 +282,17 @@ def test_ingest_durability(benchmark, tmp_path, bench_blogosphere):
 
     # Satellite guard: the grow phase must not copy the corpus per
     # apply.  One copy-on-first-apply plus O(delta) extends should cost
-    # far less than half a full copy per delta.
-    started = time.perf_counter()
-    _copy_corpus(corpus)
-    copy_seconds = time.perf_counter() - started
+    # far less than half a full copy per delta.  The pipeline restored
+    # its corpus from a format-v2 (columnar) checkpoint, so the unit
+    # copy is priced from that same plane — materializing row views
+    # into entities, not an object-to-object clone.
+    restored_mcol = sorted(
+        (tmp_path / "stream" / "checkpoints").glob("ckpt-*/corpus.mcol")
+    )[0]
+    with ColumnarCorpus.open(restored_mcol) as restored_view:
+        started = time.perf_counter()
+        _copy_corpus(restored_view)
+        copy_seconds = time.perf_counter() - started
     grow_budget = max(copy_seconds * STREAM_LENGTH / 2, copy_seconds * 2)
 
     print_header(

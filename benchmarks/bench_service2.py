@@ -13,7 +13,12 @@ the shared generator in ``tests/loadgen.py``:
    the throughput multiple comes from);
 3. **concurrent refresh** — the mixed workload while the master swaps
    snapshots underneath; p99 must stay bounded and every response must
-   be torn-free (exactly one epoch).
+   be torn-free (exactly one epoch);
+4. **worker scaling curve** — the headline batch leg repeated over
+   fresh clusters of 1/2/4/N workers.  On a single-CPU host the curve
+   is expected to be flat (workers multiply *isolation*, not cycles);
+   recording it keeps that claim honest and gives multi-core hosts a
+   ready-made scaling readout.
 
 Acceptance: the headline sustained qps must be >= 20x the recorded
 single-process baseline (``BENCH_service.json``), and every checked
@@ -28,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import threading
 import time
@@ -209,38 +215,60 @@ def _refresh_leg(cluster, store, blogger_id, duration):
     return report, len(swaps)
 
 
+def _scaling_curve(store, duration, *, smoke=False):
+    """The headline batch leg over fresh 1/2/4/N-worker clusters."""
+    counts = sorted({1, 2} if smoke else {1, 2, 4, os.cpu_count() or 1})
+    curve = []
+    for workers in counts:
+        cluster = ServingCluster(
+            store,
+            ServiceConfig(port=0, max_inflight=64, max_batch=BATCH_SIZE),
+            ClusterConfig(workers=workers),
+        )
+        with cluster:
+            cluster.wait_ready()
+            leg = run_load(cluster.url, _batch_mix(),
+                           concurrency=BATCH_CLIENTS, duration=duration)
+        assert not leg.errors, (workers, leg.errors[:3])
+        assert leg.non_2xx == 0, (workers, leg.statuses)
+        curve.append({"workers": workers, **leg.summary()})
+    return curve
+
+
 def run(corpus, *, duration=LEG_SECONDS, smoke=False):
-    """All three legs over ``corpus``; returns the JSON payload."""
+    """All four legs over ``corpus``; returns the JSON payload."""
     store = SnapshotStore(corpus, params=MassParameters())
     cluster = ServingCluster(
         store,
         ServiceConfig(port=0, max_inflight=64, max_batch=BATCH_SIZE),
         ClusterConfig(workers=WORKERS),
     )
-    with store, cluster:
-        cluster.wait_ready()
-        _assert_equivalence(cluster, store)  # before any timing
-        blogger_id = store.snapshot.blogger_ids[0]
+    with store:
+        with cluster:
+            cluster.wait_ready()
+            _assert_equivalence(cluster, store)  # before any timing
+            blogger_id = store.snapshot.blogger_ids[0]
 
-        singles = run_load(cluster.url, _singles_mix(blogger_id),
-                           concurrency=CLIENTS, duration=duration)
-        # Headline leg: best-of-N windows.  The load generator shares
-        # the single CPU with the workers, so any one window can lose
-        # a big slice to scheduler noise; the best window is the
-        # honest measure of what the tier sustains.
-        rounds = 1 if smoke else BATCH_ROUNDS
-        batch = run_load(cluster.url, _batch_mix(),
-                         concurrency=BATCH_CLIENTS, duration=duration)
-        for _ in range(rounds - 1):
-            candidate = run_load(cluster.url, _batch_mix(),
-                                 concurrency=BATCH_CLIENTS,
-                                 duration=duration)
-            if candidate.qps > batch.qps:
-                batch = candidate
-        refresh, swaps = _refresh_leg(
-            cluster, store, blogger_id, duration
-        )
-        worker_requests = cluster.stats.per_worker("requests")
+            singles = run_load(cluster.url, _singles_mix(blogger_id),
+                               concurrency=CLIENTS, duration=duration)
+            # Headline leg: best-of-N windows.  The load generator
+            # shares the single CPU with the workers, so any one window
+            # can lose a big slice to scheduler noise; the best window
+            # is the honest measure of what the tier sustains.
+            rounds = 1 if smoke else BATCH_ROUNDS
+            batch = run_load(cluster.url, _batch_mix(),
+                             concurrency=BATCH_CLIENTS, duration=duration)
+            for _ in range(rounds - 1):
+                candidate = run_load(cluster.url, _batch_mix(),
+                                     concurrency=BATCH_CLIENTS,
+                                     duration=duration)
+                if candidate.qps > batch.qps:
+                    batch = candidate
+            refresh, swaps = _refresh_leg(
+                cluster, store, blogger_id, duration
+            )
+            worker_requests = cluster.stats.per_worker("requests")
+        scaling = _scaling_curve(store, duration, smoke=smoke)
 
     for leg_name, leg in (("singles", singles), ("batch", batch),
                           ("refresh", refresh)):
@@ -260,6 +288,7 @@ def run(corpus, *, duration=LEG_SECONDS, smoke=False):
         },
         "sustained_qps": batch.qps,
         "per_worker_requests": worker_requests,
+        "worker_scaling": scaling,
     }
     if not smoke:
         baseline = _baseline_qps()
@@ -306,6 +335,13 @@ def test_cluster_throughput(benchmark, bench_blogosphere):
                 ("batch-64", payload["batch64"]),
                 ("concurrent refresh", payload["concurrent_refresh"]),
             )
+        ],
+    )
+    print_rows(
+        ["workers", "qps", "p99"],
+        [
+            [leg["workers"], f"{leg['qps']:.0f}", f"{leg['p99_ms']:.2f} ms"]
+            for leg in payload["worker_scaling"]
         ],
     )
     print_rows(

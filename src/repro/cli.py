@@ -32,7 +32,7 @@ from pathlib import Path
 
 from repro.core import MassParameters
 from repro.crawler import SimulatedBlogService
-from repro.data import load_corpus, save_corpus
+from repro.data import load_corpus, open_corpus, save_corpus
 from repro.errors import ReproError
 from repro.obs import Instrumentation, configure_logging, get_logger
 from repro.synth import BlogosphereConfig, generate_blogosphere
@@ -89,7 +89,8 @@ def _toolbar_params(args: argparse.Namespace) -> MassParameters:
 
 def _add_data(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--data", required=True,
-                        help="XML crawl directory to analyze")
+                        help="corpus to analyze: XML crawl directory "
+                             "or columnar .mcol file")
 
 
 def _observability_parent() -> argparse.ArgumentParser:
@@ -276,8 +277,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--rate-limit", type=float, default=0.0,
                        metavar="QPS",
                        help="per-tenant token-bucket rate limit in "
-                            "queries/second per worker, keyed on the "
-                            "X-Repro-Tenant header (0 disables)")
+                            "queries/second, keyed on the X-Repro-Tenant "
+                            "header (0 disables); with --workers the "
+                            "budget is shared cluster-wide, not "
+                            "multiplied per worker")
     serve.add_argument("--rate-limit-burst", type=float, default=0.0,
                        help="token-bucket burst capacity (0 derives it "
                             "from --rate-limit and --max-batch)")
@@ -321,6 +324,18 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--status", action="store_true",
                         help="recover, print durability diagnostics as "
                              "JSON, and exit without ingesting")
+
+    migrate = subcommand(
+        "migrate", help="migrate an XML crawl directory to a columnar "
+                        ".mcol file"
+    )
+    migrate.add_argument("--data", required=True,
+                         help="source XML crawl directory")
+    migrate.add_argument("--out", required=True,
+                         help="destination .mcol file")
+    migrate.add_argument("--tokens", action="store_true",
+                         help="also store tokenized interest-vector "
+                              "columns")
 
     stats = subcommand(
         "stats", help="corpus and network structure summary"
@@ -503,10 +518,9 @@ def _cmd_trend(args: argparse.Namespace) -> int:
 
 
 def _cmd_discover(args: argparse.Namespace) -> int:
-    from repro.data import load_corpus as _load
     from repro.nlp import discover_domains
 
-    corpus = _load(args.data)
+    corpus = open_corpus(args.data)
     post_ids = sorted(corpus.posts)[: args.max_posts]
     texts = [corpus.posts[post_id].text for post_id in post_ids]
     result = discover_domains(texts, k=args.k, seed=args.seed)
@@ -524,7 +538,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import ServiceConfig, SnapshotStore, create_server
 
     params = _toolbar_params(args)
-    corpus = load_corpus(args.data)
+    corpus = open_corpus(args.data)
     # /metrics is part of the API, so the service always records even
     # without --metrics-out.
     from repro.obs import Instrumentation as _Instrumentation
@@ -672,7 +686,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         args.durable_dir, analyzer, config,
         instrumentation=_instrumentation(args),
     )
-    base = load_corpus(args.data) if args.data else None
+    base = open_corpus(args.data) if args.data else None
     pipeline.open(base)
     if args.status:
         print(json.dumps(pipeline.diagnostics(), indent=2))
@@ -695,11 +709,28 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    from repro.data import migrate_to_columnar
+    from repro.store import ColumnarCorpus
+
+    path = migrate_to_columnar(args.data, args.out, tokens=args.tokens)
+    size = path.stat().st_size
+    with ColumnarCorpus.open(path) as corpus:
+        stats = corpus.stats()
+        print(f"wrote {path} ({size} bytes)")
+        print(f"bloggers : {stats.num_bloggers}")
+        print(f"posts    : {stats.num_posts}")
+        print(f"comments : {stats.num_comments}")
+        print(f"links    : {stats.num_links}")
+        if corpus.has_tokens:
+            print(f"vocab    : {len(corpus.vocabulary())} terms")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
-    from repro.data import load_corpus as _load
     from repro.graph import link_graph, post_reply_graph, summarize_network
 
-    corpus = _load(args.data)
+    corpus = open_corpus(args.data)
     stats = corpus.stats()
     print(f"bloggers : {stats.num_bloggers}")
     print(f"posts    : {stats.num_posts} "
@@ -756,6 +787,7 @@ _COMMANDS = {
     "discover": _cmd_discover,
     "serve": _cmd_serve,
     "ingest": _cmd_ingest,
+    "migrate": _cmd_migrate,
     "stats": _cmd_stats,
     "table1": _cmd_table1,
 }

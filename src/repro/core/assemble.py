@@ -106,6 +106,19 @@ class CompiledSystem:
         ]
 
 
+def _author_lookup(corpus: BlogCorpus):
+    """The cheapest available ``post_id -> author_id`` accessor.
+
+    Columnar corpora expose ``post_author_id`` (one column read, no row
+    view); object corpora go through ``post()``.  Both return the same
+    strings, so assembly output is representation-independent.
+    """
+    direct = getattr(corpus, "post_author_id", None)
+    if direct is not None:
+        return direct
+    return lambda post_id: corpus.post(post_id).author_id
+
+
 def _post_terms(
     comment_model: CommentModel,
     post_id: str,
@@ -173,9 +186,10 @@ def compile_system(
     index = {blogger_id: row for row, blogger_id in enumerate(blogger_ids)}
     use_citation = params.use_citation
 
+    author_of = _author_lookup(corpus)
     post_ids = sorted(corpus.posts)
     post_author = array(
-        "q", (index[corpus.post(post_id).author_id] for post_id in post_ids)
+        "q", (index[author_of(post_id)] for post_id in post_ids)
     )
     post_quality = array("d", (quality[post_id] for post_id in post_ids))
 
@@ -374,9 +388,10 @@ class AssemblyCache:
         }
         dirty_posts: set[str] = set(self._pending_posts)
         tc_changed: set[str] = set()
+        author_of = _author_lookup(corpus)
         for post_id, commenter_id in self._pending_comments:
             dirty_posts.add(post_id)
-            dirty_rows.add(index[corpus.post(post_id).author_id])
+            dirty_rows.add(index[author_of(post_id)])
             tc_changed.add(commenter_id)
         tc_rows = {
             old.index[commenter_id]
@@ -425,10 +440,11 @@ class AssemblyCache:
 
         # Post-level arrays: copy clean slices, recompute dirty posts.
         old_post_pos = {post_id: k for k, post_id in enumerate(old.post_ids)}
+        author_of = _author_lookup(corpus)
         post_ids = sorted(corpus.posts)
         post_author = array(
             "q",
-            (index[corpus.post(post_id).author_id] for post_id in post_ids),
+            (index[author_of(post_id)] for post_id in post_ids),
         )
         post_quality = array("d", (quality[post_id] for post_id in post_ids))
         post_row_ptr = array("q", [0])

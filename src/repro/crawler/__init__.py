@@ -1,6 +1,12 @@
 """Crawler Module: blog service interface, frontier, threaded crawler."""
 
-from repro.crawler.crawler import BlogCrawler, CrawlConfig, CrawlResult
+from repro.crawler.crawler import (
+    BlogCrawler,
+    CrawlConfig,
+    CrawlResult,
+    CrawlWave,
+    DeltaStream,
+)
 from repro.crawler.frontier import Frontier
 from repro.crawler.html import (
     HtmlBlogService,
@@ -19,6 +25,8 @@ __all__ = [
     "BlogCrawler",
     "CrawlConfig",
     "CrawlResult",
+    "CrawlWave",
+    "DeltaStream",
     "Frontier",
     "BlogService",
     "SimulatedBlogService",

@@ -22,6 +22,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.crawler.frontier import Frontier
 from repro.crawler.service import (
@@ -35,7 +36,16 @@ from repro.data.xml_store import save_corpus
 from repro.errors import CrawlError
 from repro.obs import NULL_INSTRUMENTATION, Instrumentation, get_logger
 
-__all__ = ["CrawlConfig", "CrawlResult", "BlogCrawler"]
+if TYPE_CHECKING:
+    from repro.core.incremental import CorpusDelta
+
+__all__ = [
+    "CrawlConfig",
+    "CrawlResult",
+    "CrawlWave",
+    "DeltaStream",
+    "BlogCrawler",
+]
 
 _LOG = get_logger("crawler")
 
@@ -74,6 +84,176 @@ class CrawlResult:
     dropped_links: int = 0
     max_depth: int = 0
     elapsed: float = 0.0
+
+
+@dataclass(slots=True)
+class CrawlWave:
+    """One BFS wave of a streaming crawl, delivered as a delta."""
+
+    depth: int
+    delta: CorpusDelta
+    fetched: list[str]
+    failed: dict[str, str]
+
+
+class DeltaStream:
+    """A crawl delivered wave-by-wave as :class:`CorpusDelta` batches.
+
+    Iterating fetches one BFS wave at a time and yields the wave's
+    entities as an incremental delta instead of buffering the whole
+    crawl into a second corpus: memory stays bounded by one wave plus
+    the pending cross-wave references.  Comments and links whose
+    referenced blogger has not been crawled yet are held back and
+    flushed in the wave that crawls the reference; references the
+    crawl never reaches are dropped at the end (the same crawl-boundary
+    rule :meth:`BlogCrawler.crawl` applies), so the concatenation of
+    every yielded delta carries exactly the batch crawl's entities.
+
+    A stream is consumed once; ``fetched``, ``failed``, ``max_depth``,
+    ``waves``, and the ``dropped_*`` counts are complete after
+    exhaustion.  Like the batch crawl, a stream whose every seed fails
+    raises :class:`CrawlError` (from the final iteration step).
+    """
+
+    def __init__(self, crawler: BlogCrawler, seeds: list[str]) -> None:
+        self._crawler = crawler
+        self._seeds = list(seeds)
+        self.fetched: list[str] = []
+        self.failed: dict[str, str] = {}
+        self.dropped_comments = 0
+        self.dropped_links = 0
+        self.max_depth = 0
+        self.waves = 0
+        self._iterated = False
+
+    def __iter__(self):
+        if self._iterated:
+            raise CrawlError("a DeltaStream can only be iterated once")
+        self._iterated = True
+        return self._generate()
+
+    def _generate(self):
+        from repro.core.incremental import CorpusDelta
+
+        crawler = self._crawler
+        config = crawler.config
+        instr = crawler._instr
+        metrics = instr.metrics
+        fetched_counter = metrics.counter(
+            "repro_crawler_pages_fetched_total", "Spaces fetched successfully"
+        )
+        failure_counter = metrics.counter(
+            "repro_crawler_fetch_failures_total", "Space fetches that failed"
+        )
+        frontier_gauge = metrics.gauge(
+            "repro_crawler_frontier_size", "Ids queued but not yet fetched"
+        )
+        wave_seconds = metrics.histogram(
+            "repro_crawler_wave_seconds", "Wall time per BFS wave"
+        )
+
+        frontier = Frontier(
+            self._seeds, config.radius, max_spaces=config.max_spaces
+        )
+        crawled: set[str] = set()
+        pending_comments: dict[str, list] = {}
+        pending_links: dict[str, list] = {}
+
+        with instr.tracer.span("crawl-stream"), ThreadPoolExecutor(
+            max_workers=config.num_threads
+        ) as pool:
+            while True:
+                wave = frontier.next_wave()
+                if not wave:
+                    break
+                depth = frontier.current_depth
+                self.max_depth = depth
+                with instr.tracer.span(f"wave-{depth}") as wave_span, \
+                        wave_seconds.time():
+                    results = list(
+                        pool.map(crawler._fetch_with_retries, wave)
+                    )
+                    wave_failed: dict[str, str] = {}
+                    pages: list[SpacePage] = []
+                    for blogger_id, outcome in zip(wave, results):
+                        if isinstance(outcome, Exception):
+                            wave_failed[blogger_id] = str(outcome)
+                            _LOG.warning(
+                                "fetch of %s failed: %s", blogger_id, outcome
+                            )
+                            continue
+                        pages.append(outcome)
+                        frontier.discover(outcome.neighbors)
+                    self.failed.update(wave_failed)
+                    fetched_counter.inc(len(pages))
+                    failure_counter.inc(len(wave_failed))
+                    frontier_gauge.set(frontier.pending)
+                    wave_span.event(
+                        depth=depth, spaces=len(wave),
+                        failures=len(wave_failed), frontier=frontier.pending,
+                    )
+                if not pages:
+                    continue
+
+                # The whole wave joins the crawl before references are
+                # checked, so intra-wave comments and links resolve
+                # immediately.
+                wave_ids = [page.blogger.blogger_id for page in pages]
+                crawled.update(wave_ids)
+                self.fetched.extend(wave_ids)
+                bloggers, posts, comments, links = [], [], [], []
+                for page in pages:  # waves arrive in sorted id order
+                    bloggers.append(page.blogger)
+                    posts.extend(page.posts)
+                    for link in page.links:
+                        if link.target_id in crawled:
+                            links.append(link)
+                        else:
+                            pending_links.setdefault(
+                                link.target_id, []
+                            ).append(link)
+                    for comment in page.comments:
+                        if comment.commenter_id in crawled:
+                            comments.append(comment)
+                        else:
+                            pending_comments.setdefault(
+                                comment.commenter_id, []
+                            ).append(comment)
+                for blogger_id in wave_ids:
+                    comments.extend(pending_comments.pop(blogger_id, ()))
+                    links.extend(pending_links.pop(blogger_id, ()))
+                self.waves += 1
+                yield CrawlWave(
+                    depth=depth,
+                    delta=CorpusDelta(
+                        bloggers=tuple(bloggers),
+                        posts=tuple(posts),
+                        comments=tuple(comments),
+                        links=tuple(links),
+                    ),
+                    fetched=wave_ids,
+                    failed=wave_failed,
+                )
+
+        self.dropped_comments = sum(
+            len(held) for held in pending_comments.values()
+        )
+        self.dropped_links = sum(
+            len(held) for held in pending_links.values()
+        )
+        if not crawled:
+            raise CrawlError(
+                f"crawl produced no pages; all seeds failed: {self.failed}"
+            )
+        missing_seeds = [s for s in self._seeds if s in self.failed]
+        if len(missing_seeds) == len(set(self._seeds)):
+            raise CrawlError(f"every seed failed: {self.failed}")
+        _LOG.info(
+            "streamed %d spaces to depth %d in %d waves (%d failed, "
+            "%d comments / %d links dropped at the boundary)",
+            len(self.fetched), self.max_depth, self.waves, len(self.failed),
+            self.dropped_comments, self.dropped_links,
+        )
 
 
 class BlogCrawler:
@@ -240,6 +420,15 @@ class BlogCrawler:
                 else:
                     dropped_comments += 1
         return corpus.freeze(), dropped_comments, dropped_links
+
+    # ------------------------------------------------------------------
+    def stream(self, seeds: list[str]) -> DeltaStream:
+        """Crawl as a wave-by-wave stream of deltas (bounded memory).
+
+        Returns a single-use :class:`DeltaStream`; iterate it to drive
+        the crawl.  Nothing is fetched until iteration begins.
+        """
+        return DeltaStream(self, seeds)
 
     # ------------------------------------------------------------------
     def crawl_to_directory(

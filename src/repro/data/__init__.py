@@ -8,6 +8,8 @@ from repro.data.xml_store import (
     dumps_corpus,
     load_corpus,
     loads_corpus,
+    migrate_to_columnar,
+    open_corpus,
     save_corpus,
 )
 
@@ -21,6 +23,8 @@ __all__ = [
     "CorpusBuilder",
     "save_corpus",
     "load_corpus",
+    "open_corpus",
+    "migrate_to_columnar",
     "dumps_corpus",
     "loads_corpus",
     "figure1_corpus",

@@ -31,6 +31,8 @@ __all__ = [
     "load_corpus",
     "dumps_corpus",
     "loads_corpus",
+    "migrate_to_columnar",
+    "open_corpus",
     "FORMAT_VERSION",
 ]
 
@@ -299,6 +301,43 @@ def save_corpus(corpus: BlogCorpus, directory: str | Path) -> Path:
         ET.tostring(index, encoding="unicode"), encoding="utf-8"
     )
     return directory
+
+
+def migrate_to_columnar(
+    directory: str | Path, dest: str | Path, *, tokens: bool = False
+) -> Path:
+    """One-shot migration: XML crawl directory → ``.mcol`` columnar file.
+
+    Loads the directory with :func:`load_corpus` (full validation) and
+    serializes it through :func:`repro.store.write_corpus`, so the
+    columnar file solves bit-identically to the XML-loaded corpus.
+    ``tokens=True`` additionally stores tokenized interest-vector
+    columns.  Returns the written path; the source directory is left
+    untouched.
+    """
+    # Imported here so the XML store stays importable without pulling
+    # the columnar layer into every reader of this module.
+    from repro.store import write_corpus
+
+    corpus = load_corpus(directory)
+    return write_corpus(corpus, dest, tokens=tokens)
+
+
+def open_corpus(source: str | Path):
+    """Open stored corpus data, whatever its on-disk form.
+
+    A path to an ``.mcol`` file opens as a memory-mapped
+    :class:`repro.store.ColumnarCorpus`; a directory loads as an XML
+    crawl store via :func:`load_corpus`.  Both results satisfy the
+    corpus read protocol, so every analysis entry point can accept
+    either format through this one dispatcher.
+    """
+    path = Path(source)
+    if path.is_file() or path.suffix == ".mcol":
+        from repro.store import ColumnarCorpus
+
+        return ColumnarCorpus.open(path)
+    return load_corpus(path)
 
 
 def load_corpus(directory: str | Path) -> BlogCorpus:

@@ -66,6 +66,16 @@ class CorpusFormatError(XmlFormatError):
     """
 
 
+class StoreFormatError(ReproError):
+    """A columnar store file is truncated, corrupt, or incompatible.
+
+    Raised by :mod:`repro.store` when a ``.mcol`` file cannot be
+    trusted: bad magic, a truncated footer or manifest, a section whose
+    recorded bounds fall outside the file, a CRC mismatch, or a file
+    written on a machine with a different byte order.
+    """
+
+
 class ClassifierError(ReproError):
     """A text classifier was used before training or trained on bad data."""
 

@@ -3,7 +3,10 @@
 A checkpoint freezes everything the ingestion pipeline needs to resume
 without recomputation:
 
-- the grown corpus, via the existing XML store (``corpus/``);
+- the grown corpus, as a columnar ``corpus.mcol`` file (format
+  version 2 — loaded back memory-mapped, so recovery pays no XML
+  parse and no per-entity object cost; version-1 XML ``corpus/``
+  checkpoints are still read);
 - the bit-exact influence report, via :mod:`repro.core.report_io`
   (``report.xml`` — floats serialized with ``repr``, so the restored
   warm-start vector is byte-identical to the live one);
@@ -31,15 +34,20 @@ from repro.core.parameters import MassParameters
 from repro.core.report import InfluenceReport
 from repro.core.report_io import load_report, save_report
 from repro.data.corpus import BlogCorpus
-from repro.data.xml_store import load_corpus, save_corpus
-from repro.errors import CheckpointError, XmlFormatError
+from repro.data.xml_store import load_corpus
+from repro.errors import CheckpointError, StoreFormatError, XmlFormatError
+from repro.store import ColumnarCorpus, write_corpus
 from repro.obs import NULL_INSTRUMENTATION, Instrumentation, get_logger
 
 __all__ = ["Checkpoint", "CheckpointManager", "CHECKPOINT_FORMAT_VERSION"]
 
 _LOG = get_logger("ingest.checkpoint")
 
-CHECKPOINT_FORMAT_VERSION = 1
+CHECKPOINT_FORMAT_VERSION = 2
+
+# Format versions this build can still *read*.  Version 1 stored the
+# corpus as an XML directory; version 2 stores it columnar.
+_READABLE_VERSIONS = (1, 2)
 
 _CURRENT = "CURRENT"
 _PREFIX = "ckpt-"
@@ -123,7 +131,7 @@ class CheckpointManager:
                 if tmp.exists():
                     shutil.rmtree(tmp)
                 tmp.mkdir(parents=True)
-                save_corpus(corpus, tmp / "corpus")
+                write_corpus(corpus, tmp / "corpus.mcol")
                 save_report(report, tmp / "report.xml")
                 meta = {
                     "format_version": CHECKPOINT_FORMAT_VERSION,
@@ -185,11 +193,12 @@ class CheckpointManager:
             raise CheckpointError(
                 f"checkpoint {target.name!r} has unreadable metadata: {exc}"
             ) from exc
-        if meta.get("format_version") != CHECKPOINT_FORMAT_VERSION:
+        version = meta.get("format_version")
+        if version not in _READABLE_VERSIONS:
             raise CheckpointError(
                 f"checkpoint {target.name!r} has format version "
-                f"{meta.get('format_version')!r}; this build reads "
-                f"{CHECKPOINT_FORMAT_VERSION}"
+                f"{version!r}; this build reads "
+                f"{', '.join(map(str, _READABLE_VERSIONS))}"
             )
         seq = meta.get("seq")
         if not isinstance(seq, int) or seq < 0:
@@ -205,9 +214,12 @@ class CheckpointManager:
                     f"but this pipeline runs {fingerprint!r}"
                 )
         try:
-            corpus = load_corpus(target / "corpus")
+            if version == 1:
+                corpus = load_corpus(target / "corpus")
+            else:
+                corpus = ColumnarCorpus.open(target / "corpus.mcol")
             report = load_report(target / "report.xml", corpus)
-        except (XmlFormatError, OSError) as exc:
+        except (XmlFormatError, StoreFormatError, OSError) as exc:
             raise CheckpointError(
                 f"checkpoint {target.name!r} is unreadable: {exc}"
             ) from exc

@@ -40,6 +40,7 @@ from pathlib import Path
 from repro.core.incremental import CorpusDelta, IncrementalAnalyzer
 from repro.core.report import InfluenceReport
 from repro.data.corpus import BlogCorpus
+from repro.data.entities import Link
 from repro.errors import (
     BackpressureError,
     CorpusError,
@@ -162,8 +163,15 @@ class IngestPipeline:
         self._queue: deque[CorpusDelta] = deque()
         self._cond = threading.Condition()
         self._drain_lock = threading.Lock()
+        # Serializes every state transition that a checkpoint must see
+        # atomically (apply's WAL append + solve, checkpoint's write +
+        # WAL rotation) against the background recovery checkpoint.
+        # Reentrant because apply() checkpoints from inside itself.
+        self._state_lock = threading.RLock()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        self._recovery_ckpt: threading.Thread | None = None
+        self._recovery_ckpt_error: Exception | None = None
         self._opened = False
         self._applied = 0
         self._ckpt_seq: int | None = None
@@ -235,10 +243,13 @@ class IngestPipeline:
         strictly contiguous sequence order, coalesced into one merged
         batch (one warm solve) when the tail has two or more records.
         Without a checkpoint, ``base_corpus`` is fitted cold and the
-        *entire* WAL replays.  Ends by writing a fresh checkpoint when
-        anything was replayed (or none existed), so the next recovery
-        starts warm.  A replayed recovery leaves an incident dump in
-        the flight recorder (``/debug/events?dumps=1``).
+        *entire* WAL replays.  When anything was replayed (or no
+        checkpoint existed) a fresh checkpoint is scheduled on a
+        background thread so the next recovery starts warm — the write
+        is off ``open()``'s critical path, recovery returns as soon as
+        the state is live (:meth:`wait_recovery_checkpoint` joins it).
+        A replayed recovery leaves an incident dump in the flight
+        recorder (``/debug/events?dumps=1``).
         """
         if self._opened:
             return self._analyzer.report
@@ -275,9 +286,14 @@ class IngestPipeline:
             self._replayed_counter.inc(replayed)
             self._applied_gauge.set(self._applied)
             self._replay_lag_gauge.set(0)
-            if replayed or checkpoint is None:
-                self.checkpoint()
         self._opened = True
+        if replayed or checkpoint is None:
+            self._recovery_ckpt = threading.Thread(
+                target=self._recovery_checkpoint,
+                name="mass-ingest-recovery-ckpt",
+                daemon=True,
+            )
+            self._recovery_ckpt.start()
         if replayed:
             self._instr.recorder.dump(
                 "ingest-recovery",
@@ -294,6 +310,40 @@ class IngestPipeline:
             "from" if checkpoint is not None else "no", replayed,
         )
         return self._analyzer.report
+
+    def _recovery_checkpoint(self) -> None:
+        """The deferred post-recovery checkpoint (background thread).
+
+        Skips itself when an interval checkpoint already sealed the
+        current seq in the meantime — the freshness it exists to
+        provide is already on disk.  A failure is remembered (surfaced
+        by :meth:`wait_recovery_checkpoint`) but does not crash the
+        pipeline: the state is still durable through the WAL, recovery
+        just starts colder.
+        """
+        try:
+            with self._state_lock, \
+                    self._instr.tracer.span("ingest-recovery-checkpoint"):
+                if self._ckpt_seq != self._applied:
+                    self.checkpoint()
+        except Exception as exc:  # noqa: BLE001 - recorded, not fatal
+            self._recovery_ckpt_error = exc
+            _LOG.warning("background recovery checkpoint failed: %s", exc)
+
+    def wait_recovery_checkpoint(self, timeout: float | None = None) -> None:
+        """Join the background post-recovery checkpoint, if one runs.
+
+        Deterministic rendezvous for callers (and tests) that need the
+        fresh checkpoint on disk before proceeding.  Re-raises the
+        background failure, if any.
+        """
+        thread = self._recovery_ckpt
+        if thread is not None:
+            thread.join(timeout)
+        if self._recovery_ckpt_error is not None:
+            raise IngestError(
+                "post-recovery checkpoint failed"
+            ) from self._recovery_ckpt_error
 
     def _replay_tail(self, tail: list[CorpusDelta]) -> bool:
         """Fold the contiguous WAL tail into the analyzer.
@@ -387,21 +437,22 @@ class IngestPipeline:
             raise IngestError("call open() before apply()")
         if delta.is_empty():
             return self._analyzer.report
-        self._analyzer.validate_delta(delta)
-        seq = self._wal.append(delta)
-        if seq != self._applied + 1:
-            raise IngestError(
-                f"wal assigned seq {seq} but pipeline expected "
-                f"{self._applied + 1}; log and state are desynchronized"
-            )
-        report = self._analyzer.apply(delta)
-        self._applied = seq
-        self._batch_counter.inc()
-        self._entity_counter.inc(delta.size())
-        self._applied_gauge.set(seq)
-        interval = self._config.checkpoint_interval
-        if interval and seq - (self._ckpt_seq or 0) >= interval:
-            self.checkpoint()
+        with self._state_lock:
+            self._analyzer.validate_delta(delta)
+            seq = self._wal.append(delta)
+            if seq != self._applied + 1:
+                raise IngestError(
+                    f"wal assigned seq {seq} but pipeline expected "
+                    f"{self._applied + 1}; log and state are desynchronized"
+                )
+            report = self._analyzer.apply(delta)
+            self._applied = seq
+            self._batch_counter.inc()
+            self._entity_counter.inc(delta.size())
+            self._applied_gauge.set(seq)
+            interval = self._config.checkpoint_interval
+            if interval and seq - (self._ckpt_seq or 0) >= interval:
+                self.checkpoint()
         return report
 
     def ingest(self, deltas) -> InfluenceReport:
@@ -413,42 +464,102 @@ class IngestPipeline:
     def ingest_crawl(self, service, seeds, crawl_config=None) -> InfluenceReport:
         """Crawl a blog service and durably ingest whatever is new.
 
-        Runs a :class:`~repro.crawler.crawler.BlogCrawler` over
-        ``service`` from ``seeds``, diffs the crawled corpus against
-        the live one (``CorpusDelta.between(..., strict=False)`` — a
-        re-crawl is a partial view, not a superset), and applies the
-        difference as one durable batch.
+        Streams the crawl wave-by-wave
+        (:meth:`~repro.crawler.crawler.BlogCrawler.stream`): each BFS
+        wave is filtered against the live corpus (a re-crawl is a
+        partial view, not a superset — entities already live are
+        skipped and link weights are emitted as growth differences)
+        and applied as its own durable delta.  Crawl memory stays
+        bounded by one wave plus pending cross-wave references instead
+        of a whole second corpus, and a crash mid-crawl durably keeps
+        every completed wave.
         """
         from repro.crawler.crawler import BlogCrawler
 
         crawler = BlogCrawler(
             service, config=crawl_config, instrumentation=self._instr
         )
-        result = crawler.crawl(list(seeds))
-        delta = CorpusDelta.between(
-            self._analyzer.report.corpus, result.corpus, strict=False
-        )
-        if delta.is_empty():
+        # Pre-crawl link weights: growth is measured against the corpus
+        # as it stood when the crawl began, not as the waves land.
+        live_weights: dict[tuple[str, str], float] = {}
+        for link in self._analyzer.report.corpus.links:
+            key = (link.source_id, link.target_id)
+            live_weights[key] = live_weights.get(key, 0.0) + link.weight
+        crawl_totals: dict[tuple[str, str], float] = {}
+        emitted: dict[tuple[str, str], float] = {}
+
+        stream = crawler.stream(list(seeds))
+        applied = 0
+        for wave in stream:
+            delta = self._filter_wave(
+                wave.delta, live_weights, crawl_totals, emitted
+            )
+            if delta.is_empty():
+                continue
+            self.apply(delta)
+            applied += delta.size()
+        if applied == 0:
             _LOG.info("crawl found nothing new (%d spaces fetched)",
-                      len(result.fetched))
-            return self._analyzer.report
-        _LOG.info(
-            "crawl found %d new entities across %d spaces",
-            delta.size(), len(result.fetched),
+                      len(stream.fetched))
+        else:
+            _LOG.info(
+                "crawl ingested %d new entities across %d spaces "
+                "in %d waves",
+                applied, len(stream.fetched), stream.waves,
+            )
+        return self._analyzer.report
+
+    def _filter_wave(
+        self,
+        delta: CorpusDelta,
+        live_weights: dict[tuple[str, str], float],
+        crawl_totals: dict[tuple[str, str], float],
+        emitted: dict[tuple[str, str], float],
+    ) -> CorpusDelta:
+        """Reduce a crawl wave to what the live corpus does not have.
+
+        Links re-crawled from live bloggers arrive with their *full*
+        weight; what must be applied is only the growth over the
+        pre-crawl weight, tracked cumulatively per (source, target)
+        pair because parallel links for one pair may span waves.
+        """
+        corpus = self._analyzer.report.corpus
+        bloggers = tuple(
+            b for b in delta.bloggers if b.blogger_id not in corpus.bloggers
         )
-        return self.apply(delta)
+        posts = tuple(
+            p for p in delta.posts if p.post_id not in corpus.posts
+        )
+        comments = tuple(
+            c for c in delta.comments if c.comment_id not in corpus.comments
+        )
+        links = []
+        for link in delta.links:
+            key = (link.source_id, link.target_id)
+            crawl_totals[key] = crawl_totals.get(key, 0.0) + link.weight
+            target = crawl_totals[key] - live_weights.get(key, 0.0)
+            growth = target - emitted.get(key, 0.0)
+            if growth > 0:
+                emitted[key] = target
+                links.append(Link(link.source_id, link.target_id, growth))
+        return CorpusDelta(
+            bloggers=bloggers, posts=posts, comments=comments,
+            links=tuple(links),
+        )
 
     # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
     def checkpoint(self) -> Path:
         """Write a checkpoint at the current seq; rotate + truncate WAL."""
-        report = self._analyzer.report  # raises before the first fit/restore
-        path = self._ckpts.write(report.corpus, report, self._applied)
-        self._ckpt_seq = self._applied
-        self._wal.rotate()
-        self._wal.truncate_upto(self._applied)
-        return path
+        with self._state_lock:
+            # raises before the first fit/restore
+            report = self._analyzer.report
+            path = self._ckpts.write(report.corpus, report, self._applied)
+            self._ckpt_seq = self._applied
+            self._wal.rotate()
+            self._wal.truncate_upto(self._applied)
+            return path
 
     # ------------------------------------------------------------------
     # Background drainer
@@ -483,6 +594,10 @@ class IngestPipeline:
         if self._thread is not None:
             self._thread.join(timeout=10.0)
             self._thread = None
+        # The deferred recovery checkpoint must not race the WAL close.
+        if self._recovery_ckpt is not None:
+            self._recovery_ckpt.join(timeout=10.0)
+            self._recovery_ckpt = None
         if self._opened:
             self.drain()
             if self._ckpt_seq != self._applied:

@@ -36,7 +36,12 @@ from repro.serve.http import (
     ServiceConfig,
     create_server,
 )
-from repro.serve.ratelimit import RateDecision, TenantRateLimiter, TokenBucket
+from repro.serve.ratelimit import (
+    RateDecision,
+    SharedTenantLimiter,
+    TenantRateLimiter,
+    TokenBucket,
+)
 from repro.serve.shm import (
     ArenaSnapshotSource,
     ClusterStatusBoard,
@@ -66,5 +71,6 @@ __all__ = [
     "ClusterStatusBoard",
     "TokenBucket",
     "TenantRateLimiter",
+    "SharedTenantLimiter",
     "RateDecision",
 ]

@@ -53,6 +53,7 @@ from repro.obs import (
     get_logger,
 )
 from repro.serve.http import MassHttpServer, ServiceConfig
+from repro.serve.ratelimit import SharedTenantLimiter
 from repro.serve.shm import (
     DEFAULT_ARENA_BYTES,
     ArenaSnapshotSource,
@@ -133,6 +134,7 @@ def _worker_main(
     arena: SnapshotArena,
     stats: SharedHttpStats,
     board: ClusterStatusBoard,
+    limiter: SharedTenantLimiter | None,
     slo_objectives: tuple[SloObjective, ...] | None,
     max_staleness: float,
 ) -> None:
@@ -158,6 +160,7 @@ def _worker_main(
         worker_id=worker_id,
         shared_stats=stats,
         status_board=board,
+        shared_limiter=limiter,
     )
 
     def _terminate(signum: int, frame: object) -> None:  # noqa: ARG001
@@ -234,6 +237,7 @@ class ServingCluster:
         self._arena: SnapshotArena | None = None
         self._stats: SharedHttpStats | None = None
         self._board: ClusterStatusBoard | None = None
+        self._limiter: SharedTenantLimiter | None = None
         self._procs: list = []
         self._supervisor: threading.Thread | None = None
         self._stop = threading.Event()
@@ -287,6 +291,13 @@ class ServingCluster:
         self._arena = SnapshotArena(self._cluster.arena_bytes)
         self._stats = SharedHttpStats(self._cluster.workers)
         self._board = ClusterStatusBoard()
+        # The shared limiter must exist BEFORE the first fork so every
+        # worker inherits the same slot table: the configured budget is
+        # then cluster-wide, not workers x rate.
+        if self._config.rate_limit_qps > 0:
+            self._limiter = SharedTenantLimiter(
+                self._config.rate_limit_qps, self._config.resolved_burst()
+            )
         # The initial snapshot must be in the arena BEFORE the first
         # fork: a worker's first request may not find it otherwise.
         self._arena.publish(self._store.snapshot)
@@ -355,12 +366,14 @@ class ServingCluster:
         if self._port_sock is not None:
             self._port_sock.close()
             self._port_sock = None
-        for shared in (self._arena, self._stats, self._board):
+        for shared in (self._arena, self._stats, self._board,
+                       self._limiter):
             if shared is not None:
                 shared.close()
         self._arena = None
         self._stats = None
         self._board = None
+        self._limiter = None
         self._workers_gauge.set(0)
         self._started = False
         _LOG.info("serving cluster stopped")
@@ -381,6 +394,7 @@ class ServingCluster:
                 self._arena,
                 self._stats,
                 self._board,
+                self._limiter,
                 self._slo_objectives,
                 getattr(self._store, "max_staleness", 0.5),
             ),

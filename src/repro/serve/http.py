@@ -111,9 +111,9 @@ class ServiceConfig:
     max_batch: int = 64
     # Per-tenant token-bucket rate limiting; 0.0 disables it.  A burst
     # of 0.0 auto-sizes to max(ceil(qps), max_batch) so a full batch is
-    # always grantable.  In the multi-process tier these are enforced
-    # *per worker* (shared-nothing), so the effective cluster budget is
-    # workers x rate.
+    # always grantable.  In the multi-process tier the cluster builds
+    # one fork-shared limiter before forking, so this budget is
+    # enforced cluster-wide — not multiplied by the worker count.
     rate_limit_qps: float = 0.0
     rate_limit_burst: float = 0.0
 
@@ -162,6 +162,7 @@ class MassHttpServer(ThreadingHTTPServer):
         worker_id: int | None = None,
         shared_stats=None,
         status_board=None,
+        shared_limiter=None,
     ) -> None:
         """Build the server over a snapshot source.
 
@@ -175,7 +176,11 @@ class MassHttpServer(ThreadingHTTPServer):
         ``worker_id`` + ``shared_stats`` route the canonical HTTP
         metrics into this worker's shared-memory lane (and register the
         cross-worker aggregate with ``/metrics``); ``status_board``
-        lets ``/healthz`` report cluster supervision state.
+        lets ``/healthz`` report cluster supervision state;
+        ``shared_limiter`` hands in the cluster's fork-shared
+        :class:`~repro.serve.ratelimit.SharedTenantLimiter` so the
+        per-tenant budget is enforced cluster-wide instead of this
+        worker building its own shared-nothing one.
         """
         if listen_socket is None:
             super().__init__((config.host, config.port), _Handler)
@@ -205,10 +210,14 @@ class MassHttpServer(ThreadingHTTPServer):
             max_k=config.max_k,
             instrumentation=instrumentation,
         )
-        self.limiter = (
-            TenantRateLimiter(config.rate_limit_qps, config.resolved_burst())
-            if config.rate_limit_qps > 0 else None
-        )
+        if shared_limiter is not None:
+            self.limiter = shared_limiter
+        elif config.rate_limit_qps > 0:
+            self.limiter = TenantRateLimiter(
+                config.rate_limit_qps, config.resolved_burst()
+            )
+        else:
+            self.limiter = None
         self.started_at = time.time()
         # Ages served by /healthz come from the monotonic clock: a
         # wall-clock step (NTP) must not produce negative or inflated

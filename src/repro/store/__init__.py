@@ -1,0 +1,27 @@
+"""Columnar corpus data plane: mmap-backed tables behind the corpus protocol.
+
+The per-object :class:`~repro.data.corpus.BlogCorpus` tops out around
+10^4 bloggers — every entity is a Python object and every load is a
+full XML parse.  This package compiles a corpus into columns **once, at
+the edge**: an append-friendly :class:`ColumnarBuilder` streams
+entities into a ``.mcol`` file of typed, CRC-framed sections, and
+:class:`ColumnarCorpus` memory-maps that file back as a drop-in corpus
+(the full read protocol ``core/assemble.py`` and the solvers consume)
+without materializing entity objects.  See ``docs/data.md`` for the
+layout and memory model.
+"""
+
+from repro.errors import StoreFormatError
+from repro.store.builder import ColumnarBuilder, write_corpus
+from repro.store.columnar import ColumnarCorpus
+from repro.store.format import FORMAT_VERSION, StoreReader, StoreWriter
+
+__all__ = [
+    "ColumnarBuilder",
+    "ColumnarCorpus",
+    "write_corpus",
+    "StoreReader",
+    "StoreWriter",
+    "StoreFormatError",
+    "FORMAT_VERSION",
+]

@@ -1,0 +1,299 @@
+"""The ``.mcol`` container: named, CRC-framed sections over one mmap.
+
+A columnar corpus file is a flat container of typed sections::
+
+    [magic 8B] [section 0] [pad] [section 1] [pad] ... [manifest JSON]
+    [footer: manifest offset u64 | manifest length u64 | manifest crc32
+     u32 | footer magic 8B]
+
+Sections are 8-byte aligned so ``i64``/``f64`` columns can be viewed in
+place with :class:`memoryview` casts — opening a store is an ``mmap``
+plus a manifest parse, never a deserialization pass.  The manifest
+(JSON) records every section's name, kind, byte range and CRC32, plus
+entity counts and builder flags; the footer sits at the *end* of the
+file so the writer can stream sections of unknown size in one pass.
+
+Integrity model, mirroring the WAL's torn-tail discipline:
+
+- a truncated file loses the footer magic → rejected;
+- a damaged manifest fails its CRC → rejected;
+- a section whose recorded range falls outside the file → rejected;
+- flipped bytes inside a section fail the per-section CRC (checked at
+  open unless ``verify=False``) → rejected.
+
+All failures raise :class:`~repro.errors.StoreFormatError`; a file that
+opens cleanly is structurally sound.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+import sys
+import zlib
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.errors import StoreFormatError
+
+__all__ = ["FORMAT_VERSION", "StoreWriter", "StoreReader"]
+
+FORMAT_VERSION = 1
+
+MAGIC = b"MASSCOL\x01"
+FOOTER_MAGIC = b"\x01LOCSSAM"
+_FOOTER = struct.Struct("<QQI")  # manifest offset, length, crc32
+FOOTER_SIZE = _FOOTER.size + len(FOOTER_MAGIC)
+
+#: Section kinds and the memoryview format they cast to ("raw" = bytes).
+_KINDS = {"i64": "q", "f64": "d", "raw": None}
+
+_ALIGN = 8
+_COPY_CHUNK = 1 << 20
+
+
+class StoreWriter:
+    """Single-pass streaming writer for one ``.mcol`` file.
+
+    Sections are appended via :meth:`add_section` (chunked, so blobs
+    spooled to scratch files never need to fit in memory), then
+    :meth:`finish` seals the manifest and footer and atomically moves
+    the file into place (write to ``<path>.tmp`` + ``os.replace``).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        self._tmp = self._path.with_name(self._path.name + ".tmp")
+        self._fh = open(self._tmp, "wb", buffering=_COPY_CHUNK)
+        self._fh.write(MAGIC)
+        self._pos = len(MAGIC)
+        self._sections: dict[str, dict] = {}
+        self._finished = False
+
+    def add_section(
+        self, name: str, kind: str, chunks: Iterable[bytes]
+    ) -> None:
+        """Append one named section from an iterable of byte chunks."""
+        if name in self._sections:
+            raise StoreFormatError(f"duplicate section {name!r}")
+        if kind not in _KINDS:
+            raise StoreFormatError(f"unknown section kind {kind!r}")
+        pad = (-self._pos) % _ALIGN
+        if pad:
+            self._fh.write(b"\x00" * pad)
+            self._pos += pad
+        offset = self._pos
+        crc = 0
+        length = 0
+        for chunk in chunks:
+            if not chunk:
+                continue
+            self._fh.write(chunk)
+            crc = zlib.crc32(chunk, crc)
+            length += len(chunk)
+        self._pos += length
+        self._sections[name] = {
+            "kind": kind, "offset": offset, "length": length, "crc": crc,
+        }
+
+    def finish(self, counts: dict, flags: dict | None = None) -> Path:
+        """Write manifest + footer, fsync, and move the file into place."""
+        if self._finished:
+            raise StoreFormatError("StoreWriter.finish called twice")
+        self._finished = True
+        manifest = json.dumps(
+            {
+                "format": FORMAT_VERSION,
+                "byteorder": sys.byteorder,
+                "counts": counts,
+                "flags": flags or {},
+                "sections": self._sections,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        manifest_offset = self._pos
+        self._fh.write(manifest)
+        self._fh.write(
+            _FOOTER.pack(manifest_offset, len(manifest), zlib.crc32(manifest))
+        )
+        self._fh.write(FOOTER_MAGIC)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._fh.close()
+        os.replace(self._tmp, self._path)
+        return self._path
+
+    def abort(self) -> None:
+        """Discard the partial file (safe after an exception)."""
+        if not self._fh.closed:
+            self._fh.close()
+        self._tmp.unlink(missing_ok=True)
+
+
+class StoreReader:
+    """A verified, memory-mapped view of one ``.mcol`` file.
+
+    ``verify=True`` (the default) checks every section CRC at open —
+    one sequential pass over the mapping, cheap relative to any use of
+    the data.  ``verify=False`` skips the per-section CRCs (the footer,
+    manifest CRC and bounds checks always run) for latency-critical
+    paths like checkpoint recovery that re-verify via content epochs.
+    """
+
+    def __init__(self, path: str | Path, *, verify: bool = True) -> None:
+        self._path = Path(path)
+        try:
+            self._fh = open(self._path, "rb")
+        except OSError as exc:
+            raise StoreFormatError(f"cannot open store {path}: {exc}") from exc
+        try:
+            size = os.fstat(self._fh.fileno()).st_size
+            if size < len(MAGIC) + FOOTER_SIZE:
+                raise StoreFormatError(
+                    f"{self._path.name}: file too short ({size} bytes) to be "
+                    "a columnar store"
+                )
+            self._mm = mmap.mmap(
+                self._fh.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        except StoreFormatError:
+            self._fh.close()
+            raise
+        except (OSError, ValueError) as exc:
+            self._fh.close()
+            raise StoreFormatError(
+                f"cannot map store {path}: {exc}"
+            ) from exc
+        try:
+            self._parse(size, verify)
+        except StoreFormatError:
+            self.close()
+            raise
+
+    def _parse(self, size: int, verify: bool) -> None:
+        mm = self._mm
+        if mm[: len(MAGIC)] != MAGIC:
+            raise StoreFormatError(
+                f"{self._path.name}: bad magic; not a columnar store"
+            )
+        if mm[size - len(FOOTER_MAGIC):] != FOOTER_MAGIC:
+            raise StoreFormatError(
+                f"{self._path.name}: footer magic missing; file is "
+                "truncated or was not sealed"
+            )
+        manifest_offset, manifest_len, manifest_crc = _FOOTER.unpack(
+            mm[size - FOOTER_SIZE: size - len(FOOTER_MAGIC)]
+        )
+        if manifest_offset + manifest_len > size - FOOTER_SIZE:
+            raise StoreFormatError(
+                f"{self._path.name}: manifest range out of bounds"
+            )
+        manifest_bytes = mm[manifest_offset: manifest_offset + manifest_len]
+        if zlib.crc32(manifest_bytes) != manifest_crc:
+            raise StoreFormatError(
+                f"{self._path.name}: manifest CRC mismatch; file is corrupt"
+            )
+        try:
+            manifest = json.loads(manifest_bytes.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise StoreFormatError(
+                f"{self._path.name}: manifest is not valid JSON: {exc}"
+            ) from exc
+        if manifest.get("format") != FORMAT_VERSION:
+            raise StoreFormatError(
+                f"{self._path.name}: unsupported store format "
+                f"{manifest.get('format')!r} (this build reads "
+                f"{FORMAT_VERSION})"
+            )
+        if manifest.get("byteorder") != sys.byteorder:
+            raise StoreFormatError(
+                f"{self._path.name}: store written on a "
+                f"{manifest.get('byteorder')}-endian machine cannot be "
+                f"read on a {sys.byteorder}-endian one"
+            )
+        self.counts: dict = manifest.get("counts", {})
+        self.flags: dict = manifest.get("flags", {})
+        self._sections: dict[str, dict] = manifest.get("sections", {})
+        view = memoryview(mm)
+        for name, spec in self._sections.items():
+            offset, length = spec.get("offset"), spec.get("length")
+            if (
+                not isinstance(offset, int) or not isinstance(length, int)
+                or offset < 0 or length < 0
+                or offset + length > manifest_offset
+            ):
+                raise StoreFormatError(
+                    f"{self._path.name}: section {name!r} range out of "
+                    "bounds"
+                )
+            if spec.get("kind") not in _KINDS:
+                raise StoreFormatError(
+                    f"{self._path.name}: section {name!r} has unknown kind "
+                    f"{spec.get('kind')!r}"
+                )
+            if verify and zlib.crc32(
+                view[offset: offset + length]
+            ) != spec.get("crc"):
+                raise StoreFormatError(
+                    f"{self._path.name}: section {name!r} CRC mismatch; "
+                    "file is corrupt"
+                )
+        self._view = view
+
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Path:
+        """The backing file."""
+        return self._path
+
+    def has(self, name: str) -> bool:
+        """Whether a section exists in this file."""
+        return name in self._sections
+
+    def _section(self, name: str, kind: str) -> memoryview:
+        spec = self._sections.get(name)
+        if spec is None:
+            raise StoreFormatError(
+                f"{self._path.name}: required section {name!r} is missing"
+            )
+        if spec["kind"] != kind:
+            raise StoreFormatError(
+                f"{self._path.name}: section {name!r} is {spec['kind']}, "
+                f"expected {kind}"
+            )
+        view = self._view[spec["offset"]: spec["offset"] + spec["length"]]
+        fmt = _KINDS[kind]
+        return view.cast(fmt) if fmt else view
+
+    def i64(self, name: str) -> memoryview:
+        """An ``i64`` column as a zero-copy memoryview of the mapping."""
+        return self._section(name, "i64")
+
+    def f64(self, name: str) -> memoryview:
+        """An ``f64`` column as a zero-copy memoryview of the mapping."""
+        return self._section(name, "f64")
+
+    def raw(self, name: str) -> memoryview:
+        """A raw byte section (string-pool blobs)."""
+        return self._section(name, "raw")
+
+    def close(self) -> None:
+        """Release the mapping and file handle.
+
+        Any column view still held keeps the mapping alive (the kernel
+        drops it when the last view dies); the file descriptor is
+        always released.
+        """
+        self._fh.close()
+        try:
+            self._view.release()
+        except AttributeError:
+            pass
+        try:
+            self._mm.close()
+        except BufferError:
+            # Exported column views pin the mapping; it is unmapped
+            # when they are garbage-collected.
+            pass

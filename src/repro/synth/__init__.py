@@ -7,6 +7,7 @@ from repro.synth.generator import (
     generate_blogosphere,
 )
 from repro.synth.ground_truth import BloggerTruth, GroundTruth
+from repro.synth.stream import StreamSummary, stream_blogosphere
 from repro.synth.textgen import TextGenerator
 from repro.synth.vocabulary import DOMAIN_VOCABULARIES, GENERAL_WORDS, domain_names
 
@@ -14,6 +15,8 @@ __all__ = [
     "BlogosphereConfig",
     "BlogosphereGenerator",
     "generate_blogosphere",
+    "stream_blogosphere",
+    "StreamSummary",
     "GroundTruth",
     "BloggerTruth",
     "TextGenerator",

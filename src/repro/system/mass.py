@@ -22,7 +22,7 @@ from repro.core.report import BloggerDetail, InfluenceReport
 from repro.crawler.crawler import BlogCrawler, CrawlConfig, CrawlResult
 from repro.crawler.service import BlogService
 from repro.data.corpus import BlogCorpus
-from repro.data.xml_store import load_corpus, save_corpus
+from repro.data.xml_store import open_corpus, save_corpus
 from repro.errors import ReproError
 from repro.obs import NULL_INSTRUMENTATION, Instrumentation, get_logger
 from repro.synth.vocabulary import DOMAIN_VOCABULARIES
@@ -110,14 +110,19 @@ class MassSystem:
         return result
 
     def load_dataset(self, source: BlogCorpus | str | Path) -> BlogCorpus:
-        """Load an offline data set: a corpus object or an XML directory."""
+        """Load an offline data set.
+
+        Accepts a corpus object, an XML crawl directory, or a columnar
+        ``.mcol`` file (opened memory-mapped, no entity
+        materialization).
+        """
         with self._instr.tracer.span("load-dataset"):
             if isinstance(source, BlogCorpus):
                 corpus = source
                 if not corpus.frozen:
                     corpus.validate()
             else:
-                corpus = load_corpus(source)
+                corpus = open_corpus(source)
         self._set_corpus(corpus)
         return corpus
 

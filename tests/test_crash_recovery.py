@@ -118,10 +118,14 @@ def run_and_kill(root: Path, classifier, corpus, kill: int, interval: int,
         with mock.patch.object(WriteAheadLog, "truncate_upto",
                                return_value=0):
             pipeline.open(corpus)
+            # Pin the background bootstrap checkpoint inside the mock's
+            # scope: the damage is deterministic, not thread-timed.
+            pipeline.wait_recovery_checkpoint()
             for seq in range(1, kill + 1):
                 pipeline.apply(stream_delta(seq, anchor))
     else:
         pipeline.open(corpus)
+        pipeline.wait_recovery_checkpoint()
         for seq in range(1, kill + 1):
             pipeline.apply(stream_delta(seq, anchor))
     # No close(): the process is "killed" here.

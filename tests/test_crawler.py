@@ -157,3 +157,81 @@ class TestPersistence:
         result = crawler.crawl_to_directory(["amery"], tmp_path)
         loaded = load_corpus(tmp_path)
         assert dumps_corpus(loaded) == dumps_corpus(result.corpus)
+
+
+class TestDeltaStream:
+    """The streaming crawl is the batch crawl, delivered in waves."""
+
+    def _accumulate(self, stream):
+        from repro.data import BlogCorpus
+
+        accumulated = BlogCorpus()
+        last_depth = -1
+        for wave in stream:
+            assert wave.depth >= last_depth
+            last_depth = wave.depth
+            assert wave.fetched
+            accumulated.extend(
+                bloggers=wave.delta.bloggers,
+                posts=wave.delta.posts,
+                comments=wave.delta.comments,
+                links=wave.delta.links,
+            )
+        return accumulated
+
+    @pytest.mark.parametrize("radius", [0, 1, 3])
+    def test_waves_accumulate_to_the_batch_crawl(self, fig1_corpus, radius):
+        from repro.core import CorpusDelta
+
+        config = CrawlConfig(radius=radius)
+        batch = BlogCrawler(
+            SimulatedBlogService(fig1_corpus), config
+        ).crawl(["amery"])
+        stream = BlogCrawler(
+            SimulatedBlogService(fig1_corpus), config
+        ).stream(["amery"])
+        accumulated = self._accumulate(stream)
+
+        # Identical corpora: nothing new in either direction, and the
+        # strict superset check passes both ways.
+        assert CorpusDelta.between(accumulated, batch.corpus).is_empty()
+        assert CorpusDelta.between(batch.corpus, accumulated).is_empty()
+        assert sorted(stream.fetched) == sorted(batch.fetched)
+        assert stream.failed == batch.failed
+        assert stream.max_depth == batch.max_depth
+        assert stream.dropped_comments == batch.dropped_comments
+        assert stream.dropped_links == batch.dropped_links
+        assert stream.waves >= 1
+
+    def test_stream_matches_batch_on_a_generated_blogosphere(
+        self, small_blogosphere
+    ):
+        from repro.core import CorpusDelta
+
+        corpus, _ = small_blogosphere
+        seeds = corpus.blogger_ids()[:3]
+        config = CrawlConfig(radius=2)
+        batch = BlogCrawler(
+            SimulatedBlogService(corpus), config
+        ).crawl(seeds)
+        stream = BlogCrawler(
+            SimulatedBlogService(corpus), config
+        ).stream(seeds)
+        accumulated = self._accumulate(stream)
+        assert CorpusDelta.between(accumulated, batch.corpus).is_empty()
+        assert CorpusDelta.between(batch.corpus, accumulated).is_empty()
+
+    def test_stream_is_single_use(self, fig1_corpus):
+        stream = BlogCrawler(
+            SimulatedBlogService(fig1_corpus), CrawlConfig(radius=0)
+        ).stream(["amery"])
+        self._accumulate(stream)
+        with pytest.raises(CrawlError, match="once"):
+            iter(stream)
+
+    def test_stream_with_all_seeds_failing_raises(self, fig1_corpus):
+        stream = BlogCrawler(
+            SimulatedBlogService(fig1_corpus), CrawlConfig(radius=0)
+        ).stream(["nobody", "missing"])
+        with pytest.raises(CrawlError, match="seed"):
+            self._accumulate(stream)

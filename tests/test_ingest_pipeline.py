@@ -1,6 +1,8 @@
 """Tests for the durable ingestion pipeline."""
 
+import threading
 import time
+from unittest import mock
 
 import pytest
 
@@ -47,6 +49,8 @@ class TestLifecycle:
         pipeline = make_pipeline(tmp_path, classifier)
         report = pipeline.open(fig1_corpus)
         assert pipeline.applied_seq == 0
+        # The bootstrap checkpoint is written off the critical path.
+        pipeline.wait_recovery_checkpoint()
         assert pipeline.checkpoints.latest_seq() == 0
         assert report is pipeline.report
         # Idempotent per process.
@@ -68,6 +72,43 @@ class TestLifecycle:
         pipeline.open(fig1_corpus)
         pipeline.close()
         pipeline.close()
+
+    def test_recovery_checkpoint_is_off_the_open_path(self, tmp_path,
+                                                      classifier,
+                                                      fig1_corpus):
+        """open() returns live state while the fresh checkpoint is
+        still being written in the background."""
+        from repro.core import IncrementalAnalyzer
+        from repro.ingest.checkpoint import CheckpointManager
+
+        first = make_pipeline(tmp_path, classifier, checkpoint_interval=100)
+        first.open(fig1_corpus)
+        first.wait_recovery_checkpoint()
+        first.apply(delta(1))
+        first.apply(delta(2))
+        # Abandon without close(): seq 1-2 live only in the WAL, so the
+        # next open() replays them and owes a fresh checkpoint.
+
+        release = threading.Event()
+        real_write = CheckpointManager.write
+
+        def gated_write(manager, *args, **kwargs):
+            assert release.wait(timeout=10)
+            return real_write(manager, *args, **kwargs)
+
+        second = IngestPipeline(
+            tmp_path / "durable", IncrementalAnalyzer(classifier),
+            IngestConfig(checkpoint_interval=100),
+        )
+        with mock.patch.object(CheckpointManager, "write", gated_write):
+            report = second.open()  # returns with the write still gated
+            assert second.applied_seq == 2
+            assert "pipe-002" in report.corpus
+            assert second.checkpoints.latest_seq() == 0  # still the old one
+            release.set()
+            second.wait_recovery_checkpoint()
+        assert second.checkpoints.latest_seq() == 2
+        second.close()
 
 
 class TestDurableApply:
@@ -129,6 +170,7 @@ class TestDurableApply:
         pipeline = make_pipeline(tmp_path, classifier,
                                  checkpoint_interval=100)
         pipeline.open(fig1_corpus)
+        pipeline.wait_recovery_checkpoint()
         pipeline.apply(delta(1))
         assert pipeline.checkpoints.latest_seq() == 0
         pipeline.close()

@@ -9,6 +9,7 @@ their invariants are load-bearing:
 - under thread contention a full bucket grants *exactly* ``burst``.
 """
 
+import multiprocessing
 import threading
 
 import pytest
@@ -16,7 +17,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ReproError
-from repro.serve import RateDecision, TenantRateLimiter, TokenBucket
+from repro.serve import (
+    RateDecision,
+    SharedTenantLimiter,
+    TenantRateLimiter,
+    TokenBucket,
+)
 
 
 class TestTokenBucket:
@@ -195,3 +201,112 @@ class TestTenantRateLimiter:
         ceiling = 3.0 + 2.0 * clock_now[0]
         for tenant, count in granted.items():
             assert count <= ceiling * (1 + 1e-9) + 1e-6
+
+
+def _charge_in_child(limiter, tenant, attempts, counter):
+    granted = sum(
+        1 for _ in range(attempts) if limiter.check(tenant).allowed
+    )
+    with counter.get_lock():
+        counter.value += granted
+
+
+class TestSharedTenantLimiter:
+    """The fork-shared limiter: same bucket semantics, one budget
+    across processes — the regression the per-worker limiter had."""
+
+    def _frozen(self, rate, burst=None, **kwargs):
+        return SharedTenantLimiter(rate, burst, clock=lambda: 0.0, **kwargs)
+
+    def test_matches_in_process_semantics(self):
+        limiter = self._frozen(rate=1.0, burst=2.0)
+        assert limiter.check("alice").allowed
+        decision = limiter.check("alice")
+        assert decision.allowed
+        assert decision.remaining == pytest.approx(0.0)
+        refused = limiter.check("alice")
+        assert not refused.allowed
+        assert refused.retry_after == pytest.approx(1.0)
+        assert refused.tenant == "alice"
+        # alice's exhaustion does not touch bob's budget
+        assert limiter.check("bob").allowed
+        assert limiter.tenant_count == 2
+        limiter.close()
+
+    def test_refill_is_monotonic_and_capped(self):
+        clock_now = [0.0]
+        limiter = SharedTenantLimiter(
+            rate=2.0, burst=2.0, clock=lambda: clock_now[0]
+        )
+        assert limiter.check("t", cost=2.0).allowed
+        # a rewinding clock mints nothing
+        clock_now[0] = -5.0
+        assert not limiter.check("t").allowed
+        # a long idle stretch refills to burst, not beyond
+        clock_now[0] = 1000.0
+        assert limiter.check("t", cost=2.0).allowed
+        assert not limiter.check("t").allowed
+        limiter.close()
+
+    def test_grantable_and_validation_mirror_token_bucket(self):
+        limiter = self._frozen(rate=10.0, burst=5.0)
+        assert limiter.grantable(5.0)
+        assert not limiter.grantable(6.0)
+        with pytest.raises(ReproError):
+            limiter.check("t", cost=0.0)
+        limiter.close()
+        with pytest.raises(ReproError):
+            SharedTenantLimiter(rate=-1.0)
+        with pytest.raises(ReproError):
+            SharedTenantLimiter(rate=1.0, slots=0)
+
+    def test_colliding_tenants_evict_stalest_not_active(self):
+        # One slot forces every tenant into the same row: the tenant
+        # charging now must never be the one reset by eviction.
+        limiter = self._frozen(rate=1.0, burst=1.0, slots=1)
+        assert limiter.check("hot").allowed
+        assert not limiter.check("hot").allowed  # still charged
+        limiter.check("rival")  # evicts hot (the stalest), starts full
+        assert limiter.check("hot").allowed  # hot re-enters with a
+        assert not limiter.check("hot").allowed  # fresh, chargeable bucket
+        limiter.close()
+
+    def test_spraying_tenants_is_memory_bounded(self):
+        limiter = self._frozen(rate=1.0, slots=64)
+        for index in range(1000):
+            limiter.check(f"spray-{index}")
+        assert limiter.tenant_count <= 64
+        limiter.close()
+
+    def test_forked_workers_share_one_cluster_budget(self):
+        """Four forked chargers of one tenant win exactly ``burst``.
+
+        This is the shared-nothing regression: per-worker limiters
+        would grant ``workers x burst`` (32 here).  The fork-shared
+        table must grant the configured burst once, cluster-wide.
+        """
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("requires the fork start method")
+        ctx = multiprocessing.get_context("fork")
+        burst = 8
+        # A near-zero rate freezes refill over the test's runtime, so
+        # the grant total is exactly the burst.
+        limiter = SharedTenantLimiter(rate=1e-9, burst=float(burst))
+        counter = ctx.Value("i", 0)
+        workers = [
+            ctx.Process(
+                target=_charge_in_child,
+                args=(limiter, "tenant", burst, counter),
+            )
+            for _ in range(4)
+        ]
+        for proc in workers:
+            proc.start()
+        for proc in workers:
+            proc.join(timeout=30)
+            assert proc.exitcode == 0
+        assert counter.value == burst
+        # the parent observes the children's spend through the same table
+        assert not limiter.check("tenant").allowed
+        assert limiter.tenant_count == 1
+        limiter.close()

@@ -313,6 +313,49 @@ class TestSupervision:
             conn.close()
 
 
+class TestClusterRateLimit:
+    """The fork-shared limiter: one tenant budget across all workers."""
+
+    @pytest.fixture()
+    def rig(self, small_blogosphere):
+        corpus, _ = small_blogosphere
+        store = SnapshotStore(corpus, params=MassParameters())
+        # A near-zero rate freezes refill for the test's duration, so
+        # grants across the whole cluster total exactly the burst.
+        cluster = ServingCluster(
+            store,
+            ServiceConfig(port=0, max_inflight=16,
+                          rate_limit_qps=1e-9, rate_limit_burst=4.0),
+            ClusterConfig(workers=2),
+        )
+        with store, cluster:
+            cluster.wait_ready()
+            yield store, cluster
+
+    def test_budget_is_cluster_wide(self, rig):
+        _, cluster = rig
+        statuses = []
+        for _ in range(12):  # fresh connection each time: the kernel
+            status, _ = _get(  # spreads them across both workers
+                cluster, "/top?k=2", headers={"X-Repro-Tenant": "greedy"}
+            )
+            statuses.append(status)
+        # Exactly burst grants total, no matter which workers served
+        # them; a shared-nothing limiter could grant up to workers x 4.
+        assert statuses.count(200) == 4
+        assert statuses.count(429) == 8
+        # Other tenants keep their own full budget.
+        status, _ = _get(
+            cluster, "/top?k=2", headers={"X-Repro-Tenant": "patient"}
+        )
+        assert status == 200
+        # /debug/vars on any worker reads the shared table.
+        status, body = _get(cluster, "/debug/vars")
+        assert status == 200
+        assert body["rate_limit"]["burst"] == 4.0
+        assert body["rate_limit"]["tenants"] == 2
+
+
 class TestConfigValidation:
     def test_cluster_config_bounds(self):
         from repro.errors import ReproError
