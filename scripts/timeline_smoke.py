@@ -1,0 +1,254 @@
+"""CI smoke test for the timeline subsystem (``/asof`` + ``/trend``).
+
+Durably ingests a deterministic synthetic delta stream under a
+keep-last-N retention policy, starts the real CLI service over that
+durable directory, and exercises the time axis end to end:
+
+- ``/timeline`` lists more than one retained checkpoint,
+- ``/asof?seq=...`` materializes a *historical* epoch (different from
+  the newest one and stable across requests),
+- ``/asof?t=...`` resolves a wall time between two checkpoints to the
+  earlier one (latest-at-or-before),
+- ``/trend`` returns rising influencers over sliding windows,
+- a timestamp predating the whole retained span answers 404,
+- after a SIGKILL and restart the same ``/asof`` query returns the
+  bit-identical epoch — history survives the crash.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/timeline_smoke.py
+    PYTHONPATH=src python scripts/timeline_smoke.py --workers 2
+
+Exits nonzero (with the server log on stderr) on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+STARTUP_TIMEOUT = 120.0
+REQUEST_TIMEOUT = 10.0
+STREAM_LENGTH = 40
+RETAIN = "last:4"
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def run_cli(*argv: str) -> str:
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True, text=True,
+    )
+    if result.returncode != 0:
+        print(result.stdout, file=sys.stderr)
+        print(result.stderr, file=sys.stderr)
+        raise RuntimeError(f"repro {argv[0]} failed ({result.returncode})")
+    return result.stdout
+
+
+def get(base: str, path: str) -> tuple[int, str]:
+    try:
+        with urllib.request.urlopen(
+            base + path, timeout=REQUEST_TIMEOUT
+        ) as resp:
+            return resp.status, resp.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode("utf-8")
+
+
+def wait_until_healthy(base: str, process: subprocess.Popen) -> None:
+    deadline = time.monotonic() + STARTUP_TIMEOUT
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise RuntimeError(
+                f"server exited early with code {process.returncode}"
+            )
+        try:
+            status, body = get(base, "/healthz")
+        except (urllib.error.URLError, ConnectionError, OSError):
+            time.sleep(0.25)
+            continue
+        if status == 200 and json.loads(body)["status"] in ("ok", "degraded"):
+            return
+        time.sleep(0.25)
+    raise RuntimeError(f"server not healthy within {STARTUP_TIMEOUT}s")
+
+
+def start_server(
+    data_dir: Path, durable: Path, port: int, workers: int
+) -> subprocess.Popen:
+    command = [sys.executable, "-m", "repro", "serve",
+               "--data", str(data_dir), "--port", str(port),
+               "--durable-dir", str(durable), "--retain", RETAIN]
+    if workers > 1:
+        command += ["--workers", str(workers)]
+    # Own session/process group so the crash leg can SIGKILL master AND
+    # forked workers at once — workers have no parent-death watchdog, so
+    # killing only the master would leak them past the smoke.
+    return subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        start_new_session=True,
+    )
+
+
+def stop_server(server: subprocess.Popen, *, kill: bool = False) -> None:
+    if server.poll() is not None:
+        return
+    sig = signal.SIGKILL if kill else signal.SIGTERM
+    try:
+        os.killpg(server.pid, sig)
+    except (ProcessLookupError, PermissionError):
+        server.send_signal(sig)
+    try:
+        server.wait(timeout=15)
+    except subprocess.TimeoutExpired:
+        with contextlib.suppress(ProcessLookupError, PermissionError):
+            os.killpg(server.pid, signal.SIGKILL)
+        server.wait(timeout=15)
+
+
+def check_time_axis(base: str) -> tuple[dict, dict]:
+    """Assert every timeline endpoint; return (history, asof payload)."""
+    status, body = get(base, "/timeline")
+    assert status == 200, f"/timeline returned {status}: {body}"
+    history = json.loads(body)
+    assert history["retained"] >= 2, history
+    entries = history["entries"]
+    seqs = [entry["seq"] for entry in entries]
+    assert seqs == sorted(seqs), history
+    print(f"/timeline ok: {history['retained']} retained, seqs {seqs}")
+
+    # Time travel by seq: ask for a point strictly inside the retained
+    # span; the answer must resolve to a historical checkpoint whose
+    # epoch differs from the newest one.
+    target = entries[-2]
+    status, body = get(base, f"/asof?seq={target['seq']}&k=3")
+    assert status == 200, f"/asof returned {status}: {body}"
+    asof = json.loads(body)
+    assert asof["resolved"]["seq"] == target["seq"], asof
+    assert asof["results"], asof
+    status, body = get(base, "/asof?k=3")
+    assert status == 200, body
+    newest = json.loads(body)
+    assert newest["resolved"]["seq"] == seqs[-1], newest
+    assert newest["epoch"] != asof["epoch"], (
+        "historical epoch equals the newest epoch", asof, newest
+    )
+    print(f"/asof ok: seq {target['seq']} -> epoch {asof['epoch'][:12]}")
+
+    # Time travel by wall time: a timestamp halfway between two
+    # checkpoints resolves to the earlier one (latest-at-or-before).
+    midpoint = (entries[-2]["wall_time"] + entries[-1]["wall_time"]) / 2
+    status, body = get(base, f"/asof?t={midpoint}&k=1")
+    assert status == 200, body
+    assert json.loads(body)["resolved"]["seq"] == entries[-2]["seq"], body
+    print(f"/asof?t ok: midpoint resolves to seq {entries[-2]['seq']}")
+
+    # Before everything retained: a clean 404, not a 500.
+    status, body = get(base, "/asof?t=1.5")
+    assert status == 404, f"ancient /asof returned {status}: {body}"
+    print("/asof before-history 404 ok")
+
+    status, body = get(base, "/trend?window=10&step=5&k=3")
+    assert status == 200, f"/trend returned {status}: {body}"
+    trend = json.loads(body)
+    assert trend["rising"], trend
+    assert len(trend["windows"]) >= 2, trend
+    print(f"/trend ok: {len(trend['windows'])} windows, top riser "
+          f"{trend['rising'][0]['blogger_id']}")
+    return history, asof
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="serve with a pre-fork cluster of N workers")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="mass-timeline-smoke-") as tmp:
+        root = Path(tmp)
+        data_dir = root / "corpus"
+        durable = root / "durable"
+        run_cli("generate", "--out", str(data_dir),
+                "--bloggers", "60", "--seed", "7")
+        run_cli("ingest", "--data", str(data_dir), "--dir", str(durable),
+                "--synthetic", str(STREAM_LENGTH), "--seed", "7",
+                "--checkpoint-every", "8", "--retain", RETAIN)
+        print(f"ingested {STREAM_LENGTH} deltas under retention {RETAIN}")
+
+        port = free_port()
+        base = f"http://127.0.0.1:{port}"
+        server = start_server(data_dir, durable, port, args.workers)
+        try:
+            wait_until_healthy(base, server)
+            history, asof = check_time_axis(base)
+
+            # Kill hard and restart: the time axis must come back from
+            # disk with bit-identical answers.
+            stop_server(server, kill=True)
+            print("killed server; restarting over the same durable dir")
+            server = start_server(data_dir, durable, port, args.workers)
+            wait_until_healthy(base, server)
+            seq = asof["resolved"]["seq"]
+            status, body = get(base, f"/asof?seq={seq}&k=3")
+            assert status == 200, body
+            replayed = json.loads(body)
+            assert replayed["epoch"] == asof["epoch"], (
+                "epoch changed across restart", asof, replayed
+            )
+            assert replayed["results"] == asof["results"], (
+                "ranking changed across restart", asof, replayed
+            )
+            print(f"restart ok: /asof?seq={seq} epoch unchanged")
+
+            status, text = get(base, "/metrics")
+            assert status == 200, text
+            if args.workers <= 1:
+                counters = {}
+                for line in text.splitlines():
+                    if line.startswith("#") or not line.strip():
+                        continue
+                    name, _, value = line.partition(" ")
+                    counters[name] = float(value)
+                assert counters.get("repro_timeline_asof_total", 0.0) > 0, \
+                    "timeline asof counter is zero"
+                print("/metrics ok: timeline counters present")
+            print("timeline smoke test passed")
+            return 0
+        except BaseException:
+            if server.poll() is None:
+                server.terminate()
+            try:
+                output = server.communicate(timeout=10)[0]
+            except subprocess.TimeoutExpired:
+                server.kill()
+                try:
+                    output = server.communicate(timeout=10)[0]
+                except subprocess.TimeoutExpired:
+                    output = "<server output unavailable: pipe held open>"
+            print("---- server output ----", file=sys.stderr)
+            print(output or "", file=sys.stderr)
+            raise
+        finally:
+            stop_server(server)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

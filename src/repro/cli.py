@@ -291,6 +291,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSON file of SLO objectives replacing the "
                             "built-in serving defaults (see "
                             "docs/observability.md)")
+    serve.add_argument("--retain", default="last:1", metavar="POLICY",
+                       help="checkpoint retention policy for the durable "
+                            "dir: 'last:N', 'all', or 'horizon:SECONDS' "
+                            "(default last:1); more than one retained "
+                            "checkpoint turns on the /asof, /trend and "
+                            "/timeline time-travel endpoints' history")
 
     ingest = subcommand(
         "ingest", help="durably ingest corpus deltas (WAL + checkpoints)"
@@ -324,6 +330,34 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--status", action="store_true",
                         help="recover, print durability diagnostics as "
                              "JSON, and exit without ingesting")
+    ingest.add_argument("--retain", default="last:1", metavar="POLICY",
+                        help="checkpoint retention policy: 'last:N', "
+                             "'all', or 'horizon:SECONDS' (default "
+                             "last:1)")
+
+    timeline = subcommand(
+        "timeline", help="query the retained checkpoint history "
+                         "(time travel and trends)"
+    )
+    _add_toolbar(timeline)
+    timeline.add_argument("--dir", required=True, dest="durable_dir",
+                          help="durable root holding the retained "
+                               "checkpoints (same --dir as ingest/serve)")
+    timeline.add_argument("--asof", type=float, default=None, metavar="T",
+                          help="materialize the top-k ranking as of wall "
+                               "time T (seconds since the epoch)")
+    timeline.add_argument("--seq", type=int, default=None,
+                          help="materialize as of delta sequence number "
+                               "SEQ instead of a wall time")
+    timeline.add_argument("--trend", action="store_true",
+                          help="print rising influencers over sliding "
+                               "windows instead of a ranking")
+    timeline.add_argument("--domain", default=None,
+                          help="restrict --asof/--trend to one domain")
+    timeline.add_argument("--window-days", type=int, default=90)
+    timeline.add_argument("--step-days", type=int, default=30)
+    timeline.add_argument("--top", type=int, default=3,
+                          help="how many bloggers to print")
 
     migrate = subcommand(
         "migrate", help="migrate an XML crawl directory to a columnar "
@@ -545,11 +579,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     instr = _instrumentation(args) or _Instrumentation.enabled()
     args.instrumentation = instr  # so --metrics-out/--trace-out still work
+    ingest_config = None
+    if args.durable_dir is not None:
+        from repro.ingest import IngestConfig
+
+        ingest_config = IngestConfig(retention=args.retain)
+    elif args.retain != "last:1":
+        print("--retain requires --durable-dir (there is no checkpoint "
+              "history to retain without one)", file=sys.stderr)
+        return 2
     store = SnapshotStore(
         corpus,
         params=params,
         max_staleness=args.max_staleness,
         durable_dir=args.durable_dir,
+        ingest_config=ingest_config,
         instrumentation=instr,
     )
     config = ServiceConfig(
@@ -561,6 +605,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         rate_limit_qps=args.rate_limit,
         rate_limit_burst=args.rate_limit_burst,
+        timeline_dir=args.durable_dir,
     )
     objectives = None
     if args.slo_config:
@@ -573,6 +618,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"epoch {snapshot.epoch[:12]})")
     endpoints = ("endpoints: /top /query /query/batch /blogger/<id> "
                  "/healthz /metrics")
+    if args.durable_dir is not None:
+        endpoints += " /asof /trend /timeline"
     if args.workers > 1:
         import signal as _signal
         import time as _time
@@ -681,6 +728,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         queue_capacity=args.queue_capacity,
         backpressure=args.backpressure,
         fsync=args.fsync,
+        retention=args.retain,
     )
     pipeline = IngestPipeline(
         args.durable_dir, analyzer, config,
@@ -706,6 +754,32 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     ):
         print(f"{position:2d}. {blogger_id} {score:.6f}", flush=True)
     pipeline.close()
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.timeline import TimelineService
+
+    params = _toolbar_params(args)
+    service = TimelineService(
+        args.durable_dir, params, instrumentation=_instrumentation(args)
+    )
+    if args.trend:
+        payload = service.trend(
+            domain=args.domain,
+            window_days=args.window_days,
+            step_days=args.step_days,
+            k=args.top,
+            timestamp=args.asof,
+        )
+    elif args.asof is not None or args.seq is not None or args.domain:
+        payload = service.as_of(
+            timestamp=args.asof, seq=args.seq,
+            k=args.top, domain=args.domain,
+        )
+    else:
+        payload = service.history_listing()
+    print(json.dumps(payload, indent=2))
     return 0
 
 
@@ -787,6 +861,7 @@ _COMMANDS = {
     "discover": _cmd_discover,
     "serve": _cmd_serve,
     "ingest": _cmd_ingest,
+    "timeline": _cmd_timeline,
     "migrate": _cmd_migrate,
     "stats": _cmd_stats,
     "table1": _cmd_table1,

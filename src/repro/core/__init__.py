@@ -1,7 +1,7 @@
 """The MASS influence model — the paper's primary contribution."""
 
 from repro.core.assemble import AssemblyCache, CompiledSystem, compile_system
-from repro.core.comments import CommentModel, CommentTerm
+from repro.core.comments import CommentModel, CommentTerm, corpus_horizon
 from repro.core.domains import DomainInfluence
 from repro.core.incremental import CorpusDelta, IncrementalAnalyzer
 from repro.core.model import MassModel
@@ -49,6 +49,7 @@ __all__ = [
     "QualityScorer",
     "CommentModel",
     "CommentTerm",
+    "corpus_horizon",
     "NoveltyDetector",
     "LexiconNoveltyDetector",
     "ShingleNoveltyDetector",

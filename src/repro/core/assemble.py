@@ -125,12 +125,17 @@ def _post_terms(
     index: dict[str, int],
     use_citation: bool,
 ) -> tuple[list[int], list[float], float]:
-    """One post's (commenter rows, SF/TC weights, Σ SF) triple."""
+    """One post's (commenter rows, SF/TC weights, Σ SF·decay) triple.
+
+    Decayed quantities throughout: with the temporal facet inert every
+    ``decay`` is exactly ``1.0``, so the triple is bit-identical to an
+    undecayed assembly.
+    """
     cols: list[int] = []
     weights: list[float] = []
     sf_sum = 0.0
     for term in comment_model.terms_for(post_id):
-        sf_sum += term.sf
+        sf_sum += term.decayed_sf
         if use_citation:
             cols.append(index[term.commenter_id])
             weights.append(term.citation_weight)
@@ -295,6 +300,7 @@ class AssemblyCache:
         self.sentiment_cache: dict[str, object] = {}
         self._compiled: CompiledSystem | None = None
         self._params: MassParameters | None = None
+        self._reference_day: int | None = None
         self._num_comments = 0
         self._pending_bloggers: list[str] = []
         self._pending_posts: list[str] = []
@@ -342,14 +348,18 @@ class AssemblyCache:
 
         Falls back to a cold compile whenever reuse would be unsound:
         no previous compilation, changed parameters, an explicit
-        :meth:`invalidate`, or a corpus whose shape does not match the
-        recorded deltas.
+        :meth:`invalidate`, a corpus whose shape does not match the
+        recorded deltas, or — with the temporal facet active — a moved
+        decay reference day (a delta that advances the corpus horizon
+        re-ages *every* stored weight, so clean rows no longer exist).
         """
         old = self._compiled
+        reference_day = comment_model.reference_day
         reusable = (
             old is not None
             and not self._stale
             and params == self._params
+            and reference_day == self._reference_day
             and len(corpus.bloggers)
             == old.num_bloggers + len(set(self._pending_bloggers))
             and len(corpus.posts)
@@ -369,6 +379,7 @@ class AssemblyCache:
             self.last_dirty_row_ids = set(range(compiled.num_bloggers))
         self._compiled = compiled
         self._params = params
+        self._reference_day = reference_day
         self._num_comments = len(corpus.comments)
         self._pending_bloggers.clear()
         self._pending_posts.clear()

@@ -23,21 +23,50 @@ from repro.data.corpus import BlogCorpus
 from repro.errors import DegenerateCitationWarning
 from repro.nlp.sentiment import Sentiment, SentimentClassifier
 
-__all__ = ["CommentTerm", "CommentModel"]
+__all__ = ["CommentTerm", "CommentModel", "corpus_horizon"]
+
+
+def corpus_horizon(corpus: BlogCorpus) -> int:
+    """The newest ``created_day`` of any post or comment (0 if empty).
+
+    The temporal facet measures every contribution's age back from
+    this horizon, so "fresh" always means fresh *relative to the
+    corpus being solved* — a historical window decays against its own
+    last day, not against wall-clock now.
+    """
+    newest = 0
+    for post in corpus.posts.values():
+        if post.created_day > newest:
+            newest = post.created_day
+    for comment in corpus.comments.values():
+        if comment.created_day > newest:
+            newest = comment.created_day
+    return newest
 
 
 @dataclass(frozen=True, slots=True)
 class CommentTerm:
-    """One comment's contribution template to a post's CommentScore."""
+    """One comment's contribution template to a post's CommentScore.
+
+    ``decay`` is the temporal facet's recency multiplier for this
+    comment (``1.0`` when the facet is inert — multiplying by ``1.0``
+    is bit-exact, so inert decay cannot perturb a solve).
+    """
 
     commenter_id: str
     sentiment: Sentiment
     sf: float
     total_comments: int
+    decay: float = 1.0
+
+    @property
+    def decayed_sf(self) -> float:
+        """The sentiment factor after recency decay (``SF · decay``)."""
+        return self.sf * self.decay
 
     @property
     def citation_weight(self) -> float:
-        """SF / TC — the multiplier applied to the commenter's influence.
+        """SF · decay / TC — the multiplier on the commenter's influence.
 
         A degenerate TC ≤ 0 (impossible through the validated corpus
         path, reachable through external mutation) contributes no
@@ -46,7 +75,7 @@ class CommentTerm:
         """
         if self.total_comments <= 0:
             return 0.0
-        return self.sf / self.total_comments
+        return self.decayed_sf / self.total_comments
 
 
 class CommentModel:
@@ -67,6 +96,11 @@ class CommentModel:
         re-analyses after a corpus delta only classify the *new*
         comments.  The cache is only sound while the same classifier
         is in play; discard it when the classifier changes.
+    reference_day:
+        The day recency ages are measured back from when the temporal
+        facet is active (normally the corpus horizon — the newest
+        ``created_day`` of any post or comment).  Ignored when decay is
+        inert; defaults to the horizon computed from ``corpus``.
     """
 
     def __init__(
@@ -75,8 +109,13 @@ class CommentModel:
         params: MassParameters,
         sentiment_classifier: SentimentClassifier | None = None,
         sentiment_cache: MutableMapping[str, object] | None = None,
+        reference_day: int | None = None,
     ) -> None:
         self._params = params
+        decay_active = params.decay_active
+        if decay_active and reference_day is None:
+            reference_day = corpus_horizon(corpus)
+        self._reference_day = reference_day if decay_active else None
         classifier = sentiment_classifier or SentimentClassifier()
         self._terms: dict[str, list[CommentTerm]] = {}
         self._sentiment_counts: Counter[Sentiment] = Counter()
@@ -115,16 +154,27 @@ class CommentModel:
                         DegenerateCitationWarning,
                         stacklevel=2,
                     )
+                decay = 1.0
+                if decay_active:
+                    decay = params.decay_factor(
+                        self._reference_day - comment.created_day
+                    )
                 terms.append(
                     CommentTerm(
                         comment.commenter_id,
                         sentiment,
                         sf,
                         total,
+                        decay,
                     )
                 )
             if terms:
                 self._terms[post_id] = terms
+
+    @property
+    def reference_day(self) -> int | None:
+        """The decay reference day, or ``None`` when decay is inert."""
+        return self._reference_day
 
     def terms_for(self, post_id: str) -> list[CommentTerm]:
         """The comment terms of a post (empty list if uncommented)."""
@@ -147,7 +197,7 @@ class CommentModel:
                 influence.get(term.commenter_id, 0.0) * term.citation_weight
                 for term in terms
             )
-        return sum(term.sf for term in terms)
+        return sum(term.decayed_sf for term in terms)
 
     def sentiment_distribution(self) -> dict[Sentiment, int]:
         """How many comments fell into each attitude class."""

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 from dataclasses import dataclass, field, fields, replace
 from typing import Any
 
@@ -50,6 +51,7 @@ DEFAULT_DOMAINS: tuple[str, ...] = (
 )
 
 _LENGTH_NORMALIZATIONS = ("max", "log", "raw")
+_TIME_DECAY_KINDS = ("none", "exp")
 _GL_METHODS = ("pagerank", "hits", "inlinks")
 _GL_NORMALIZATIONS = ("mean", "sum")
 _SOLVER_BACKENDS = ("reference", "sparse", "parallel", "auto")
@@ -115,6 +117,21 @@ class MassParameters:
     include_self_comments:
         Whether a blogger commenting on their own post contributes to
         that post's CommentScore (default False).
+    time_decay_kind / time_decay_half_life_days:
+        The temporal facet (MEIBI/MEIBIX: "time does matter").  With
+        ``time_decay_kind="exp"`` every comment's sentiment factor and
+        every post's quality score are multiplied by
+        ``0.5 ** (age_days / half_life)``, where age is measured back
+        from the corpus horizon (the newest ``created_day`` in play),
+        so a stale citation counts for less than yesterday's.  The
+        decay factor lies in ``(0, 1]``, so every decayed column sum is
+        bounded by its undecayed value and :meth:`contraction_bound`
+        remains a valid (if conservative) bound for the decayed matrix.
+        ``"none"`` (the default) — or an infinite half-life — is inert:
+        every factor is exactly ``1.0`` and the solve is bit-identical
+        to the undecayed model (inert decay is also omitted from
+        :meth:`canonical_dict`, keeping fingerprints, snapshot epochs,
+        and checkpoint compatibility unchanged).
     tolerance / max_iterations:
         Fixed-point solver controls.
     """
@@ -136,6 +153,8 @@ class MassParameters:
     num_workers: int = 0
     shard_count: int | str = "auto"
     include_self_comments: bool = False
+    time_decay_kind: str = "none"
+    time_decay_half_life_days: float = float("inf")
     tolerance: float = 1e-10
     max_iterations: int = 500
     pagerank_damping: float = 0.85
@@ -188,6 +207,22 @@ class MassParameters:
             raise ParameterError(
                 "sentiment_mode must be 'discrete' or 'graded', got "
                 f"{self.sentiment_mode!r}"
+            )
+        if self.time_decay_kind not in _TIME_DECAY_KINDS:
+            raise ParameterError(
+                f"time_decay_kind must be one of {_TIME_DECAY_KINDS}, "
+                f"got {self.time_decay_kind!r}"
+            )
+        half_life = self.time_decay_half_life_days
+        if not (
+            isinstance(half_life, (int, float))
+            and not isinstance(half_life, bool)
+            and not math.isnan(half_life)
+            and half_life > 0
+        ):
+            raise ParameterError(
+                "time_decay_half_life_days must be > 0 (inf disables "
+                f"decay), got {half_life!r}"
             )
         if self.tolerance <= 0:
             raise ParameterError(f"tolerance must be > 0, got {self.tolerance}")
@@ -245,6 +280,30 @@ class MassParameters:
             + (-balance) * (self.sf_negative - self.sf_neutral)
         )
 
+    @property
+    def decay_active(self) -> bool:
+        """Whether the temporal facet actually changes any weight.
+
+        ``kind="none"`` is inert by definition; ``kind="exp"`` with an
+        infinite half-life is inert too (``0.5 ** (age / inf) == 1.0``
+        exactly), so both serve bit-identical undecayed solves.
+        """
+        return (
+            self.time_decay_kind == "exp"
+            and math.isfinite(self.time_decay_half_life_days)
+        )
+
+    def decay_factor(self, age_days: float) -> float:
+        """The recency multiplier for a contribution ``age_days`` old.
+
+        ``0.5 ** (age / half_life)`` — exactly ``1.0`` when the facet
+        is inert or the age is non-positive (contributions at or beyond
+        the corpus horizon never get *amplified*).
+        """
+        if not self.decay_active or age_days <= 0:
+            return 1.0
+        return 0.5 ** (age_days / self.time_decay_half_life_days)
+
     def resolved_solver_backend(self) -> str:
         """The concrete backend ``"auto"`` resolves to.
 
@@ -265,6 +324,12 @@ class MassParameters:
         Only valid when citation normalization is on (see module
         docstring); returns ``inf`` otherwise because without the TC
         divisor a prolific commenter's column sum is unbounded.
+
+        The bound survives the temporal facet unchanged: decay
+        multiplies each matrix entry by a factor in ``(0, 1]``, so
+        every decayed column sum is at most its undecayed value and
+        ``α · (1 − β) · sf_max`` still dominates the operator norm
+        (see ``docs/temporal.md`` for the argument).
         """
         if not self.use_citation:
             return float("inf")
@@ -285,10 +350,21 @@ class MassParameters:
         The canonical serialization behind :meth:`fingerprint`: two
         parameter sets produce the same dict iff they are equal, no
         matter what order their fields were supplied in.
+
+        Inert time decay (``kind="none"`` or an infinite half-life) is
+        *omitted* entirely: an inert-decay solve is bit-identical to
+        the undecayed model, so it must also share its fingerprint —
+        snapshot epochs stay stable and checkpoints written before the
+        temporal facet existed remain loadable.
         """
+        skip = (
+            frozenset(("time_decay_kind", "time_decay_half_life_days"))
+            if not self.decay_active else frozenset()
+        )
         return {
             name: getattr(self, name)
             for name in sorted(f.name for f in fields(self))
+            if name not in skip
         }
 
     def fingerprint(self) -> str:

@@ -39,6 +39,10 @@ class QualityScorer:
     posts:
         The post population; required for ``"max"`` normalization
         (to know the corpus maximum length).
+    reference_day:
+        The day post ages are measured back from when the temporal
+        facet is active (the corpus horizon).  Ignored — and every
+        decay factor is exactly ``1.0`` — when decay is inert.
     """
 
     def __init__(
@@ -46,8 +50,12 @@ class QualityScorer:
         params: MassParameters,
         novelty_detector: NoveltyDetector | None = None,
         posts: Iterable[Post] = (),
+        reference_day: int | None = None,
     ) -> None:
         self._params = params
+        self._reference_day = (
+            reference_day if params.decay_active else None
+        )
         self._novelty = novelty_detector or LexiconNoveltyDetector(
             copied_value=params.novelty_copied
         )
@@ -76,6 +84,17 @@ class QualityScorer:
             return 1.0
         return self._novelty.novelty(post)
 
+    def decay_value(self, post: Post) -> float:
+        """The recency multiplier of the temporal facet (1.0 when inert)."""
+        if self._reference_day is None:
+            return 1.0
+        return self._params.decay_factor(
+            self._reference_day - post.created_day
+        )
+
     def score(self, post: Post) -> float:
-        """QualityScore(post): length × novelty."""
-        return self.length_value(post) * self.novelty_value(post)
+        """QualityScore(post): length × novelty × recency decay."""
+        base = self.length_value(post) * self.novelty_value(post)
+        if self._reference_day is None:
+            return base
+        return base * self.decay_value(post)

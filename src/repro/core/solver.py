@@ -42,7 +42,7 @@ from collections.abc import MutableMapping
 from dataclasses import dataclass
 
 from repro.core.assemble import AssemblyCache, compile_system
-from repro.core.comments import CommentModel
+from repro.core.comments import CommentModel, corpus_horizon
 from repro.core.novelty import NoveltyDetector
 from repro.core.parallel import (
     ShardPlanCache,
@@ -185,12 +185,20 @@ class InfluenceSolver:
         self._params = params or MassParameters()
         self._instr = instrumentation or NULL_INSTRUMENTATION
         self._assembly_cache = assembly_cache
+        # One reference day for every decayed weight: the corpus
+        # horizon, computed once so CommentModel and QualityScorer
+        # agree on what "fresh" means (None when decay is inert).
+        self._reference_day = (
+            corpus_horizon(corpus) if self._params.decay_active else None
+        )
         self._comment_model = CommentModel(
             corpus, self._params, sentiment_classifier,
             sentiment_cache=sentiment_cache,
+            reference_day=self._reference_day,
         )
         self._quality_scorer = QualityScorer(
-            self._params, novelty_detector, corpus.posts.values()
+            self._params, novelty_detector, corpus.posts.values(),
+            reference_day=self._reference_day,
         )
 
     @property

@@ -16,7 +16,10 @@ reference solver agree to 1e-9; see ``tests/test_backend_equivalence``.
 
 The module is deliberately ignorant of corpora and parameters — it
 takes a compiled system plus scalar tolerances, so it can be unit- and
-property-tested in isolation.
+property-tested in isolation.  That ignorance extends to the temporal
+facet: recency decay is folded into the CSR weights (and ``Σ SF·decay``
+sums) at assembly time, so the kernels here solve the decayed system
+with zero changes — and with inert decay, bit-identical inputs.
 """
 
 from __future__ import annotations

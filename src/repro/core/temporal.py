@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.assemble import AssemblyCache
 from repro.core.parameters import MassParameters
 from repro.core.solver import InfluenceSolver
 from repro.core.topk import top_k
@@ -90,6 +91,18 @@ def trajectory(
     both faster and a live demonstration that the fixed point is
     start-independent.
 
+    Windowed solves always run on the compiled backend (an explicit
+    ``solver_backend="reference"`` is routed through ``"auto"`` — one
+    reference sweep per window made trajectories serially slow for no
+    fidelity gain; the backends agree to 1e-9) and share one
+    :class:`~repro.core.assemble.AssemblyCache` across windows.  The
+    CSR rows themselves are rebuilt per window (overlapping slices
+    superficially resemble a delta-grown corpus, so dirty-row reuse
+    would be unsound — the cache is invalidated between windows), but
+    the shared *sentiment cache* classifies every comment exactly once
+    no matter how many windows contain it, which is where the
+    repeated-window cost actually lived.
+
     Parameters
     ----------
     window_days / step_days:
@@ -101,6 +114,8 @@ def trajectory(
     if window_days < 1 or step_days < 1:
         raise ParameterError("window_days and step_days must be >= 1")
     params = params or MassParameters()
+    if params.resolved_solver_backend() == "reference":
+        params = params.with_overrides(solver_backend="auto")
     if end_day is None:
         last = 0
         for post in corpus.posts.values():
@@ -115,6 +130,7 @@ def trajectory(
 
     windows: list[_Window] = []
     previous: dict[str, float] | None = None
+    cache = AssemblyCache()
     day = start_day
     while day < end_day:
         window_end = day + window_days
@@ -127,7 +143,16 @@ def trajectory(
                 break
             window_end = end_day
         sliced = corpus.time_slice(day, window_end)
-        scores = InfluenceSolver(sliced, params).solve(initial=previous)
+        # Force a cold compile per window: two slices with coincidentally
+        # equal entity counts would otherwise pass the cache's shape
+        # check and reuse rows from a *different* window.  The shared
+        # sentiment cache is what carries across.
+        cache.invalidate()
+        scores = InfluenceSolver(
+            sliced, params,
+            sentiment_cache=cache.sentiment_cache,
+            assembly_cache=cache,
+        ).solve(initial=previous)
         windows.append(_Window(day, window_end, scores.influence))
         previous = scores.influence
         day += step_days

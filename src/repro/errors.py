@@ -123,3 +123,14 @@ class QueryError(ReproError):
     unknown domains or bloggers, and empty or non-finite interest
     weights.  Maps to a 400/404 response at the HTTP boundary.
     """
+
+
+class TimelineError(ReproError):
+    """A time-travel or trend query cannot be answered.
+
+    Raised by the timeline subsystem when no checkpoint history is
+    retained, a requested timestamp predates everything retained, or
+    the durable directory holds no usable chain.  Maps to a 404/400
+    at the HTTP boundary (history absence is a client-visible state,
+    not a server fault).
+    """

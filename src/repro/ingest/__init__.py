@@ -10,7 +10,10 @@ startup.  This package adds the durability spine:
   bit-exact influence report, written with the rename trick;
 - :mod:`repro.ingest.pipeline` — the :class:`IngestPipeline` gluing
   them to an :class:`~repro.core.incremental.IncrementalAnalyzer` with
-  bounded-queue backpressure and exactly-once recovery.
+  bounded-queue backpressure and exactly-once recovery;
+- :mod:`repro.ingest.retention` — the :class:`RetentionPolicy` deciding
+  how much checkpoint *history* survives each prune (the timeline
+  subsystem's raw material).
 
 Recovery is byte-identical: a pipeline killed at any point and
 reopened produces the same corpus, the same report, and the same
@@ -19,6 +22,7 @@ snapshot content epoch as a process that never crashed.
 
 from repro.ingest.checkpoint import Checkpoint, CheckpointManager
 from repro.ingest.pipeline import IngestConfig, IngestPipeline
+from repro.ingest.retention import RetentionPolicy
 from repro.ingest.wal import WriteAheadLog, decode_record, encode_record
 
 __all__ = [
@@ -26,6 +30,7 @@ __all__ = [
     "CheckpointManager",
     "IngestConfig",
     "IngestPipeline",
+    "RetentionPolicy",
     "WriteAheadLog",
     "decode_record",
     "encode_record",

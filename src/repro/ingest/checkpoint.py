@@ -18,8 +18,19 @@ Atomicity is the rename trick, twice: the checkpoint is built in a
 pointer file is rewritten via ``os.replace``.  A crash at any point
 leaves either the old checkpoint current or the new one — never a
 half-written one.  Leftover ``.tmp-*`` directories from crashed writes
-are swept on the next write, and ``load`` falls back to scanning for
-the newest complete checkpoint if ``CURRENT`` is missing or dangling.
+are swept on the next write.
+
+How much *history* survives each write is the
+:class:`~repro.ingest.retention.RetentionPolicy` (default: keep only
+the newest, the original behavior; keep-last-N / keep-all / horizon
+retain the chain the timeline subsystem queries).  With retention in
+play ``CURRENT`` is a **hint, not an authority**: resolution always
+prefers the newest complete checkpoint by sequence number.  A lagging
+``CURRENT`` (crash between the rename and the repoint) would otherwise
+resurrect an older retained checkpoint whose covering WAL records may
+already be truncated — replaying from it would silently lose applied
+batches.  A complete-but-unpointed newer checkpoint is always safe to
+adopt: the WAL is only truncated after a write fully completes.
 """
 
 from __future__ import annotations
@@ -27,6 +38,7 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -36,6 +48,7 @@ from repro.core.report_io import load_report, save_report
 from repro.data.corpus import BlogCorpus
 from repro.data.xml_store import load_corpus
 from repro.errors import CheckpointError, StoreFormatError, XmlFormatError
+from repro.ingest.retention import RetentionPolicy
 from repro.store import ColumnarCorpus, write_corpus
 from repro.obs import NULL_INSTRUMENTATION, Instrumentation, get_logger
 
@@ -72,10 +85,12 @@ class CheckpointManager:
         self,
         directory: str | Path,
         instrumentation: Instrumentation | None = None,
+        retention: RetentionPolicy | None = None,
     ) -> None:
         self._dir = Path(directory)
         self._dir.mkdir(parents=True, exist_ok=True)
         self._instr = instrumentation or NULL_INSTRUMENTATION
+        self._retention = retention or RetentionPolicy.keep_last(1)
         metrics = self._instr.metrics
         self._checkpoint_counter = metrics.counter(
             "repro_ingest_checkpoints_total", "Checkpoints written"
@@ -89,6 +104,11 @@ class CheckpointManager:
     def directory(self) -> Path:
         """Where the checkpoints live."""
         return self._dir
+
+    @property
+    def retention(self) -> RetentionPolicy:
+        """The prune rule applied after every write."""
+        return self._retention
 
     def _complete_dirs(self) -> list[Path]:
         """Finished checkpoint directories (meta.json present), ordered."""
@@ -139,6 +159,7 @@ class CheckpointManager:
                     "params_fingerprint": report.params.fingerprint(),
                     "bloggers": len(corpus.bloggers),
                     "posts": len(corpus.posts),
+                    "wall_time": time.time(),
                 }
                 (tmp / "meta.json").write_text(
                     json.dumps(meta, indent=2, sort_keys=True) + "\n",
@@ -168,24 +189,73 @@ class CheckpointManager:
             shutil.rmtree(leftover, ignore_errors=True)
 
     def _prune(self, keep: str) -> None:
+        """Apply the retention policy; ``keep`` is unconditionally safe.
+
+        Incomplete ``ckpt-*`` directories (no ``meta.json`` — crashed
+        renames) are always deleted; complete ones survive according to
+        the policy.  ``keep`` — the checkpoint just written — survives
+        regardless, so a pathological clock can never prune the state
+        recovery needs.
+        """
+        survivors = self._retention.survivors([
+            (name, seq, wall) for name, seq, wall, _path in self.manifest()
+        ])
+        survivors.add(keep)
         for old in self._dir.glob(f"{_PREFIX}*"):
-            if old.is_dir() and old.name != keep:
+            if old.is_dir() and old.name not in survivors:
                 shutil.rmtree(old, ignore_errors=True)
+
+    def manifest(self) -> list[tuple[str, int, float, Path]]:
+        """Every complete checkpoint as ``(name, seq, wall_time, path)``.
+
+        Ordered oldest to newest by sequence number.  ``wall_time`` is
+        the write-time clock recorded in ``meta.json`` (``0.0`` for
+        checkpoints written before it was recorded) — the timeline
+        history index is built from exactly this listing.
+        """
+        entries: list[tuple[str, int, float, Path]] = []
+        for path in self._complete_dirs():
+            seq = self._seq_of(path)
+            try:
+                meta = json.loads(
+                    (path / "meta.json").read_text(encoding="utf-8")
+                )
+                wall = float(meta.get("wall_time", 0.0))
+            except (OSError, json.JSONDecodeError, TypeError, ValueError):
+                wall = 0.0
+            entries.append((path.name, seq, wall, path))
+        return entries
 
     # ------------------------------------------------------------------
     def load(self, params: MassParameters | None = None) -> Checkpoint | None:
-        """Load the current checkpoint; ``None`` when there is none.
+        """Load the newest complete checkpoint; ``None`` when none exist.
 
-        Falls back to the newest complete checkpoint when ``CURRENT``
-        is missing or dangling (a crash window, or manual deletion).
-        With ``params`` given, a fingerprint mismatch raises
-        :class:`CheckpointError` — recovering someone else's analysis
-        into a differently parameterized pipeline would silently change
-        every score.
+        ``CURRENT`` is consulted only as a hint (see the module
+        docstring): under retention a lagging pointer must never win
+        over a newer complete checkpoint, so resolution is
+        newest-by-seq.  With ``params`` given, a fingerprint mismatch
+        raises :class:`CheckpointError` — recovering someone else's
+        analysis into a differently parameterized pipeline would
+        silently change every score.
         """
         target = self._resolve_current()
         if target is None:
             return None
+        return self.load_at(target, params)
+
+    def load_at(
+        self, target: str | Path, params: MassParameters | None = None
+    ) -> Checkpoint:
+        """Load one specific retained checkpoint (by name or path).
+
+        The time-travel read path: the timeline's ``as_of`` loader
+        materializes whichever retained checkpoint the history index
+        resolved, not just the newest.  Same fingerprint discipline as
+        :meth:`load`.
+        """
+        target = Path(target)
+        if not target.is_absolute() and target.parent == Path("."):
+            target = self._dir / target
         meta_path = target / "meta.json"
         try:
             meta = json.loads(meta_path.read_text(encoding="utf-8"))
@@ -230,15 +300,33 @@ class CheckpointManager:
         )
 
     def _resolve_current(self) -> Path | None:
+        """The newest complete checkpoint; ``CURRENT`` is only a hint.
+
+        Trusting a lagging pointer is unsafe under retention: the WAL
+        records covering an older retained checkpoint may already be
+        truncated, so replaying from it would lose applied batches.
+        The newest complete checkpoint is always a valid recovery
+        point (truncation only runs after a write fully completes), so
+        it wins; a disagreeing or dangling ``CURRENT`` is logged.
+        """
+        dirs = self._complete_dirs()
+        newest = dirs[-1] if dirs else None
         pointer = self._dir / _CURRENT
         if pointer.is_file():
             name = pointer.read_text(encoding="utf-8").strip()
             target = self._dir / name
-            if name.startswith(_PREFIX) and (target / "meta.json").is_file():
-                return target
-            _LOG.warning(
-                "CURRENT points at %r which is missing or incomplete; "
-                "falling back to newest complete checkpoint", name,
+            pointed_ok = (
+                name.startswith(_PREFIX)
+                and (target / "meta.json").is_file()
             )
-        dirs = self._complete_dirs()
-        return dirs[-1] if dirs else None
+            if newest is None or not pointed_ok:
+                _LOG.warning(
+                    "CURRENT points at %r which is missing or incomplete; "
+                    "falling back to newest complete checkpoint", name,
+                )
+            elif target != newest:
+                _LOG.warning(
+                    "CURRENT lags at %r; recovering from newer complete "
+                    "checkpoint %s", name, newest.name,
+                )
+        return newest

@@ -48,6 +48,7 @@ from repro.errors import (
     WalCorruptionError,
 )
 from repro.ingest.checkpoint import CheckpointManager
+from repro.ingest.retention import RetentionPolicy
 from repro.ingest.wal import WriteAheadLog
 from repro.obs import NULL_INSTRUMENTATION, Instrumentation, get_logger
 
@@ -67,6 +68,11 @@ class IngestConfig:
     :meth:`IngestPipeline.checkpoint` and the close-time checkpoint
     still run).  ``queue_capacity`` bounds :meth:`IngestPipeline.submit`;
     ``backpressure`` says what a full queue does to the submitter.
+    ``retention`` is the checkpoint-history prune rule as a compact
+    :meth:`RetentionPolicy.parse <repro.ingest.retention.RetentionPolicy.parse>`
+    spec (``"last:1"`` — the pre-timeline single-checkpoint behavior —
+    by default; ``"last:N"`` / ``"all"`` / ``"horizon:SECONDS"`` retain
+    the history the timeline subsystem serves from).
     """
 
     checkpoint_interval: int = 16
@@ -74,8 +80,10 @@ class IngestConfig:
     backpressure: str = "block"
     fsync: str = "batch"
     fsync_interval: int = 8
+    retention: str = "last:1"
 
     def __post_init__(self) -> None:
+        RetentionPolicy.parse(self.retention)  # reject bad specs early
         if self.checkpoint_interval < 0:
             raise IngestError(
                 f"checkpoint_interval must be >= 0, "
@@ -122,7 +130,8 @@ class IngestPipeline:
             instrumentation=self._instr,
         )
         self._ckpts = CheckpointManager(
-            self._dir / "checkpoints", instrumentation=self._instr
+            self._dir / "checkpoints", instrumentation=self._instr,
+            retention=RetentionPolicy.parse(self._config.retention),
         )
 
         metrics = self._instr.metrics

@@ -1,0 +1,135 @@
+"""Checkpoint retention policies — how much history survives a prune.
+
+The checkpoint store originally kept exactly one checkpoint (the
+newest); that is the right durability policy but erases the time
+dimension the timeline subsystem queries.  :class:`RetentionPolicy`
+makes the prune rule explicit and configurable:
+
+- ``keep_last(n)`` — the newest ``n`` checkpoints survive (``n=1`` is
+  the pre-timeline behavior and remains the default);
+- ``keep_all()`` — nothing is ever pruned;
+- ``horizon(seconds)`` — checkpoints whose recorded wall time is
+  within ``seconds`` of the newest one survive.
+
+Whatever the policy, the **newest complete checkpoint always
+survives** — retention shapes history, it must never be able to
+delete the recovery point.
+
+Policies parse from compact specs (the ``--retain`` CLI flag and
+``IngestConfig.retention``): ``"last:N"``, ``"all"``,
+``"horizon:SECONDS"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IngestError
+
+__all__ = ["RetentionPolicy"]
+
+_KINDS = ("last", "all", "horizon")
+
+
+@dataclass(frozen=True, slots=True)
+class RetentionPolicy:
+    """A prune rule over the retained checkpoint history.
+
+    ``kind`` is one of ``"last"`` (keep the newest ``count``),
+    ``"all"`` (keep everything), or ``"horizon"`` (keep everything
+    within ``horizon_seconds`` of the newest checkpoint's wall time).
+    Construct through the classmethods or :meth:`parse`.
+    """
+
+    kind: str = "last"
+    count: int = 1
+    horizon_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise IngestError(
+                f"retention kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+        if self.kind == "last" and self.count < 1:
+            raise IngestError(
+                f"keep-last retention needs count >= 1, got {self.count}"
+            )
+        if self.kind == "horizon" and not self.horizon_seconds > 0:
+            raise IngestError(
+                "horizon retention needs horizon_seconds > 0, got "
+                f"{self.horizon_seconds}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def keep_last(cls, count: int) -> "RetentionPolicy":
+        """Keep the newest ``count`` checkpoints."""
+        return cls(kind="last", count=count)
+
+    @classmethod
+    def keep_all(cls) -> "RetentionPolicy":
+        """Never prune."""
+        return cls(kind="all")
+
+    @classmethod
+    def horizon(cls, seconds: float) -> "RetentionPolicy":
+        """Keep checkpoints within ``seconds`` of the newest one."""
+        return cls(kind="horizon", horizon_seconds=float(seconds))
+
+    @classmethod
+    def parse(cls, spec: str) -> "RetentionPolicy":
+        """Parse a compact policy spec.
+
+        ``"all"`` | ``"last:N"`` | ``"horizon:SECONDS"``; a bare
+        integer is shorthand for ``last:N``.
+        """
+        text = spec.strip().lower()
+        if text == "all":
+            return cls.keep_all()
+        kind, sep, value = text.partition(":")
+        if not sep:
+            kind, value = "last", text
+        try:
+            if kind == "last":
+                return cls.keep_last(int(value))
+            if kind == "horizon":
+                return cls.horizon(float(value))
+        except ValueError:
+            pass
+        raise IngestError(
+            f"unrecognized retention spec {spec!r}; expected 'all', "
+            "'last:N', or 'horizon:SECONDS'"
+        )
+
+    def spec(self) -> str:
+        """The canonical compact spec (round-trips through :meth:`parse`)."""
+        if self.kind == "all":
+            return "all"
+        if self.kind == "last":
+            return f"last:{self.count}"
+        return f"horizon:{self.horizon_seconds:g}"
+
+    # ------------------------------------------------------------------
+    def survivors(
+        self, entries: list[tuple[str, int, float]]
+    ) -> set[str]:
+        """Which checkpoint names survive a prune.
+
+        ``entries`` are ``(name, seq, wall_time)`` triples of the
+        *complete* checkpoints on disk; ordering is irrelevant.  The
+        newest entry (by seq) always survives.
+        """
+        if not entries:
+            return set()
+        ordered = sorted(entries, key=lambda entry: entry[1])
+        if self.kind == "all":
+            return {name for name, _seq, _wall in ordered}
+        if self.kind == "last":
+            return {name for name, _seq, _wall in ordered[-self.count:]}
+        newest_wall = ordered[-1][2]
+        kept = {
+            name for name, _seq, wall in ordered
+            if newest_wall - wall <= self.horizon_seconds
+        }
+        kept.add(ordered[-1][0])
+        return kept

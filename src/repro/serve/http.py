@@ -15,6 +15,13 @@ Endpoint              Meaning
                       one snapshot read — one epoch per batch, HTTP
                       overhead amortized across items.
 ``GET /blogger/<id>`` The Fig. 4 detail pop-up for one blogger.
+``GET /asof``         Time travel: top-k at a past point of the
+                      retained checkpoint history; ``t=<wall time>``
+                      or ``seq=<delta seq>`` plus ``k`` / ``domain``.
+``GET /trend``        Rising influencers over sliding windows;
+                      ``domain``, ``window``, ``step``, ``k``, ``t``.
+``GET /timeline``     The retained time axis (checkpoint history
+                      listing) behind the two endpoints above.
 ``GET /healthz``      Liveness + SLO verdict: ``ok`` or ``degraded``,
                       snapshot epoch, corpus shape, burn rates.
 ``GET /metrics``      Prometheus text exposition of the shared
@@ -68,10 +75,11 @@ import sys
 import threading
 import time
 from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, unquote, urlsplit
 
-from repro.errors import QueryError, ReproError
+from repro.errors import QueryError, ReproError, TimelineError
 from repro.obs import (
     LATENCY_BUCKETS,
     NULL_INSTRUMENTATION,
@@ -86,6 +94,9 @@ from repro.obs import (
 from repro.serve.engine import QueryEngine
 from repro.serve.ratelimit import RateDecision, TenantRateLimiter
 from repro.serve.store import SnapshotStore
+
+if TYPE_CHECKING:  # break the serve <-> timeline import cycle
+    from repro.timeline.service import TimelineService
 
 __all__ = ["ServiceConfig", "MassHttpServer", "create_server",
            "TENANT_HEADER"]
@@ -116,6 +127,12 @@ class ServiceConfig:
     # enforced cluster-wide — not multiplied by the worker count.
     rate_limit_qps: float = 0.0
     rate_limit_burst: float = 0.0
+    # Durable directory whose checkpoint history backs the time axis
+    # (``/asof``, ``/trend``, ``/timeline``).  ``None`` disables the
+    # endpoints (404).  A plain string so a pre-fork worker inherits it
+    # through the frozen config and builds its own TimelineService over
+    # the same on-disk chain — time travel needs no shared memory.
+    timeline_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.max_inflight < 0:
@@ -210,6 +227,17 @@ class MassHttpServer(ThreadingHTTPServer):
             max_k=config.max_k,
             instrumentation=instrumentation,
         )
+        if config.timeline_dir:
+            # Imported here, not at module top: the timeline package
+            # builds on repro.serve (snapshots), so a top-level import
+            # would be circular when repro.timeline is imported first.
+            from repro.timeline.service import TimelineService
+
+            self.timeline: TimelineService | None = TimelineService(
+                config.timeline_dir, instrumentation=instrumentation
+            )
+        else:
+            self.timeline = None
         if shared_limiter is not None:
             self.limiter = shared_limiter
         elif config.rate_limit_qps > 0:
@@ -529,11 +557,22 @@ class _Handler(BaseHTTPRequestHandler):
                 self._handle_query(query_string)
             elif route.startswith("/blogger/"):
                 self._handle_blogger(unquote(route[len("/blogger/"):]))
+            elif route == "/asof":
+                self._handle_asof(query_string)
+            elif route == "/trend":
+                self._handle_trend(query_string)
+            elif route == "/timeline":
+                self._handle_timeline()
             else:
                 self._send_error_json(404, f"unknown endpoint {route!r}")
         except QueryError as exc:
             status = 404 if "unknown blogger" in str(exc) else 400
             self._send_error_json(status, str(exc))
+        except TimelineError as exc:
+            # History absence ("nothing retained that far back", "no
+            # time axis configured") is a client-visible state of the
+            # service, not a server fault.
+            self._send_error_json(404, str(exc))
         except ReproError as exc:
             self._send_error_json(500, str(exc))
 
@@ -776,6 +815,48 @@ class _Handler(BaseHTTPRequestHandler):
         result = self.server.engine.blogger(blogger_id)
         self._send_json(200, result.as_dict())
 
+    # -- timeline endpoints --------------------------------------------
+    def _require_timeline(self) -> TimelineService:
+        timeline = self.server.timeline
+        if timeline is None:
+            raise TimelineError(
+                "this service has no time axis; start it with a durable "
+                "directory and retention enabled (repro serve --durable-dir "
+                "... --retain last:N)"
+            )
+        return timeline
+
+    def _handle_asof(self, query_string: str) -> None:
+        """``GET /asof?t=...`` — time-travel top-k from history."""
+        timeline = self._require_timeline()
+        params = parse_qs(query_string)
+        timestamp = _float_param(params, "t")
+        seq = _opt_int_param(params, "seq")
+        k = _int_param(params, "k", self.server.config.default_k)
+        domain = _str_param(params, "domain")
+        payload = timeline.as_of(
+            timestamp=timestamp, seq=seq, k=k, domain=domain
+        )
+        self._send_json(200, payload)
+
+    def _handle_trend(self, query_string: str) -> None:
+        """``GET /trend`` — rising influencers over sliding windows."""
+        timeline = self._require_timeline()
+        params = parse_qs(query_string)
+        payload = timeline.trend(
+            domain=_str_param(params, "domain"),
+            window_days=_int_param(params, "window", 90),
+            step_days=_int_param(params, "step", 30),
+            k=_int_param(params, "k", 10),
+            timestamp=_float_param(params, "t"),
+        )
+        self._send_json(200, payload)
+
+    def _handle_timeline(self) -> None:
+        """``GET /timeline`` — the retained checkpoint history."""
+        timeline = self._require_timeline()
+        self._send_json(200, timeline.history_listing())
+
 
 # ----------------------------------------------------------------------
 # Parameter parsing
@@ -799,6 +880,33 @@ def _int_param(params: dict[str, list[str]], name: str, default: int) -> int:
         raise QueryError(
             f"parameter {name!r} must be an integer, got {raw!r}"
         ) from None
+
+
+def _opt_int_param(params: dict[str, list[str]], name: str) -> int | None:
+    raw = _str_param(params, name)
+    if raw is None:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise QueryError(
+            f"parameter {name!r} must be an integer, got {raw!r}"
+        ) from None
+
+
+def _float_param(params: dict[str, list[str]], name: str) -> float | None:
+    raw = _str_param(params, name)
+    if raw is None:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise QueryError(
+            f"parameter {name!r} must be a number, got {raw!r}"
+        ) from None
+    if math.isnan(value):
+        raise QueryError(f"parameter {name!r} must not be NaN")
+    return value
 
 
 def _parse_weights(raw: str | None) -> dict[str, float]:
@@ -832,7 +940,10 @@ def _parse_weights(raw: str | None) -> dict[str, float]:
     return weights
 
 
-_KNOWN_ROUTES = {"/top", "/query", "/healthz", "/metrics"}
+_KNOWN_ROUTES = {
+    "/top", "/query", "/healthz", "/metrics",
+    "/asof", "/trend", "/timeline",
+}
 
 
 def _route_suffix(route: str) -> str:

@@ -1,0 +1,166 @@
+"""The history plane: an index over retained checkpoints.
+
+:class:`TimelineHistory` turns the checkpoint directory — under a
+retention policy that keeps more than the newest — into a queryable
+time axis: every retained checkpoint is an :class:`HistoryEntry`
+(``seq`` + write-time wall clock), and :meth:`as_of` materializes the
+full corpus/report state at any retained point by loading exactly the
+checkpoint the timestamp resolves to.
+
+Resolution is "latest at or before": ``as_of(t)`` answers *what did
+the analysis know at time t*, which is the newest checkpoint written
+at or before ``t`` — the same convention as MVCC reads.  A timestamp
+older than everything retained raises
+:class:`~repro.errors.TimelineError` (the history genuinely does not
+reach back that far); ``t=None`` means "now" and resolves to the
+newest checkpoint.
+
+The index is rebuilt from disk on every scan, so it is naturally
+correct in every process that can see the durable directory — the
+pre-fork serving workers read the same chain the master writes,
+without any shared-memory coordination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.parameters import MassParameters
+from repro.errors import TimelineError
+from repro.ingest.checkpoint import Checkpoint, CheckpointManager
+from repro.obs import NULL_INSTRUMENTATION, Instrumentation, get_logger
+
+__all__ = ["HistoryEntry", "TimelineHistory"]
+
+_LOG = get_logger("timeline.history")
+
+
+@dataclass(frozen=True, slots=True)
+class HistoryEntry:
+    """One retained checkpoint on the time axis."""
+
+    name: str
+    seq: int
+    wall_time: float
+    path: Path
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-able view (the HTTP history listing)."""
+        return {
+            "name": self.name,
+            "seq": self.seq,
+            "wall_time": self.wall_time,
+        }
+
+
+class TimelineHistory:
+    """Seq + wall-time index over the retained checkpoint chain.
+
+    Parameters
+    ----------
+    checkpoints:
+        A :class:`~repro.ingest.checkpoint.CheckpointManager`, or the
+        path of a checkpoint directory (``<durable_dir>/checkpoints``)
+        to wrap read-only.
+    params:
+        When given, every load enforces the parameter-fingerprint
+        discipline of :meth:`CheckpointManager.load` — time travel
+        must not silently materialize an analysis run under different
+        parameters.
+    """
+
+    def __init__(
+        self,
+        checkpoints: CheckpointManager | str | Path,
+        params: MassParameters | None = None,
+        instrumentation: Instrumentation | None = None,
+    ) -> None:
+        if not isinstance(checkpoints, CheckpointManager):
+            checkpoints = CheckpointManager(checkpoints)
+        self._ckpts = checkpoints
+        self._params = params
+        self._instr = instrumentation or NULL_INSTRUMENTATION
+
+    @property
+    def checkpoints(self) -> CheckpointManager:
+        """The underlying checkpoint store."""
+        return self._ckpts
+
+    # ------------------------------------------------------------------
+    def entries(self) -> list[HistoryEntry]:
+        """Every retained checkpoint, oldest to newest (fresh disk scan)."""
+        return [
+            HistoryEntry(name=name, seq=seq, wall_time=wall, path=path)
+            for name, seq, wall, path in self._ckpts.manifest()
+        ]
+
+    def span(self) -> tuple[float, float] | None:
+        """(oldest, newest) retained wall times, or ``None`` if empty."""
+        entries = self.entries()
+        if not entries:
+            return None
+        return entries[0].wall_time, entries[-1].wall_time
+
+    def resolve(
+        self,
+        timestamp: float | None = None,
+        seq: int | None = None,
+    ) -> HistoryEntry:
+        """The newest retained entry at or before a point on the axis.
+
+        Exactly one of ``timestamp`` (wall time) and ``seq`` may be
+        given; neither means "now" (the newest entry).  Raises
+        :class:`TimelineError` when nothing is retained or the point
+        predates the whole retained span.
+        """
+        if timestamp is not None and seq is not None:
+            raise TimelineError(
+                "resolve() takes a timestamp or a seq, not both"
+            )
+        entries = self.entries()
+        if not entries:
+            raise TimelineError(
+                f"no checkpoint history retained in {self._ckpts.directory}"
+                " (is the pipeline running with retention enabled?)"
+            )
+        if timestamp is None and seq is None:
+            return entries[-1]
+        if seq is not None:
+            eligible = [entry for entry in entries if entry.seq <= seq]
+            if not eligible:
+                raise TimelineError(
+                    f"seq {seq} predates the retained history "
+                    f"(oldest retained seq is {entries[0].seq})"
+                )
+            return eligible[-1]
+        eligible = [
+            entry for entry in entries if entry.wall_time <= timestamp
+        ]
+        if not eligible:
+            raise TimelineError(
+                f"timestamp {timestamp} predates the retained history "
+                f"(oldest retained wall time is {entries[0].wall_time})"
+            )
+        return eligible[-1]
+
+    def as_of(
+        self,
+        timestamp: float | None = None,
+        seq: int | None = None,
+    ) -> Checkpoint:
+        """Materialize the analysis state at a point on the time axis.
+
+        Resolves with :meth:`resolve` and loads that one checkpoint —
+        a memory-mapped corpus open plus a report parse, **not** a
+        re-solve: the influence scores come back bit-identical to the
+        epoch the checkpoint froze.
+        """
+        entry = self.resolve(timestamp=timestamp, seq=seq)
+        with self._instr.tracer.span("timeline-as-of"):
+            checkpoint = self._ckpts.load_at(entry.path, self._params)
+        _LOG.info(
+            "as_of resolved to %s (seq %d, wall %.3f)",
+            entry.name, entry.seq, entry.wall_time,
+        )
+        return checkpoint

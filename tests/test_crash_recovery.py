@@ -108,11 +108,13 @@ def inject_damage(root: Path, mode: str, next_seq: int, anchor: str) -> None:
 
 
 def run_and_kill(root: Path, classifier, corpus, kill: int, interval: int,
-                 mode: str, anchor: str) -> None:
+                 mode: str, anchor: str,
+                 retention: str = "last:1") -> None:
     """Apply ``kill`` deltas, then abandon the pipeline without close()."""
     analyzer = IncrementalAnalyzer(classifier)
     pipeline = IngestPipeline(
-        root, analyzer, IngestConfig(checkpoint_interval=interval)
+        root, analyzer,
+        IngestConfig(checkpoint_interval=interval, retention=retention),
     )
     if mode == "skip_truncate":
         with mock.patch.object(WriteAheadLog, "truncate_upto",
@@ -133,11 +135,12 @@ def run_and_kill(root: Path, classifier, corpus, kill: int, interval: int,
 
 
 def recover_and_finish(root: Path, classifier, interval: int, anchor: str,
-                       reference) -> None:
+                       reference, retention: str = "last:1") -> None:
     _, epochs, final_scores = reference
     analyzer = IncrementalAnalyzer(classifier)
     pipeline = IngestPipeline(
-        root, analyzer, IngestConfig(checkpoint_interval=interval)
+        root, analyzer,
+        IngestConfig(checkpoint_interval=interval, retention=retention),
     )
     pipeline.open()  # no base corpus: recovery only
     recovered_seq = pipeline.applied_seq
@@ -159,7 +162,7 @@ def recover_and_finish(root: Path, classifier, interval: int, anchor: str,
     # A second clean reopen lands on the exact same bytes again.
     reopened = IngestPipeline(
         root, IncrementalAnalyzer(classifier),
-        IngestConfig(checkpoint_interval=interval),
+        IngestConfig(checkpoint_interval=interval, retention=retention),
     )
     reopened.open()
     assert reopened.applied_seq == STREAM_LENGTH
@@ -210,6 +213,70 @@ class TestKillAnywhere:
         half.apply(stream_delta(3, anchor))
         inject_damage(tmp_path, "torn_append", 4, anchor)
         recover_and_finish(tmp_path, classifier, 1, anchor, reference)
+
+
+class TestRetentionRecovery:
+    """The kill-anywhere guarantee must survive keep-more-than-newest.
+
+    Retention changes what the pruner deletes, not what recovery
+    resolves: with several checkpoints retained, recovery must still
+    land on the *newest* complete one — the WAL is truncated up to it,
+    so resuming from any older retained checkpoint would lose the
+    batches in between.
+    """
+
+    @pytest.mark.parametrize("mode", DAMAGE_MODES)
+    @pytest.mark.parametrize("retention", ["last:3", "all"])
+    def test_kill_anywhere_under_retention(self, tmp_path, classifier,
+                                           fig1_corpus, reference,
+                                           mode, retention):
+        anchor = reference[0]
+        run_and_kill(tmp_path, classifier, fig1_corpus, STREAM_LENGTH - 1,
+                     interval=1, mode=mode, anchor=anchor,
+                     retention=retention)
+        recover_and_finish(tmp_path, classifier, 1, anchor, reference,
+                           retention=retention)
+
+    def test_lagging_current_with_retained_older_checkpoints(
+            self, tmp_path, classifier, fig1_corpus, reference):
+        """CURRENT points at an older checkpoint that still *exists*.
+
+        Under keep-last-1 a lagging CURRENT dangles (its target was
+        pruned) and the fallback scan saves the day trivially.  Under
+        retention the lagging target is a real, loadable checkpoint —
+        the dangerous case: blindly honoring CURRENT would load old
+        state whose WAL suffix was already truncated, silently losing
+        applied batches.  Recovery must prefer the newest complete
+        checkpoint over the pointer.
+        """
+        anchor = reference[0]
+        _, epochs, _ = reference
+        pipeline = IngestPipeline(
+            tmp_path, IncrementalAnalyzer(classifier),
+            IngestConfig(checkpoint_interval=1, retention="last:4"),
+        )
+        pipeline.open(fig1_corpus)
+        pipeline.wait_recovery_checkpoint()
+        for seq in (1, 2, 3):
+            pipeline.apply(stream_delta(seq, anchor))
+        # "Crash": abandon without close, then rewind CURRENT to the
+        # oldest retained checkpoint, which is still on disk.
+        manager = CheckpointManager(tmp_path / "checkpoints")
+        names = [name for name, _, _, _ in manager.manifest()]
+        assert len(names) >= 2, names
+        (tmp_path / "checkpoints" / "CURRENT").write_text(names[0] + "\n")
+
+        reopened = IngestPipeline(
+            tmp_path, IncrementalAnalyzer(classifier),
+            IngestConfig(checkpoint_interval=1, retention="last:4"),
+        )
+        reopened.open()
+        assert reopened.applied_seq == 3, \
+            "recovery honored a lagging CURRENT and lost applied batches"
+        assert epoch_of(reopened.report) == epochs[3]
+        reopened.close()
+        recover_and_finish(tmp_path, classifier, 1, anchor, reference,
+                           retention="last:4")
 
 
 class TestCheckpointUnpointed:
