@@ -6,9 +6,14 @@ The sum runs over the comments on post d_k; SF is the commenter's
 attitude and TC(b_j) the commenter's *total* comment count, which
 shares a prolific commenter's impact across everything they write.
 
-:class:`CommentModel` classifies every comment's sentiment once at
-construction and stores per-post term lists, so each solver iteration
-is a cheap weighted sum.
+:class:`CommentModel` resolves each comment's sentiment once and keeps
+per-post term lists, so each solver iteration is a cheap weighted sum.
+Term lists are built lazily per post on first access: the warm apply
+path only ever asks for the delta's dirty posts, so re-analysis after a
+small corpus delta no longer pays an O(corpus) term rebuild (the shared
+sentiment cache already made the classifier calls incremental).
+Aggregate views (:meth:`sentiment_distribution`,
+:meth:`num_commented_posts`) force full materialization.
 """
 
 from __future__ import annotations
@@ -116,69 +121,100 @@ class CommentModel:
         if decay_active and reference_day is None:
             reference_day = corpus_horizon(corpus)
         self._reference_day = reference_day if decay_active else None
-        classifier = sentiment_classifier or SentimentClassifier()
-        self._terms: dict[str, list[CommentTerm]] = {}
+        self._corpus = corpus
+        self._classifier = sentiment_classifier or SentimentClassifier()
+        self._sentiment_cache = sentiment_cache
+        self._graded = params.sentiment_mode == "graded"
+        self._built: dict[str, list[CommentTerm]] = {}
+        self._all_built = False
         self._sentiment_counts: Counter[Sentiment] = Counter()
 
-        graded = params.sentiment_mode == "graded"
-        for post_id in sorted(corpus.posts):
-            author_id = corpus.post(post_id).author_id
-            terms: list[CommentTerm] = []
-            for comment in sorted(
-                corpus.comments_on(post_id), key=lambda c: c.comment_id
-            ):
-                if (
-                    comment.commenter_id == author_id
-                    and not params.include_self_comments
-                ):
-                    continue
-                breakdown = None
-                if sentiment_cache is not None:
-                    breakdown = sentiment_cache.get(comment.comment_id)
-                if breakdown is None:
-                    breakdown = classifier.analyze(comment.text)
-                    if sentiment_cache is not None:
-                        sentiment_cache[comment.comment_id] = breakdown
-                sentiment = breakdown.sentiment
-                self._sentiment_counts[sentiment] += 1
-                if graded:
-                    sf = params.graded_sentiment_factor(breakdown)
-                else:
-                    sf = params.sentiment_factor(sentiment)
-                total = corpus.total_comments_by(comment.commenter_id)
-                if total <= 0:
-                    warnings.warn(
-                        f"commenter {comment.commenter_id!r} of comment "
-                        f"{comment.comment_id!r} has TC={total}; its "
-                        "citation mass is dropped (SF/TC treated as 0)",
-                        DegenerateCitationWarning,
-                        stacklevel=2,
-                    )
-                decay = 1.0
-                if decay_active:
-                    decay = params.decay_factor(
-                        self._reference_day - comment.created_day
-                    )
-                terms.append(
-                    CommentTerm(
-                        comment.commenter_id,
-                        sentiment,
-                        sf,
-                        total,
-                        decay,
-                    )
+        # The degenerate-TC contract (warn at construction, drop the
+        # citation mass) survives laziness: scan each distinct
+        # commenter's TC once up front, cheap relative to term builds.
+        seen: set[str] = set()
+        for comment in corpus.comments.values():
+            commenter_id = comment.commenter_id
+            if commenter_id in seen:
+                continue
+            seen.add(commenter_id)
+            total = corpus.total_comments_by(commenter_id)
+            if total <= 0:
+                warnings.warn(
+                    f"commenter {commenter_id!r} has TC={total}; its "
+                    "citation mass is dropped (SF/TC treated as 0)",
+                    DegenerateCitationWarning,
+                    stacklevel=2,
                 )
-            if terms:
-                self._terms[post_id] = terms
 
     @property
     def reference_day(self) -> int | None:
         """The decay reference day, or ``None`` when decay is inert."""
         return self._reference_day
 
+    def _build_terms(self, post_id: str) -> list[CommentTerm]:
+        corpus = self._corpus
+        params = self._params
+        sentiment_cache = self._sentiment_cache
+        author_id = corpus.post(post_id).author_id
+        terms: list[CommentTerm] = []
+        for comment in sorted(
+            corpus.comments_on(post_id), key=lambda c: c.comment_id
+        ):
+            if (
+                comment.commenter_id == author_id
+                and not params.include_self_comments
+            ):
+                continue
+            breakdown = None
+            if sentiment_cache is not None:
+                breakdown = sentiment_cache.get(comment.comment_id)
+            if breakdown is None:
+                breakdown = self._classifier.analyze(comment.text)
+                if sentiment_cache is not None:
+                    sentiment_cache[comment.comment_id] = breakdown
+            sentiment = breakdown.sentiment
+            self._sentiment_counts[sentiment] += 1
+            if self._graded:
+                sf = params.graded_sentiment_factor(breakdown)
+            else:
+                sf = params.sentiment_factor(sentiment)
+            total = corpus.total_comments_by(comment.commenter_id)
+            decay = 1.0
+            if self._reference_day is not None:
+                decay = params.decay_factor(
+                    self._reference_day - comment.created_day
+                )
+            terms.append(
+                CommentTerm(
+                    comment.commenter_id,
+                    sentiment,
+                    sf,
+                    total,
+                    decay,
+                )
+            )
+        return terms
+
+    def _terms_of(self, post_id: str) -> list[CommentTerm]:
+        terms = self._built.get(post_id)
+        if terms is None:
+            if post_id not in self._corpus.posts:
+                return []
+            terms = self._build_terms(post_id)
+            self._built[post_id] = terms
+        return terms
+
+    def _materialize_all(self) -> None:
+        if self._all_built:
+            return
+        for post_id in sorted(self._corpus.posts):
+            self._terms_of(post_id)
+        self._all_built = True
+
     def terms_for(self, post_id: str) -> list[CommentTerm]:
         """The comment terms of a post (empty list if uncommented)."""
-        return list(self._terms.get(post_id, ()))
+        return list(self._terms_of(post_id))
 
     def comment_score(
         self, post_id: str, influence: Mapping[str, float]
@@ -189,7 +225,7 @@ class CommentModel:
         TC normalization drop out, reducing the score to a
         sentiment-weighted comment count (the citation ablation).
         """
-        terms = self._terms.get(post_id)
+        terms = self._terms_of(post_id)
         if not terms:
             return 0.0
         if self._params.use_citation:
@@ -201,8 +237,10 @@ class CommentModel:
 
     def sentiment_distribution(self) -> dict[Sentiment, int]:
         """How many comments fell into each attitude class."""
+        self._materialize_all()
         return dict(self._sentiment_counts)
 
     def num_commented_posts(self) -> int:
         """Number of posts that have at least one counted comment."""
-        return len(self._terms)
+        self._materialize_all()
+        return sum(1 for terms in self._built.values() if terms)

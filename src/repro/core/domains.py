@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 
 from repro.core.solver import InfluenceScores
-from repro.core.topk import full_ranking, top_k
+from repro.core.topk import RankedScores
 from repro.data.corpus import BlogCorpus
 from repro.errors import ParameterError
 from repro.nlp.naive_bayes import NaiveBayesClassifier
@@ -28,6 +28,13 @@ class DomainInfluence:
     memberships from naive Bayes) or directly from precomputed post
     memberships (useful in tests and for plugging in other "interests
     mining methods", which the paper explicitly allows).
+
+    With ``share_memberships=True`` the caller's membership mapping is
+    adopted by reference instead of deep-copied — the incremental
+    analyzer owns one membership dict for its whole life and extends it
+    in place per delta, so the per-apply O(corpus) copy disappears.
+    The warm path goes further with :meth:`evolved`, which re-derives
+    only the changed authors' vectors from a previous instance.
     """
 
     def __init__(
@@ -36,16 +43,20 @@ class DomainInfluence:
         scores: InfluenceScores,
         post_memberships: Mapping[str, Mapping[str, float]],
         domains: Sequence[str],
+        share_memberships: bool = False,
     ) -> None:
         if not domains:
             raise ParameterError("need at least one domain")
         self._domains = list(domains)
         self._corpus = corpus
         self._scores = scores
-        self._post_memberships = {
-            post_id: dict(membership)
-            for post_id, membership in post_memberships.items()
-        }
+        if share_memberships and isinstance(post_memberships, dict):
+            self._post_memberships = post_memberships
+        else:
+            self._post_memberships = {
+                post_id: dict(membership)
+                for post_id, membership in post_memberships.items()
+            }
 
         missing = set(corpus.posts) - set(self._post_memberships)
         if missing:
@@ -54,6 +65,7 @@ class DomainInfluence:
                 f"e.g. {sorted(missing)[:3]}"
             )
 
+        self._rankings: dict[str, RankedScores] = {}
         self._vectors: dict[str, dict[str, float]] = {
             blogger_id: {domain: 0.0 for domain in self._domains}
             for blogger_id in corpus.blogger_ids()
@@ -64,6 +76,64 @@ class DomainInfluence:
             vector = self._vectors[author_id]
             for domain in self._domains:
                 vector[domain] += influence * membership.get(domain, 0.0)
+
+    @classmethod
+    def evolved(
+        cls,
+        previous: "DomainInfluence",
+        corpus: BlogCorpus,
+        scores: InfluenceScores,
+        post_memberships: dict[str, Mapping[str, float]],
+        changed_authors: set[str],
+    ) -> "DomainInfluence":
+        """A new instance patched from ``previous`` in O(changed).
+
+        Only ``changed_authors`` (authors of posts whose Inf(b_i, d_k)
+        moved, plus any brand-new bloggers) get their vectors
+        re-accumulated; everyone else shares the previous instance's
+        vector objects.  Memberships are adopted by reference.  Any
+        domain ranking the previous instance had materialized is
+        patched rather than re-sorted.
+        """
+        evolved = cls.__new__(cls)
+        evolved._domains = previous._domains
+        evolved._corpus = corpus
+        evolved._scores = scores
+        evolved._post_memberships = post_memberships
+        vectors = dict(previous._vectors)
+        domains = previous._domains
+        post_influence = scores.post_influence
+        posts_of: dict[str, list] = {}
+        for blogger_id in changed_authors:
+            posts_of[blogger_id] = sorted(
+                corpus.posts_by(blogger_id), key=lambda p: p.post_id
+            )
+        for blogger_id, posts in sorted(posts_of.items()):
+            vector = {domain: 0.0 for domain in domains}
+            for post in posts:
+                influence = post_influence[post.post_id]
+                membership = post_memberships[post.post_id]
+                for domain in domains:
+                    vector[domain] += (
+                        influence * membership.get(domain, 0.0)
+                    )
+            vectors[blogger_id] = vector
+        repositioned = set(changed_authors)
+        for blogger_id in corpus.blogger_ids():
+            if blogger_id not in vectors:
+                vectors[blogger_id] = {domain: 0.0 for domain in domains}
+                repositioned.add(blogger_id)
+        evolved._vectors = vectors
+        evolved._rankings = {
+            domain: ranked.patched(
+                {
+                    blogger_id: vectors[blogger_id][domain]
+                    for blogger_id in sorted(repositioned)
+                }
+            )
+            for domain, ranked in previous._rankings.items()
+        }
+        return evolved
 
     @classmethod
     def from_classifier(
@@ -112,12 +182,28 @@ class DomainInfluence:
             for blogger_id, vector in self._vectors.items()
         }
 
+    def ranked(self, domain: str) -> RankedScores:
+        """The domain's :class:`RankedScores` (materialized lazily).
+
+        Once materialized, :meth:`evolved` patches it forward across
+        warm applies instead of re-sorting all bloggers.
+        """
+        ranked = self._rankings.get(domain)
+        if ranked is None:
+            ranked = RankedScores(self.domain_scores(domain))
+            self._rankings[domain] = ranked
+        return ranked
+
     def ranking(self, domain: str, k: int | None = None) -> list[tuple[str, float]]:
         """Top-k bloggers in a domain (all of them when ``k`` is None)."""
-        scores = self.domain_scores(domain)
+        if domain not in self._domains:
+            raise ParameterError(
+                f"unknown domain {domain!r}; known: {self._domains}"
+            )
+        ranked = self.ranked(domain)
         if k is None:
-            return full_ranking(scores)
-        return top_k(scores, k)
+            return ranked.ranking()
+        return ranked.top(k)
 
     def weighted_scores(
         self, interest: Mapping[str, float]

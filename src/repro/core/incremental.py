@@ -119,6 +119,15 @@ class CorpusDelta:
         the delta carries a link for the weight *difference*.  Entities
         are emitted in sorted-id order so the same pair of corpora
         always produces the same delta.
+
+        **Partial-view contract:** deltas are append-only, so a link
+        weight that *decreased* between the two corpora cannot be
+        represented.  Under ``strict=False`` the decrease is dropped
+        from the delta — the analyzer keeps serving the old, higher
+        weight — and a structured ``link-weight-decrease`` warning is
+        emitted through :mod:`repro.obs` so operators can schedule a
+        cold re-fit; under ``strict`` it raises
+        :class:`~repro.errors.CorpusError`.
         """
         if strict:
             for kind, base_ids, grown_ids in (
@@ -157,10 +166,24 @@ class CorpusDelta:
         links = []
         for key, weight in sorted(weights(grown).items()):
             delta_weight = weight - base_weights.get(key, 0.0)
-            if delta_weight < 0 and strict:
-                raise CorpusError(
-                    f"link ({key[0]!r} -> {key[1]!r}) lost weight between "
-                    "base and grown corpus"
+            if delta_weight < 0:
+                if strict:
+                    raise CorpusError(
+                        f"link ({key[0]!r} -> {key[1]!r}) lost weight "
+                        "between base and grown corpus"
+                    )
+                _LOG.warning(
+                    "link (%s -> %s) lost weight between base and grown "
+                    "corpus; append-only deltas cannot carry a decrease, "
+                    "the old weight stays in effect",
+                    key[0], key[1],
+                    extra={
+                        "event": "link-weight-decrease",
+                        "source_id": key[0],
+                        "target_id": key[1],
+                        "base_weight": base_weights.get(key, 0.0),
+                        "grown_weight": weight,
+                    },
                 )
             if delta_weight > 0:
                 links.append(Link(key[0], key[1], delta_weight))
@@ -321,31 +344,82 @@ class IncrementalAnalyzer:
         """Solver iterations used by the most recent (re)analysis."""
         return self._last_iterations
 
+    @property
+    def last_changed_ids(self) -> set[str] | None:
+        """Blogger ids whose report-visible state the last apply moved.
+
+        ``None`` means the last (re)analysis took a full path — cold
+        fit, parameter-invalidated cache, or a delta that was not
+        provably local — and every blogger must be treated as changed.
+        A non-None set is a certified superset of the changed bloggers,
+        which is what lets :meth:`InfluenceSnapshot.evolve
+        <repro.serve.snapshot.InfluenceSnapshot.evolve>` patch the
+        previous snapshot instead of recompiling it.
+        """
+        return self._cache.last_changed_ids
+
     # ------------------------------------------------------------------
-    def _classify_new_posts(self, corpus: BlogCorpus) -> None:
+    def _classify_all_posts(self, corpus: BlogCorpus) -> None:
         for post_id in sorted(corpus.posts):
             if post_id not in self._memberships:
                 self._memberships[post_id] = self._classifier.predict_proba(
                     corpus.post(post_id).text
                 )
 
+    def _classify_new_posts(self, posts: Sequence[Post]) -> None:
+        # Exactly the delta's posts — never a scan over the corpus.
+        for post in sorted(posts, key=lambda p: p.post_id):
+            if post.post_id not in self._memberships:
+                self._memberships[post.post_id] = (
+                    self._classifier.predict_proba(post.text)
+                )
+
     def _analyze(
-        self, corpus: BlogCorpus, initial: dict[str, float] | None
+        self,
+        corpus: BlogCorpus,
+        initial: dict[str, float] | None,
+        delta: CorpusDelta | None = None,
     ) -> InfluenceReport:
+        cache = self._cache
+        previous = self._report
         scores = InfluenceSolver(
             corpus,
             self._params,
             instrumentation=self._instr,
-            sentiment_cache=self._cache.sentiment_cache,
-            assembly_cache=self._cache,
+            sentiment_cache=cache.sentiment_cache,
+            assembly_cache=cache,
         ).solve(initial=initial)
         self._last_iterations = scores.iterations
-        self._classify_new_posts(corpus)
-        memberships = {
-            post_id: self._memberships[post_id] for post_id in corpus.posts
-        }
+        if delta is None:
+            self._classify_all_posts(corpus)
+        else:
+            self._classify_new_posts(delta.posts)
+        changed = cache.last_changed_ids
+        if delta is not None and previous is not None and changed is not None:
+            # O(dirty rows) report: patch the previous report's domain
+            # vectors and rankings for the changed bloggers only.  The
+            # membership dict is shared by reference — the analyzer
+            # extends it in place, never copies it.
+            domain_influence = DomainInfluence.evolved(
+                previous.domain_influence,
+                corpus,
+                scores,
+                self._memberships,
+                changed_authors=set(cache.last_changed_authors or ()),
+            )
+            ranked = previous.general_ranked().patched(
+                {
+                    blogger_id: scores.influence[blogger_id]
+                    for blogger_id in sorted(changed)
+                }
+            )
+            return InfluenceReport(
+                corpus, self._params, scores, domain_influence,
+                ranked=ranked,
+            )
         domain_influence = DomainInfluence(
-            corpus, scores, memberships, self._classifier.classes
+            corpus, scores, self._memberships, self._classifier.classes,
+            share_memberships=True,
         )
         return InfluenceReport(corpus, self._params, scores, domain_influence)
 
@@ -453,9 +527,12 @@ class IncrementalAnalyzer:
                 comments=(
                     (c.post_id, c.commenter_id) for c in delta.comments
                 ),
+                links=delta.links,
             )
             warm_start = self._report.scores.influence
-            self._report = self._analyze(self._corpus, initial=warm_start)
+            self._report = self._analyze(
+                self._corpus, initial=warm_start, delta=delta
+            )
 
         savings = max(0, self._cold_iterations - self._last_iterations)
         metrics.counter(
@@ -477,6 +554,27 @@ class IncrementalAnalyzer:
                 "repro_incremental_dirty_rows",
                 "Rows re-assembled by the last dirty-row refresh",
             ).set(self._cache.last_dirty_rows)
+        touched = self._cache.last_frontier_touched_rows
+        changed = self._cache.last_changed_ids
+        if touched is not None:
+            metrics.counter(
+                "repro_incremental_frontier_total",
+                "Warm applies solved by the residual-bounded frontier",
+            ).inc()
+            metrics.gauge(
+                "repro_incremental_touched_rows",
+                "Rows the last frontier solve re-evaluated",
+            ).set(len(touched))
+        else:
+            metrics.counter(
+                "repro_incremental_full_solves_total",
+                "Warm applies that fell back to a full Jacobi solve",
+            ).inc()
+        if changed is not None:
+            metrics.gauge(
+                "repro_incremental_changed_rows",
+                "Bloggers whose report-visible state the last apply moved",
+            ).set(len(changed))
         self._instr.recorder.note(
             "incremental-apply",
             entities=delta.size(),

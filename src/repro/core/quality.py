@@ -43,6 +43,15 @@ class QualityScorer:
         The day post ages are measured back from when the temporal
         facet is active (the corpus horizon).  Ignored — and every
         decay factor is exactly ``1.0`` — when decay is inert.
+    word_counts / novelty_values:
+        Optional read-through caches keyed by post id.  Posts are
+        immutable and post ids are globally unique, so a count or
+        novelty value computed once is valid for the post's lifetime;
+        the warm apply path shares these dicts across solves so only
+        the delta's posts are ever tokenized twice.  ``novelty_values``
+        must only be supplied when ``novelty_detector`` is None (the
+        default lexicon detector is a pure function of the post text;
+        custom detectors may be corpus-dependent).
     """
 
     def __init__(
@@ -51,6 +60,8 @@ class QualityScorer:
         novelty_detector: NoveltyDetector | None = None,
         posts: Iterable[Post] = (),
         reference_day: int | None = None,
+        word_counts: dict[str, int] | None = None,
+        novelty_values: dict[str, float] | None = None,
     ) -> None:
         self._params = params
         self._reference_day = (
@@ -59,15 +70,33 @@ class QualityScorer:
         self._novelty = novelty_detector or LexiconNoveltyDetector(
             copied_value=params.novelty_copied
         )
+        self._word_counts = word_counts
+        self._novelty_values = (
+            novelty_values if novelty_detector is None else None
+        )
         self._max_words = 0
         if params.length_normalization == "max":
             self._max_words = max(
-                (word_count(post.body) for post in posts), default=0
+                (self._words(post) for post in posts), default=0
             )
+
+    @property
+    def max_words(self) -> int:
+        """Corpus-max word count (0 unless ``"max"`` normalization)."""
+        return self._max_words
+
+    def _words(self, post: Post) -> int:
+        if self._word_counts is None:
+            return word_count(post.body)
+        words = self._word_counts.get(post.post_id)
+        if words is None:
+            words = word_count(post.body)
+            self._word_counts[post.post_id] = words
+        return words
 
     def length_value(self, post: Post) -> float:
         """The Length() term under the configured normalization."""
-        words = word_count(post.body)
+        words = self._words(post)
         mode = self._params.length_normalization
         if mode == "raw":
             return float(words)
@@ -82,7 +111,13 @@ class QualityScorer:
         """The Novelty() term (1.0 when the novelty facet is disabled)."""
         if not self._params.use_novelty:
             return 1.0
-        return self._novelty.novelty(post)
+        if self._novelty_values is None:
+            return self._novelty.novelty(post)
+        value = self._novelty_values.get(post.post_id)
+        if value is None:
+            value = self._novelty.novelty(post)
+            self._novelty_values[post.post_id] = value
+        return value
 
     def decay_value(self, post: Post) -> float:
         """The recency multiplier of the temporal facet (1.0 when inert)."""

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from repro.core.domains import DomainInfluence
 from repro.core.parameters import MassParameters
 from repro.core.solver import InfluenceScores
-from repro.core.topk import full_ranking, top_k
+from repro.core.topk import RankedScores, top_k
 from repro.data.corpus import BlogCorpus
 from repro.errors import ParameterError
 
@@ -55,11 +55,23 @@ class InfluenceReport:
         params: MassParameters,
         scores: InfluenceScores,
         domain_influence: DomainInfluence,
+        ranked: RankedScores | None = None,
     ) -> None:
         self._corpus = corpus
         self._params = params
         self._scores = scores
         self._domain_influence = domain_influence
+        # The general ranking as a patchable sorted structure.  The
+        # warm apply path hands in the previous report's ranking with
+        # only the changed ids re-positioned; otherwise it materializes
+        # lazily on first use.
+        self._ranked = ranked
+
+    def general_ranked(self) -> RankedScores:
+        """The general influence ranking as :class:`RankedScores`."""
+        if self._ranked is None:
+            self._ranked = RankedScores(self._scores.influence)
+        return self._ranked
 
     # ------------------------------------------------------------------
     @property
@@ -151,13 +163,13 @@ class InfluenceReport:
                 f"top_influencers needs k >= 1, got {k}"
             )
         if domain is None:
-            return top_k(self._scores.influence, k)
+            return self.general_ranked().top(k)
         return self._domain_influence.ranking(domain, k)
 
     def ranking(self, domain: str | None = None) -> list[tuple[str, float]]:
         """The full ordered ranking (general or per domain)."""
         if domain is None:
-            return full_ranking(self._scores.influence)
+            return self.general_ranked().ranking()
         return self._domain_influence.ranking(domain)
 
     def blogger_detail(self, blogger_id: str, top_posts: int = 3) -> BloggerDetail:

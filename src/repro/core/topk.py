@@ -4,14 +4,21 @@ All rankings in the library flow through :func:`top_k`, which fixes the
 tie-breaking rule once (score descending, then blogger id ascending) so
 every consumer — model, baselines, benches — ranks identically and
 results are reproducible.
+
+:class:`RankedScores` is the incremental counterpart: a ranking kept as
+a sorted array that can be *patched* when a handful of scores change,
+instead of re-sorting the whole population.  It orders by the exact
+same ``(-score, id)`` key as :func:`top_k`, so a patched ranking is
+always equal — including tie-breaks — to re-ranking from scratch.
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_left, insort
 from collections.abc import Container, Mapping
 
-__all__ = ["top_k", "full_ranking", "rank_of"]
+__all__ = ["top_k", "full_ranking", "rank_of", "RankedScores"]
 
 
 def top_k(
@@ -42,6 +49,84 @@ def full_ranking(
 ) -> list[tuple[str, float]]:
     """All ids ordered by the same rule as :func:`top_k`."""
     return top_k(scores, len(scores), exclude=exclude)
+
+
+class RankedScores:
+    """A ranking maintained as a sorted array, patchable in place.
+
+    Entries are kept sorted by the frozen ``(-score, id)`` key, so
+    :meth:`top` and :meth:`ranking` return exactly what :func:`top_k`
+    and :func:`full_ranking` would produce from the same score map —
+    same order, same tie-breaks, same float objects.  :meth:`patched`
+    produces a new ranking with a handful of ids re-positioned in
+    O(changes · n) array moves instead of an O(n log n) re-sort, which
+    is what lets the warm apply path re-rank only dirty bloggers.
+    """
+
+    __slots__ = ("_entries", "_scores")
+
+    def __init__(self, scores: Mapping[str, float]) -> None:
+        self._scores = dict(scores)
+        self._entries = sorted(
+            (-score, item_id) for item_id, score in self._scores.items()
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, item_id: str) -> bool:
+        return item_id in self._scores
+
+    def score(self, item_id: str) -> float:
+        return self._scores[item_id]
+
+    def top(
+        self, k: int, exclude: Container[str] = ()
+    ) -> list[tuple[str, float]]:
+        """The ``k`` best entries, identical to :func:`top_k`."""
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        out: list[tuple[str, float]] = []
+        if k == 0:
+            return out
+        scores = self._scores
+        for _, item_id in self._entries:
+            if item_id in exclude:
+                continue
+            # Emit the original float object from the score map, not
+            # the negated-then-negated copy (preserves -0.0 bits).
+            out.append((item_id, scores[item_id]))
+            if len(out) == k:
+                break
+        return out
+
+    def ranking(
+        self, exclude: Container[str] = ()
+    ) -> list[tuple[str, float]]:
+        """All entries ordered, identical to :func:`full_ranking`."""
+        return self.top(len(self._entries), exclude=exclude)
+
+    def patched(self, changes: Mapping[str, float]) -> "RankedScores":
+        """A new ranking with ``changes`` applied.
+
+        Ids already present are moved to their new position; unseen ids
+        are inserted.  The receiver is left untouched, so rankings held
+        by older reports/snapshots stay valid.
+        """
+        clone = RankedScores.__new__(RankedScores)
+        entries = list(self._entries)
+        scores = dict(self._scores)
+        for item_id in sorted(changes):
+            new_score = changes[item_id]
+            old_score = scores.get(item_id)
+            if old_score is not None:
+                index = bisect_left(entries, (-old_score, item_id))
+                del entries[index]
+            scores[item_id] = new_score
+            insort(entries, (-new_score, item_id))
+        clone._entries = entries
+        clone._scores = scores
+        return clone
 
 
 def rank_of(scores: Mapping[str, float], item_id: str) -> int:

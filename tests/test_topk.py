@@ -48,6 +48,65 @@ class TestTopK:
         assert len(ranking) == len(scores)
 
 
+class TestRankedScores:
+    SCORES = {"a": 3.0, "b": 1.0, "c": 3.0, "d": 2.0}
+
+    def _ranked(self, scores=None):
+        from repro.core.topk import RankedScores
+
+        return RankedScores(self.SCORES if scores is None else scores)
+
+    def test_ranking_matches_full_ranking(self):
+        assert self._ranked().ranking() == full_ranking(self.SCORES)
+
+    def test_top_matches_top_k(self):
+        ranked = self._ranked()
+        for k in range(6):
+            assert ranked.top(k) == top_k(self.SCORES, k)
+
+    def test_exclude_matches_top_k(self):
+        ranked = self._ranked()
+        assert ranked.top(2, exclude={"a", "c"}) == top_k(
+            self.SCORES, 2, exclude={"a", "c"}
+        )
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            self._ranked().top(-1)
+
+    def test_len_contains_score(self):
+        ranked = self._ranked()
+        assert len(ranked) == 4
+        assert "a" in ranked and "zzz" not in ranked
+        assert ranked.score("d") == 2.0
+
+    def test_patched_repositions_changed_ids(self):
+        ranked = self._ranked()
+        patched = ranked.patched({"b": 9.0, "e": 2.5})
+        expected = dict(self.SCORES, b=9.0, e=2.5)
+        assert patched.ranking() == full_ranking(expected)
+        # the receiver is untouched
+        assert ranked.ranking() == full_ranking(self.SCORES)
+
+    def test_patched_preserves_signed_zero(self):
+        import math
+
+        ranked = self._ranked({"a": 0.0}).patched({"a": -0.0})
+        ((_, value),) = ranked.ranking()
+        assert math.copysign(1.0, value) == -1.0
+
+    @given(scores_strategy)
+    def test_ranking_equals_full_ranking(self, scores):
+        assert self._ranked(scores).ranking() == full_ranking(scores)
+
+    @given(scores_strategy, scores_strategy)
+    def test_patched_equals_rebuild(self, scores, changes):
+        patched = self._ranked(scores).patched(changes)
+        merged = dict(scores)
+        merged.update(changes)
+        assert patched.ranking() == full_ranking(merged)
+
+
 class TestRankOf:
     def test_basic_ranks(self):
         scores = {"a": 3.0, "b": 1.0, "c": 2.0}
